@@ -1,0 +1,74 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Each bench module regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports, prints them, asserts
+the qualitative shape (who wins, which direction the curve bends), and
+registers the computation with pytest-benchmark so wall-clock cost is
+tracked.  Expensive sweeps run exactly once via ``benchmark.pedantic``.
+
+Set ``REPRO_BENCH_CYCLES`` to lengthen or shorten the CPU-substrate
+traces every experiment shares (default 15000 cycles; the paper used
+multi-million-cycle SPEC runs, which only tightens the statistics).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.energy import normalized_energy_removed
+from repro.traces import BusTrace
+from repro.workloads import random_trace, suite_traces
+
+#: Trace length (cycles) for every bench.
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "15000"))
+
+#: Benchmarks shown in the paper's per-benchmark figures.
+FIGURE_BENCHMARKS = (
+    "ijpeg", "m88ksim", "go", "gcc", "compress", "perl",
+    "hydro2d", "fpppp", "apsi", "applu", "wave5", "turb3d",
+    "tomcatv", "swim", "su2cor", "mgrid",
+)
+
+
+def traces_for(bus: str, include_random: bool = True) -> Dict[str, BusTrace]:
+    """The figure benchmark traces on one bus, plus uniform random."""
+    traces = dict(suite_traces(bus, FIGURE_BENCHMARKS, BENCH_CYCLES))
+    if include_random:
+        traces = {"random": random_trace(BENCH_CYCLES, seed=1234), **traces}
+    return traces
+
+
+def sweep_savings(
+    traces: Dict[str, BusTrace],
+    coder_factory,
+    parameter_values: Sequence[int],
+    lam: float = 1.0,
+) -> Dict[str, List[float]]:
+    """Normalized-energy-removed curves, one per trace."""
+    return {
+        name: [
+            normalized_energy_removed(trace, coder_factory(p).encode_trace(trace), lam)
+            for p in parameter_values
+        ]
+        for name, trace in traces.items()
+    }
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def median_curve(curves: Dict[str, List[float]]) -> np.ndarray:
+    """Median across benchmark curves, pointwise."""
+    return np.median(np.array(list(curves.values())), axis=0)

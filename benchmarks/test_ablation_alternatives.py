@@ -1,0 +1,127 @@
+"""Ablation: transcoding vs circuit-level alternatives and prior codes.
+
+Lays the paper's proposal beside the options its Sections 1-2 cite:
+
+* **shielding** — grounded wires between signals (kills Miller
+  coupling, doubles the footprint);
+* **low-swing signalling** — quadratic energy win on the wire, fixed
+  receiver cost per cycle;
+* **classic/partial bus-invert** and the **adaptive codebook** — the
+  stateless/stateful prior coding art;
+* **work-zone encoding** on the *address* bus, the traffic it was
+  designed for.
+
+Asserted shapes: shielding beats the raw bus exactly when coupling
+dominates; low-swing wins big on long wires; among the codes, the
+window transcoder leads on register traffic while work-zone dominates
+on addresses.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_table
+from repro.coding import (
+    AdaptiveCodebookTranscoder,
+    BusInvertTranscoder,
+    WindowTranscoder,
+    WorkZoneTranscoder,
+)
+from repro.energy import BusEnergyModel, count_activity
+from repro.wires import TECH_013, low_swing_energy, shielded_bus_energy
+from repro.workloads import address_trace, register_trace
+
+BENCHMARKS = ("gcc", "m88ksim", "swim", "ijpeg")
+LENGTH_MM = 15.0
+
+
+def compute():
+    bus = BusEnergyModel(TECH_013, LENGTH_MM)
+    wire = bus.wire
+    bare = BusEnergyModel(TECH_013, LENGTH_MM, buffered=False)
+    rows = []
+    sums = {}
+    for name in BENCHMARKS:
+        trace = register_trace(name, BENCH_CYCLES)
+        counts = count_activity(trace)
+        raw = bus.energy_from_counts(counts)
+        options = {
+            "raw": raw,
+            "raw-unbuf": bare.energy_from_counts(counts),
+            "shield-unbuf": shielded_bus_energy(counts, bare.wire),
+            "shielded": shielded_bus_energy(counts, wire),
+            "low-swing": low_swing_energy(counts, wire),
+            "window-8": bus.trace_energy(WindowTranscoder(8, 32).encode_trace(trace)),
+            "bus-invert": bus.trace_energy(
+                BusInvertTranscoder(32, 4).encode_trace(trace)
+            ),
+            "codebook-8": bus.trace_energy(
+                AdaptiveCodebookTranscoder(32, 8).encode_trace(trace)
+            ),
+        }
+        rows.append([name] + [options[k] * 1e9 for k in options])
+        for key, value in options.items():
+            sums[key] = sums.get(key, 0.0) + value
+
+    # Shielding's one winning regime: adversarial opposite-direction
+    # switching (quadratic Miller energy), on the bare high-lambda bus.
+    from repro.traces import BusTrace
+
+    adversarial = BusTrace.from_values(
+        [0x55555555, 0xAAAAAAAA] * (BENCH_CYCLES // 2), 32
+    )
+    adversarial_counts = count_activity(adversarial, quadratic_coupling=True)
+    bare_wire = bare.wire
+    shield_case = {
+        "raw": bare.energy_from_counts(adversarial_counts),
+        "shielded": shielded_bus_energy(adversarial_counts, bare_wire),
+    }
+
+    # Work-zone runs on the address bus, its home turf.
+    addr_rows = []
+    for name in BENCHMARKS:
+        trace = address_trace(name, BENCH_CYCLES)
+        raw = bus.trace_energy(trace)
+        zone = bus.trace_energy(WorkZoneTranscoder(32).encode_trace(trace))
+        window = bus.trace_energy(WindowTranscoder(8, 32).encode_trace(trace))
+        addr_rows.append((name, raw * 1e9, zone * 1e9, window * 1e9))
+    return rows, sums, shield_case, addr_rows
+
+
+def test_ablation_alternatives(benchmark):
+    rows, sums, shield_case, addr_rows = run_once(benchmark, compute)
+    print_banner(f"Alternatives at {LENGTH_MM} mm, 0.13um (wire energy, nJ)")
+    print(
+        format_table(
+            ["bench", "raw", "raw-unbuf", "shield-unbuf", "shielded", "low-swing",
+             "window-8", "bus-invert", "codebook-8"],
+            rows,
+            precision=2,
+        )
+    )
+    print_banner("Address bus: work-zone's home turf (nJ)")
+    print(format_table(["bench", "raw", "workzone", "window-8"], addr_rows, precision=2))
+
+    # Low swing crushes everything on pure wire energy (it attacks V^2).
+    assert sums["low-swing"] < sums["raw"]
+    # Shielding is a *worst-case* tool, not an average-energy win: real
+    # traffic toggles neighbouring wires in the same direction often
+    # enough that its kappa/tau stays below the deterministic 2 shields
+    # enforce, so shields cost extra on both bus styles here...
+    assert sums["shielded"] >= sums["raw"]
+    assert sums["shield-unbuf"] >= sums["raw-unbuf"]
+    # ...and only pay on adversarial opposite-direction switching under
+    # the quadratic (energy-accurate) Miller model on the bare bus.
+    print(
+        f"\nadversarial 0x5/0xA pattern, bare bus (quadratic coupling): "
+        f"raw {shield_case['raw'] * 1e9:.1f} nJ vs shielded "
+        f"{shield_case['shielded'] * 1e9:.1f} nJ"
+    )
+    assert shield_case["shielded"] < shield_case["raw"]
+    # Among the codes, the window transcoder leads on register traffic.
+    assert sums["window-8"] < sums["bus-invert"]
+    assert sums["window-8"] < sums["codebook-8"] * 1.1
+    # Work-zone beats the general-purpose window coder on addresses.
+    zone_total = sum(r[2] for r in addr_rows)
+    window_total = sum(r[3] for r in addr_rows)
+    assert zone_total < window_total

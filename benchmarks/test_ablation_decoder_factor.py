@@ -1,0 +1,48 @@
+"""Ablation: sensitivity of the crossover length to the decoder's cost.
+
+The paper charges the decoder like the encoder; this reproduction
+argues the decoder is cheaper (indexed reads instead of CAM search) and
+charges 0.4x.  This bench sweeps the factor to show how much of the
+Table 3 conclusion rides on that modelling choice: crossovers move
+proportionally, but every ordering (technology trend) survives at any
+factor.
+"""
+
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import CrossoverAnalysis, format_table, median_crossover
+from repro.wires import TECH_007, TECH_013
+from repro.workloads import INT_WORKLOADS, register_trace
+
+FACTORS = (0.0, 0.4, 1.0)
+
+
+def compute():
+    traces = [register_trace(n, BENCH_CYCLES) for n in INT_WORKLOADS]
+    rows = []
+    medians = {}
+    for factor in FACTORS:
+        for tech in (TECH_013, TECH_007):
+            analyses = [
+                CrossoverAnalysis(t, tech, 8, decoder_factor=factor) for t in traces
+            ]
+            medians[(factor, tech.name)] = median_crossover(analyses)
+            rows.append((factor, tech.name, medians[(factor, tech.name)]))
+    return rows, medians
+
+
+def test_ablation_decoder_factor(benchmark):
+    rows, medians = run_once(benchmark, compute)
+    print_banner("Ablation: median crossover (mm) vs decoder energy factor")
+    print(format_table(["decoder factor", "technology", "median mm"], rows, precision=1))
+
+    for tech_name in ("0.13um", "0.07um"):
+        # A costlier decoder pushes break-even out monotonically.
+        assert (
+            medians[(0.0, tech_name)]
+            <= medians[(0.4, tech_name)]
+            <= medians[(1.0, tech_name)]
+        )
+    for factor in FACTORS:
+        # The technology trend survives any decoder assumption.
+        assert medians[(factor, "0.07um")] <= medians[(factor, "0.13um")] + 1.0

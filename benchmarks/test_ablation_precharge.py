@@ -1,0 +1,45 @@
+"""Ablation: selective-precharge first-stage width (paper Section 5.3.3).
+
+The CAM's two-stage match evaluates ``low_bits`` cheap bits first and
+only completes the full compare on candidates that pass.  Sweeping the
+first-stage width shows the trade the paper's circuit makes: very few
+low bits pass too many candidates to the expensive stage; matching the
+full width up front makes every probe expensive.  An intermediate
+width (the paper uses 8, then 16-bit NAND trees) minimises energy.
+"""
+
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_table
+from repro.hardware import HardwareWindowTranscoder
+from repro.wires import TECH_013
+from repro.workloads import register_trace
+
+LOW_BITS = (2, 4, 8, 16, 32)
+BENCHMARKS = ("gcc", "m88ksim", "compress", "swim")
+
+
+def compute():
+    rows = []
+    energies = {}
+    for low in LOW_BITS:
+        total = 0.0
+        for name in BENCHMARKS:
+            trace = register_trace(name, BENCH_CYCLES)
+            coder = HardwareWindowTranscoder(TECH_013, 8, 32, low_bits=low)
+            total += coder.trace_energy_per_cycle(trace)
+        energies[low] = total / len(BENCHMARKS) * 1e12
+        rows.append((low, energies[low]))
+    return rows, energies
+
+
+def test_ablation_precharge(benchmark):
+    rows, energies = run_once(benchmark, compute)
+    print_banner("Ablation: encoder pJ/cycle vs selective-precharge width")
+    print(format_table(["low bits", "encoder pJ/cycle"], rows, precision=3))
+
+    # Full-width first stage is the most expensive configuration.
+    assert energies[32] >= max(energies[4], energies[8])
+    # The chosen width (8) sits within a few percent of the best.
+    best = min(energies.values())
+    assert energies[8] <= best * 1.10

@@ -1,0 +1,73 @@
+"""Figure 15: inversion coders vs the wire's actual coupling ratio.
+
+Three cost beliefs — lambda-0 (classic bus-invert), lambda-1 and
+lambda-N (oracle) — evaluated on register traffic, memory traffic and
+uniform random data while the *actual* lambda sweeps 0.1..100.
+
+Paper shapes: the lambda-1 coder tracks the oracle except at extreme
+actual lambda; random data overstates what coding achieves on real
+traffic (its curves sit lower = more energy removed) except at small
+actual lambda.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_series
+from repro.coding import InversionTranscoder
+from repro.energy import weighted_activity
+from repro.workloads import memory_trace, random_trace, register_trace
+
+ACTUAL_LAMBDAS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0)
+BENCHMARKS = ("gcc", "swim", "su2cor", "turb3d")
+
+
+def _average_remaining(traces, assumed, actual):
+    """Mean % of lambda-weighted energy remaining after coding."""
+    remaining = []
+    for trace in traces:
+        coder = InversionTranscoder(32, 1, assumed_lambda=assumed)
+        coded = coder.encode_trace(trace)
+        remaining.append(
+            100.0 * weighted_activity(coded, actual) / weighted_activity(trace, actual)
+        )
+    return float(np.mean(remaining))
+
+
+def compute():
+    reg = [register_trace(b, BENCH_CYCLES) for b in BENCHMARKS]
+    mem = [memory_trace(b, BENCH_CYCLES) for b in BENCHMARKS]
+    rand = [random_trace(BENCH_CYCLES, seed=42)]
+    series = {}
+    for group_name, group in (("reg", reg), ("mem", mem), ("random", rand)):
+        for coder_name, assumed in (("l0", 0.0), ("l1", 1.0), ("lN", None)):
+            series[f"{group_name} {coder_name}"] = [
+                _average_remaining(
+                    group, actual if assumed is None else assumed, actual
+                )
+                for actual in ACTUAL_LAMBDAS
+            ]
+    return series
+
+
+def test_fig15(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 15: % energy remaining vs actual lambda (inversion coders)")
+    print(format_series("lambda", list(ACTUAL_LAMBDAS), series, precision=1))
+
+    for group in ("reg", "mem", "random"):
+        oracle = np.array(series[f"{group} lN"])
+        l1 = np.array(series[f"{group} l1"])
+        l0 = np.array(series[f"{group} l0"])
+        # The oracle never loses to a fixed-belief coder (small numeric
+        # slack for greedy tie-breaks).
+        assert (oracle <= l1 + 1.0).all()
+        assert (oracle <= l0 + 1.0).all()
+        # lambda-1 approximates the oracle well at moderate lambda
+        # (paper: "codes with measured lambda = 1 is pretty accurate").
+        mid = ACTUAL_LAMBDAS.index(1.0)
+        assert abs(l1[mid] - oracle[mid]) < 2.0
+
+    # Random data flatters the coder: at high actual lambda it removes
+    # more energy than it does on real register traffic.
+    assert series["random lN"][-1] < series["reg lN"][-1] + 2.0

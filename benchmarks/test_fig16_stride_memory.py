@@ -1,0 +1,41 @@
+"""Figure 16: strided predictor on the memory bus.
+
+Normalized energy removed vs the number of stride predictors (1..32)
+for the 16 figure benchmarks plus random.  Paper shapes: more strides
+never hurt much and mostly help; gains are modest (roughly linear,
+no obvious best count); random traffic gains nothing.
+"""
+
+import numpy as np
+from _common import print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import StrideTranscoder
+
+STRIDES = (1, 2, 4, 8, 16, 24, 32)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("memory"), lambda s: StrideTranscoder(s, 32), STRIDES
+    )
+
+
+def test_fig16(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner("Figure 16: % energy removed vs #strides (memory bus)")
+    print(format_series("strides", list(STRIDES), curves, precision=1))
+
+    # Random traffic gains only the raw/raw-inverted polarity mux (a
+    # flat bus-invert-style few percent); the strides themselves add
+    # nothing.
+    random = curves["random"]
+    assert max(random) < 12.0
+    assert max(random) - min(random) < 1.5
+    # Adding strides never collapses the savings (paper: roughly
+    # monotone with small fluctuations).
+    for name, curve in curves.items():
+        assert curve[-1] >= curve[0] - 5.0, name
+    # At least some benchmarks see real stride savings.
+    best = max(max(c) for n, c in curves.items() if n != "random")
+    assert best > 5.0

@@ -1,0 +1,45 @@
+"""Figure 17: strided predictor on the register bus.
+
+Same sweep as Figure 16 on the register-file output port.  Paper
+shapes: wider spread across benchmarks than the memory bus, no single
+best stride count, and the stride family saves less than the best
+stateless inversion coders do on the same traffic.
+"""
+
+import numpy as np
+from _common import print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import InversionTranscoder, StrideTranscoder
+from repro.energy import normalized_energy_removed
+
+STRIDES = (1, 2, 4, 8, 16, 24, 32)
+
+
+def compute():
+    traces = traces_for("register")
+    curves = sweep_savings(traces, lambda s: StrideTranscoder(s, 32), STRIDES)
+    inversion = {
+        name: normalized_energy_removed(
+            trace, InversionTranscoder(32, 1, 1.0).encode_trace(trace)
+        )
+        for name, trace in traces.items()
+    }
+    return curves, inversion
+
+
+def test_fig17(benchmark):
+    curves, inversion = run_once(benchmark, compute)
+    print_banner("Figure 17: % energy removed vs #strides (register bus)")
+    print(format_series("strides", list(STRIDES), curves, precision=1))
+
+    # Strides add nothing on random traffic (flat polarity-mux floor).
+    assert max(curves["random"]) - min(curves["random"]) < 1.5
+    # Mean best-stride savings stay modest — the paper's conclusion that
+    # stride prediction is not the best stateful mechanism: on average
+    # the stateless inversion coder family is competitive or better.
+    names = [n for n in curves if n != "random"]
+    stride_mean = np.mean([max(curves[n]) for n in names])
+    inversion_mean = np.mean([inversion[n] for n in names])
+    print(f"\nmean best-stride {stride_mean:.1f}% vs inversion {inversion_mean:.1f}%")
+    assert stride_mean < inversion_mean + 12.0

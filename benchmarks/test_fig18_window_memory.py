@@ -1,0 +1,36 @@
+"""Figure 18: window-based transcoder vs shift-register size, memory bus.
+
+Paper shapes: savings grow with the window and the knee of the curve
+sits around 8 entries; beyond it, returns diminish.
+"""
+
+import numpy as np
+from _common import median_curve, print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import WindowTranscoder
+
+SIZES = (2, 4, 8, 16, 32, 48, 64)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("memory", include_random=False),
+        lambda s: WindowTranscoder(s, 32),
+        SIZES,
+    )
+
+
+def test_fig18(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner("Figure 18: % energy removed vs window size (memory bus)")
+    print(format_series("entries", list(SIZES), curves, precision=1))
+
+    median = median_curve(curves)
+    print("\nmedian:", np.round(median, 1))
+    # Growing the window helps up to the knee...
+    assert median[2] >= median[0]
+    # ...and the knee is real: 8 entries capture most of what 64 do.
+    gain_to_knee = median[2] - median[0]
+    gain_past_knee = median[-1] - median[2]
+    assert gain_past_knee <= gain_to_knee + 5.0

@@ -1,0 +1,36 @@
+"""Figure 19: window-based transcoder vs shift-register size, register bus.
+
+Paper shapes: same knee near 8 entries as Figure 18; at that point the
+transcoder removes a double-digit percentage of bus energy on typical
+benchmarks (the paper reports 19-25%).
+"""
+
+import numpy as np
+from _common import median_curve, print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import WindowTranscoder
+
+SIZES = (2, 4, 8, 16, 32, 48, 64)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("register", include_random=False),
+        lambda s: WindowTranscoder(s, 32),
+        SIZES,
+    )
+
+
+def test_fig19(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner("Figure 19: % energy removed vs window size (register bus)")
+    print(format_series("entries", list(SIZES), curves, precision=1))
+
+    median = median_curve(curves)
+    print("\nmedian:", np.round(median, 1))
+    # The knee: most of the 64-entry savings are available at 8.
+    assert median[2] > 0.55 * median[-1]
+    # Respectable double-digit savings for the better benchmarks.
+    best = max(max(curve) for curve in curves.values())
+    assert best > 20.0

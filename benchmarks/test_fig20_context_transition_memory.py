@@ -1,0 +1,37 @@
+"""Figure 20: context transcoder (transition-based) vs table size, memory bus.
+
+Shift register fixed at 8 entries.  Paper shape: savings rise with the
+table but the transition flavour trails the value-based design of
+Figure 22 for equal hardware (many more arcs than states).
+"""
+
+from _common import median_curve, print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import ContextTranscoder, TRANSITION_BASED
+
+TABLE_SIZES = (4, 8, 16, 24, 32, 48, 64)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("memory"),
+        lambda t: ContextTranscoder(t, 8, TRANSITION_BASED),
+        TABLE_SIZES,
+    )
+
+
+def test_fig20(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner(
+        "Figure 20: % energy removed vs table size "
+        "(transition-based context, memory bus)"
+    )
+    print(format_series("table", list(TABLE_SIZES), curves, precision=1))
+
+    median = median_curve(curves)
+    # A bigger table never collapses the curve.
+    assert median[-1] >= median[0] - 5.0
+    # Random traffic gains only the flat polarity-mux floor; the
+    # context table adds nothing.
+    assert max(curves["random"]) - min(curves["random"]) < 2.0

@@ -1,0 +1,29 @@
+"""Figure 21: context transcoder (transition-based) vs table size, register bus."""
+
+from _common import median_curve, print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import ContextTranscoder, TRANSITION_BASED
+
+TABLE_SIZES = (4, 8, 16, 24, 32, 48, 64)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("register"),
+        lambda t: ContextTranscoder(t, 8, TRANSITION_BASED),
+        TABLE_SIZES,
+    )
+
+
+def test_fig21(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner(
+        "Figure 21: % energy removed vs table size "
+        "(transition-based context, register bus)"
+    )
+    print(format_series("table", list(TABLE_SIZES), curves, precision=1))
+
+    median = median_curve(curves)
+    assert median[-1] >= median[0] - 5.0
+    assert max(curves["random"]) - min(curves["random"]) < 2.0

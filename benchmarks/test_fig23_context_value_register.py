@@ -1,0 +1,39 @@
+"""Figure 23: context transcoder (value-based) vs table size, register bus.
+
+Paper shapes: the knee between table sizes 16 and 32, ~25-35% average
+savings at reasonable configurations, value-based above transition-
+based (Figure 21) on the same traffic.
+"""
+
+import numpy as np
+from _common import median_curve, print_banner, run_once, sweep_savings, traces_for
+
+from repro.analysis import format_series
+from repro.coding import ContextTranscoder, VALUE_BASED
+
+TABLE_SIZES = (4, 8, 16, 24, 32, 48, 64)
+
+
+def compute():
+    return sweep_savings(
+        traces_for("register"),
+        lambda t: ContextTranscoder(t, 8, VALUE_BASED),
+        TABLE_SIZES,
+    )
+
+
+def test_fig23(benchmark):
+    curves = run_once(benchmark, compute)
+    print_banner(
+        "Figure 23: % energy removed vs table size (value-based context, register bus)"
+    )
+    print(format_series("table", list(TABLE_SIZES), curves, precision=1))
+
+    median = median_curve(curves)
+    print("\nmedian:", np.round(median, 1))
+    index16 = TABLE_SIZES.index(16)
+    # Diminishing returns past a 16-entry table.
+    assert median[-1] - median[index16] < 12.0
+    # The best benchmarks reach the paper's savings band.
+    best = max(max(curve) for name, curve in curves.items() if name != "random")
+    assert best > 25.0

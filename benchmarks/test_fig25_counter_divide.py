@@ -1,0 +1,50 @@
+"""Figure 25: context transcoder vs counter-division period (register bus).
+
+Tables of 16 and 64 entries, divide period swept 4..16384.  Paper
+shape: savings level off around a period of ~4096 cycles — dividing too
+often starves the counters, dividing too rarely lets stale phases camp
+in the table.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_series
+from repro.coding import ContextTranscoder, VALUE_BASED
+from repro.energy import normalized_energy_removed
+from repro.workloads import register_trace
+
+BENCHMARKS = ("li", "compress", "gcc", "perl", "fpppp", "apsi", "swim")
+PERIODS = (4, 16, 64, 256, 1024, 4096, 16384)
+TABLE_SIZES = (16, 64)
+
+
+def compute():
+    series = {}
+    for name in BENCHMARKS:
+        trace = register_trace(name, BENCH_CYCLES)
+        for table in TABLE_SIZES:
+            series[f"{name}:{table}"] = [
+                normalized_energy_removed(
+                    trace,
+                    ContextTranscoder(
+                        table, 8, VALUE_BASED, divide_period=period
+                    ).encode_trace(trace),
+                )
+                for period in PERIODS
+            ]
+    return series
+
+
+def test_fig25(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 25: % energy removed vs counter divide period")
+    print(format_series("period", list(PERIODS), series, precision=1))
+
+    index4096 = PERIODS.index(4096)
+    for key, curve in series.items():
+        curve = np.array(curve)
+        # Levels off: past 4096 the curve moves by little.
+        assert abs(curve[-1] - curve[index4096]) < 5.0, key
+        # 4096 is at least competitive with the starved period-4 config.
+        assert curve[index4096] >= curve[0] - 3.0, key

@@ -1,0 +1,50 @@
+"""Figure 26: the transcoder energy budget.
+
+Per-cycle energy freed on the wire vs total dictionary entries, for 5,
+10 and 15 mm buses, window and context designs (register traffic).
+Paper shapes: the budget grows with wire length; window and context
+track each other closely at these lengths (which is why complexity
+breaks the tie in the paper).
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import budget_curve, format_series
+from repro.wires import TECH_013
+from repro.workloads import register_trace
+
+ENTRY_COUNTS = (10, 16, 24, 32, 48, 64)
+LENGTHS_MM = (5.0, 10.0, 15.0)
+BENCHMARK = "m88ksim"
+
+
+def compute():
+    trace = register_trace(BENCHMARK, BENCH_CYCLES)
+    series = {}
+    for length in LENGTHS_MM:
+        for design in ("window", "context"):
+            label = f"{int(length)}mm {design}"
+            series[label] = [
+                value * 1e12
+                for value in budget_curve(trace, TECH_013, length, ENTRY_COUNTS, design)
+            ]
+    return series
+
+
+def test_fig26(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 26: energy budget (pJ/cycle) vs total entries")
+    print(format_series("entries", list(ENTRY_COUNTS), series, precision=3))
+
+    for design in ("window", "context"):
+        b5 = np.array(series[f"5mm {design}"])
+        b10 = np.array(series[f"10mm {design}"])
+        b15 = np.array(series[f"15mm {design}"])
+        # Budget scales with wire length (each saved transition is worth
+        # more on a longer wire).
+        assert (b15 > b10).all() and (b10 > b5).all()
+    # Window and context budgets are of the same order at these lengths.
+    w = np.array(series["10mm window"])
+    c = np.array(series["10mm context"])
+    assert (np.abs(w - c) < 0.6 * np.maximum(np.abs(w), np.abs(c)) + 0.3).all()

@@ -1,0 +1,43 @@
+"""Figure 35: total (wire + transcoder) energy vs wire length, register bus.
+
+8-entry window design at 0.13 um, energy normalised to the un-encoded
+bus.  Paper shapes: curves start above 1 (the transcoder dominates on
+short wires), fall with length, and cross below 1 for most benchmarks
+at centimetre-ish scales; the spread across benchmarks is wide.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, FIGURE_BENCHMARKS, print_banner, run_once
+
+from repro.analysis import CrossoverAnalysis, format_series
+from repro.wires import TECH_013
+from repro.workloads import register_trace
+
+LENGTHS = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0)
+
+
+def compute():
+    series = {}
+    for name in FIGURE_BENCHMARKS:
+        trace = register_trace(name, BENCH_CYCLES)
+        analysis = CrossoverAnalysis(trace, TECH_013, 8)
+        series[name] = list(analysis.curve(LENGTHS))
+    return series
+
+
+def test_fig35(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner(
+        "Figure 35: total energy / un-encoded energy vs length (register, 0.13um)"
+    )
+    print(format_series("mm", list(LENGTHS), series, precision=3))
+
+    for name, curve in series.items():
+        curve = np.array(curve)
+        # Monotone decreasing: longer wires amortise the transcoder.
+        assert (np.diff(curve) < 1e-9).all(), name
+        # Short wires lose (transcoder energy dominates).
+        assert curve[0] > 1.0, name
+    # Most benchmarks break even somewhere on the sweep.
+    winners = sum(1 for curve in series.values() if curve[-1] < 1.0)
+    assert winners >= len(series) // 2

@@ -1,0 +1,45 @@
+"""Figure 36: total (wire + transcoder) energy vs wire length, memory bus.
+
+Paper shapes: the memory bus is the transcoder's weak case — the
+*fraction* of transitions removed can be high but the absolute count
+is low (the bus idles between transactions), so fewer benchmarks break
+even than on the register bus and the ratios sit higher overall.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, FIGURE_BENCHMARKS, print_banner, run_once
+
+from repro.analysis import CrossoverAnalysis, format_series
+from repro.wires import TECH_013
+from repro.workloads import memory_trace, register_trace
+
+LENGTHS = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0)
+
+
+def compute():
+    memory_series = {}
+    register_final = {}
+    for name in FIGURE_BENCHMARKS:
+        trace = memory_trace(name, BENCH_CYCLES)
+        memory_series[name] = list(CrossoverAnalysis(trace, TECH_013, 8).curve(LENGTHS))
+        reg = register_trace(name, BENCH_CYCLES)
+        register_final[name] = CrossoverAnalysis(reg, TECH_013, 8).ratio(LENGTHS[-1])
+    return memory_series, register_final
+
+
+def test_fig36(benchmark):
+    memory_series, register_final = run_once(benchmark, compute)
+    print_banner(
+        "Figure 36: total energy / un-encoded energy vs length (memory, 0.13um)"
+    )
+    print(format_series("mm", list(LENGTHS), memory_series, precision=3))
+
+    for name, curve in memory_series.items():
+        assert (np.diff(np.array(curve)) < 1e-9).all(), name
+
+    # The paper's asymmetry: at the longest length, the memory bus is a
+    # worse deal than the register bus for the median benchmark.
+    mem_final = np.median([curve[-1] for curve in memory_series.values()])
+    reg_final = np.median(list(register_final.values()))
+    print(f"\nmedian ratio at {LENGTHS[-1]}mm: memory {mem_final:.3f} register {reg_final:.3f}")
+    assert mem_final > reg_final

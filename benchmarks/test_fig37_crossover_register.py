@@ -1,0 +1,53 @@
+"""Figure 37: crossover scaling on the register bus.
+
+Median total-energy ratio curves for SPECint and SPECfp across the
+three technologies and the 8/16-entry designs.  Paper shapes: the
+crossing point (ratio = 1) moves to shorter wires as technology
+shrinks, and the 16-entry design crosses no later than the 8-entry one
+at the smallest node.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import CrossoverAnalysis, format_series, median_crossover
+from repro.wires import TECHNOLOGIES
+from repro.workloads import FP_WORKLOADS, INT_WORKLOADS, register_trace
+
+LENGTHS = (2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
+
+
+def compute():
+    int_traces = [register_trace(n, BENCH_CYCLES) for n in INT_WORKLOADS]
+    fp_traces = [register_trace(n, BENCH_CYCLES) for n in FP_WORKLOADS]
+    series = {}
+    crossovers = {}
+    for tech in TECHNOLOGIES:
+        for size in (8, 16):
+            for suite, traces in (("specINT", int_traces), ("specFP", fp_traces)):
+                analyses = [CrossoverAnalysis(t, tech, size) for t in traces]
+                curves = np.array([a.curve(LENGTHS) for a in analyses])
+                label = f"{tech.name} {size}-entry {suite}"
+                series[label] = list(np.median(curves, axis=0))
+                crossovers[label] = median_crossover(analyses)
+    return series, crossovers
+
+
+def test_fig37(benchmark):
+    series, crossovers = run_once(benchmark, compute)
+    print_banner("Figure 37: median total-energy ratio vs length (register bus)")
+    print(format_series("mm", list(LENGTHS), series, precision=3))
+    print("\nmedian crossovers (mm):")
+    for label, value in crossovers.items():
+        print(f"  {label:28s} {value:6.1f}")
+
+    # Technology scaling: the 0.07um design crosses over no later than
+    # the 0.13um design for the same suite/size.
+    for size in (8, 16):
+        for suite in ("specINT", "specFP"):
+            large = crossovers[f"0.13um {size}-entry {suite}"]
+            small = crossovers[f"0.07um {size}-entry {suite}"]
+            assert small <= large + 1.0, (size, suite)
+    # Every median curve decreases with length.
+    for label, curve in series.items():
+        assert (np.diff(np.array(curve)) < 1e-9).all(), label

@@ -1,0 +1,55 @@
+"""Figure 38: crossover scaling on the memory bus.
+
+Same sweep as Figure 37 on the memory data bus.  Paper shapes: the
+memory bus is much less attractive — median curves sit above their
+register-bus counterparts and several configurations never reach the
+break-even line inside the plotted range.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import CrossoverAnalysis, format_series
+from repro.wires import TECHNOLOGIES, TECH_013
+from repro.workloads import FP_WORKLOADS, INT_WORKLOADS, memory_trace, register_trace
+
+LENGTHS = (2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
+
+
+def compute():
+    int_traces = [memory_trace(n, BENCH_CYCLES) for n in INT_WORKLOADS]
+    fp_traces = [memory_trace(n, BENCH_CYCLES) for n in FP_WORKLOADS]
+    series = {}
+    for tech in TECHNOLOGIES:
+        for size in (8, 16):
+            for suite, traces in (("specINT", int_traces), ("specFP", fp_traces)):
+                curves = np.array(
+                    [CrossoverAnalysis(t, tech, size).curve(LENGTHS) for t in traces]
+                )
+                series[f"{tech.name} {size}-entry {suite}"] = list(
+                    np.median(curves, axis=0)
+                )
+    reg_traces = [register_trace(n, BENCH_CYCLES) for n in INT_WORKLOADS]
+    reg_median = list(
+        np.median(
+            [CrossoverAnalysis(t, TECH_013, 8).curve(LENGTHS) for t in reg_traces],
+            axis=0,
+        )
+    )
+    return series, reg_median
+
+
+def test_fig38(benchmark):
+    series, reg_median = run_once(benchmark, compute)
+    print_banner("Figure 38: median total-energy ratio vs length (memory bus)")
+    print(format_series("mm", list(LENGTHS), series, precision=3))
+
+    for label, curve in series.items():
+        assert (np.diff(np.array(curve)) < 1e-9).all(), label
+
+    # The paper's verdict: the memory bus is the harder sell — the
+    # median 0.13um 8-entry memory curve sits above the register one.
+    mem = np.array(series["0.13um 8-entry specINT"])
+    reg = np.array(reg_median)
+    print(f"\nat {LENGTHS[-1]}mm: memory {mem[-1]:.3f} vs register {reg[-1]:.3f}")
+    assert mem[-1] >= reg[-1] - 0.02

@@ -1,0 +1,47 @@
+"""Figure 5: single-transition wire energy vs length, 1-30 mm.
+
+Six curves: {repeatered, unbuffered} x {0.13, 0.10, 0.07 um}.  The
+shapes to reproduce: energy is linear in length, repeatered wires cost
+more than bare ones, and smaller nodes cost less; the 0.13 um
+repeatered wire reaches a few pJ at 30 mm.
+"""
+
+import numpy as np
+from _common import print_banner, run_once
+
+from repro.analysis import format_series
+from repro.wires import TECHNOLOGIES, WireModel
+
+LENGTHS = list(range(1, 31))
+
+
+def compute():
+    series = {}
+    for tech in TECHNOLOGIES:
+        for buffered, label in ((True, "Repeater"), (False, "Wire")):
+            series[f"{label}_{tech.name}"] = [
+                WireModel(tech, length, buffered).single_transition_energy * 1e12
+                for length in LENGTHS
+            ]
+    return series
+
+
+def test_fig5(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 5: wire energy (pJ) vs length (mm)")
+    shown = {k: v for k, v in series.items()}
+    print(format_series("mm", LENGTHS, shown, precision=3))
+
+    for tech in TECHNOLOGIES:
+        repeatered = np.array(series[f"Repeater_{tech.name}"])
+        bare = np.array(series[f"Wire_{tech.name}"])
+        # Repeaters add energy at every length.
+        assert (repeatered[2:] > bare[2:]).all()
+        # Linear growth: energy at 30 mm ~ 3x energy at 10 mm.
+        assert repeatered[29] / repeatered[9] == np.clip(
+            repeatered[29] / repeatered[9], 2.4, 3.6
+        )
+    # A few pJ at 30 mm for the 0.13 um repeatered wire.
+    assert 3.0 < series["Repeater_0.13um"][-1] < 8.0
+    # Smaller nodes cost less at every length.
+    assert series["Repeater_0.07um"][-1] < series["Repeater_0.13um"][-1]

@@ -1,0 +1,43 @@
+"""Figure 6: wire propagation delay vs length, 1-30 mm.
+
+Shapes: unbuffered delay grows quadratically and reaches thousands of
+ps at 30 mm; repeatered delay is linear and far smaller at long
+lengths.
+"""
+
+import numpy as np
+from _common import print_banner, run_once
+
+from repro.analysis import format_series
+from repro.wires import TECHNOLOGIES, WireModel
+
+LENGTHS = list(range(1, 31))
+
+
+def compute():
+    series = {}
+    for tech in TECHNOLOGIES:
+        for buffered, label in ((True, "Repeater"), (False, "Wire")):
+            series[f"{label}_{tech.name}"] = [
+                WireModel(tech, length, buffered).delay_seconds * 1e12
+                for length in LENGTHS
+            ]
+    return series
+
+
+def test_fig6(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 6: wire delay (ps) vs length (mm)")
+    print(format_series("mm", LENGTHS, series, precision=0))
+
+    for tech in TECHNOLOGIES:
+        bare = np.array(series[f"Wire_{tech.name}"])
+        repeatered = np.array(series[f"Repeater_{tech.name}"])
+        # Quadratic: delay at 30 mm ~ 9x the delay at 10 mm.
+        assert 7.0 < bare[29] / bare[9] < 11.0
+        # Linear-ish for the repeatered wire.
+        assert 2.0 < repeatered[29] / repeatered[9] < 4.0
+        # Repeaters win for long wires.
+        assert repeatered[29] < bare[29]
+    # Thousands of ps for the 30 mm unbuffered wire (Figure 6's scale).
+    assert series["Wire_0.13um"][-1] > 2000

@@ -1,0 +1,38 @@
+"""Figure 8: average fraction of unique values within a window.
+
+Paper shape: even small windows (tens of entries) contain mostly
+repeated values — the statistic that motivates the Window-based
+transcoder — and the unique fraction falls as the window grows.
+"""
+
+import numpy as np
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_series
+from repro.traces import window_unique_curve
+from repro.workloads import memory_trace, register_trace
+
+BENCHMARKS = ("gcc", "su2cor", "swim", "turb3d")
+WINDOWS = (2, 4, 8, 16, 32, 64, 128, 512, 2048)
+
+
+def compute():
+    series = {}
+    for name in BENCHMARKS:
+        for bus, fetch in (("reg", register_trace), ("mem", memory_trace)):
+            trace = fetch(name, BENCH_CYCLES)
+            series[f"{name} {bus}"] = list(window_unique_curve(trace, WINDOWS))
+    return series
+
+
+def test_fig8(benchmark):
+    series = run_once(benchmark, compute)
+    print_banner("Figure 8: unique fraction vs window size")
+    print(format_series("window", list(WINDOWS), series, precision=3))
+    for name, curve in series.items():
+        curve = np.array(curve)
+        # Larger windows can only lower the unique fraction.
+        assert (np.diff(curve) <= 1e-9).all(), name
+        # A 10-ish-entry window already sees mostly repeats (paper's
+        # point): the unique fraction is well below 1.
+        assert curve[2] < 0.75, name

@@ -1,0 +1,47 @@
+"""The paper's headline: average % of transitions removed on internal buses.
+
+Abstract / Section 7: "an average of 36% savings in transitions on
+internal buses such as the reorder buffer and register file", achieved
+by the dictionary transcoders.  This bench reports our suite average
+for the window and context designs at the paper's configurations
+(pure transition counts, coupling ratio 0, register bus).
+"""
+
+from _common import BENCH_CYCLES, print_banner, run_once
+
+from repro.analysis import format_table, headline_transition_savings
+from repro.coding import ContextTranscoder, WindowTranscoder
+
+
+def compute():
+    window = headline_transition_savings(
+        lambda: WindowTranscoder(8, 32), cycles=BENCH_CYCLES
+    )
+    window16 = headline_transition_savings(
+        lambda: WindowTranscoder(16, 32), cycles=BENCH_CYCLES
+    )
+    context = headline_transition_savings(
+        lambda: ContextTranscoder(28, 8), cycles=BENCH_CYCLES
+    )
+    return window, window16, context
+
+
+def test_headline(benchmark):
+    window, window16, context = run_once(benchmark, compute)
+    print_banner("Headline: average % transitions removed (register bus)")
+    print(
+        format_table(
+            ["Design", "Avg % transitions removed", "Paper"],
+            [
+                ("window-8", window, "19-25 (Fig 19)"),
+                ("window-16", window16, "-"),
+                ("context 28+8", context, "25-36 (Fig 23, abstract)"),
+            ],
+            precision=1,
+        )
+    )
+    # The dictionary transcoders remove a double-digit share of
+    # transitions on average; the context design leads the window one.
+    assert window > 8.0
+    assert context > window - 2.0
+    assert window16 >= window - 1.0

@@ -1,0 +1,47 @@
+"""Table 1: effective lambda for buffered and unbuffered wires.
+
+Paper values: 0.13um 14.0 / 0.670, 0.10um 16.6 / 0.576,
+0.07um 14.5 / 0.591 (unbuffered / with repeaters).
+"""
+
+from _common import print_banner, run_once
+
+from repro.analysis import format_table
+from repro.wires import TECHNOLOGIES, WireModel
+
+PAPER = {
+    "0.13um": (14.0, 0.670),
+    "0.10um": (16.6, 0.576),
+    "0.07um": (14.5, 0.591),
+}
+
+
+def compute():
+    rows = []
+    for tech in TECHNOLOGIES:
+        unbuffered = WireModel(tech, 30.0, buffered=False).effective_lambda
+        buffered = WireModel(tech, 30.0, buffered=True).effective_lambda
+        rows.append((tech.name, unbuffered, buffered))
+    return rows
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, compute)
+    print_banner("Table 1: effective lambda per technology")
+    print(
+        format_table(
+            ["Technology", "Unbuffered", "With repeaters", "paper unbuf", "paper rep"],
+            [
+                (name, unbuf, buf, PAPER[name][0], PAPER[name][1])
+                for name, unbuf, buf in rows
+            ],
+            precision=3,
+        )
+    )
+    for name, unbuffered, buffered in rows:
+        paper_unbuf, paper_buf = PAPER[name]
+        # Bare minimum-pitch wires are coupling-dominated...
+        assert unbuffered == paper_unbuf or abs(unbuffered / paper_unbuf - 1) < 0.05
+        # ...while repeater loading pushes effective lambda below 1.
+        assert abs(buffered / paper_buf - 1) < 0.10
+        assert buffered < 1.0 < unbuffered

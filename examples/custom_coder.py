@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Extending the framework: plug a custom predictor into the transcoder.
+
+The paper's Figure 2 framework accepts *any* synchronous predictor.
+This example builds one the paper does not evaluate — an XOR-delta
+dictionary that predicts `last ^ recent_delta` — drops it into
+``PredictiveTranscoder``, and benchmarks it against the stock window
+design on real traces.  It shows the full extension surface: implement
+four methods, inherit correctness (round-trip symmetry) for free.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro import WindowTranscoder, register_trace, savings_for
+from repro.analysis import format_table
+from repro.coding import Predictor, PredictiveTranscoder
+
+
+class XorDeltaPredictor(Predictor):
+    """Predicts ``last ^ d`` for the most recent distinct XOR deltas.
+
+    Captures buses whose consecutive values differ by a recurring bit
+    pattern (flag toggles, pointer low-bit churn) — structure the plain
+    window dictionary cannot see once absolute values stop repeating.
+    """
+
+    def __init__(self, size: int = 8, width: int = 32):
+        self.size = size
+        self.num_codes = 1 + size
+        self._mask = (1 << width) - 1
+        self.reset()
+
+    def reset(self) -> None:
+        self.last = 0
+        self._deltas = [None] * self.size
+        self._head = 0
+
+    def match(self, value: int) -> Optional[int]:
+        if value == self.last:
+            return 0
+        delta = (value ^ self.last) & self._mask
+        for slot, candidate in enumerate(self._deltas):
+            if candidate == delta:
+                return 1 + slot
+        return None
+
+    def lookup(self, index: int) -> int:
+        if index == 0:
+            return self.last
+        delta = self._deltas[index - 1]
+        if delta is None:
+            raise ValueError(f"slot {index - 1} is empty; streams out of sync")
+        return (self.last ^ delta) & self._mask
+
+    def update(self, value: int) -> None:
+        delta = (value ^ self.last) & self._mask
+        if delta and delta not in self._deltas:
+            self._deltas[self._head] = delta
+            self._head = (self._head + 1) % self.size
+        self.last = value
+
+
+def main() -> None:
+    benchmarks = ("gcc", "m88ksim", "swim", "turb3d", "li")
+    rows = []
+    for name in benchmarks:
+        trace = register_trace(name, 25_000)
+
+        custom = PredictiveTranscoder(XorDeltaPredictor(8, 32), width=32)
+        coded = custom.encode_trace(trace)
+        assert np.array_equal(custom.decode_trace(coded).values, trace.values)
+
+        rows.append(
+            (
+                name,
+                savings_for(trace, custom),
+                savings_for(trace, WindowTranscoder(8, 32)),
+            )
+        )
+
+    print(
+        format_table(
+            ["benchmark", "xor-delta-8 %", "window-8 %"],
+            rows,
+            precision=1,
+            title="A custom predictor vs the paper's window design",
+        )
+    )
+    print(
+        "\nThe custom coder inherits the whole harness: transition coding,\n"
+        "control wires, raw/inverted fallback, and decoder symmetry are\n"
+        "all provided by PredictiveTranscoder."
+    )
+
+
+if __name__ == "__main__":
+    main()

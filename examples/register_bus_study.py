@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Register-bus coding study: which scheme wins on which workload?
+
+Reproduces the Section 4 comparison in miniature: every coding scheme
+from the paper runs over the register-bus traces of a handful of
+benchmarks and the normalized energy removed is tabulated — the
+experiment behind the paper's choice to carry the window and context
+designs forward to silicon.
+"""
+
+from repro import (
+    ContextTranscoder,
+    InversionTranscoder,
+    LastValueTranscoder,
+    StrideTranscoder,
+    WindowTranscoder,
+    register_trace,
+    savings_for,
+)
+from repro.analysis import format_table
+
+BENCHMARKS = ("gcc", "compress", "m88ksim", "ijpeg", "swim", "su2cor", "wave5")
+CYCLES = 30_000
+
+
+def coders():
+    return {
+        "last": LastValueTranscoder(32),
+        "invert": InversionTranscoder(32, 1, assumed_lambda=1.0),
+        "stride-8": StrideTranscoder(8, 32),
+        "window-8": WindowTranscoder(8, 32),
+        "context-28+8": ContextTranscoder(28, 8),
+    }
+
+
+def main() -> None:
+    names = list(coders())
+    rows = []
+    totals = {name: 0.0 for name in names}
+    for bench in BENCHMARKS:
+        trace = register_trace(bench, CYCLES)
+        row = [bench]
+        for name, coder in coders().items():
+            saved = savings_for(trace, coder)
+            totals[name] += saved
+            row.append(saved)
+        rows.append(row)
+    rows.append(["AVERAGE"] + [totals[name] / len(BENCHMARKS) for name in names])
+
+    print(
+        format_table(
+            ["benchmark"] + names,
+            rows,
+            precision=1,
+            title="Normalized energy removed (%) on the register bus",
+        )
+    )
+    print(
+        "\nReading: the dictionary transcoders (window/context) lead, the\n"
+        "stride bank trails them, and simple inversion sits in between —\n"
+        "the ordering that drives the paper's Section 5 design choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Technology scaling study: when does the transcoder pay for itself?
+
+Reproduces the paper's central result in miniature: for each process
+node, find the wire length at which the 8-entry window transcoder's
+circuit energy is repaid by the transitions it removes (the crossover
+length of Table 3), and show how the break-even point marches toward
+shorter, more common wire lengths as feature sizes shrink.
+"""
+
+from repro import CrossoverAnalysis, TECHNOLOGIES, register_trace
+from repro.analysis import format_table
+from repro.hardware import TranscoderCircuit
+
+BENCHMARKS = ("m88ksim", "ijpeg", "compress", "hydro2d", "wave5")
+CYCLES = 25_000
+SIZES = (8, 16)
+
+
+def main() -> None:
+    traces = {name: register_trace(name, CYCLES) for name in BENCHMARKS}
+
+    rows = []
+    for tech in TECHNOLOGIES:
+        for size in SIZES:
+            circuit = TranscoderCircuit(tech, num_entries=size, width=32)
+            crossovers = []
+            for trace in traces.values():
+                analysis = CrossoverAnalysis(trace, tech, size)
+                crossover = analysis.crossover_length()
+                crossovers.append(100.0 if crossover is None else crossover)
+            crossovers.sort()
+            median = crossovers[len(crossovers) // 2]
+            rows.append(
+                (
+                    tech.name,
+                    size,
+                    circuit.area_um2,
+                    circuit.leakage_energy_per_cycle * 1e15,
+                    median,
+                )
+            )
+
+    print(
+        format_table(
+            ["Technology", "Entries", "Area um^2", "Leakage fJ/cyc", "Median crossover mm"],
+            rows,
+            precision=1,
+            title="Window transcoder break-even vs technology node",
+        )
+    )
+    print(
+        "\nReading: smaller nodes shrink the encoder (area, dynamic energy)\n"
+        "faster than the wires get cheaper, so the crossover length falls —\n"
+        "the paper's argument that transcoding grows MORE attractive as\n"
+        "Moore's law advances.  Leakage rises but stays orders of magnitude\n"
+        "below the dynamic budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

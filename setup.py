@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks the ``wheel`` package needed for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — a reproduction of "Exploiting Prediction to Reduce Power on Buses".
+
+The library has six layers, bottom up:
+
+* :mod:`repro.wires` — technology constants, repeatered-wire energy and
+  delay models (paper Section 3);
+* :mod:`repro.cpu` + :mod:`repro.workloads` — the trace substrate: a
+  small RISC machine with bus-timing generators and a SPEC95-substitute
+  kernel suite (Section 4.1);
+* :mod:`repro.traces` — trace containers and statistics (Section 4.2);
+* :mod:`repro.coding` — the coding schemes: transition, spatial,
+  inversion, LAST-value, strided, window-based and context-based
+  transcoders (Section 4.3);
+* :mod:`repro.energy` — transition/coupling accounting and absolute bus
+  energy (equations 1-3);
+* :mod:`repro.hardware` + :mod:`repro.analysis` — the circuit-level
+  transcoder model, energy budgets and crossover lengths (Section 5).
+
+Quick start::
+
+    from repro import WindowTranscoder, register_trace, savings_for
+
+    trace = register_trace("gcc")            # run the CPU substrate
+    coder = WindowTranscoder(size=8)         # the paper's silicon design
+    print(savings_for(trace, coder), "% energy removed")
+"""
+
+from .traces import BusTrace
+from .wires import TECH_007, TECH_010, TECH_013, TECHNOLOGIES, Technology, WireModel
+from .coding import (
+    ContextTranscoder,
+    IdentityTranscoder,
+    InversionTranscoder,
+    LastValueTranscoder,
+    SpatialTranscoder,
+    StrideTranscoder,
+    Transcoder,
+    TransitionCoder,
+    WindowTranscoder,
+)
+from .energy import BusEnergyModel, count_activity, normalized_energy_removed
+from .cpu import Machine, PipelineConfig
+from .workloads import (
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    WORKLOADS,
+    memory_trace,
+    random_trace,
+    register_trace,
+)
+from .hardware import HardwareWindowTranscoder, TranscoderCircuit
+from .analysis import (
+    CrossoverAnalysis,
+    crossover_table,
+    headline_transition_savings,
+    savings_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusTrace",
+    "Technology",
+    "TECHNOLOGIES",
+    "TECH_013",
+    "TECH_010",
+    "TECH_007",
+    "WireModel",
+    "Transcoder",
+    "IdentityTranscoder",
+    "TransitionCoder",
+    "SpatialTranscoder",
+    "InversionTranscoder",
+    "LastValueTranscoder",
+    "StrideTranscoder",
+    "WindowTranscoder",
+    "ContextTranscoder",
+    "BusEnergyModel",
+    "count_activity",
+    "normalized_energy_removed",
+    "Machine",
+    "PipelineConfig",
+    "WORKLOADS",
+    "INT_WORKLOADS",
+    "FP_WORKLOADS",
+    "register_trace",
+    "memory_trace",
+    "random_trace",
+    "HardwareWindowTranscoder",
+    "TranscoderCircuit",
+    "CrossoverAnalysis",
+    "crossover_table",
+    "headline_transition_savings",
+    "savings_for",
+]

@@ -1,0 +1,30 @@
+"""Experiment analysis: budgets, crossovers, orchestration, reporting."""
+
+from .budget import budget_curve, energy_budget
+from .crossover import CrossoverAnalysis, median_crossover
+from .experiments import (
+    CrossoverCell,
+    crossover_table,
+    headline_transition_savings,
+    savings_for,
+    savings_sweep,
+)
+from .figures import export_figures, write_csv
+from .reporting import fmt, format_series, format_table
+
+__all__ = [
+    "budget_curve",
+    "energy_budget",
+    "CrossoverAnalysis",
+    "median_crossover",
+    "CrossoverCell",
+    "crossover_table",
+    "headline_transition_savings",
+    "savings_for",
+    "savings_sweep",
+    "export_figures",
+    "write_csv",
+    "fmt",
+    "format_series",
+    "format_table",
+]

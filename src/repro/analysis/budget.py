@@ -1,0 +1,65 @@
+"""The transcoder energy budget (paper Section 5.1, Figure 26).
+
+The *energy budget* is how much energy per cycle a coding scheme frees
+on the wire — the ceiling any encoder/decoder implementation must stay
+under to be worth building.  It depends only on the wire model and the
+transition code, not on circuit implementation, which is why the paper
+uses it to pick between the Window and Context designs before
+committing to layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..coding.context import ContextTranscoder
+from ..coding.window import WindowTranscoder
+from ..energy.bus_energy import BusEnergyModel
+from ..traces.trace import BusTrace
+from ..wires.technology import Technology
+
+__all__ = ["energy_budget", "budget_curve"]
+
+
+def energy_budget(
+    trace: BusTrace,
+    technology: Technology,
+    length_mm: float,
+    entries: int,
+    design: str = "window",
+    shift_size: int = 8,
+    buffered: bool = True,
+) -> float:
+    """Per-cycle energy (J) the coding frees on a ``length_mm`` bus.
+
+    ``design`` is ``"window"`` (all entries in the shift register) or
+    ``"context"`` (``shift_size`` shift-register entries, the rest in
+    the frequency table), matching the two families of Figure 26.
+    """
+    if len(trace) == 0:
+        return 0.0
+    if design == "window":
+        coder = WindowTranscoder(entries, trace.width)
+    elif design == "context":
+        table = max(entries - shift_size, 1)
+        coder = ContextTranscoder(table, min(shift_size, entries), width=trace.width)
+    else:
+        raise ValueError(f"design must be 'window' or 'context', got {design!r}")
+    model = BusEnergyModel(technology, length_mm, buffered)
+    saved = model.trace_energy(trace) - model.trace_energy(coder.encode_trace(trace))
+    return saved / len(trace)
+
+
+def budget_curve(
+    trace: BusTrace,
+    technology: Technology,
+    length_mm: float,
+    entry_counts: Sequence[int],
+    design: str = "window",
+) -> List[float]:
+    """:func:`energy_budget` swept over dictionary sizes (Figure 26)."""
+    return [
+        energy_budget(trace, technology, length_mm, entries, design)
+        for entries in entry_counts
+    ]

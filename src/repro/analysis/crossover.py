@@ -1,0 +1,145 @@
+"""Total-energy ratios and crossover lengths (paper Figs 35-38, Table 3).
+
+The decisive question of the paper: at what wire length does the
+transcoder *pay for itself*?  For a trace and technology,
+
+    ratio(L) = (E_wire_coded(L) + E_encoder + E_decoder) / E_wire_raw(L)
+
+where the wire energies scale linearly with L (their tau/kappa counts
+are computed once) and the transcoder energy is per-cycle, independent
+of L.  The **crossover length** is the L where the ratio reaches 1;
+beyond it the transcoder saves net energy.  The decoder shares the
+encoder's design and is charged the same energy, per Section 5.4.
+
+Everything expensive (encoding the trace, counting activity, auditing
+the hardware ops) happens once per :class:`CrossoverAnalysis`, so
+sweeping lengths and bisecting for the crossover are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..coding.window import WindowTranscoder
+from ..energy.accounting import ActivityCounts, count_activity
+from ..energy.bus_energy import BusEnergyModel
+from ..hardware.transcoder_hw import HardwareWindowTranscoder
+from ..traces.trace import BusTrace
+from ..wires.technology import Technology
+
+__all__ = ["CrossoverAnalysis", "median_crossover"]
+
+#: The decoder holds the same dictionary but performs *indexed reads*
+#: (the received codeword names the entry) instead of the encoder's
+#: associative CAM search, and raw words insert unconditionally — a raw
+#: word always means the encoder missed.  Its clocking, shifting and
+#: output stages remain, so it is charged this fraction of the encoder.
+DECODER_ENERGY_FACTOR = 0.4
+
+
+@dataclass
+class CrossoverAnalysis:
+    """Total-energy analysis of the window transcoder on one trace.
+
+    Parameters
+    ----------
+    trace:
+        The bus value trace (un-encoded).
+    technology:
+        Process node.
+    size:
+        Window (shift register) entries.
+    buffered:
+        Whether the bus wires carry repeaters.
+    """
+
+    trace: BusTrace
+    technology: Technology
+    size: int = 8
+    buffered: bool = True
+    decoder_factor: float = DECODER_ENERGY_FACTOR
+
+    _base_counts: ActivityCounts = field(init=False, repr=False)
+    _coded_counts: ActivityCounts = field(init=False, repr=False)
+    _transcoder_per_cycle: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        hw = HardwareWindowTranscoder(self.technology, self.size, self.trace.width)
+        encoder_epc = hw.trace_energy_per_cycle(self.trace)  # encodes internally
+        coded = WindowTranscoder(self.size, self.trace.width).encode_trace(self.trace)
+        self._base_counts = count_activity(self.trace)
+        self._coded_counts = count_activity(coded)
+        self._transcoder_per_cycle = encoder_epc * (1.0 + self.decoder_factor)
+
+    # -- energies ---------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Trace length in cycles."""
+        return len(self.trace)
+
+    @property
+    def transcoder_energy(self) -> float:
+        """Encoder + decoder energy (J) over the whole trace."""
+        return self._transcoder_per_cycle * self.cycles
+
+    def wire_energy(self, length_mm: float, coded: bool) -> float:
+        """Wire energy (J) at ``length_mm`` for the raw or coded bus."""
+        model = BusEnergyModel(self.technology, length_mm, self.buffered)
+        counts = self._coded_counts if coded else self._base_counts
+        return model.energy_from_counts(counts)
+
+    def ratio(self, length_mm: float) -> float:
+        """Total coded energy over un-encoded energy (Figures 35-36)."""
+        base = self.wire_energy(length_mm, coded=False)
+        if base == 0.0:
+            return float("inf")
+        coded = self.wire_energy(length_mm, coded=True) + self.transcoder_energy
+        return coded / base
+
+    def curve(self, lengths_mm: Sequence[float]) -> np.ndarray:
+        """Ratio evaluated over many lengths."""
+        return np.array([self.ratio(length) for length in lengths_mm])
+
+    def crossover_length(
+        self, lo: float = 0.1, hi: float = 100.0, tolerance: float = 1e-3
+    ) -> Optional[float]:
+        """Wire length (mm) where the ratio crosses 1, or None.
+
+        None means the transcoder never breaks even below ``hi`` —
+        either the coding removes too little activity (the paper's
+        memory-bus result for several benchmarks) or it *adds*
+        activity, making the ratio > 1 at every length.
+        """
+        if self.ratio(hi) >= 1.0:
+            return None
+        if self.ratio(lo) < 1.0:
+            return lo
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if self.ratio(mid) >= 1.0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+def median_crossover(
+    analyses: Iterable[CrossoverAnalysis],
+    never_value: float = 100.0,
+) -> float:
+    """Median crossover length over many benchmarks (Table 3 cells).
+
+    Benchmarks that never break even contribute ``never_value`` so they
+    drag the median toward long lengths instead of vanishing.
+    """
+    lengths: List[float] = []
+    for analysis in analyses:
+        crossover = analysis.crossover_length()
+        lengths.append(never_value if crossover is None else crossover)
+    if not lengths:
+        raise ValueError("no analyses supplied")
+    return float(np.median(lengths))

@@ -1,0 +1,114 @@
+"""High-level experiment orchestration.
+
+Convenience entry points that the benches and examples share: savings
+sweeps across the workload suite, the Table 3 crossover matrix, and the
+paper's headline transition-savings number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..coding.base import Transcoder
+from ..energy.accounting import normalized_energy_removed
+from ..traces.trace import BusTrace
+from ..wires.technology import Technology
+from ..workloads.programs import FP_WORKLOADS, INT_WORKLOADS
+from ..workloads.suite import DEFAULT_CYCLES, suite_traces
+from .crossover import CrossoverAnalysis, median_crossover
+
+__all__ = [
+    "savings_for",
+    "savings_sweep",
+    "headline_transition_savings",
+    "crossover_table",
+    "CrossoverCell",
+]
+
+
+def savings_for(trace: BusTrace, coder: Transcoder, lam: float = 1.0) -> float:
+    """Normalized energy removed (%) by one coder on one trace."""
+    return normalized_energy_removed(trace, coder.encode_trace(trace), lam)
+
+
+def savings_sweep(
+    bus: str,
+    coder_factory: Callable[[int], Transcoder],
+    parameter_values: Sequence[int],
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+    lam: float = 1.0,
+) -> Dict[str, List[float]]:
+    """Savings (%) per benchmark as one coder parameter sweeps.
+
+    This is the engine behind Figures 16-25: ``coder_factory`` builds a
+    transcoder from the swept parameter (number of strides, shift
+    register size, table size, divide period ...), and each benchmark
+    contributes one curve.
+    """
+    traces = suite_traces(bus, names, cycles)
+    curves: Dict[str, List[float]] = {}
+    for name, trace in traces.items():
+        curves[name] = [
+            savings_for(trace, coder_factory(value), lam) for value in parameter_values
+        ]
+    return curves
+
+
+def headline_transition_savings(
+    coder_factory: Callable[[], Transcoder],
+    bus: str = "register",
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+) -> float:
+    """Average % of bus transitions removed across the suite.
+
+    The paper's headline: "an average of 36% savings in transitions on
+    internal buses" — a pure transition count (coupling ratio 0).
+    """
+    traces = suite_traces(bus, names, cycles)
+    savings = [savings_for(t, coder_factory(), lam=0.0) for t in traces.values()]
+    return float(np.mean(savings))
+
+
+@dataclass(frozen=True)
+class CrossoverCell:
+    """One cell of the Table 3 matrix."""
+
+    technology: str
+    entries: int
+    suite: str  # "SPECint" / "SPECfp" / "ALL"
+    median_mm: float
+
+
+def crossover_table(
+    technologies: Sequence[Technology],
+    entry_sizes: Sequence[int] = (8, 16),
+    bus: str = "register",
+    cycles: int = DEFAULT_CYCLES,
+) -> List[CrossoverCell]:
+    """Regenerate Table 3: median crossover lengths by technology,
+    dictionary size and benchmark class."""
+    int_traces = suite_traces(bus, tuple(INT_WORKLOADS), cycles)
+    fp_traces = suite_traces(bus, tuple(FP_WORKLOADS), cycles)
+    cells: List[CrossoverCell] = []
+    for tech in technologies:
+        for size in entry_sizes:
+            groups = {
+                "SPECint": list(int_traces.values()),
+                "SPECfp": list(fp_traces.values()),
+                "ALL": list(int_traces.values()) + list(fp_traces.values()),
+            }
+            for suite_name, traces in groups.items():
+                analyses = [
+                    CrossoverAnalysis(trace, tech, size) for trace in traces
+                ]
+                cells.append(
+                    CrossoverCell(
+                        tech.name, size, suite_name, median_crossover(analyses)
+                    )
+                )
+    return cells

@@ -1,0 +1,108 @@
+"""Export figure data as CSV for external plotting.
+
+The benches print figure series as aligned text; this module writes the
+same series as CSV files so they can be plotted with any tool
+(``python -m repro figures <directory>``).  Only the cheap,
+closed-form figures are exported by default; the trace-sweep figures
+accept a cycle budget because they run the CPU substrate.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Sequence
+
+from ..coding.window import WindowTranscoder
+from ..energy.accounting import normalized_energy_removed
+from ..wires.technology import TECHNOLOGIES
+from ..wires.wire_model import WireModel
+from ..workloads.suite import suite_traces
+from .crossover import CrossoverAnalysis
+
+__all__ = ["export_figures", "write_csv"]
+
+
+def write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write one CSV file with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _fig5_fig6(directory: str) -> List[str]:
+    lengths = list(range(1, 31))
+    energy_rows = []
+    delay_rows = []
+    for length in lengths:
+        energy_row: List = [length]
+        delay_row: List = [length]
+        for tech in TECHNOLOGIES:
+            for buffered in (True, False):
+                wire = WireModel(tech, length, buffered)
+                energy_row.append(wire.single_transition_energy * 1e12)
+                delay_row.append(wire.delay_seconds * 1e12)
+        energy_rows.append(energy_row)
+        delay_rows.append(delay_row)
+    header = ["length_mm"]
+    for tech in TECHNOLOGIES:
+        for label in ("repeater", "wire"):
+            header.append(f"{label}_{tech.name}")
+    paths = []
+    for stem, rows in (("fig5_wire_energy_pj", energy_rows), ("fig6_wire_delay_ps", delay_rows)):
+        path = os.path.join(directory, f"{stem}.csv")
+        write_csv(path, header, rows)
+        paths.append(path)
+    return paths
+
+
+def _window_sweep(directory: str, bus: str, cycles: int) -> str:
+    sizes = (2, 4, 8, 16, 32, 64)
+    traces = suite_traces(bus, cycles=cycles)
+    rows = []
+    for name, trace in traces.items():
+        savings = [
+            normalized_energy_removed(
+                trace, WindowTranscoder(size, 32).encode_trace(trace)
+            )
+            for size in sizes
+        ]
+        rows.append([name] + savings)
+    path = os.path.join(directory, f"fig{18 if bus == 'memory' else 19}_window_{bus}.csv")
+    write_csv(path, ["benchmark"] + [f"entries_{s}" for s in sizes], rows)
+    return path
+
+
+def _crossover_curves(directory: str, cycles: int) -> str:
+    lengths = (2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 60.0)
+    traces = suite_traces("register", cycles=cycles)
+    rows = []
+    for tech in TECHNOLOGIES:
+        for name, trace in traces.items():
+            analysis = CrossoverAnalysis(trace, tech, 8)
+            rows.append([tech.name, name] + [analysis.ratio(l) for l in lengths])
+    path = os.path.join(directory, "fig35_37_total_energy_ratio.csv")
+    write_csv(
+        path,
+        ["technology", "benchmark"] + [f"ratio_{l}mm" for l in lengths],
+        rows,
+    )
+    return path
+
+
+def export_figures(directory: str, cycles: int = 10_000) -> Dict[str, str]:
+    """Write the main figure datasets into ``directory``.
+
+    Returns a mapping of dataset name to file path.  ``cycles`` bounds
+    the CPU-substrate runs behind the sweep figures.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+    fig5, fig6 = _fig5_fig6(directory)
+    paths["fig5"] = fig5
+    paths["fig6"] = fig6
+    paths["fig18"] = _window_sweep(directory, "memory", cycles)
+    paths["fig19"] = _window_sweep(directory, "register", cycles)
+    paths["fig35_37"] = _crossover_curves(directory, cycles)
+    return paths

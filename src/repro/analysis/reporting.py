@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+Every bench in ``benchmarks/`` prints its rows through these helpers,
+so figure output is uniform and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_series", "fmt"]
+
+Cell = Union[str, int, float, None]
+
+
+def fmt(value: Cell, precision: int = 2) -> str:
+    """Render one cell: floats to ``precision``, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [[fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Cell],
+    series: "dict[str, Sequence[Cell]]",
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render figure data: one x column plus one column per curve."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, precision, title)

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives shell access to the library's main entry points:
+
+* ``workloads`` — list the benchmark suite;
+* ``run``       — execute a kernel, print pipeline statistics;
+* ``stats``     — trace statistics (the Figure 7/8 quantities);
+* ``encode``    — apply a coding scheme, print activity and savings;
+* ``compare``   — all coding schemes side by side on one trace;
+* ``crossover`` — break-even wire length for the window transcoder;
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    CrossoverAnalysis,
+    export_figures,
+    crossover_table,
+    format_table,
+    savings_for,
+)
+from .coding import (
+    AdaptiveCodebookTranscoder,
+    BusInvertTranscoder,
+    ContextTranscoder,
+    FCMTranscoder,
+    InversionTranscoder,
+    LastValueTranscoder,
+    StrideTranscoder,
+    Transcoder,
+    WindowTranscoder,
+)
+from .energy import count_activity
+from .hardware import table2_summaries
+from .traces import coverage_at, toggle_rate, window_unique_fraction
+from .wires import TECHNOLOGIES, WireModel, technology_by_name
+from .workloads import WORKLOADS, run_workload, suite_traces
+
+__all__ = ["main"]
+
+BUSES = ("register", "memory", "address", "result")
+
+
+def _build_coder(name: str, size: int, width: int = 32) -> Transcoder:
+    factories = {
+        "window": lambda: WindowTranscoder(size, width),
+        "context": lambda: ContextTranscoder(max(size * 3, 4), size, width=width),
+        "stride": lambda: StrideTranscoder(size, width),
+        "last": lambda: LastValueTranscoder(width),
+        "invert": lambda: InversionTranscoder(width, 1),
+        "businvert": lambda: BusInvertTranscoder(width, max(1, size // 8)),
+        "codebook": lambda: AdaptiveCodebookTranscoder(width, max(2, size)),
+        "fcm": lambda: FCMTranscoder(2, 4, width),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown coder {name!r}; choose from {', '.join(sorted(factories))}"
+        ) from None
+
+
+def _trace_for(args: argparse.Namespace):
+    result = run_workload(args.workload, args.cycles)
+    return getattr(result, f"{args.bus}_trace")
+
+
+def _cmd_workloads(args: argparse.Namespace) -> None:
+    rows = [
+        (w.name, w.category, w.description) for w in WORKLOADS.values()
+    ]
+    print(format_table(["name", "class", "kernel"], sorted(rows)))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    result = run_workload(args.workload, args.cycles)
+    stats = result.stats
+    rows = [
+        ("instructions", stats.instructions),
+        ("cycles", stats.cycles),
+        ("IPC", round(stats.ipc, 3)),
+        ("loads", stats.loads),
+        ("load miss rate", round(stats.load_miss_rate, 4)),
+        ("stores", stats.stores),
+        ("taken branches", stats.taken_branches),
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{args.workload}"))
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    trace = _trace_for(args)
+    rows = [
+        ("cycles", len(trace)),
+        ("unique values", trace.unique_values().size),
+        ("toggle rate", round(toggle_rate(trace), 4)),
+        ("top-10 value coverage", round(coverage_at(trace, 10), 4)),
+        ("top-100 value coverage", round(coverage_at(trace, 100), 4)),
+        ("unique fraction, window 8", round(window_unique_fraction(trace, 8), 4)),
+        ("unique fraction, window 64", round(window_unique_fraction(trace, 64), 4)),
+    ]
+    print(format_table(["statistic", "value"], rows, title=trace.name))
+
+
+def _cmd_encode(args: argparse.Namespace) -> None:
+    trace = _trace_for(args)
+    coder = _build_coder(args.coder, args.size)
+    coded = coder.encode_trace(trace)
+    before = count_activity(trace)
+    after = count_activity(coded)
+    rows = [
+        ("physical wires", f"{coder.input_width} -> {coder.output_width}"),
+        ("transitions", f"{before.total_transitions} -> {after.total_transitions}"),
+        ("coupling events", f"{before.total_coupling} -> {after.total_coupling}"),
+        ("energy removed (lambda=1)", f"{savings_for(trace, coder):.2f} %"),
+    ]
+    print(format_table(["quantity", "value"], rows, title=f"{trace.name} | {args.coder}"))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    trace = _trace_for(args)
+    coders = [
+        ("last", LastValueTranscoder(32)),
+        ("invert", InversionTranscoder(32, 1)),
+        ("businvert x4", BusInvertTranscoder(32, 4)),
+        ("stride-8", StrideTranscoder(8, 32)),
+        ("codebook-8", AdaptiveCodebookTranscoder(32, 8)),
+        ("fcm-2/16", FCMTranscoder(2, 4, 32)),
+        ("window-8", WindowTranscoder(8, 32)),
+        ("context-28+8", ContextTranscoder(28, 8)),
+    ]
+    rows = [(name, savings_for(trace, coder)) for name, coder in coders]
+    print(
+        format_table(
+            ["coder", "% energy removed"], rows, precision=1, title=trace.name
+        )
+    )
+
+
+def _cmd_crossover(args: argparse.Namespace) -> None:
+    trace = _trace_for(args)
+    tech = technology_by_name(args.technology)
+    analysis = CrossoverAnalysis(trace, tech, args.size)
+    crossover = analysis.crossover_length()
+    rows = [
+        ("technology", tech.name),
+        ("window entries", args.size),
+        ("ratio at 5 mm", round(analysis.ratio(5.0), 3)),
+        ("ratio at 15 mm", round(analysis.ratio(15.0), 3)),
+        ("ratio at 30 mm", round(analysis.ratio(30.0), 3)),
+        ("crossover", "never (<100mm)" if crossover is None else f"{crossover:.1f} mm"),
+    ]
+    print(format_table(["quantity", "value"], rows, title=trace.name))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = []
+    for tech in TECHNOLOGIES:
+        rows.append((tech.name, "Unbuffered wire",
+                     round(WireModel(tech, 30, buffered=False).effective_lambda, 3)))
+        rows.append((tech.name, "With repeaters",
+                     round(WireModel(tech, 30, buffered=True).effective_lambda, 3)))
+    print(format_table(["Technology", "Wire type", "Average lambda"], rows))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    trace = _trace_for(args)
+    rows = [
+        (
+            row.name if row.name == "InvertCoder" else row.technology.name,
+            row.voltage,
+            round(row.area_um2),
+            round(row.op_energy_pj, 3),
+            round(row.leakage_pj, 5),
+            round(row.delay_ns, 1),
+            round(row.cycle_time_ns, 1),
+        )
+        for row in table2_summaries(trace)
+    ]
+    print(
+        format_table(
+            ["Design", "V", "Area um2", "Op pJ", "Leak pJ", "Delay ns", "Cycle ns"],
+            rows,
+            title=f"characterised on {trace.name}",
+        )
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    paths = export_figures(args.directory, args.cycles)
+    rows = sorted(paths.items())
+    print(format_table(["dataset", "file"], rows))
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    cells = crossover_table(TECHNOLOGIES, (8, 16), cycles=args.cycles)
+    rows = [(c.technology, c.entries, c.suite, round(c.median_mm, 1)) for c in cells]
+    print(format_table(["Technology", "Entries", "Suite", "Median mm"], rows))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bus transcoding reproduction: run workloads, encode traces, "
+        "regenerate the paper's tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, help_text, workload=True, bus=True):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.set_defaults(func=func)
+        if workload:
+            cmd.add_argument("workload", choices=sorted(WORKLOADS))
+        if bus:
+            cmd.add_argument("--bus", choices=BUSES, default="register")
+        cmd.add_argument("--cycles", type=int, default=30_000)
+        return cmd
+
+    listing = sub.add_parser("workloads", help="list the benchmark suite")
+    listing.set_defaults(func=_cmd_workloads)
+
+    add("run", _cmd_run, "run a kernel and print pipeline statistics", bus=False)
+    add("stats", _cmd_stats, "trace statistics (Figure 7/8 quantities)")
+    encode = add("encode", _cmd_encode, "apply one coding scheme to a trace")
+    encode.add_argument("--coder", default="window")
+    encode.add_argument("--size", type=int, default=8)
+    add("compare", _cmd_compare, "all coding schemes on one trace")
+    crossover = add("crossover", _cmd_crossover, "break-even wire length")
+    crossover.add_argument("--technology", default="0.13um")
+    crossover.add_argument("--size", type=int, default=8)
+
+    table1 = sub.add_parser("table1", help="effective lambda per technology")
+    table1.set_defaults(func=_cmd_table1)
+    add("table2", _cmd_table2, "transcoder circuit characteristics")
+    table3 = sub.add_parser("table3", help="median crossover lengths")
+    table3.set_defaults(func=_cmd_table3)
+    table3.add_argument("--cycles", type=int, default=15_000)
+
+    figures = sub.add_parser("figures", help="export figure datasets as CSV")
+    figures.set_defaults(func=_cmd_figures)
+    figures.add_argument("directory")
+    figures.add_argument("--cycles", type=int, default=10_000)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

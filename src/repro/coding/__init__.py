@@ -1,0 +1,74 @@
+"""Bus coding schemes — the paper's core contribution.
+
+All schemes implement the :class:`~repro.coding.base.Transcoder`
+interface: ``encode_trace`` maps a value trace to a physical wire-state
+trace, ``decode_trace`` inverts it exactly.  Energy comparisons run the
+physical traces through :mod:`repro.energy`.
+"""
+
+from .base import IdentityTranscoder, Transcoder
+from .codebook import adjacent_pairs, codeword_table, hamming_weight, iter_codewords
+from .transition import TransitionCoder
+from .predictive import (
+    CTRL_CODE,
+    CTRL_RAW,
+    CTRL_RAW_INVERTED,
+    Predictor,
+    PredictiveTranscoder,
+)
+from .last_value import LastValuePredictor, LastValueTranscoder
+from .stride import StridePredictor, StrideTranscoder
+from .window import WindowPredictor, WindowTranscoder
+from .context import (
+    COUNTER_MAX,
+    TRANSITION_BASED,
+    VALUE_BASED,
+    ContextPredictor,
+    ContextTranscoder,
+)
+from .inversion import InversionTranscoder, default_patterns
+from .spatial import MAX_SPATIAL_WIDTH, SpatialTranscoder
+from .related import (
+    AdaptiveCodebookTranscoder,
+    BusInvertTranscoder,
+    WorkZoneTranscoder,
+)
+from .variable import VariableLengthReport, VariableLengthTranscoder
+from .fcm import FCMPredictor, FCMTranscoder
+
+__all__ = [
+    "Transcoder",
+    "IdentityTranscoder",
+    "TransitionCoder",
+    "Predictor",
+    "PredictiveTranscoder",
+    "CTRL_CODE",
+    "CTRL_RAW",
+    "CTRL_RAW_INVERTED",
+    "LastValuePredictor",
+    "LastValueTranscoder",
+    "StridePredictor",
+    "StrideTranscoder",
+    "WindowPredictor",
+    "WindowTranscoder",
+    "ContextPredictor",
+    "ContextTranscoder",
+    "VALUE_BASED",
+    "TRANSITION_BASED",
+    "COUNTER_MAX",
+    "InversionTranscoder",
+    "default_patterns",
+    "SpatialTranscoder",
+    "MAX_SPATIAL_WIDTH",
+    "BusInvertTranscoder",
+    "WorkZoneTranscoder",
+    "AdaptiveCodebookTranscoder",
+    "VariableLengthTranscoder",
+    "VariableLengthReport",
+    "FCMPredictor",
+    "FCMTranscoder",
+    "codeword_table",
+    "iter_codewords",
+    "hamming_weight",
+    "adjacent_pairs",
+]

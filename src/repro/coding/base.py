@@ -1,0 +1,111 @@
+"""Transcoder interfaces (paper Figures 1-2).
+
+A *bus transcoder* is a pair of synchronous FSMs at either end of a
+long bus.  The encoder maps each W_B-bit input value to a W_C-bit
+physical wire state; the decoder recovers the value from the wire
+state.  Both sides may hold arbitrary internal state as long as it is
+a function of the value stream itself — the encoder updates from its
+inputs, the decoder from its (identical) outputs, so the two stay in
+lock step without side channels.  That symmetry is the correctness
+contract of every scheme here, and it is what the round-trip property
+tests in ``tests/`` check.
+
+The base class works on whole traces; subclasses implement the
+per-cycle :meth:`Transcoder.encode_value` / :meth:`Transcoder.decode_state`
+plus :meth:`Transcoder.reset`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from ..traces.trace import BusTrace
+
+__all__ = ["Transcoder", "IdentityTranscoder"]
+
+
+class Transcoder(ABC):
+    """Base class for all bus transcoders.
+
+    Subclasses must set :attr:`input_width` and :attr:`output_width`
+    (number of physical wires, including any control wires) and
+    implement the per-cycle methods.  Instances are stateful; call
+    :meth:`reset` (or use the trace-level methods, which reset first)
+    before reusing one on a new trace.
+    """
+
+    input_width: int
+    output_width: int
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return all internal state to the power-on configuration."""
+
+    @abstractmethod
+    def encode_value(self, value: int) -> int:
+        """Encode one input value; returns the next physical wire state."""
+
+    @abstractmethod
+    def decode_state(self, state: int) -> int:
+        """Decode one physical wire state; returns the recovered value."""
+
+    # -- trace-level API ------------------------------------------------
+
+    def encode_trace(self, trace: BusTrace) -> BusTrace:
+        """Encode a whole trace; returns the physical wire-state trace.
+
+        The encoder is reset first, so the result is a pure function of
+        the input trace.  The output trace's ``initial`` is 0: the bus
+        powers on quiescent, matching the accounting of the input side.
+        """
+        if trace.width != self.input_width:
+            raise ValueError(
+                f"trace width {trace.width} != transcoder input width {self.input_width}"
+            )
+        self.reset()
+        out = np.empty(len(trace), dtype=np.uint64)
+        encode = self.encode_value
+        for i, value in enumerate(trace.values):
+            out[i] = encode(int(value))
+        name = f"{trace.name}|{type(self).__name__}" if trace.name else type(self).__name__
+        return BusTrace(out, self.output_width, name)
+
+    def decode_trace(self, phys: BusTrace) -> BusTrace:
+        """Decode a physical wire-state trace back to the value stream."""
+        if phys.width != self.output_width:
+            raise ValueError(
+                f"trace width {phys.width} != transcoder output width {self.output_width}"
+            )
+        self.reset()
+        out = np.empty(len(phys), dtype=np.uint64)
+        decode = self.decode_state
+        for i, state in enumerate(phys.values):
+            out[i] = decode(int(state))
+        return BusTrace(out, self.input_width, phys.name)
+
+    def roundtrip(self, trace: BusTrace) -> BusTrace:
+        """``decode_trace(encode_trace(trace))`` — must equal ``trace``."""
+        return self.decode_trace(self.encode_trace(trace))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(W_B={self.input_width}, W_C={self.output_width})"
+
+
+class IdentityTranscoder(Transcoder):
+    """The un-encoded baseline: wire states are the values themselves."""
+
+    def __init__(self, width: int = 32):
+        self.input_width = width
+        self.output_width = width
+
+    def reset(self) -> None:
+        pass
+
+    def encode_value(self, value: int) -> int:
+        return value
+
+    def decode_state(self, state: int) -> int:
+        return state

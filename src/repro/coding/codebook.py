@@ -1,0 +1,72 @@
+"""Low-weight codeword assignment (paper Figure 2 and Section 4.3).
+
+Prediction-based transcoders send a *codeword* in transition space when
+a prediction hits: the bus wires toggled are exactly the set bits of
+the codeword.  Confidence-ordered predictions therefore get codewords
+in increasing energy order:
+
+* the all-zero word (no transitions) goes to the highest-confidence
+  prediction (the LAST value);
+* the ``W`` weight-one words follow;
+* then weight-two words and so on, each weight class ordered to put
+  words with fewer *adjacent* set-bit pairs first (adjacent toggling
+  wires cost coupling energy).
+
+:func:`codeword_table` materialises the first ``count`` codewords of a
+``width``-bit bus in that canonical order.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List
+
+__all__ = ["codeword_table", "iter_codewords", "adjacent_pairs", "hamming_weight"]
+
+
+def hamming_weight(word: int) -> int:
+    """Number of set bits."""
+    return bin(word).count("1")
+
+
+def adjacent_pairs(word: int) -> int:
+    """Number of adjacent set-bit pairs — a proxy for coupling cost."""
+    return hamming_weight(word & (word >> 1))
+
+
+def iter_codewords(width: int) -> Iterator[int]:
+    """Yield all ``width``-bit words in canonical energy order.
+
+    Order: Hamming weight ascending; within a weight class, fewer
+    adjacent set-bit pairs first, then numerically ascending.  The
+    first word is always 0.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    for weight in range(width + 1):
+        words = []
+        for bits in combinations(range(width), weight):
+            word = 0
+            for b in bits:
+                word |= 1 << b
+            words.append(word)
+        words.sort(key=lambda w: (adjacent_pairs(w), w))
+        yield from words
+
+
+def codeword_table(count: int, width: int) -> List[int]:
+    """The first ``count`` codewords of a ``width``-bit bus.
+
+    Raises ``ValueError`` if ``count`` exceeds the code space
+    (``2**width``).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if width < 64 and count > (1 << width):
+        raise ValueError(f"cannot draw {count} codewords from a {width}-bit space")
+    table: List[int] = []
+    for word in iter_codewords(width):
+        if len(table) == count:
+            break
+        table.append(word)
+    return table

@@ -1,0 +1,47 @@
+"""LAST-value prediction (paper Section 4.3, after [Lipasti et al.]).
+
+The simplest stateful predictor: the next value is the previous one.
+The paper never evaluates it alone but folds it into every other
+scheme, assigning it code "0" so that strings of repeated values cost
+no transitions — exactly like the un-encoded bus.  It is exposed here
+both as the slot-0 building block of richer predictors and as a
+standalone scheme for baselines and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .predictive import Predictor, PredictiveTranscoder
+
+__all__ = ["LastValuePredictor", "LastValueTranscoder"]
+
+
+class LastValuePredictor(Predictor):
+    """Predicts a repeat of the previous value; one code slot."""
+
+    num_codes = 1
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.last = 0
+
+    def match(self, value: int) -> Optional[int]:
+        return 0 if value == self.last else None
+
+    def lookup(self, index: int) -> int:
+        if index != 0:
+            raise IndexError(f"LAST predictor has only slot 0, got {index}")
+        return self.last
+
+    def update(self, value: int) -> None:
+        self.last = value
+
+
+class LastValueTranscoder(PredictiveTranscoder):
+    """Standalone LAST-value transcoder over a ``width``-bit bus."""
+
+    def __init__(self, width: int = 32):
+        super().__init__(LastValuePredictor(), width)

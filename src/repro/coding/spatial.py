@@ -1,0 +1,53 @@
+"""Spatial coding (paper Figure 9).
+
+The stateless extreme of the design space: a ``W``-bit value is coded
+as activity at one of ``2**W`` spatial positions.  Sending value ``v``
+toggles wire ``v`` — every value costs at most one transition (zero for
+a repeat, which leaves the bus untouched and the decoder repeating its
+last output).  The exponential wire count makes it impractical, which
+is exactly the paper's point; it is included as the lower bound on
+transition activity and is usable here for buses up to 6 bits (64
+physical wires, the trace container's limit).
+"""
+
+from __future__ import annotations
+
+from .base import Transcoder
+
+__all__ = ["SpatialTranscoder", "MAX_SPATIAL_WIDTH"]
+
+MAX_SPATIAL_WIDTH = 6
+
+
+class SpatialTranscoder(Transcoder):
+    """One wire per possible value; a toggle announces that value."""
+
+    def __init__(self, width: int = 4):
+        if not 1 <= width <= MAX_SPATIAL_WIDTH:
+            raise ValueError(
+                f"spatial coding needs 2**width wires; width must be "
+                f"1..{MAX_SPATIAL_WIDTH}, got {width}"
+            )
+        self.input_width = width
+        self.output_width = 1 << width
+        self.reset()
+
+    def reset(self) -> None:
+        self._enc_state = 0
+        self._enc_last = 0
+        self._dec_state = 0
+        self._dec_last = 0
+
+    def encode_value(self, value: int) -> int:
+        value &= (1 << self.input_width) - 1
+        if value != self._enc_last:
+            self._enc_state ^= 1 << value
+            self._enc_last = value
+        return self._enc_state
+
+    def decode_state(self, state: int) -> int:
+        toggled = state ^ self._dec_state
+        self._dec_state = state
+        if toggled:
+            self._dec_last = toggled.bit_length() - 1
+        return self._dec_last

@@ -1,0 +1,42 @@
+"""Transition coding (the optional XOR layer of paper Figure 1).
+
+With transition coding, the word handed to the bus represents *wire
+changes* rather than an absolute value: a 1 bit toggles its wire, a 0
+bit leaves it alone.  The encoder therefore accumulates
+``state_t = state_{t-1} XOR input_t`` and the decoder recovers
+``input_t = state_t XOR state_{t-1}``.
+
+This reduces the energy-minimisation problem to minimising the Hamming
+weight of the words presented to the coder — which is why the
+prediction transcoders assign low-weight codewords to high-confidence
+predictions and send them *through* this layer.
+"""
+
+from __future__ import annotations
+
+from .base import Transcoder
+
+__all__ = ["TransitionCoder"]
+
+
+class TransitionCoder(Transcoder):
+    """Pure XOR transition coder: input bits select which wires toggle."""
+
+    def __init__(self, width: int = 32):
+        self.input_width = width
+        self.output_width = width
+        self._mask = (1 << width) - 1
+        self.reset()
+
+    def reset(self) -> None:
+        self._enc_state = 0
+        self._dec_state = 0
+
+    def encode_value(self, value: int) -> int:
+        self._enc_state ^= value & self._mask
+        return self._enc_state
+
+    def decode_state(self, state: int) -> int:
+        value = (state ^ self._dec_state) & self._mask
+        self._dec_state = state
+        return value

@@ -1,0 +1,166 @@
+"""Variable-length bus coding (the paper's Section 6 future work).
+
+The fixed-length transcoders never change bus timing: one value in, one
+bus word out.  Section 6 observes that *variable-length* codes could
+compress further — fewer bits over a window of time — at the cost of
+hardware complexity and, crucially, of changing the bus's timing
+contract.  This module implements that design point so the trade can be
+measured:
+
+The :class:`VariableLengthTranscoder` serialises each value into one or
+more *flits* on a narrow bus (default 8 data wires).  Each flit's top
+two bits are a type header:
+
+* ``00`` — LAST: the previous value repeats (1 flit);
+* ``01`` — dictionary hit: the low bits carry the window-slot index
+  (1 flit);
+* ``10`` — raw: this flit's payload is followed by
+  ``ceil(width / bus_width)`` payload flits carrying the value, LSB
+  first; the value then enters the window dictionary (pointer-based,
+  like the fixed-length design).
+
+The flit stream is self-delimiting, so :meth:`decode_flits` recovers
+the exact value sequence.  Because the output trace length differs
+from the input's, this class does **not** implement the fixed-timing
+:class:`~repro.coding.base.Transcoder` interface; its report type
+carries both the energy and the *timing expansion* so benches can show
+the whole trade-off the paper describes (less energy over a window of
+time, more cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..traces.trace import BusTrace
+
+__all__ = ["VariableLengthTranscoder", "VariableLengthReport"]
+
+_TYPE_LAST = 0b00
+_TYPE_HIT = 0b01
+_TYPE_RAW = 0b10
+
+
+@dataclass(frozen=True)
+class VariableLengthReport:
+    """Outcome of variable-length encoding one trace."""
+
+    flits: BusTrace  # the narrow-bus trace (one flit per cycle)
+    input_values: int
+    expansion: float  # flit cycles per input value (timing cost)
+
+
+class VariableLengthTranscoder:
+    """Serialising dictionary coder over a narrow bus.
+
+    Parameters
+    ----------
+    width:
+        Input value width (bits).
+    bus_width:
+        Narrow-bus payload width; each flit is ``bus_width`` wires with
+        the top two reserved for the type header.
+    window:
+        Dictionary entries; must fit the flit payload
+        (``window <= 2**(bus_width - 2)``).
+    """
+
+    def __init__(self, width: int = 32, bus_width: int = 8, window: int = 8):
+        if bus_width < 4:
+            raise ValueError(f"bus_width must be >= 4, got {bus_width}")
+        if window < 1 or window > (1 << (bus_width - 2)):
+            raise ValueError(
+                f"window {window} does not fit a {bus_width}-bit flit header"
+            )
+        self.width = width
+        self.bus_width = bus_width
+        self.window = window
+        self._payload_bits = bus_width - 2
+        self._payload_mask = (1 << self._payload_bits) - 1
+        self._raw_flits = -(-width // bus_width)  # payload flits per raw value
+        self._mask = (1 << width) - 1
+        self.reset()
+
+    def reset(self) -> None:
+        self._last = 0
+        self._slots: List[Optional[int]] = [None] * self.window
+        self._index: Dict[int, int] = {}
+        self._head = 0
+
+    # -- dictionary (same pointer-based discipline as the window coder) --
+
+    def _observe(self, value: int) -> None:
+        self._last = value
+        if value in self._index:
+            return
+        old = self._slots[self._head]
+        if old is not None:
+            del self._index[old]
+        self._slots[self._head] = value
+        self._index[value] = self._head
+        self._head = (self._head + 1) % self.window
+
+    # -- flit construction ------------------------------------------------
+
+    def _flit(self, flit_type: int, payload: int) -> int:
+        return (flit_type << self._payload_bits) | (payload & self._payload_mask)
+
+    def encode_trace(self, trace: BusTrace) -> VariableLengthReport:
+        """Serialise a value trace into the narrow-bus flit stream."""
+        if trace.width != self.width:
+            raise ValueError(
+                f"trace width {trace.width} != transcoder width {self.width}"
+            )
+        self.reset()
+        flits: List[int] = []
+        for value in trace:
+            value &= self._mask
+            if value == self._last:
+                flits.append(self._flit(_TYPE_LAST, 0))
+            else:
+                slot = self._index.get(value)
+                if slot is not None:
+                    flits.append(self._flit(_TYPE_HIT, slot))
+                else:
+                    flits.append(self._flit(_TYPE_RAW, 0))
+                    remaining = value
+                    for _ in range(self._raw_flits):
+                        flits.append(remaining & ((1 << self.bus_width) - 1))
+                        remaining >>= self.bus_width
+                self._observe(value)
+        expansion = len(flits) / len(trace) if len(trace) else 0.0
+        stream = BusTrace.from_values(flits, self.bus_width, f"{trace.name}|vl")
+        return VariableLengthReport(stream, len(trace), expansion)
+
+    def decode_flits(self, report: VariableLengthReport) -> BusTrace:
+        """Recover the exact value sequence from a flit stream."""
+        self.reset()
+        values: List[int] = []
+        flits = list(report.flits)
+        position = 0
+        while position < len(flits) and len(values) < report.input_values:
+            flit = flits[position]
+            position += 1
+            flit_type = flit >> self._payload_bits
+            if flit_type == _TYPE_LAST:
+                values.append(self._last)
+                continue
+            if flit_type == _TYPE_HIT:
+                slot = flit & self._payload_mask
+                value = self._slots[slot]
+                if value is None:
+                    raise ValueError(f"hit on empty slot {slot}; stream corrupt")
+            elif flit_type == _TYPE_RAW:
+                value = 0
+                for i in range(self._raw_flits):
+                    value |= flits[position + i] << (i * self.bus_width)
+                value &= self._mask
+                position += self._raw_flits
+            else:
+                raise ValueError(f"invalid flit type {flit_type:#04b}")
+            self._observe(value)
+            values.append(value)
+        if len(values) != report.input_values:
+            raise ValueError("flit stream ended before all values were recovered")
+        return BusTrace.from_values(values, self.width)

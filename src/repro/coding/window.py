@@ -1,0 +1,80 @@
+"""Window-based transcoding (paper Figures 18-19 and the Section 5 layout).
+
+The predictor is a dictionary of the last ``size`` *unique* bus values,
+held in a pointer-based shift register: a miss overwrites the slot at
+the head pointer (the oldest entry), so resident entries never move and
+each keeps a stable codeword — exactly the energy-saving layout trick
+of the paper's Figure 30.  A hit sends the slot's codeword; repeats of
+the previous value ride the LAST slot (code 0).
+
+This is the scheme the paper ultimately builds in silicon (the 8-entry
+0.13 um layout of Figure 33): nearly all of the context-based design's
+savings at a fraction of the complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .predictive import Predictor, PredictiveTranscoder
+
+__all__ = ["WindowPredictor", "WindowTranscoder"]
+
+
+class WindowPredictor(Predictor):
+    """Pointer-based shift register of the last ``size`` unique values."""
+
+    def __init__(self, size: int, width: int = 32):
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self.width = width
+        self.num_codes = 1 + size
+        self.reset()
+
+    def reset(self) -> None:
+        self.last = 0
+        # Slot contents; None marks a never-written slot (power-on).
+        self._slots: List[Optional[int]] = [None] * self.size
+        self._head = 0  # next slot to overwrite on a miss
+        self._index: Dict[int, int] = {}  # value -> slot
+
+    def match(self, value: int) -> Optional[int]:
+        if value == self.last:
+            return 0
+        slot = self._index.get(value)
+        return None if slot is None else 1 + slot
+
+    def lookup(self, index: int) -> int:
+        if index == 0:
+            return self.last
+        slot = index - 1
+        if not 0 <= slot < self.size:
+            raise IndexError(f"window slot {slot} out of range")
+        value = self._slots[slot]
+        if value is None:
+            raise ValueError(f"window slot {slot} is empty; streams out of sync")
+        return value
+
+    def update(self, value: int) -> None:
+        self.last = value
+        if value in self._index:
+            return
+        old = self._slots[self._head]
+        if old is not None:
+            del self._index[old]
+        self._slots[self._head] = value
+        self._index[value] = self._head
+        self._head = (self._head + 1) % self.size
+
+    @property
+    def contents(self) -> List[Optional[int]]:
+        """Current slot contents (for inspection and tests)."""
+        return list(self._slots)
+
+
+class WindowTranscoder(PredictiveTranscoder):
+    """The paper's Window-based transcoder over a ``width``-bit bus."""
+
+    def __init__(self, size: int = 8, width: int = 32):
+        super().__init__(WindowPredictor(size, width), width)

@@ -1,0 +1,28 @@
+"""The trace substrate: a small machine standing in for SimpleScalar."""
+
+from .isa import Instruction, NUM_REGISTERS, WORD_MASK, sign_extend, to_signed
+from .assembler import AssemblyError, assemble
+from .memory import Memory, PAGE_SIZE
+from .buses import BusTimingGenerator
+from .pipeline import Cache, DirectMappedCache, Pipeline, PipelineConfig, RunStats
+from .machine import Machine, SimulationResult
+
+__all__ = [
+    "Instruction",
+    "NUM_REGISTERS",
+    "WORD_MASK",
+    "sign_extend",
+    "to_signed",
+    "AssemblyError",
+    "assemble",
+    "Memory",
+    "PAGE_SIZE",
+    "BusTimingGenerator",
+    "Cache",
+    "DirectMappedCache",
+    "Pipeline",
+    "PipelineConfig",
+    "RunStats",
+    "Machine",
+    "SimulationResult",
+]

@@ -1,0 +1,222 @@
+"""Two-pass assembler for the :mod:`repro.cpu` ISA.
+
+Syntax, one instruction per line::
+
+    # comments run to end of line; ';' also starts a comment
+    loop:   lw    r2, 0(r1)         # load word
+            addi  r1, r1, 4
+            add   r3, r3, r2
+            bne   r1, r4, loop
+            halt
+
+Pseudo-instructions accepted:
+
+* ``li rd, imm``   — load any 32-bit immediate (expands to ``lui``/``ori``
+  or a single ``addi`` when it fits in 16 signed bits);
+* ``mv rd, rs``    — ``addi rd, rs, 0``;
+* ``not rd, rs``   — ``xori rd, rs, -1``;
+* ``neg rd, rs``   — ``sub rd, r0, rs``;
+* ``j label``      — ``jal r0, label``;
+* ``ret``          — ``jalr r0, r31, 0``;
+* ``call label``   — ``jal r31, label``;
+* ``nop``.
+
+Branch and jump targets are labels; the assembler resolves them to
+absolute instruction indices (this machine keeps decoded instructions,
+not bytes, so 'addresses' in the instruction stream are indices).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .isa import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    BRANCH_OPS,
+    Instruction,
+    LOAD_OPS,
+    STORE_OPS,
+    sign_extend,
+)
+
+__all__ = ["assemble", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or semantic error, with a line number."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_MEM_RE = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    if not token.startswith("r"):
+        raise AssemblyError(f"line {line_no}: expected register, got {token!r}")
+    try:
+        num = int(token[1:])
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: bad register {token!r}") from None
+    if not 0 <= num < 32:
+        raise AssemblyError(f"line {line_no}: register {token} out of range")
+    return num
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: bad integer {token!r}") from None
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _tokenize(body: str) -> List[str]:
+    parts = body.split(None, 1)
+    op = parts[0].lower()
+    if len(parts) == 1:
+        return [op]
+    args = [a.strip() for a in parts[1].split(",")]
+    return [op] + args
+
+
+def _expand_pseudo(tokens: List[str], line_no: int) -> List[List[str]]:
+    """Expand one pseudo-instruction into real instruction token lists."""
+    op = tokens[0]
+    if op == "li":
+        if len(tokens) != 3:
+            raise AssemblyError(f"line {line_no}: li takes 2 operands")
+        rd, imm = tokens[1], _parse_int(tokens[2], line_no) & 0xFFFFFFFF
+        if -32768 <= sign_extend(imm, 32) <= 32767:
+            return [["addi", rd, "r0", str(sign_extend(imm, 32))]]
+        high = imm >> 16
+        low = imm & 0xFFFF
+        out = [["lui", rd, str(high)]]
+        if low:
+            out.append(["ori", rd, rd, str(low)])
+        return out
+    if op == "mv":
+        return [["addi", tokens[1], tokens[2], "0"]]
+    if op == "not":
+        return [["xori", tokens[1], tokens[2], "-1"]]
+    if op == "neg":
+        return [["sub", tokens[1], "r0", tokens[2]]]
+    if op == "j":
+        return [["jal", "r0", tokens[1]]]
+    if op == "call":
+        return [["jal", "r31", tokens[1]]]
+    if op == "ret":
+        return [["jalr", "r0", "r31", "0"]]
+    return [tokens]
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble ``source`` text into a decoded instruction list."""
+    # Pass 1: expand pseudos, collect labels -> instruction indices.
+    expanded: List[Tuple[int, List[str]]] = []  # (source line, tokens)
+    labels: Dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        while line:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(expanded)
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        for tokens in _expand_pseudo(_tokenize(line), line_no):
+            expanded.append((line_no, tokens))
+
+    # Pass 2: build instructions with resolved targets.
+    program: List[Instruction] = []
+    for line_no, tokens in expanded:
+        program.append(_build(tokens, labels, line_no))
+    return program
+
+
+def _resolve(target: str, labels: Dict[str, int], line_no: int) -> Tuple[int, str]:
+    if target in labels:
+        return labels[target], target
+    try:
+        return int(target, 0), target
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: unknown label {target!r}") from None
+
+
+def _build(tokens: List[str], labels: Dict[str, int], line_no: int) -> Instruction:
+    op = tokens[0]
+    args = tokens[1:]
+
+    def need(n: int) -> None:
+        if len(args) != n:
+            raise AssemblyError(f"line {line_no}: {op} takes {n} operands, got {len(args)}")
+
+    if op in ("halt", "nop"):
+        need(0)
+        return Instruction(op)
+    if op in ALU_OPS:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_register(args[0], line_no),
+            rs1=_parse_register(args[1], line_no),
+            rs2=_parse_register(args[2], line_no),
+        )
+    if op == "lui":
+        need(2)
+        return Instruction(op, rd=_parse_register(args[0], line_no),
+                           imm=_parse_int(args[1], line_no) & 0xFFFF)
+    if op in ALU_IMM_OPS:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_register(args[0], line_no),
+            rs1=_parse_register(args[1], line_no),
+            imm=_parse_int(args[2], line_no),
+        )
+    if op in LOAD_OPS or op in STORE_OPS:
+        need(2)
+        match = _MEM_RE.match(args[1].replace(" ", ""))
+        if not match:
+            raise AssemblyError(f"line {line_no}: bad memory operand {args[1]!r}")
+        offset = _parse_int(match.group(1), line_no)
+        base = _parse_register(match.group(2), line_no)
+        data_reg = _parse_register(args[0], line_no)
+        if op in LOAD_OPS:
+            return Instruction(op, rd=data_reg, rs1=base, imm=offset)
+        return Instruction(op, rs1=base, rs2=data_reg, imm=offset)
+    if op in BRANCH_OPS:
+        need(3)
+        target, label = _resolve(args[2], labels, line_no)
+        return Instruction(
+            op,
+            rs1=_parse_register(args[0], line_no),
+            rs2=_parse_register(args[1], line_no),
+            imm=target,
+            label=label,
+        )
+    if op == "jal":
+        need(2)
+        target, label = _resolve(args[1], labels, line_no)
+        return Instruction(op, rd=_parse_register(args[0], line_no), imm=target, label=label)
+    if op == "jalr":
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_register(args[0], line_no),
+            rs1=_parse_register(args[1], line_no),
+            imm=_parse_int(args[2], line_no),
+        )
+    raise AssemblyError(f"line {line_no}: unknown instruction {op!r}")

@@ -1,0 +1,76 @@
+"""Bus timing generators (paper Section 4.1).
+
+SimpleScalar's functional core has no buses with realistic timing, so
+the paper adds *bus timing generators* that extract values from the
+simulation and re-time them onto cycle-accurate bus schedules.  This
+module is our equivalent: the pipeline records ``(cycle, value)``
+events onto generators while it executes, and :meth:`render` expands
+the event list into a dense per-cycle :class:`~repro.traces.BusTrace`
+with *hold* semantics — between events the bus keeps its last value,
+exactly like a latched physical bus (idle cycles therefore cost no
+transitions, for the coded and un-coded bus alike).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..traces.trace import BusTrace
+
+__all__ = ["BusTimingGenerator"]
+
+
+class BusTimingGenerator:
+    """Accumulates timed value events for one bus and renders a trace."""
+
+    def __init__(self, name: str, width: int = 32):
+        self.name = name
+        self.width = width
+        self._events: List[Tuple[int, int]] = []
+
+    def record(self, cycle: int, value: int) -> None:
+        """Schedule ``value`` to appear on the bus at ``cycle``.
+
+        Events may be recorded out of order; if several land on the
+        same cycle the one recorded last wins (a later transaction
+        overdrives the bus).
+        """
+        if cycle < 0:
+            raise ValueError(f"negative cycle {cycle}")
+        self._events.append((cycle, value))
+
+    @property
+    def num_events(self) -> int:
+        """Number of recorded events."""
+        return len(self._events)
+
+    def render(self, num_cycles: int) -> BusTrace:
+        """Expand events into a dense ``num_cycles``-long trace.
+
+        The bus holds 0 before its first event and holds the latest
+        event value through every idle cycle.  Events at or beyond
+        ``num_cycles`` are dropped (the simulation ended first).
+        """
+        values = np.zeros(num_cycles, dtype=np.uint64)
+        if self._events and num_cycles > 0:
+            # Stable sort keeps same-cycle events in record order, so
+            # "last recorded wins" after the forward fill below.
+            events = sorted(
+                (e for e in self._events if e[0] < num_cycles), key=lambda e: e[0]
+            )
+            for cycle, value in events:
+                values[cycle] = np.uint64(value & ((1 << self.width) - 1))
+            # Forward-fill idle cycles with the previous value.
+            occupied = np.zeros(num_cycles, dtype=bool)
+            for cycle, _ in events:
+                occupied[cycle] = True
+            idx = np.where(occupied, np.arange(num_cycles), 0)
+            np.maximum.accumulate(idx, out=idx)
+            values = values[idx]
+            # Cycles before the first event hold 0.
+            if events:
+                first = events[0][0]
+                values[:first] = 0
+        return BusTrace(values, self.width, self.name)

@@ -1,0 +1,133 @@
+"""A small 32-bit RISC instruction set for the trace substrate.
+
+The paper instruments SimpleScalar to harvest bus values from running
+SPEC binaries.  We cannot run SPEC here, so :mod:`repro.cpu` provides a
+complete, simple machine of its own: this module defines its
+register-to-register ISA (a RISC-V-flavoured subset), the assembler
+turns text into :class:`Instruction` lists, and the pipeline executes
+them with bus-timing generators attached.
+
+The ISA is deliberately minimal but complete enough to write real
+kernels: ALU ops with register and immediate forms, loads/stores of
+words and bytes, multiply, conditional branches, jump-and-link, and a
+``halt``.  32 registers; ``r0`` is hard-wired to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Instruction",
+    "NUM_REGISTERS",
+    "WORD_MASK",
+    "ALU_OPS",
+    "ALU_IMM_OPS",
+    "LOAD_OPS",
+    "STORE_OPS",
+    "BRANCH_OPS",
+    "ALL_OPS",
+    "sign_extend",
+    "to_signed",
+]
+
+NUM_REGISTERS = 32
+WORD_MASK = 0xFFFFFFFF
+
+#: Register-register ALU operations.
+ALU_OPS = frozenset(
+    ["add", "sub", "mul", "mulh", "div", "rem", "and", "or", "xor",
+     "sll", "srl", "sra", "slt", "sltu"]
+)
+
+#: Register-immediate ALU operations.
+ALU_IMM_OPS = frozenset(
+    ["addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti", "sltiu", "lui"]
+)
+
+LOAD_OPS = frozenset(["lw", "lh", "lhu", "lb", "lbu"])
+STORE_OPS = frozenset(["sw", "sh", "sb"])
+BRANCH_OPS = frozenset(["beq", "bne", "blt", "bge", "bltu", "bgeu"])
+JUMP_OPS = frozenset(["jal", "jalr"])
+MISC_OPS = frozenset(["halt", "nop"])
+
+ALL_OPS = ALU_OPS | ALU_IMM_OPS | LOAD_OPS | STORE_OPS | BRANCH_OPS | JUMP_OPS | MISC_OPS
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` wide to a Python int."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    return sign_extend(value, 32)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields unused by an opcode are zero/None.  ``imm`` holds immediates
+    for ALU-immediate ops, load/store displacements, and branch/jump
+    *absolute instruction indices* (the assembler resolves labels).
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None  # original label text, for disassembly
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        for reg in (self.rd, self.rs1, self.rs2):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError(f"register r{reg} out of range in {self.op}")
+
+    @property
+    def reads(self) -> tuple:
+        """Source register numbers this instruction reads."""
+        op = self.op
+        if op in ALU_OPS or op in BRANCH_OPS:
+            return (self.rs1, self.rs2)
+        if op in ALU_IMM_OPS and op != "lui":
+            return (self.rs1,)
+        if op in LOAD_OPS or op == "jalr":
+            return (self.rs1,)
+        if op in STORE_OPS:
+            return (self.rs1, self.rs2)
+        return ()
+
+    @property
+    def writes(self) -> Optional[int]:
+        """Destination register number, or None."""
+        op = self.op
+        if op in ALU_OPS or op in ALU_IMM_OPS or op in LOAD_OPS or op in ("jal", "jalr"):
+            return self.rd
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        op = self.op
+        if op in ALU_OPS:
+            return f"{op} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if op == "lui":
+            return f"{op} r{self.rd}, {self.imm:#x}"
+        if op in ALU_IMM_OPS:
+            return f"{op} r{self.rd}, r{self.rs1}, {self.imm}"
+        if op in LOAD_OPS:
+            return f"{op} r{self.rd}, {self.imm}(r{self.rs1})"
+        if op in STORE_OPS:
+            return f"{op} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op in BRANCH_OPS:
+            target = self.label or str(self.imm)
+            return f"{op} r{self.rs1}, r{self.rs2}, {target}"
+        if op == "jal":
+            return f"jal r{self.rd}, {self.label or self.imm}"
+        if op == "jalr":
+            return f"jalr r{self.rd}, r{self.rs1}, {self.imm}"
+        return op

@@ -1,0 +1,81 @@
+"""Top-level machine facade: assemble, run, collect bus traces.
+
+This is the public face of the trace substrate (the paper's modified
+SimpleScalar).  Typical use::
+
+    machine = Machine(source=asm_text)
+    machine.memory.store_words(0x10000, data)
+    result = machine.run()
+    result.register_trace   # BusTrace of the register read port
+    result.memory_trace     # BusTrace of the memory data bus
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..traces.trace import BusTrace
+from .assembler import assemble
+from .isa import Instruction
+from .memory import Memory
+from .pipeline import Pipeline, PipelineConfig, RunStats
+
+__all__ = ["Machine", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one run produces.
+
+    Four traced buses: the register-file read port and the memory data
+    bus (the paper's two study buses), plus the memory *address* bus
+    (the traffic work-zone coding targets) and the writeback *result*
+    bus (the reorder-buffer traffic of the paper's abstract).
+    """
+
+    register_trace: BusTrace
+    memory_trace: BusTrace
+    address_trace: BusTrace
+    result_trace: BusTrace
+    stats: RunStats
+
+
+class Machine:
+    """A complete simulated machine: program + memory + pipeline."""
+
+    def __init__(
+        self,
+        source: Optional[str] = None,
+        program: Optional[List[Instruction]] = None,
+        config: Optional[PipelineConfig] = None,
+        name: str = "",
+    ):
+        if (source is None) == (program is None):
+            raise ValueError("provide exactly one of source or program")
+        self.program = assemble(source) if source is not None else list(program or [])
+        self.memory = Memory()
+        self.config = config if config is not None else PipelineConfig()
+        self.name = name
+
+    def run(self) -> SimulationResult:
+        """Execute the program and render all four bus traces."""
+        pipeline = Pipeline(self.program, self.memory, self.config)
+        stats = pipeline.run()
+        cycles = max(stats.cycles, 1)
+        traces = {
+            "register": pipeline.register_bus.render(cycles),
+            "memory": pipeline.memory_bus.render(cycles),
+            "address": pipeline.address_bus.render(cycles),
+            "result": pipeline.result_bus.render(cycles),
+        }
+        if self.name:
+            traces = {
+                bus: trace.with_name(f"{self.name}/{bus}")
+                for bus, trace in traces.items()
+            }
+        self.last_pipeline = pipeline  # exposed for register/stat inspection
+        return SimulationResult(
+            traces["register"], traces["memory"], traces["address"],
+            traces["result"], stats,
+        )

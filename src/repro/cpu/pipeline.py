@@ -1,0 +1,397 @@
+"""Execution pipeline with bus-timing generation (paper Section 4.1).
+
+A single-issue, in-order core with enough timing realism to give the
+two traced buses their character:
+
+* **register bus** — the register file's first read port: the value of
+  each instruction's first source operand, at its issue cycle.  This
+  matches the paper's "register file output to functional units" bus,
+  which sees one operand value per pipeline issue.
+* **memory bus** — the data bus between the L1 cache and memory: cache
+  miss fills burst one block (four words, one per cycle) after the
+  memory latency, and write-through stores place the stored word on the
+  bus a cycle after they execute.  Between transactions the bus holds
+  its last value.
+
+The cache is a direct-mapped, write-through/no-allocate L1 — the
+simplest organisation that yields realistic miss streams.  Timing
+costs: 1 cycle per instruction, a multiplier latency for mul/div, a
+taken-branch penalty, and a full memory round trip on load misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .buses import BusTimingGenerator
+from .isa import Instruction, WORD_MASK, sign_extend, to_signed
+from .memory import Memory
+
+__all__ = ["PipelineConfig", "Cache", "DirectMappedCache", "Pipeline", "RunStats"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Timing and cache parameters of the core."""
+
+    mul_latency: int = 3  # extra cycles for mul/mulh
+    div_latency: int = 12  # extra cycles for div/rem
+    branch_penalty: int = 2  # extra cycles for a taken branch or jump
+    #: "static" charges the penalty on every taken branch (predict
+    #: not-taken); "bimodal" runs a 2-bit-counter predictor and charges
+    #: it only on mispredictions.
+    branch_predictor: str = "static"
+    branch_table_size: int = 256  # bimodal predictor entries
+    cache_size_bytes: int = 4096
+    cache_block_bytes: int = 16
+    cache_associativity: int = 1  # ways per set (1 = direct mapped)
+    write_back: bool = False  # False = write-through/no-allocate
+    memory_latency: int = 18  # cycles from miss to first fill word
+    max_cycles: int = 2_000_000
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated over one run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0  # write-back mode only (write-allocate fills)
+    taken_branches: int = 0
+    branch_mispredictions: int = 0  # bimodal predictor mode only
+    halted: bool = False
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Fraction of loads that missed the L1."""
+        return self.load_misses / self.loads if self.loads else 0.0
+
+
+class Cache:
+    """Tag store of a set-associative LRU cache (data lives in Memory).
+
+    Supports dirty bits for write-back mode; :meth:`fill` reports the
+    block address of any evicted dirty victim so the pipeline can
+    schedule its write-back burst.
+    """
+
+    def __init__(self, size_bytes: int, block_bytes: int, associativity: int = 1):
+        if block_bytes & (block_bytes - 1) or block_bytes < 4:
+            raise ValueError(f"block size must be a power of two >= 4, got {block_bytes}")
+        if size_bytes % block_bytes:
+            raise ValueError("cache size must be a multiple of the block size")
+        if associativity < 1 or (size_bytes // block_bytes) % associativity:
+            raise ValueError(
+                f"associativity {associativity} must divide the line count"
+            )
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.num_lines = size_bytes // block_bytes
+        self.num_sets = self.num_lines // associativity
+        self._block_shift = block_bytes.bit_length() - 1
+        # Per set: list of (block, dirty), most-recently-used last.
+        self._sets: List[List[List]] = [[] for _ in range(self.num_sets)]
+
+    def _set_for(self, block: int) -> List[List]:
+        return self._sets[block % self.num_sets]
+
+    def lookup(self, addr: int) -> bool:
+        """True on hit; refreshes LRU order."""
+        block = addr >> self._block_shift
+        ways = self._set_for(block)
+        for i, way in enumerate(ways):
+            if way[0] == block:
+                ways.append(ways.pop(i))
+                return True
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Install ``addr``'s block; returns an evicted dirty block's
+        base byte address, or None."""
+        block = addr >> self._block_shift
+        ways = self._set_for(block)
+        for i, way in enumerate(ways):
+            if way[0] == block:
+                way[1] = way[1] or dirty
+                ways.append(ways.pop(i))
+                return None
+        victim_writeback = None
+        if len(ways) >= self.associativity:
+            victim = ways.pop(0)
+            if victim[1]:
+                victim_writeback = victim[0] << self._block_shift
+        ways.append([block, dirty])
+        return victim_writeback
+
+    def mark_dirty(self, addr: int) -> bool:
+        """Set the dirty bit of ``addr``'s block; True if it was resident."""
+        block = addr >> self._block_shift
+        for way in self._set_for(block):
+            if way[0] == block:
+                way[1] = True
+                return True
+        return False
+
+    def block_base(self, addr: int) -> int:
+        """Byte address of the start of ``addr``'s block."""
+        return (addr >> self._block_shift) << self._block_shift
+
+
+class DirectMappedCache(Cache):
+    """Backward-compatible direct-mapped (1-way) cache."""
+
+    def __init__(self, size_bytes: int, block_bytes: int):
+        super().__init__(size_bytes, block_bytes, associativity=1)
+
+
+class Pipeline:
+    """Single-issue in-order core over a decoded program."""
+
+    def __init__(
+        self,
+        program: List[Instruction],
+        memory: Optional[Memory] = None,
+        config: Optional[PipelineConfig] = None,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.config = config if config is not None else PipelineConfig()
+        self.cache = Cache(
+            self.config.cache_size_bytes,
+            self.config.cache_block_bytes,
+            self.config.cache_associativity,
+        )
+        self.register_bus = BusTimingGenerator("register", 32)
+        self.memory_bus = BusTimingGenerator("memory", 32)
+        self.address_bus = BusTimingGenerator("address", 32)
+        self.result_bus = BusTimingGenerator("result", 32)
+        self.registers = [0] * 32
+        self.stats = RunStats()
+
+    def run(self) -> RunStats:
+        """Execute until ``halt``, program end, or the cycle budget."""
+        regs = self.registers
+        mem = self.memory
+        cfg = self.config
+        cache = self.cache
+        program = self.program
+        reg_bus = self.register_bus.record
+        mem_bus = self.memory_bus.record
+        addr_bus = self.address_bus.record
+        result_bus = self.result_bus.record
+        stats = self.stats
+        words_per_block = cfg.cache_block_bytes // 4
+        if cfg.branch_predictor == "bimodal":
+            if cfg.branch_table_size & (cfg.branch_table_size - 1):
+                raise ValueError("branch_table_size must be a power of two")
+            bimodal: Optional[List[int]] = [1] * cfg.branch_table_size
+        elif cfg.branch_predictor == "static":
+            bimodal = None
+        else:
+            raise ValueError(
+                f"branch_predictor must be 'static' or 'bimodal', "
+                f"got {cfg.branch_predictor!r}"
+            )
+
+        def fetch_block(addr: int, at_cycle: int, dirty: bool) -> int:
+            """Miss handling: fill burst + optional victim write-back.
+
+            Returns the cycle at which the pipeline may continue.
+            """
+            base = cache.block_base(addr)
+            addr_bus(at_cycle, base)
+            fill_start = at_cycle + cfg.memory_latency
+            for i in range(words_per_block):
+                mem_bus(fill_start + i, mem.load_word(base + 4 * i))
+            victim = cache.fill(addr, dirty)
+            done = fill_start + words_per_block
+            if victim is not None:
+                # Dirty eviction drains through the write buffer after
+                # the fill; no pipeline stall.
+                addr_bus(done, victim)
+                for i in range(words_per_block):
+                    mem_bus(done + 1 + i, mem.load_word(victim + 4 * i))
+            return done
+
+        cycle = 0
+        pc = 0
+        n_program = len(program)
+        while 0 <= pc < n_program and cycle < cfg.max_cycles:
+            instr = program[pc]
+            op = instr.op
+            reads = instr.reads
+            if reads:
+                # r0 is hard-wired zero and never read from the file,
+                # so it puts nothing on the port.
+                if reads[0] != 0:
+                    reg_bus(cycle, regs[reads[0]])
+                if len(reads) > 1 and reads[1] != 0:
+                    # The port is time-multiplexed: the second operand
+                    # uses the next slot.  If the next instruction
+                    # issues that same cycle its own first operand
+                    # overdrives the port (recorded later, so it wins).
+                    reg_bus(cycle + 1, regs[reads[1]])
+            stats.instructions += 1
+            next_pc = pc + 1
+
+            if op == "add":
+                regs[instr.rd] = (regs[instr.rs1] + regs[instr.rs2]) & WORD_MASK
+            elif op == "addi":
+                regs[instr.rd] = (regs[instr.rs1] + instr.imm) & WORD_MASK
+            elif op == "sub":
+                regs[instr.rd] = (regs[instr.rs1] - regs[instr.rs2]) & WORD_MASK
+            elif op == "mul":
+                regs[instr.rd] = (
+                    to_signed(regs[instr.rs1]) * to_signed(regs[instr.rs2])
+                ) & WORD_MASK
+                cycle += cfg.mul_latency
+            elif op == "mulh":
+                product = to_signed(regs[instr.rs1]) * to_signed(regs[instr.rs2])
+                regs[instr.rd] = (product >> 32) & WORD_MASK
+                cycle += cfg.mul_latency
+            elif op in ("div", "rem"):
+                dividend = to_signed(regs[instr.rs1])
+                divisor = to_signed(regs[instr.rs2])
+                if divisor == 0:
+                    result = -1 if op == "div" else dividend
+                else:
+                    quotient = int(dividend / divisor)  # truncate toward zero
+                    result = quotient if op == "div" else dividend - quotient * divisor
+                regs[instr.rd] = result & WORD_MASK
+                cycle += cfg.div_latency
+            elif op == "and":
+                regs[instr.rd] = regs[instr.rs1] & regs[instr.rs2]
+            elif op == "andi":
+                regs[instr.rd] = regs[instr.rs1] & (instr.imm & WORD_MASK)
+            elif op == "or":
+                regs[instr.rd] = regs[instr.rs1] | regs[instr.rs2]
+            elif op == "ori":
+                regs[instr.rd] = regs[instr.rs1] | (instr.imm & WORD_MASK)
+            elif op == "xor":
+                regs[instr.rd] = regs[instr.rs1] ^ regs[instr.rs2]
+            elif op == "xori":
+                regs[instr.rd] = regs[instr.rs1] ^ (instr.imm & WORD_MASK)
+            elif op == "sll":
+                regs[instr.rd] = (regs[instr.rs1] << (regs[instr.rs2] & 31)) & WORD_MASK
+            elif op == "slli":
+                regs[instr.rd] = (regs[instr.rs1] << (instr.imm & 31)) & WORD_MASK
+            elif op == "srl":
+                regs[instr.rd] = regs[instr.rs1] >> (regs[instr.rs2] & 31)
+            elif op == "srli":
+                regs[instr.rd] = regs[instr.rs1] >> (instr.imm & 31)
+            elif op == "sra":
+                regs[instr.rd] = (to_signed(regs[instr.rs1]) >> (regs[instr.rs2] & 31)) & WORD_MASK
+            elif op == "srai":
+                regs[instr.rd] = (to_signed(regs[instr.rs1]) >> (instr.imm & 31)) & WORD_MASK
+            elif op == "slt":
+                regs[instr.rd] = int(to_signed(regs[instr.rs1]) < to_signed(regs[instr.rs2]))
+            elif op == "sltu":
+                regs[instr.rd] = int(regs[instr.rs1] < regs[instr.rs2])
+            elif op == "slti":
+                regs[instr.rd] = int(to_signed(regs[instr.rs1]) < instr.imm)
+            elif op == "sltiu":
+                regs[instr.rd] = int(regs[instr.rs1] < (instr.imm & WORD_MASK))
+            elif op == "lui":
+                regs[instr.rd] = (instr.imm << 16) & WORD_MASK
+            elif op in ("lw", "lh", "lhu", "lb", "lbu"):
+                addr = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                stats.loads += 1
+                if not cache.lookup(addr):
+                    stats.load_misses += 1
+                    cycle = fetch_block(addr, cycle, dirty=False)
+                if op == "lw":
+                    regs[instr.rd] = mem.load_word(addr)
+                elif op == "lh":
+                    regs[instr.rd] = sign_extend(mem.load_half(addr), 16) & WORD_MASK
+                elif op == "lhu":
+                    regs[instr.rd] = mem.load_half(addr)
+                elif op == "lb":
+                    regs[instr.rd] = sign_extend(mem.load_byte(addr), 8) & WORD_MASK
+                else:
+                    regs[instr.rd] = mem.load_byte(addr)
+            elif op in ("sw", "sh", "sb"):
+                addr = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                value = regs[instr.rs2]
+                stats.stores += 1
+                if op == "sw":
+                    mem.store_word(addr, value)
+                elif op == "sh":
+                    mem.store_half(addr, value)
+                else:
+                    mem.store_byte(addr, value)
+                if cfg.write_back:
+                    # Write-allocate: fetch on miss, then dirty the line.
+                    if not cache.mark_dirty(addr):
+                        stats.store_misses += 1
+                        cycle = fetch_block(addr, cycle, dirty=True)
+                else:
+                    # Write-through/no-allocate: the (word-aligned)
+                    # updated word goes out through the write buffer one
+                    # cycle later.
+                    addr_bus(cycle + 1, addr & ~3)
+                    mem_bus(cycle + 1, mem.load_word(addr & ~3))
+            elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+                a, b = regs[instr.rs1], regs[instr.rs2]
+                taken = {
+                    "beq": a == b,
+                    "bne": a != b,
+                    "blt": to_signed(a) < to_signed(b),
+                    "bge": to_signed(a) >= to_signed(b),
+                    "bltu": a < b,
+                    "bgeu": a >= b,
+                }[op]
+                if taken:
+                    next_pc = instr.imm
+                    stats.taken_branches += 1
+                if bimodal is not None:
+                    slot = pc & (cfg.branch_table_size - 1)
+                    counter = bimodal[slot]
+                    predicted_taken = counter >= 2
+                    if predicted_taken != taken:
+                        stats.branch_mispredictions += 1
+                        cycle += cfg.branch_penalty
+                    if taken:
+                        bimodal[slot] = min(counter + 1, 3)
+                    else:
+                        bimodal[slot] = max(counter - 1, 0)
+                elif taken:
+                    cycle += cfg.branch_penalty
+            elif op == "jal":
+                regs[instr.rd] = pc + 1
+                next_pc = instr.imm
+                stats.taken_branches += 1
+                cycle += cfg.branch_penalty
+            elif op == "jalr":
+                regs[instr.rd] = pc + 1
+                next_pc = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                stats.taken_branches += 1
+                cycle += cfg.branch_penalty
+            elif op == "nop":
+                pass
+            elif op == "halt":
+                stats.halted = True
+                cycle += 1
+                break
+            else:  # pragma: no cover - ISA and pipeline agree on opcodes
+                raise NotImplementedError(op)
+
+            regs[0] = 0
+            destination = instr.writes
+            if destination:
+                # The writeback/result bus ("reorder buffer" traffic in
+                # the paper's abstract): each produced value, in order.
+                result_bus(cycle, regs[destination])
+            pc = next_pc
+            cycle += 1
+
+        stats.cycles = cycle
+        return stats

@@ -1,0 +1,63 @@
+"""Physical bus energy: activity counts x wire model -> joules.
+
+This is the bridge between Section 4's normalised activity accounting
+and Section 5's absolute energy analysis: a :class:`BusEnergyModel`
+binds a technology and wire length, and converts the tau/kappa counts
+of a trace into joules using :class:`repro.wires.WireModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..traces.trace import BusTrace
+from ..wires.technology import Technology
+from ..wires.wire_model import WireModel
+from .accounting import ActivityCounts, count_activity
+
+__all__ = ["BusEnergyModel"]
+
+
+@dataclass(frozen=True)
+class BusEnergyModel:
+    """Energy model for a parallel bus of identical wires.
+
+    Parameters
+    ----------
+    technology:
+        Process node.
+    length_mm:
+        Bus length in millimetres.
+    buffered:
+        Whether wires carry repeaters (default True — the realistic
+        configuration for the multi-millimetre buses studied here).
+    """
+
+    technology: Technology
+    length_mm: float
+    buffered: bool = True
+
+    @property
+    def wire(self) -> WireModel:
+        """The per-wire model shared by all wires of the bus."""
+        return WireModel(self.technology, self.length_mm, self.buffered)
+
+    @property
+    def effective_lambda(self) -> float:
+        """Coupling-to-self energy ratio of this bus's wires."""
+        return self.wire.effective_lambda
+
+    def energy_from_counts(self, counts: ActivityCounts) -> float:
+        """Joules for given activity counts (equation 1, absolute)."""
+        wire = self.wire
+        return wire.bus_energy(counts.total_transitions, counts.total_coupling)
+
+    def trace_energy(self, trace: BusTrace) -> float:
+        """Joules expended by the bus carrying ``trace``."""
+        return self.energy_from_counts(count_activity(trace))
+
+    def energy_per_cycle(self, trace: BusTrace) -> float:
+        """Average joules per cycle for ``trace``."""
+        if len(trace) == 0:
+            return 0.0
+        return self.trace_energy(trace) / len(trace)

@@ -1,0 +1,35 @@
+"""Hardware models: operation counting, circuits, sorting, scaling."""
+
+from .operations import Op, OperationCounts
+from .johnson import MAX_COUNT, JohnsonCounter
+from .cam import LOW_BITS, ProbeResult, SelectiveCAM
+from .sorting import SortedFrequencyTable, TableEntry
+from .circuits import InversionCircuit, TranscoderCircuit
+from .transcoder_hw import (
+    HardwareContextTranscoder,
+    HardwareWindowTranscoder,
+    encoder_energy_per_cycle,
+    inversion_energy_per_cycle,
+)
+from .scaling import CircuitSummary, scale_design, table2_summaries
+
+__all__ = [
+    "Op",
+    "OperationCounts",
+    "JohnsonCounter",
+    "MAX_COUNT",
+    "SelectiveCAM",
+    "ProbeResult",
+    "LOW_BITS",
+    "SortedFrequencyTable",
+    "TableEntry",
+    "TranscoderCircuit",
+    "InversionCircuit",
+    "HardwareWindowTranscoder",
+    "HardwareContextTranscoder",
+    "encoder_energy_per_cycle",
+    "inversion_energy_per_cycle",
+    "CircuitSummary",
+    "scale_design",
+    "table2_summaries",
+]

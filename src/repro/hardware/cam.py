@@ -1,0 +1,73 @@
+"""Selective-precharge CAM matching (paper Section 5.3.3, after [26]).
+
+Probing every 32-bit entry every cycle would waste energy, so the
+hardware first evaluates only the low-order bits of each entry; only
+entries whose low bits match precharge and evaluate the remaining
+width.  This model reports exactly those two counts per probe so the
+energy model can charge them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["SelectiveCAM", "ProbeResult", "LOW_BITS"]
+
+#: Width of the cheap first-stage comparison.
+LOW_BITS = 8
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one CAM probe."""
+
+    hit_index: Optional[int]  # first matching entry, or None
+    low_probes: int  # entries that evaluated their low bits
+    full_probes: int  # entries that went on to a full compare
+
+
+class SelectiveCAM:
+    """A bank of CAM entries with two-stage selective precharge."""
+
+    def __init__(self, num_entries: int, width: int = 32, low_bits: int = LOW_BITS):
+        if num_entries < 1:
+            raise ValueError(f"need at least one entry, got {num_entries}")
+        if not 1 <= low_bits <= width:
+            raise ValueError(f"low_bits must be 1..{width}, got {low_bits}")
+        self.width = width
+        self.low_bits = low_bits
+        self._low_mask = (1 << low_bits) - 1
+        self._entries: List[Optional[int]] = [None] * num_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Sequence[Optional[int]]:
+        """Current entry values (None = invalid/never written)."""
+        return tuple(self._entries)
+
+    def write(self, index: int, value: Optional[int]) -> int:
+        """Store ``value`` at ``index``; returns bit flips in the cell."""
+        old = self._entries[index]
+        self._entries[index] = value
+        if old is None or value is None:
+            return self.width  # conservatively charge a full write
+        return bin(old ^ value).count("1")
+
+    def probe(self, value: int) -> ProbeResult:
+        """Two-stage search for ``value`` across all valid entries."""
+        low = value & self._low_mask
+        hit = None
+        low_probes = 0
+        full_probes = 0
+        for index, entry in enumerate(self._entries):
+            if entry is None:
+                continue
+            low_probes += 1
+            if (entry & self._low_mask) == low:
+                full_probes += 1
+                if entry == value and hit is None:
+                    hit = index
+        return ProbeResult(hit, low_probes, full_probes)

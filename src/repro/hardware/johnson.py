@@ -1,0 +1,93 @@
+"""Johnson (twisted-ring) counters (paper Section 5.3.3).
+
+The transcoder's frequency counters are Johnson counters because each
+increment flips exactly one ring bit — minimal switching energy — and
+the control logic is trivial.  The hardware concatenates four 4-bit
+rings, giving a maximum count of 8^4 = 4096 before saturation (a 4-bit
+ring has 8 distinct states).
+
+This model tracks the actual ring bits so that increments and halvings
+report their true bit-flip cost to the energy model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["JohnsonCounter", "STAGE_BITS", "STAGE_STATES", "NUM_STAGES", "MAX_COUNT"]
+
+STAGE_BITS = 4
+STAGE_STATES = 2 * STAGE_BITS  # a 4-bit ring cycles through 8 states
+NUM_STAGES = 4
+MAX_COUNT = STAGE_STATES**NUM_STAGES  # 4096
+
+
+def _ring_bits(state: int) -> int:
+    """Number of ones in the ring pattern for ``state`` (0..7)."""
+    # A Johnson ring fills with ones then drains: 0000, 1000, 1100,
+    # 1110, 1111, 0111, 0011, 0001.
+    return state if state <= STAGE_BITS else 2 * STAGE_BITS - state
+
+
+class JohnsonCounter:
+    """Cascaded Johnson counter saturating at :data:`MAX_COUNT`."""
+
+    def __init__(self, value: int = 0):
+        if not 0 <= value < MAX_COUNT:
+            raise ValueError(f"value must be 0..{MAX_COUNT - 1}, got {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    @property
+    def saturated(self) -> bool:
+        """True once the maximum count is reached."""
+        return self._value == MAX_COUNT - 1
+
+    def _stages(self, value: int) -> List[int]:
+        stages = []
+        for _ in range(NUM_STAGES):
+            stages.append(value % STAGE_STATES)
+            value //= STAGE_STATES
+        return stages
+
+    def increment(self) -> int:
+        """Count up by one; returns the number of ring bits that flipped.
+
+        The first stage always flips one bit; each stage that wraps
+        ripples one flip into the next (plus its own drain/fill flip).
+        Saturated counters do not change and cost nothing.
+        """
+        if self.saturated:
+            return 0
+        before = self._stages(self._value)
+        self._value += 1
+        after = self._stages(self._value)
+        flips = 0
+        for b, a in zip(before, after):
+            if b != a:
+                # Adjacent ring states differ in exactly one bit.
+                flips += 1
+        return flips
+
+    def halve(self) -> int:
+        """Divide the count by two; returns the ring bits that flipped.
+
+        Halving is the periodic "counter division" of Section 4.3; it
+        rewrites the rings, so the cost is the Hamming distance between
+        the old and new ring patterns.
+        """
+        before = self._stages(self._value)
+        self._value >>= 1
+        after = self._stages(self._value)
+        flips = 0
+        for b, a in zip(before, after):
+            if b == a:
+                continue
+            # Ring patterns: distance between fill levels, bounded by
+            # the ring size.
+            flips += abs(_ring_bits(b) - _ring_bits(a)) or 1
+        return flips

@@ -1,0 +1,93 @@
+"""Technology scaling of the transcoder circuit (paper Section 5.4.2).
+
+The paper measured its layout at 0.13 um (ST Micro) and projected to
+0.10/0.07 um by (1) scaling transistor geometries linearly (areas
+quadratically), (2) re-deriving wire parasitics from BPTM, and (3)
+re-simulating under HSPICE with the scaled netlist.  Our analytic
+circuit model performs the same projection by construction — cell
+capacitances scale linearly with feature size and voltages come from
+the ITRS values — so this module provides the comparison table the
+paper reports (Table 2) and helpers to scale an existing design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..traces.trace import BusTrace
+from ..wires.technology import TECHNOLOGIES, Technology
+from .circuits import InversionCircuit, TranscoderCircuit
+from .transcoder_hw import HardwareWindowTranscoder, inversion_energy_per_cycle
+
+__all__ = ["CircuitSummary", "scale_design", "table2_summaries"]
+
+
+@dataclass(frozen=True)
+class CircuitSummary:
+    """One row of the paper's Table 2."""
+
+    name: str
+    technology: Technology
+    voltage: float
+    area_um2: float
+    op_energy_pj: float  # average energy per cycle on the given traffic
+    leakage_pj: float  # leakage energy per cycle
+    delay_ns: float
+    cycle_time_ns: float
+
+
+def scale_design(
+    circuit: TranscoderCircuit, technology: Technology
+) -> TranscoderCircuit:
+    """The same design re-targeted at another technology node."""
+    return TranscoderCircuit(
+        technology=technology,
+        num_entries=circuit.num_entries,
+        width=circuit.width,
+        table_size=circuit.table_size,
+        counter_bits=circuit.counter_bits,
+    )
+
+
+def table2_summaries(
+    traffic: BusTrace,
+    size: int = 8,
+    width: int = 32,
+    technologies: Optional[Sequence[Technology]] = None,
+) -> List[CircuitSummary]:
+    """Regenerate Table 2: the window design per technology, then the
+    0.13 um inversion coder, characterised on ``traffic``."""
+    rows: List[CircuitSummary] = []
+    for tech in technologies if technologies is not None else TECHNOLOGIES:
+        coder = HardwareWindowTranscoder(tech, size=size, width=width)
+        per_cycle = coder.trace_energy_per_cycle(traffic)
+        circuit = coder.circuit
+        rows.append(
+            CircuitSummary(
+                name=f"window-{size}",
+                technology=tech,
+                voltage=tech.vdd,
+                area_um2=circuit.area_um2,
+                op_energy_pj=(per_cycle - circuit.leakage_energy_per_cycle) * 1e12,
+                leakage_pj=circuit.leakage_energy_per_cycle * 1e12,
+                delay_ns=circuit.delay_seconds * 1e9,
+                cycle_time_ns=circuit.cycle_time_seconds * 1e9,
+            )
+        )
+    tech13 = rows[0].technology if technologies else TECHNOLOGIES[0]
+    inverter = InversionCircuit(tech13, width)
+    inv_energy = inversion_energy_per_cycle(tech13, traffic)
+    rows.append(
+        CircuitSummary(
+            name="InvertCoder",
+            technology=tech13,
+            voltage=tech13.vdd,
+            area_um2=inverter.area_um2,
+            op_energy_pj=(inv_energy - inverter.leakage_energy_per_cycle) * 1e12,
+            leakage_pj=inverter.leakage_energy_per_cycle * 1e12,
+            delay_ns=inverter.delay_seconds * 1e9,
+            cycle_time_ns=inverter.delay_seconds * 1e9,
+        )
+    )
+    return rows

@@ -1,0 +1,147 @@
+"""The pending-bit neighbour-swap sorter (paper Section 5.3.1, Figure 27).
+
+The context-based transcoder uses an entry's *position* in the
+frequency table as its codeword, so the table must stay sorted by
+frequency (Invariant 2) while every entry holds a unique tag
+(Invariant 1).  General hardware sorting is expensive; the paper's
+algorithm restricts movement to neighbour swaps with equality-only
+comparators:
+
+1. A hit sets the entry's *pending* bit instead of incrementing
+   immediately (a hit to an entry whose pending bit is already set is
+   lost — the paper's acknowledged caveat).
+2. Each cycle the top entry increments if its pending bit is set.
+3. Each cycle every adjacent pair is compared: if the counters are
+   *equal* and the lower entry's pending bit is set, the entries swap
+   (the pending increment keeps bubbling up past its equals); if they
+   differ, a set pending bit below a strictly greater counter is
+   consumed as an increment.
+
+The result is a cycle-accurate model whose steady-state behaviour
+matches the functional sorted table in :mod:`repro.coding.context`,
+and whose swap/count/compare activity drives the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+from .johnson import JohnsonCounter
+from .operations import Op, OperationCounts
+
+__all__ = ["SortedFrequencyTable", "TableEntry"]
+
+
+@dataclass
+class TableEntry:
+    """One frequency-table row: tag, Johnson counter, pending bit."""
+
+    tag: Hashable
+    counter: JohnsonCounter = field(default_factory=JohnsonCounter)
+    pending: bool = False
+
+
+class SortedFrequencyTable:
+    """Hardware-faithful sorted table with pending-bit maintenance."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"table size must be >= 1, got {size}")
+        self.size = size
+        self.entries: List[Optional[TableEntry]] = [None] * size
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, tag: Hashable) -> Optional[int]:
+        """Position of ``tag``, or None."""
+        for index, entry in enumerate(self.entries):
+            if entry is not None and entry.tag == tag:
+                return index
+        return None
+
+    @property
+    def bottom_count(self) -> int:
+        """Counter value of the least-frequent (bottom) entry; -1 if the
+        table still has an empty slot."""
+        bottom = self.entries[self.size - 1]
+        return -1 if bottom is None else bottom.counter.value
+
+    def check_invariants(self) -> None:
+        """Assert Invariants 1 and 2 (pending increments excepted)."""
+        tags = [e.tag for e in self.entries if e is not None]
+        assert len(tags) == len(set(tags)), "Invariant 1 violated: duplicate tags"
+        counts = [e.counter.value for e in self.entries if e is not None]
+        assert all(a >= b for a, b in zip(counts, counts[1:])), (
+            "Invariant 2 violated: counters not non-increasing"
+        )
+
+    # -- updates -----------------------------------------------------------
+
+    def hit(self, position: int, ops: OperationCounts) -> None:
+        """Register a match at ``position`` by setting its pending bit.
+
+        A hit while the bit is already set is lost (paper's caveat).
+        """
+        entry = self.entries[position]
+        if entry is None:
+            raise ValueError(f"hit on empty position {position}")
+        if not entry.pending:
+            entry.pending = True
+            ops.add(Op.PENDING)
+
+    def insert_bottom(self, tag: Hashable, count: int, ops: OperationCounts) -> None:
+        """Replace the bottom entry with a promoted shift-register value.
+
+        The promoted count is clamped to the neighbour above: with
+        equality-only comparators a larger count could never bubble
+        into sorted position, so the hardware enters newcomers at the
+        bottom of their equivalence class and lets further hits lift
+        them (Invariant 2 stays intact by construction).
+        """
+        count = min(count, 4095)
+        if self.size > 1:
+            above = self.entries[self.size - 2]
+            if above is not None:
+                count = min(count, above.counter.value)
+        self.entries[self.size - 1] = TableEntry(tag, JohnsonCounter(count))
+        ops.add(Op.SWAP)  # entry write costs about one swap's latch activity
+
+    def step(self, ops: OperationCounts) -> None:
+        """One clock of the sorting FSM (rules 2 and 3 above)."""
+        top = self.entries[0]
+        if top is not None and top.pending:
+            ops.add(Op.COUNT, top.counter.increment())
+            top.pending = False
+            ops.add(Op.PENDING)
+            ops.add(Op.COUNTER_COMPARE)  # neighbours re-evaluate
+        for upper_index in range(self.size - 1):
+            upper = self.entries[upper_index]
+            lower = self.entries[upper_index + 1]
+            if lower is None:
+                continue
+            if upper is None or (
+                lower.pending and upper.counter.value == lower.counter.value
+            ):
+                # Swap: the pending increment bubbles past its equal (or
+                # past an empty slot while the table fills).
+                self.entries[upper_index] = lower
+                self.entries[upper_index + 1] = upper
+                ops.add(Op.SWAP)
+                ops.add(Op.COUNTER_COMPARE)
+            elif lower.pending and upper.counter.value > lower.counter.value:
+                # Strictly smaller than the neighbour above: increment in
+                # place, consuming the pending bit.
+                ops.add(Op.COUNT, lower.counter.increment())
+                lower.pending = False
+                ops.add(Op.PENDING)
+                ops.add(Op.COUNTER_COMPARE)
+
+    def divide_all(self, ops: OperationCounts) -> None:
+        """Halve every counter (the periodic counter division)."""
+        flips = 0
+        for entry in self.entries:
+            if entry is not None:
+                flips += entry.counter.halve()
+        ops.add(Op.COUNT, flips)
+        ops.add(Op.DIVIDE)

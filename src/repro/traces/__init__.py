@@ -1,0 +1,26 @@
+"""Bus trace containers, statistics and persistence."""
+
+from .trace import BusTrace
+from .stats import (
+    coverage_at,
+    toggle_rate,
+    unique_value_cdf,
+    value_frequencies,
+    window_unique_curve,
+    window_unique_fraction,
+)
+from .io import load_trace, load_traces, save_trace, save_traces
+
+__all__ = [
+    "BusTrace",
+    "coverage_at",
+    "toggle_rate",
+    "unique_value_cdf",
+    "value_frequencies",
+    "window_unique_curve",
+    "window_unique_fraction",
+    "load_trace",
+    "load_traces",
+    "save_trace",
+    "save_traces",
+]

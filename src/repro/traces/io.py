@@ -1,0 +1,66 @@
+"""Saving and loading bus traces.
+
+Traces are stored as NumPy ``.npz`` archives carrying the values plus
+the width/name/initial metadata, so a CPU-simulation run (the expensive
+part of the pipeline) can be captured once and re-analysed many times.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .trace import BusTrace
+
+__all__ = ["save_trace", "load_trace", "save_traces", "load_traces"]
+
+
+def save_trace(trace: BusTrace, path: str) -> None:
+    """Write a single trace to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        values=trace.values,
+        width=np.int64(trace.width),
+        initial=np.uint64(trace.initial),
+        name=np.str_(trace.name),
+    )
+
+
+def load_trace(path: str) -> BusTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        return BusTrace(
+            values=data["values"],
+            width=int(data["width"]),
+            initial=int(data["initial"]),
+            name=str(data["name"]),
+        )
+
+
+def save_traces(traces: Iterable[BusTrace], directory: str) -> List[str]:
+    """Write each trace to ``directory/<name>.npz``; returns the paths.
+
+    Trace names are sanitised (``/`` becomes ``_``) to form file names;
+    unnamed traces are numbered.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for i, trace in enumerate(traces):
+        stem = trace.name.replace("/", "_") if trace.name else f"trace_{i}"
+        path = os.path.join(directory, f"{stem}.npz")
+        save_trace(trace, path)
+        paths.append(path)
+    return paths
+
+
+def load_traces(directory: str) -> Dict[str, BusTrace]:
+    """Load every ``.npz`` trace in ``directory``, keyed by trace name."""
+    traces: Dict[str, BusTrace] = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".npz"):
+            trace = load_trace(os.path.join(directory, entry))
+            key = trace.name or os.path.splitext(entry)[0]
+            traces[key] = trace
+    return traces

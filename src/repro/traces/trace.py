@@ -1,0 +1,135 @@
+"""Bus trace containers.
+
+A :class:`BusTrace` is the fundamental data object of this library: a
+time-ordered sequence of values observed on a bus, one value per cycle.
+Traces are produced by the CPU substrate (:mod:`repro.cpu`) or the
+synthetic generators (:mod:`repro.workloads.synthetic`) and consumed by
+the coding schemes (:mod:`repro.coding`) and the energy accounting
+(:mod:`repro.energy`).
+
+Values are stored as ``uint64`` so that a full 32-bit word (and wider
+experimental buses up to 64 bits) fits without sign trouble; the bus
+width is carried explicitly and every value is masked to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["BusTrace"]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class BusTrace:
+    """A time-ordered sequence of bus values.
+
+    Parameters
+    ----------
+    values:
+        One value per cycle.  Anything convertible to a 1-D uint64 NumPy
+        array is accepted; values are masked to ``width`` bits.
+    width:
+        Bus width in bits (number of data wires).  Must be 1..64.
+    name:
+        Optional human-readable label, e.g. ``"gcc/register"``.
+    initial:
+        The bus state in the cycle *before* the first trace value.  The
+        first value's transitions are counted against this state.
+        Defaults to 0 (a quiescent bus), which matches the paper's
+        accounting where the first word costs its own Hamming weight.
+    """
+
+    values: np.ndarray
+    width: int = 32
+    name: str = ""
+    initial: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"bus width must be 1..64, got {self.width}")
+        arr = np.asarray(self.values, dtype=np.uint64)
+        if arr.ndim != 1:
+            raise ValueError(f"trace values must be 1-D, got shape {arr.shape}")
+        arr = arr & np.uint64(_mask(self.width))
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+        object.__setattr__(self, "initial", int(self.initial) & _mask(self.width))
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(v) for v in self.values)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[int, "BusTrace"]:
+        if isinstance(index, slice):
+            start = index.start or 0
+            prev = self.initial if start == 0 else int(self.values[start - 1])
+            return BusTrace(self.values[index], self.width, self.name, prev)
+        return int(self.values[index])
+
+    # -- convenience constructors ------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Iterable[int],
+        width: int = 32,
+        name: str = "",
+        initial: int = 0,
+    ) -> "BusTrace":
+        """Build a trace from any iterable of ints."""
+        return cls(np.fromiter((int(v) for v in values), dtype=np.uint64), width, name, initial)
+
+    # -- derived views ------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the bus width."""
+        return _mask(self.width)
+
+    def head(self, n: int) -> "BusTrace":
+        """The first ``n`` values as a new trace (same initial state)."""
+        return BusTrace(self.values[:n], self.width, self.name, self.initial)
+
+    def with_name(self, name: str) -> "BusTrace":
+        """A copy of this trace relabelled as ``name``."""
+        return BusTrace(self.values, self.width, name, self.initial)
+
+    def bit_matrix(self) -> np.ndarray:
+        """Per-wire bit states as a ``(cycles, width)`` uint8 array.
+
+        Column ``n`` is wire ``n`` (LSB = wire 0), matching the wire
+        indexing of the paper's equations 2-3.
+        """
+        shifts = np.arange(self.width, dtype=np.uint64)
+        return ((self.values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+    def transition_vectors(self) -> np.ndarray:
+        """Per-cycle XOR with the previous bus state (uint64 array).
+
+        Element ``t`` is ``values[t] ^ values[t-1]`` (with ``initial``
+        standing in for ``values[-1]``): the set of wires that toggled
+        when cycle ``t``'s value appeared.
+        """
+        prev = np.empty_like(self.values)
+        prev[0] = np.uint64(self.initial)
+        prev[1:] = self.values[:-1]
+        return self.values ^ prev
+
+    def unique_values(self) -> np.ndarray:
+        """Sorted array of distinct values appearing in the trace."""
+        return np.unique(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"BusTrace({len(self)} values, width={self.width}{label})"

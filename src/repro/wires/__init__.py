@@ -1,0 +1,29 @@
+"""Interconnect models: technology constants, repeaters, wire energy/delay."""
+
+from .technology import (
+    TECH_007,
+    TECH_010,
+    TECH_013,
+    TECHNOLOGIES,
+    Technology,
+    technology_by_name,
+)
+from .repeaters import RepeaterDesign, design_repeaters, repeater_cap_per_mm
+from .wire_model import WireModel
+from .alternatives import low_swing_energy, shielded_bus_energy, shielded_wire_count
+
+__all__ = [
+    "TECH_007",
+    "TECH_010",
+    "TECH_013",
+    "TECHNOLOGIES",
+    "Technology",
+    "technology_by_name",
+    "RepeaterDesign",
+    "design_repeaters",
+    "repeater_cap_per_mm",
+    "WireModel",
+    "low_swing_energy",
+    "shielded_bus_energy",
+    "shielded_wire_count",
+]

@@ -1,0 +1,77 @@
+"""Circuit-level alternatives to transcoding (paper Sections 1-2).
+
+The paper stresses that transcoding is *complementary* to circuit
+techniques — shield insertion (the re-mapping idea of Henkel & Lekatsas)
+and low-swing signalling (Zhang, George & Rabaey).  This module models
+both so the trade-offs can be compared quantitatively:
+
+* :func:`shielded_bus_energy` — a grounded shield wire between every
+  pair of signals eliminates data-dependent Miller coupling: each
+  transition now charges its two *static* shield neighbours exactly
+  once (kappa becomes ``2 * tau`` deterministically), at the price of
+  nearly doubling the routing footprint.
+* :func:`low_swing_energy` — drive the wire at a reduced swing:
+  dynamic wire energy scales with ``swing^2`` (the receiving
+  sense-amplifier burns a fixed overhead per cycle and regenerates the
+  full-swing level), at the price of noise margin and a custom
+  receiver.
+
+Both functions consume the same :class:`~repro.energy.ActivityCounts`
+as the transcoder analyses, so all options can be laid side by side on
+one trace (see ``benchmarks/test_ablation_alternatives.py``).
+"""
+
+from __future__ import annotations
+
+from ..energy.accounting import ActivityCounts
+from .wire_model import WireModel
+
+__all__ = ["shielded_bus_energy", "low_swing_energy", "shielded_wire_count"]
+
+
+def shielded_wire_count(signal_wires: int) -> int:
+    """Physical wires of a fully shielded bus (signal + shields)."""
+    if signal_wires < 1:
+        raise ValueError(f"need at least one signal wire, got {signal_wires}")
+    return 2 * signal_wires - 1
+
+
+def shielded_bus_energy(counts: ActivityCounts, wire: WireModel) -> float:
+    """Energy (J) of the trace on a fully shielded bus.
+
+    Every transition charges the wire-to-substrate capacitance plus the
+    inter-wire capacitance to both (static) shields — no data-dependent
+    coupling survives, so the energy is ``tau * (E_self + 2 *
+    E_coupling)`` regardless of what the neighbours did.
+    """
+    per_transition = (
+        wire.self_energy_per_transition + 2.0 * wire.coupling_energy_per_event
+    )
+    return counts.total_transitions * per_transition
+
+
+def low_swing_energy(
+    counts: ActivityCounts,
+    wire: WireModel,
+    swing_fraction: float = 0.4,
+    receiver_energy_per_cycle: float = 50e-15,
+) -> float:
+    """Energy (J) of the trace on a low-swing version of the bus.
+
+    Wire dynamic energy scales as ``swing_fraction**2`` (both the self
+    and the coupling terms see the reduced swing); every cycle each
+    wire's sense amplifier burns ``receiver_energy_per_cycle`` to
+    regenerate full-swing levels — the fixed cost that makes low swing
+    unattractive for lightly loaded short wires.
+    """
+    if not 0.0 < swing_fraction <= 1.0:
+        raise ValueError(f"swing_fraction must be in (0, 1], got {swing_fraction}")
+    if receiver_energy_per_cycle < 0:
+        raise ValueError("receiver energy must be >= 0")
+    scale = swing_fraction**2
+    wire_energy = scale * wire.bus_energy(
+        counts.total_transitions, counts.total_coupling
+    )
+    num_wires = counts.tau.shape[0]
+    receivers = receiver_energy_per_cycle * counts.cycles * num_wires
+    return wire_energy + receivers

@@ -1,0 +1,103 @@
+"""Repeater insertion for long on-chip wires (paper Figure 4).
+
+Long wires get uniformly spaced inverting repeaters, driven by an
+initial buffer cascade, which linearises the otherwise quadratic RC
+delay.  We use the classic Bakoglu analysis [Bakoglu & Meindl 1985]:
+
+* optimal repeater count  ``k* = L * sqrt(0.4 r c / (0.7 R0 C0))``
+* optimal repeater size   ``h* = sqrt(R0 c / (r C0))`` (in multiples of
+  a minimum inverter)
+
+where ``r``/``c`` are wire resistance/capacitance per mm and ``R0``/
+``C0`` characterise a minimum inverter.  Real designs derate both knobs
+(fewer, smaller repeaters) because the delay penalty near the optimum
+is shallow while the energy saving is large; each
+:class:`~repro.wires.technology.Technology` carries its derating
+factors, which also serve as the calibration knob for the paper's
+Table 1 buffered-lambda values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import Technology
+
+__all__ = ["RepeaterDesign", "design_repeaters", "repeater_cap_per_mm"]
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """A concrete repeatered-wire design for one length and technology."""
+
+    technology: Technology
+    length_mm: float
+    count: int  # number of repeater stages along the wire (>= 1)
+    size: float  # repeater width, in multiples of a minimum inverter
+
+    @property
+    def segment_length_mm(self) -> float:
+        """Wire length between consecutive repeaters."""
+        return self.length_mm / self.count
+
+    @property
+    def repeater_cap(self) -> float:
+        """Total repeater input gate capacitance (F) along the wire.
+
+        Used by the delay model; the energy model additionally applies
+        the technology's ``repeater_energy_factor``.
+        """
+        return self.count * self.size * self.technology.min_inverter_cap
+
+    @property
+    def repeater_energy_cap(self) -> float:
+        """Effective switched repeater capacitance (F) for energy.
+
+        Gate capacitance inflated by the per-technology energy factor
+        covering output junctions, internal nodes and short-circuit
+        current during the input ramp.
+        """
+        return self.repeater_cap * self.technology.repeater_energy_factor
+
+    @property
+    def cap_per_mm(self) -> float:
+        """Repeater energy capacitance per mm of wire (F/mm)."""
+        return self.repeater_energy_cap / self.length_mm
+
+
+def _optimal_count_per_mm(tech: Technology) -> float:
+    c = tech.wire_cap_per_mm
+    r = tech.wire_resistance_per_mm
+    return math.sqrt(0.4 * r * c / (0.7 * tech.min_inverter_resistance * tech.min_inverter_cap))
+
+
+def _optimal_size(tech: Technology) -> float:
+    c = tech.wire_cap_per_mm
+    r = tech.wire_resistance_per_mm
+    return math.sqrt(tech.min_inverter_resistance * c / (r * tech.min_inverter_cap))
+
+
+def design_repeaters(tech: Technology, length_mm: float) -> RepeaterDesign:
+    """Derated-Bakoglu repeater design for a wire of ``length_mm``.
+
+    The count is rounded to the nearest integer but is at least 1 — even
+    a short 'buffered' wire has its driving buffer.
+    """
+    if length_mm <= 0:
+        raise ValueError(f"wire length must be positive, got {length_mm}")
+    count = max(1, round(_optimal_count_per_mm(tech) * tech.repeater_count_derating * length_mm))
+    size = max(1.0, _optimal_size(tech) * tech.repeater_size_derating)
+    return RepeaterDesign(tech, length_mm, count, size)
+
+
+def repeater_cap_per_mm(tech: Technology) -> float:
+    """Asymptotic repeater capacitance per mm for long wires (F/mm).
+
+    For long wires the rounded repeater count approaches the continuous
+    optimum, so the per-mm repeater load converges to this value; it is
+    what sets the *buffered* effective lambda of Table 1.
+    """
+    count_per_mm = _optimal_count_per_mm(tech) * tech.repeater_count_derating
+    size = max(1.0, _optimal_size(tech) * tech.repeater_size_derating)
+    return count_per_mm * size * tech.min_inverter_cap * tech.repeater_energy_factor

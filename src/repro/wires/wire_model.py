@@ -1,0 +1,149 @@
+"""Energy and delay model for long on-chip bus wires (paper Section 3).
+
+The model follows the paper's equation (1): the energy expended by wire
+``n`` over a trace is
+
+    E_n  =  E_self * tau_n  +  E_coupling * kappa_n
+
+where ``tau_n`` is the number of transitions of wire ``n`` (eq. 2),
+``kappa_n`` the number of coupling events against its neighbour
+(eq. 3), and the per-event energies scale linearly with wire length:
+
+    E_self     = 1/2 * V^2 * L * (C_S + C_repeaters) per mm
+    E_coupling = 1/2 * V^2 * L *  C_I                per mm
+
+The *effective lambda* of the wire is ``E_coupling / E_self`` — the
+paper's Table 1.  Repeater loading inflates the self term, which is why
+buffered wires have lambda well below 1 while bare minimum-pitch wires
+sit near 14-17.
+
+Delay uses the standard distributed-RC results: quadratic in length for
+an unbuffered wire (``0.38 r c L^2`` plus the driver), linear for a
+repeatered wire (per-segment Elmore delay times the segment count) —
+the shapes of the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .repeaters import RepeaterDesign, design_repeaters
+from .technology import Technology
+
+__all__ = ["WireModel"]
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """One bus wire of a given length in a given technology.
+
+    Parameters
+    ----------
+    technology:
+        The process node (see :mod:`repro.wires.technology`).
+    length_mm:
+        Wire length in millimetres.
+    buffered:
+        Whether the wire carries repeaters (the realistic configuration
+        for the lengths this paper studies).  Unbuffered wires are kept
+        for the Figure 5/6 comparisons.
+    """
+
+    technology: Technology
+    length_mm: float
+    buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.length_mm <= 0:
+            raise ValueError(f"wire length must be positive, got {self.length_mm}")
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def repeater_design(self) -> Optional[RepeaterDesign]:
+        """The repeater design, or ``None`` for an unbuffered wire."""
+        if not self.buffered:
+            return None
+        return design_repeaters(self.technology, self.length_mm)
+
+    # -- capacitances ---------------------------------------------------
+
+    @property
+    def substrate_cap(self) -> float:
+        """Wire-to-substrate capacitance C_S (F) over the full length."""
+        return self.technology.substrate_cap_per_mm * self.length_mm
+
+    @property
+    def interwire_cap(self) -> float:
+        """One-side inter-wire capacitance C_I (F) over the full length."""
+        return self.technology.interwire_cap_per_mm * self.length_mm
+
+    @property
+    def repeater_cap(self) -> float:
+        """Effective switched repeater capacitance for energy (F).
+
+        Zero for unbuffered wires.  Includes the technology's repeater
+        energy factor (junctions, internal nodes, short-circuit).
+        """
+        design = self.repeater_design
+        return design.repeater_energy_cap if design is not None else 0.0
+
+    # -- per-event energies ----------------------------------------------
+
+    @property
+    def self_energy_per_transition(self) -> float:
+        """Energy (J) charged into C_S + repeaters for one transition."""
+        tech = self.technology
+        return 0.5 * tech.vdd**2 * (self.substrate_cap + self.repeater_cap)
+
+    @property
+    def coupling_energy_per_event(self) -> float:
+        """Energy (J) for one coupling event against one neighbour."""
+        return 0.5 * self.technology.vdd**2 * self.interwire_cap
+
+    @property
+    def effective_lambda(self) -> float:
+        """Ratio of coupling to self energy — the paper's Table 1."""
+        return self.coupling_energy_per_event / self.self_energy_per_transition
+
+    @property
+    def single_transition_energy(self) -> float:
+        """Energy (J) of one transition with both neighbours quiet.
+
+        This is the quantity plotted in the paper's Figure 5: the self
+        term plus a coupling event on each side.
+        """
+        return self.self_energy_per_transition + 2.0 * self.coupling_energy_per_event
+
+    def bus_energy(self, tau: float, kappa: float) -> float:
+        """Total energy (J) for ``tau`` self transitions and ``kappa``
+        coupling events, per equation (1)."""
+        return self.self_energy_per_transition * tau + self.coupling_energy_per_event * kappa
+
+    # -- delay ------------------------------------------------------------
+
+    @property
+    def delay_seconds(self) -> float:
+        """Signal propagation delay (s) — the paper's Figure 6.
+
+        Unbuffered: the distributed-RC flight time ``0.38 r c L^2``
+        (ideal driver assumed — both of the paper's curves include the
+        same initial buffer cascade, which cancels in the comparison).
+        Buffered: per-segment Elmore delay summed over segments, using
+        the derated repeater design.
+        """
+        tech = self.technology
+        r = tech.wire_resistance_per_mm
+        c = tech.wire_cap_per_mm
+        length = self.length_mm
+        if not self.buffered:
+            return 0.38 * r * c * length**2
+        design = self.repeater_design
+        assert design is not None
+        seg = design.segment_length_mm
+        h = design.size
+        r0 = tech.min_inverter_resistance / h
+        c0 = tech.min_inverter_cap * h
+        per_segment = 0.69 * r0 * (c0 + c * seg) + r * seg * (0.38 * c * seg + 0.69 * c0)
+        return design.count * per_segment

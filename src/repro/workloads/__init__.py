@@ -1,0 +1,38 @@
+"""SPEC95-substitute workload suite and synthetic trace generators."""
+
+from .programs import (
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    workload_names,
+)
+from .suite import (
+    DEFAULT_CYCLES,
+    address_trace,
+    memory_trace,
+    register_trace,
+    result_trace,
+    run_workload,
+    suite_traces,
+)
+from .extended import EXTENDED_WORKLOADS
+from .synthetic import locality_trace, random_trace
+
+__all__ = [
+    "FP_WORKLOADS",
+    "INT_WORKLOADS",
+    "WORKLOADS",
+    "EXTENDED_WORKLOADS",
+    "Workload",
+    "workload_names",
+    "DEFAULT_CYCLES",
+    "address_trace",
+    "memory_trace",
+    "result_trace",
+    "register_trace",
+    "run_workload",
+    "suite_traces",
+    "locality_trace",
+    "random_trace",
+]

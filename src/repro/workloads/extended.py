@@ -1,0 +1,264 @@
+"""Extended workload set (SPEC2000-flavoured kernels).
+
+The paper evaluates on SPEC95.  This optional extension adds five
+kernels shaped after the SPEC2000 programs that succeeded them, for
+studies that want a broader traffic mix than the paper's suite:
+
+========= ===== ==========================================================
+name      class kernel
+========= ===== ==========================================================
+gzip      int   sliding-window longest-match search (LZ77 core)
+vpr       int   netlist swap evaluation (array reads + cost recompute)
+mcf       int   network-simplex arc scan (struct-of-arrays pointer math)
+art       fp    neural-network F1->F2 forward pass (dense mat-vec)
+equake    fp    sparse matrix-vector product (CSR gather)
+========= ===== ==========================================================
+
+They register into :data:`EXTENDED_WORKLOADS` (not the paper-faithful
+:data:`repro.workloads.programs.WORKLOADS`), and
+:func:`repro.workloads.suite.run_workload` resolves names from both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..cpu.memory import Memory
+from .programs import DATA, DATA2, DATA3, REPEATS, Workload, _smooth_field
+
+__all__ = ["EXTENDED_WORKLOADS"]
+
+_GZIP_INPUT = 4096
+_GZIP_WINDOW = 256
+
+_GZIP_SRC = f"""
+# gzip: for each position, scan a sliding window for the longest match.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + _GZIP_WINDOW}       # cursor
+        li   r8, {DATA + _GZIP_INPUT - 8}
+pos:    li   r14, 0                          # best length
+        addi r2, r1, -{_GZIP_WINDOW}         # window scan start
+scan:   lbu  r10, 0(r1)
+        lbu  r11, 0(r2)
+        bne  r10, r11, next
+        li   r13, 0                          # match length
+match:  addi r13, r13, 1
+        slti r12, r13, 8
+        beq  r12, r0, done
+        add  r15, r1, r13
+        lbu  r10, 0(r15)
+        add  r15, r2, r13
+        lbu  r11, 0(r15)
+        beq  r10, r11, match
+done:   blt  r13, r14, next
+        addi r14, r13, 0
+next:   addi r2, r2, 4                       # sparse window probe
+        blt  r2, r1, scan
+        addi r1, r1, 1
+        bne  r1, r8, pos
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _gzip_setup(mem: Memory, rng: np.random.Generator) -> None:
+    alphabet = np.frombuffer(b"abcdefgh", dtype=np.uint8)
+    data = rng.choice(alphabet, size=_GZIP_INPUT)
+    for start in rng.choice(_GZIP_INPUT - 40, size=120, replace=False):
+        data[start:start + 12] = data[:12]  # plant repeats
+    for i, v in enumerate(data):
+        mem.store_byte(DATA + i, int(v))
+
+
+_VPR_CELLS = 1024
+
+_VPR_SRC = f"""
+# vpr: evaluate random pair swaps of a placement; each evaluation reads
+# the two cells' coordinates and net costs and writes back the better.
+        li   r9, {REPEATS}
+outer:  li   r5, 12345                       # LCG state
+        li   r20, 1103515245
+        li   r21, 12345
+        li   r7, 4096                        # evaluations per pass
+swap:   mul  r5, r5, r20
+        add  r5, r5, r21
+        srli r10, r5, 16
+        andi r10, r10, {_VPR_CELLS - 1}      # cell a
+        srli r11, r5, 8
+        andi r11, r11, {_VPR_CELLS - 1}      # cell b
+        slli r12, r10, 3
+        li   r13, {DATA}
+        add  r12, r12, r13                   # &cells[a]
+        slli r14, r11, 3
+        add  r14, r14, r13                   # &cells[b]
+        lw   r15, 0(r12)                     # a.x
+        lw   r16, 4(r12)                     # a.cost
+        lw   r17, 0(r14)                     # b.x
+        lw   r18, 4(r14)                     # b.cost
+        sub  r19, r15, r17
+        blt  r19, r0, negd
+        j    absd
+negd:   sub  r19, r0, r19
+absd:   add  r2, r16, r18
+        blt  r2, r19, keep                   # swap if distance > cost
+        sw   r17, 0(r12)
+        sw   r15, 0(r14)
+keep:   addi r7, r7, -1
+        bne  r7, r0, swap
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _vpr_setup(mem: Memory, rng: np.random.Generator) -> None:
+    for i in range(_VPR_CELLS):
+        mem.store_word(DATA + 8 * i, int(rng.integers(0, 64)))
+        mem.store_word(DATA + 8 * i + 4, int(rng.integers(1, 50)))
+
+
+_MCF_ARCS = 2048
+
+_MCF_SRC = f"""
+# mcf: scan the arc array looking for negative reduced cost; arcs are
+# [cost, tail_potential_ptr, head_potential_ptr] (12 bytes).
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}
+        li   r8, {DATA + 12 * _MCF_ARCS}
+arc:    lw   r10, 0(r1)                      # cost
+        lw   r11, 4(r1)                      # &pi[tail]
+        lw   r12, 8(r1)                      # &pi[head]
+        lw   r13, 0(r11)                     # pi[tail]
+        lw   r14, 0(r12)                     # pi[head]
+        add  r15, r10, r14
+        sub  r15, r15, r13                   # reduced cost
+        bge  r15, r0, skip
+        addi r16, r16, 1                     # candidate counter
+        sw   r15, 0(r11)                     # relax tail potential
+skip:   addi r1, r1, 12
+        bne  r1, r8, arc
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _mcf_setup(mem: Memory, rng: np.random.Generator) -> None:
+    nodes = 512
+    for i in range(nodes):
+        mem.store_word(DATA3 + 4 * i, int(rng.integers(0, 1000)))
+    for i in range(_MCF_ARCS):
+        base = DATA + 12 * i
+        mem.store_word(base, int(rng.integers(1, 200)))
+        mem.store_word(base + 4, DATA3 + 4 * int(rng.integers(0, nodes)))
+        mem.store_word(base + 8, DATA3 + 4 * int(rng.integers(0, nodes)))
+
+
+_ART_NEURONS = 64
+
+_ART_SRC = f"""
+# art: dense F1->F2 forward pass, y[j] = sum_i w[j][i] * x[i] (Q16).
+        li   r9, {REPEATS}
+outer:  li   r5, 0                           # j
+neuron: slli r1, r5, {2 + 6}                 # row offset (64 words)
+        li   r2, {DATA}
+        add  r1, r1, r2                      # &w[j][0]
+        li   r6, {DATA2}                     # &x[0]
+        addi r7, r1, {4 * _ART_NEURONS}
+        li   r15, 0
+dot:    lw   r10, 0(r1)
+        lw   r11, 0(r6)
+        mul  r12, r10, r11
+        srai r12, r12, 16
+        add  r15, r15, r12
+        addi r1, r1, 4
+        addi r6, r6, 4
+        bne  r1, r7, dot
+        slli r2, r5, 2
+        li   r3, {DATA3}
+        add  r2, r2, r3
+        sw   r15, 0(r2)                      # y[j]
+        addi r5, r5, 1
+        slti r2, r5, {_ART_NEURONS}
+        bne  r2, r0, neuron
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _art_setup(mem: Memory, rng: np.random.Generator) -> None:
+    weights = _smooth_field(rng, _ART_NEURONS * _ART_NEURONS, scale=0.8)
+    mem.store_words(DATA, [int(v) for v in weights])
+    x = _smooth_field(rng, _ART_NEURONS, scale=1.5)
+    mem.store_words(DATA2, [int(v) for v in x])
+
+
+_EQUAKE_ROWS = 512
+_EQUAKE_NNZ_PER_ROW = 8
+
+_EQUAKE_SRC = f"""
+# equake: CSR sparse mat-vec, y[r] = sum_k a[k] * x[col[k]] (Q16).
+        li   r9, {REPEATS}
+outer:  li   r5, 0                           # row
+row:    mul  r1, r5, r0                      # (clear)
+        li   r2, {_EQUAKE_NNZ_PER_ROW * 4}
+        mul  r1, r5, r2
+        slli r1, r1, 1                       # row * nnz * 8 bytes (a+col)
+        li   r2, {DATA}
+        add  r1, r1, r2                      # &entries[row][0]
+        addi r7, r1, {_EQUAKE_NNZ_PER_ROW * 8}
+        li   r15, 0
+nz:     lw   r10, 0(r1)                      # a[k]
+        lw   r11, 4(r1)                      # &x[col[k]]
+        lw   r12, 0(r11)
+        mul  r13, r10, r12
+        srai r13, r13, 16
+        add  r15, r15, r13
+        addi r1, r1, 8
+        bne  r1, r7, nz
+        slli r2, r5, 2
+        li   r3, {DATA3}
+        add  r2, r2, r3
+        sw   r15, 0(r2)                      # y[row]
+        addi r5, r5, 1
+        slti r2, r5, {_EQUAKE_ROWS}
+        bne  r2, r0, row
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _equake_setup(mem: Memory, rng: np.random.Generator) -> None:
+    x_base = DATA2
+    x = _smooth_field(rng, _EQUAKE_ROWS, scale=5.0)
+    mem.store_words(x_base, [int(v) for v in x])
+    values = _smooth_field(rng, _EQUAKE_ROWS * _EQUAKE_NNZ_PER_ROW, scale=0.5)
+    k = 0
+    for row in range(_EQUAKE_ROWS):
+        # Band structure: neighbours of the row plus a few far columns.
+        columns = [max(0, min(_EQUAKE_ROWS - 1, row + d)) for d in (-2, -1, 0, 1, 2)]
+        columns += [int(c) for c in rng.integers(0, _EQUAKE_ROWS, size=3)]
+        for col in columns:
+            base = DATA + 8 * k
+            mem.store_word(base, int(values[k]))
+            mem.store_word(base + 4, x_base + 4 * col)
+            k += 1
+
+
+EXTENDED_WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name, category, source, setup, description):
+    EXTENDED_WORKLOADS[name] = Workload(name, category, source, setup, description)
+
+
+_register("gzip", "int", _GZIP_SRC, _gzip_setup, "LZ77 sliding-window match")
+_register("vpr", "int", _VPR_SRC, _vpr_setup, "placement swap evaluation")
+_register("mcf", "int", _MCF_SRC, _mcf_setup, "network-simplex arc scan")
+_register("art", "fp", _ART_SRC, _art_setup, "dense neural-net forward pass")
+_register("equake", "fp", _EQUAKE_SRC, _equake_setup, "CSR sparse mat-vec")

@@ -1,0 +1,880 @@
+"""SPEC95-substitute workload kernels.
+
+The paper evaluates its coding schemes on SPEC95 bus traces.  SPEC
+binaries cannot run on this substrate, so each benchmark name is
+represented by a kernel written for our ISA whose *dominant access
+pattern* matches the original program's character:
+
+========= ===== ==========================================================
+name      class kernel
+========= ===== ==========================================================
+gcc       int   binary-tree search (pointer chasing, compare-heavy)
+go        int   board scanning and neighbour pattern counting (bytes)
+m88ksim   int   instruction-set interpreter loop (bit-field decode)
+compress  int   LZW-style hashing with table probes and inserts
+li        int   cons-cell list building and mark traversal
+ijpeg     int   fixed-point 8x8 block transform (multiply-accumulate)
+perl      int   string hashing and associative-array probing
+swim      fp    2-D 5-point stencil, unit stride, smooth data
+su2cor    fp    small matrix-vector products over an array of matrices
+hydro2d   fp    1-D hydrodynamics update (3-point stencil, two arrays)
+mgrid     fp    3-D 7-point stencil (large power-of-two strides)
+applu     fp    forward-substitution recurrence sweeps
+turb3d    fp    FFT-style butterflies with power-of-two strides
+apsi      fp    column sweeps with mixed strides and scalar recurrences
+fpppp     fp    long unrolled multiply-add block over a small working set
+wave5     fp    particle push: gather / update / scatter via index array
+tomcatv   fp    mesh relaxation over two 2-D grids
+========= ===== ==========================================================
+
+"fp" kernels use 16.16 fixed-point arithmetic on smooth synthetic
+fields, giving bus values the high-entropy-low-bits / smooth-high-bits
+structure of floating-point array traffic.  Every kernel loops far
+longer than any requested trace, so trace length is set purely by the
+pipeline's cycle budget.  All data initialisation is deterministic
+(seeded per kernel name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..cpu.memory import Memory
+
+__all__ = ["Workload", "WORKLOADS", "INT_WORKLOADS", "FP_WORKLOADS", "workload_names"]
+
+# Memory map shared by the kernels (chosen to exceed the 4 KiB L1 so
+# the memory bus sees steady traffic).
+DATA = 0x0001_0000  # primary data region
+DATA2 = 0x0004_0000  # secondary region
+DATA3 = 0x0008_0000  # tertiary region
+OUT = 0x000C_0000  # result sink
+
+#: Huge outer-loop count: kernels never finish before the cycle budget.
+REPEATS = 1 << 20
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark kernel."""
+
+    name: str
+    category: str  # "int" or "fp"
+    source: str
+    setup: Callable[[Memory, np.random.Generator], None]
+    description: str
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-name RNG seed (stable across processes)."""
+        return int.from_bytes(self.name.encode(), "little") % (2**31 - 1)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh, deterministically seeded generator for this kernel."""
+        return np.random.default_rng(self.seed)
+
+
+def _smooth_field(rng: np.random.Generator, n: int, scale: float = 1.0) -> np.ndarray:
+    """A smooth 16.16 fixed-point field with mild noise (FP-like data)."""
+    x = np.linspace(0, 6 * np.pi, n)
+    wave = np.sin(x) + 0.5 * np.sin(2.7 * x + 1.0) + 0.05 * rng.standard_normal(n)
+    return ((wave * scale * 65536.0).astype(np.int64) & 0xFFFFFFFF).astype(np.uint64)
+
+
+# ---------------------------------------------------------------------------
+# Integer kernels
+# ---------------------------------------------------------------------------
+
+_GCC_NODES = 1024
+
+_GCC_SRC = f"""
+# gcc: repeated binary-tree searches.  Node layout: [key, left, right],
+# 12 bytes each; null pointer = 0.  Keys to look up stream from DATA2.
+        li   r9, {REPEATS}
+outer:  li   r5, {DATA2}          # key cursor
+        li   r6, {DATA2 + 4 * 2048}
+search: lw   r10, 0(r5)           # key to find
+        li   r1, {DATA}           # root node
+walk:   beq  r1, r0, miss
+        lw   r2, 0(r1)            # node key
+        beq  r2, r10, found
+        blt  r2, r10, right
+        lw   r1, 4(r1)            # left child
+        j    walk
+right:  lw   r1, 8(r1)            # right child
+        j    walk
+found:  addi r12, r12, 1
+        j    next
+miss:   addi r13, r13, 1
+next:   addi r5, r5, 4
+        bne  r5, r6, search
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _gcc_setup(mem: Memory, rng: np.random.Generator) -> None:
+    keys = rng.permutation(_GCC_NODES).astype(np.int64) * 7 + 3
+    # Build a binary search tree by sequential insertion, then store
+    # nodes in insertion order (addresses uncorrelated with key order).
+    nodes: List[List[int]] = []  # [key, left_index, right_index]
+    for key in keys:
+        key = int(key)
+        if not nodes:
+            nodes.append([key, -1, -1])
+            continue
+        index = 0
+        while True:
+            node = nodes[index]
+            side = 1 if key < node[0] else 2
+            child = node[side]
+            if child < 0:
+                node[side] = len(nodes)
+                nodes.append([key, -1, -1])
+                break
+            index = child
+    for i, (key, left, right) in enumerate(nodes):
+        addr = DATA + 12 * i
+        mem.store_word(addr, key)
+        mem.store_word(addr + 4, 0 if left < 0 else DATA + 12 * left)
+        mem.store_word(addr + 8, 0 if right < 0 else DATA + 12 * right)
+    # Lookup stream: mostly present keys, some misses.
+    lookups = rng.choice(keys, size=2048).astype(np.int64)
+    misses = rng.integers(0, _GCC_NODES * 7 + 3, size=256)
+    lookups[rng.choice(2048, size=256, replace=False)] = misses
+    mem.store_words(DATA2, [int(v) for v in lookups])
+
+
+_GO_SIZE = 32  # board edge (bytes per row)
+
+_GO_SRC = f"""
+# go: scan a board, counting stones whose 4-neighbourhood matches a
+# pattern; inner loop reads bytes at unit and row strides.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + _GO_SIZE}          # row 1 start
+        li   r8, {DATA + _GO_SIZE * (_GO_SIZE - 1)}
+row:    addi r2, r1, 1                       # col 1
+        addi r7, r1, {_GO_SIZE - 1}
+col:    lbu  r10, 0(r2)
+        beq  r10, r0, empty
+        lbu  r11, -1(r2)
+        lbu  r12, 1(r2)
+        lbu  r13, -{_GO_SIZE}(r2)
+        lbu  r14, {_GO_SIZE}(r2)
+        add  r15, r11, r12
+        add  r15, r15, r13
+        add  r15, r15, r14
+        bne  r15, r10, empty
+        addi r16, r16, 1                     # pattern counter
+empty:  addi r2, r2, 1
+        bne  r2, r7, col
+        addi r1, r1, {_GO_SIZE}
+        bne  r1, r8, row
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _go_setup(mem: Memory, rng: np.random.Generator) -> None:
+    board = rng.choice([0, 1, 2], size=_GO_SIZE * _GO_SIZE, p=[0.5, 0.25, 0.25])
+    for i, v in enumerate(board):
+        mem.store_byte(DATA + i, int(v))
+
+
+_M88K_WORDS = 4096
+
+_M88K_SRC = f"""
+# m88ksim: interpreter over packed pseudo-instruction words.
+# Fields: op = bits 28..31, rd = 24..27, rs = 20..23, imm = 0..15.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}
+        li   r8, {DATA + 4 * _M88K_WORDS}
+fetch:  lw   r10, 0(r1)
+        srli r11, r10, 28          # op
+        srli r12, r10, 24
+        andi r12, r12, 15          # rd
+        srli r13, r10, 20
+        andi r13, r13, 15          # rs
+        andi r14, r10, 0xFFFF      # imm
+        slli r15, r12, 2
+        li   r16, {DATA3}
+        add  r15, r15, r16         # &simreg[rd]
+        slli r17, r13, 2
+        add  r17, r17, r16         # &simreg[rs]
+        lw   r18, 0(r17)
+        addi r19, r0, 5
+        beq  r11, r19, op_add
+        addi r19, r0, 9
+        beq  r11, r19, op_xor
+        sw   r14, 0(r15)           # default: load immediate
+        j    step
+op_add: lw   r20, 0(r15)
+        add  r20, r20, r18
+        sw   r20, 0(r15)
+        j    step
+op_xor: lw   r20, 0(r15)
+        xor  r20, r20, r18
+        sw   r20, 0(r15)
+step:   addi r1, r1, 4
+        bne  r1, r8, fetch
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _m88k_setup(mem: Memory, rng: np.random.Generator) -> None:
+    ops = rng.choice([5, 9, 1, 2], size=_M88K_WORDS, p=[0.4, 0.2, 0.2, 0.2])
+    rd = rng.integers(0, 16, size=_M88K_WORDS)
+    rs = rng.integers(0, 16, size=_M88K_WORDS)
+    imm = rng.integers(0, 1 << 16, size=_M88K_WORDS)
+    words = (ops.astype(np.uint64) << 28) | (rd.astype(np.uint64) << 24) | (
+        rs.astype(np.uint64) << 20
+    ) | imm.astype(np.uint64)
+    mem.store_words(DATA, [int(w) for w in words])
+
+
+_COMPRESS_INPUT = 8192
+_COMPRESS_TABLE = 4096  # entries
+
+_COMPRESS_SRC = f"""
+# compress: LZW-flavoured hashing.  For each input byte: mix it with
+# the running prefix code, probe the hash table, insert on miss.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}                      # input cursor
+        li   r8, {DATA + _COMPRESS_INPUT}
+        li   r20, 40543                      # hash multiplier
+        li   r21, {_COMPRESS_TABLE - 1}
+        li   r22, {DATA2}                    # hash table base
+        li   r5, 0                           # prefix code
+byte:   lbu  r10, 0(r1)
+        slli r11, r5, 8
+        add  r11, r11, r10
+        mul  r12, r11, r20
+        srli r12, r12, 16
+        and  r12, r12, r21                   # slot index
+        slli r13, r12, 2
+        add  r13, r13, r22                   # slot address
+        lw   r14, 0(r13)
+        beq  r14, r11, hit
+        sw   r11, 0(r13)                     # insert
+        addi r5, r10, 0                      # restart prefix
+        j    step
+hit:    and  r5, r12, r21                    # matched: extend prefix
+step:   addi r1, r1, 1
+        bne  r1, r8, byte
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _compress_setup(mem: Memory, rng: np.random.Generator) -> None:
+    # English-like byte stream: small alphabet with repeats.
+    alphabet = np.frombuffer(b"etaoin shrdlucmfw", dtype=np.uint8)
+    data = rng.choice(alphabet, size=_COMPRESS_INPUT)
+    runs = rng.choice(_COMPRESS_INPUT - 64, size=200, replace=False)
+    for start in runs:  # inject repeated phrases for dictionary hits
+        data[start:start + 16] = data[:16]
+    for i, v in enumerate(data):
+        mem.store_byte(DATA + i, int(v))
+
+
+_LI_CELLS = 2048
+
+_LI_SRC = f"""
+# li: cons-cell lists.  Phase 1 builds lists from a free list; phase 2
+# walks them setting mark bits.  Cells: [car, cdr], 8 bytes.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}                      # free cursor
+        li   r7, 0                           # list head
+        li   r8, {_LI_CELLS}
+build:  lw   r10, 0(r1)                      # car (pre-seeded value)
+        sw   r7, 4(r1)                       # cdr = old head
+        addi r7, r1, 0
+        addi r1, r1, 8
+        addi r8, r8, -1
+        bne  r8, r0, build
+mark:   beq  r7, r0, done
+        lw   r10, 0(r7)
+        ori  r10, r10, 1                     # set mark bit
+        sw   r10, 0(r7)
+        lw   r7, 4(r7)
+        j    mark
+done:   addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _li_setup(mem: Memory, rng: np.random.Generator) -> None:
+    for i in range(_LI_CELLS):
+        mem.store_word(DATA + 8 * i, int(rng.integers(0, 1 << 20)) << 2)
+        mem.store_word(DATA + 8 * i + 4, 0)
+
+
+_IJPEG_BLOCKS = 64
+
+_IJPEG_SRC = f"""
+# ijpeg: fixed-point transform of 8-sample rows (butterfly + scaled
+# multiplies), block after block.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}
+        li   r8, {DATA + _IJPEG_BLOCKS * 64 * 4}
+        li   r20, 46341                      # ~ sqrt(2)/2 in Q16
+block:  lw   r10, 0(r1)
+        lw   r11, 28(r1)
+        add  r12, r10, r11                   # s0 = x0 + x7
+        sub  r13, r10, r11                   # d0 = x0 - x7
+        lw   r10, 4(r1)
+        lw   r11, 24(r1)
+        add  r14, r10, r11
+        sub  r15, r10, r11
+        lw   r10, 8(r1)
+        lw   r11, 20(r1)
+        add  r16, r10, r11
+        sub  r17, r10, r11
+        lw   r10, 12(r1)
+        lw   r11, 16(r1)
+        add  r18, r10, r11
+        sub  r19, r10, r11
+        add  r2, r12, r18
+        sub  r3, r12, r18
+        add  r4, r14, r16
+        sub  r5, r14, r16
+        mul  r5, r5, r20
+        srai r5, r5, 16
+        add  r6, r2, r4
+        sw   r6, 0(r1)
+        sub  r6, r2, r4
+        sw   r6, 16(r1)
+        add  r6, r3, r5
+        sw   r6, 8(r1)
+        sub  r6, r3, r5
+        sw   r6, 24(r1)
+        mul  r6, r13, r20
+        srai r6, r6, 16
+        add  r6, r6, r15
+        sw   r6, 4(r1)
+        mul  r6, r17, r20
+        srai r6, r6, 16
+        add  r6, r6, r19
+        sw   r6, 12(r1)
+        sub  r6, r13, r19
+        sw   r6, 20(r1)
+        sub  r6, r15, r17
+        sw   r6, 28(r1)
+        addi r1, r1, 32
+        bne  r1, r8, block
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _ijpeg_setup(mem: Memory, rng: np.random.Generator) -> None:
+    # 8-bit image samples, spatially correlated.
+    n = _IJPEG_BLOCKS * 64
+    base = rng.integers(60, 200, size=n // 64).repeat(64)
+    detail = rng.integers(-20, 20, size=n)
+    samples = np.clip(base + detail, 0, 255)
+    mem.store_words(DATA, [int(v) for v in samples])
+
+
+_PERL_STRINGS = 256
+_PERL_STRLEN = 16
+_PERL_BUCKETS = 512
+
+_PERL_SRC = f"""
+# perl: hash fixed-length strings and probe an associative table.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}
+        li   r8, {DATA + _PERL_STRINGS * _PERL_STRLEN}
+        li   r21, {_PERL_BUCKETS - 1}
+        li   r22, {DATA2}
+string: li   r5, 0                           # hash
+        addi r2, r1, 0
+        addi r7, r1, {_PERL_STRLEN}
+char:   lbu  r10, 0(r2)
+        slli r11, r5, 5
+        add  r5, r11, r5                     # hash *= 33
+        add  r5, r5, r10
+        addi r2, r2, 1
+        bne  r2, r7, char
+        and  r12, r5, r21
+        slli r12, r12, 2
+        add  r12, r12, r22
+        lw   r13, 0(r12)                     # bucket value
+        beq  r13, r5, phit
+        sw   r5, 0(r12)
+        j    pstep
+phit:   addi r16, r16, 1
+pstep:  addi r1, r1, {_PERL_STRLEN}
+        bne  r1, r8, string
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _perl_setup(mem: Memory, rng: np.random.Generator) -> None:
+    letters = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz_", dtype=np.uint8)
+    pool = rng.choice(letters, size=(_PERL_STRINGS // 4, _PERL_STRLEN))
+    # Repeat a quarter of the strings four times: hot keys.
+    strings = np.tile(pool, (4, 1))
+    rng.shuffle(strings, axis=0)
+    flat = strings.reshape(-1)
+    for i, v in enumerate(flat):
+        mem.store_byte(DATA + i, int(v))
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point "floating point" kernels
+# ---------------------------------------------------------------------------
+
+_SWIM_N = 64  # grid edge
+
+_SWIM_SRC = f"""
+# swim: 5-point stencil sweep over an N x N grid (Q16 fixed point).
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + 4 * _SWIM_N}              # row 1
+        li   r8, {DATA + 4 * _SWIM_N * (_SWIM_N - 1)}
+        li   r20, 13107                            # 0.2 in Q16
+row:    addi r2, r1, 4
+        addi r7, r1, {4 * (_SWIM_N - 1)}
+cell:   lw   r10, 0(r2)
+        lw   r11, -4(r2)
+        lw   r12, 4(r2)
+        lw   r13, -{4 * _SWIM_N}(r2)
+        lw   r14, {4 * _SWIM_N}(r2)
+        add  r15, r11, r12
+        add  r15, r15, r13
+        add  r15, r15, r14
+        add  r15, r15, r10
+        mul  r15, r15, r20
+        srai r15, r15, 16
+        sw   r15, {4 * _SWIM_N * _SWIM_N}(r2)      # write to grid B
+        addi r2, r2, 4
+        bne  r2, r7, cell
+        addi r1, r1, {4 * _SWIM_N}
+        bne  r1, r8, row
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _swim_setup(mem: Memory, rng: np.random.Generator) -> None:
+    field = _smooth_field(rng, _SWIM_N * _SWIM_N, scale=20.0)
+    mem.store_words(DATA, [int(v) for v in field])
+
+
+_SU2_MATRICES = 256
+
+_SU2_SRC = f"""
+# su2cor: y = M x for a stream of 4x4 Q16 matrices and a resident x.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}                      # matrix cursor
+        li   r8, {DATA + _SU2_MATRICES * 64}
+matrix: li   r5, 0                           # row index
+mrow:   slli r6, r5, 4                       # row offset (16 bytes)
+        add  r6, r6, r1
+        li   r15, 0                          # accumulator
+        li   r7, 0                           # col index
+mcol:   slli r10, r7, 2
+        add  r11, r10, r6
+        lw   r12, 0(r11)                     # M[row][col]
+        li   r13, {DATA2}
+        add  r13, r13, r10
+        lw   r14, 0(r13)                     # x[col]
+        mul  r12, r12, r14
+        srai r12, r12, 16
+        add  r15, r15, r12
+        addi r7, r7, 1
+        slti r16, r7, 4
+        bne  r16, r0, mcol
+        li   r13, {DATA3}
+        slli r16, r5, 2
+        add  r13, r13, r16
+        sw   r15, 0(r13)                     # y[row]
+        addi r5, r5, 1
+        slti r16, r5, 4
+        bne  r16, r0, mrow
+        addi r1, r1, 64
+        bne  r1, r8, matrix
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _su2_setup(mem: Memory, rng: np.random.Generator) -> None:
+    mats = _smooth_field(rng, _SU2_MATRICES * 16, scale=2.0)
+    mem.store_words(DATA, [int(v) for v in mats])
+    x = _smooth_field(rng, 4, scale=1.0)
+    mem.store_words(DATA2, [int(v) for v in x])
+
+
+_HYDRO_N = 2048
+
+_HYDRO_SRC = f"""
+# hydro2d: u[i] += k * (v[i-1] - 2 v[i] + v[i+1]) over a long line.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + 4}
+        li   r8, {DATA + 4 * (_HYDRO_N - 1)}
+        li   r20, 6554                       # 0.1 in Q16
+cell:   lw   r10, -4(r1)
+        lw   r11, 0(r1)
+        lw   r12, 4(r1)
+        add  r13, r10, r12
+        slli r14, r11, 1
+        sub  r13, r13, r14
+        mul  r13, r13, r20
+        srai r13, r13, 16
+        lw   r15, {4 * _HYDRO_N}(r1)         # u[i]
+        add  r15, r15, r13
+        sw   r15, {4 * _HYDRO_N}(r1)
+        addi r1, r1, 4
+        bne  r1, r8, cell
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _hydro_setup(mem: Memory, rng: np.random.Generator) -> None:
+    v = _smooth_field(rng, _HYDRO_N, scale=30.0)
+    u = _smooth_field(rng, _HYDRO_N, scale=10.0)
+    mem.store_words(DATA, [int(x) for x in v])
+    mem.store_words(DATA + 4 * _HYDRO_N, [int(x) for x in u])
+
+
+_MGRID_N = 16  # 16^3 grid
+
+_MGRID_SRC = f"""
+# mgrid: 7-point stencil over a 16^3 grid; plane stride 16*16 words.
+        li   r9, {REPEATS}
+outer:  li   r5, 1                           # z
+zloop:  li   r6, 1                           # y
+yloop:  li   r7, 1                           # x
+xloop:  slli r1, r5, {2 + 8}                 # z * 256 words * 4
+        slli r2, r6, {2 + 4}                 # y * 16 words * 4
+        add  r1, r1, r2
+        slli r2, r7, 2
+        add  r1, r1, r2
+        li   r2, {DATA}
+        add  r1, r1, r2                      # &a[z][y][x]
+        lw   r10, 0(r1)
+        lw   r11, 4(r1)
+        lw   r12, -4(r1)
+        lw   r13, {4 * _MGRID_N}(r1)
+        lw   r14, -{4 * _MGRID_N}(r1)
+        lw   r15, {4 * _MGRID_N * _MGRID_N}(r1)
+        lw   r16, -{4 * _MGRID_N * _MGRID_N}(r1)
+        add  r17, r11, r12
+        add  r17, r17, r13
+        add  r17, r17, r14
+        add  r17, r17, r15
+        add  r17, r17, r16
+        slli r18, r10, 1
+        sub  r17, r17, r18
+        srai r17, r17, 3
+        add  r10, r10, r17
+        sw   r10, {4 * _MGRID_N ** 3}(r1)
+        addi r7, r7, 1
+        slti r2, r7, {_MGRID_N - 1}
+        bne  r2, r0, xloop
+        addi r6, r6, 1
+        slti r2, r6, {_MGRID_N - 1}
+        bne  r2, r0, yloop
+        addi r5, r5, 1
+        slti r2, r5, {_MGRID_N - 1}
+        bne  r2, r0, zloop
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _mgrid_setup(mem: Memory, rng: np.random.Generator) -> None:
+    field = _smooth_field(rng, _MGRID_N**3, scale=15.0)
+    mem.store_words(DATA, [int(v) for v in field])
+
+
+_APPLU_N = 1024
+
+_APPLU_SRC = f"""
+# applu: forward substitution x[i] = (b[i] - a[i] * x[i-1]) >> 16 sweeps.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + 4}
+        li   r8, {DATA + 4 * _APPLU_N}
+        lw   r15, {DATA}(r0)                 # x[0] seed (a[0] slot)
+sweep:  lw   r10, 0(r1)                      # a[i]
+        lw   r11, {4 * _APPLU_N}(r1)         # b[i]
+        mul  r12, r10, r15
+        srai r12, r12, 16
+        sub  r15, r11, r12                   # x[i]
+        sw   r15, {8 * _APPLU_N}(r1)
+        addi r1, r1, 4
+        bne  r1, r8, sweep
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _applu_setup(mem: Memory, rng: np.random.Generator) -> None:
+    a = _smooth_field(rng, _APPLU_N, scale=0.5)
+    b = _smooth_field(rng, _APPLU_N, scale=25.0)
+    mem.store_words(DATA, [int(v) for v in a])
+    mem.store_words(DATA + 4 * _APPLU_N, [int(v) for v in b])
+
+
+_TURB_N = 1024
+
+_TURB_SRC = f"""
+# turb3d: butterfly passes with power-of-two strides (FFT skeleton).
+        li   r9, {REPEATS}
+outer:  li   r5, 4                           # stride in bytes (1 word)
+stage:  li   r1, {DATA}
+        slli r6, r5, 1                       # group span
+        li   r8, {DATA + 4 * _TURB_N}
+group:  add  r2, r1, r0
+        add  r7, r1, r5
+bfly:   lw   r10, 0(r2)
+        add  r3, r2, r5
+        lw   r11, 0(r3)
+        add  r12, r10, r11
+        sub  r13, r10, r11
+        srai r12, r12, 1
+        srai r13, r13, 1
+        sw   r12, 0(r2)
+        sw   r13, 0(r3)
+        addi r2, r2, 4
+        bne  r2, r7, bfly
+        add  r1, r1, r6
+        bltu r1, r8, group
+        slli r5, r5, 1
+        li   r2, {4 * _TURB_N}
+        bltu r5, r2, stage
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _turb_setup(mem: Memory, rng: np.random.Generator) -> None:
+    field = _smooth_field(rng, _TURB_N, scale=40.0)
+    mem.store_words(DATA, [int(v) for v in field])
+
+
+_APSI_COLS = 64
+_APSI_ROWS = 64
+
+_APSI_SRC = f"""
+# apsi: column-major sweeps (stride = row length) plus a scalar
+# recurrence per column.
+        li   r9, {REPEATS}
+outer:  li   r5, 0                           # column
+coll:   li   r6, 0                           # row
+        slli r1, r5, 2
+        li   r2, {DATA}
+        add  r1, r1, r2                      # &a[0][col]
+        li   r15, 0                          # recurrence state
+rowl:   lw   r10, 0(r1)
+        mul  r11, r15, r10
+        srai r11, r11, 16
+        add  r15, r11, r10
+        sw   r15, {4 * _APSI_COLS * _APSI_ROWS}(r1)
+        addi r1, r1, {4 * _APSI_COLS}
+        addi r6, r6, 1
+        slti r2, r6, {_APSI_ROWS}
+        bne  r2, r0, rowl
+        addi r5, r5, 1
+        slti r2, r5, {_APSI_COLS}
+        bne  r2, r0, coll
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _apsi_setup(mem: Memory, rng: np.random.Generator) -> None:
+    field = _smooth_field(rng, _APSI_COLS * _APSI_ROWS, scale=3.0)
+    mem.store_words(DATA, [int(v) for v in field])
+
+
+_FPPPP_VEC = 64
+
+_FPPPP_SRC = f"""
+# fpppp: long unrolled multiply-add block over a small resident vector
+# (integral-evaluation style: heavy arithmetic, light memory).
+        li   r9, {REPEATS}
+        li   r21, 46341
+        li   r22, 25080
+        li   r23, 60547
+outer:  li   r1, {DATA}
+        li   r8, {DATA + 4 * _FPPPP_VEC}
+blk:    lw   r10, 0(r1)
+        lw   r11, 4(r1)
+        lw   r12, 8(r1)
+        lw   r13, 12(r1)
+        mul  r14, r10, r21
+        srai r14, r14, 16
+        mul  r15, r11, r22
+        srai r15, r15, 16
+        add  r14, r14, r15
+        mul  r15, r12, r23
+        srai r15, r15, 16
+        add  r14, r14, r15
+        mul  r15, r13, r21
+        srai r15, r15, 16
+        add  r14, r14, r15
+        mul  r16, r14, r22
+        srai r16, r16, 16
+        add  r16, r16, r10
+        mul  r17, r16, r23
+        srai r17, r17, 16
+        add  r17, r17, r11
+        mul  r18, r17, r21
+        srai r18, r18, 16
+        add  r18, r18, r12
+        sw   r18, {4 * _FPPPP_VEC}(r1)
+        addi r1, r1, 16
+        bne  r1, r8, blk
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _fpppp_setup(mem: Memory, rng: np.random.Generator) -> None:
+    vec = _smooth_field(rng, _FPPPP_VEC, scale=8.0)
+    mem.store_words(DATA, [int(v) for v in vec])
+
+
+_WAVE_PARTICLES = 1024
+_WAVE_GRID = 512
+
+_WAVE_SRC = f"""
+# wave5: particle push — gather field at the particle's cell, update
+# velocity and position, scatter charge.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA}                      # particle cursor: [pos, vel]
+        li   r8, {DATA + 8 * _WAVE_PARTICLES}
+part:   lw   r10, 0(r1)                      # position (Q16, cells)
+        srli r11, r10, 16                    # cell index
+        andi r11, r11, {_WAVE_GRID - 1}
+        slli r11, r11, 2
+        li   r12, {DATA2}
+        add  r12, r12, r11
+        lw   r13, 0(r12)                     # field E[cell]
+        lw   r14, 4(r1)                      # velocity
+        add  r14, r14, r13
+        sw   r14, 4(r1)
+        add  r10, r10, r14
+        sw   r10, 0(r1)
+        li   r15, {DATA3}
+        add  r15, r15, r11
+        lw   r16, 0(r15)                     # charge[cell]
+        addi r16, r16, 256
+        sw   r16, 0(r15)
+        addi r1, r1, 8
+        bne  r1, r8, part
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _wave_setup(mem: Memory, rng: np.random.Generator) -> None:
+    pos = rng.integers(0, _WAVE_GRID << 16, size=_WAVE_PARTICLES)
+    vel = (rng.standard_normal(_WAVE_PARTICLES) * 3000).astype(np.int64)
+    for i in range(_WAVE_PARTICLES):
+        mem.store_word(DATA + 8 * i, int(pos[i]))
+        mem.store_word(DATA + 8 * i + 4, int(vel[i]) & 0xFFFFFFFF)
+    field = _smooth_field(rng, _WAVE_GRID, scale=0.05)
+    mem.store_words(DATA2, [int(v) for v in field])
+
+
+_TOMCATV_N = 64
+
+_TOMCATV_SRC = f"""
+# tomcatv: relaxation over two meshes, reading 4 neighbours from each.
+        li   r9, {REPEATS}
+outer:  li   r1, {DATA + 4 * _TOMCATV_N}
+        li   r8, {DATA + 4 * _TOMCATV_N * (_TOMCATV_N - 1)}
+trow:   addi r2, r1, 4
+        addi r7, r1, {4 * (_TOMCATV_N - 1)}
+tcell:  lw   r10, -4(r2)
+        lw   r11, 4(r2)
+        lw   r12, -{4 * _TOMCATV_N}(r2)
+        lw   r13, {4 * _TOMCATV_N}(r2)
+        lw   r14, {4 * _TOMCATV_N * _TOMCATV_N}(r2)   # mesh B same cell
+        add  r15, r10, r11
+        add  r16, r12, r13
+        add  r15, r15, r16
+        srai r15, r15, 2
+        sub  r16, r15, r14
+        srai r16, r16, 1
+        add  r14, r14, r16
+        sw   r14, {4 * _TOMCATV_N * _TOMCATV_N}(r2)
+        sw   r15, 0(r2)
+        addi r2, r2, 4
+        bne  r2, r7, tcell
+        addi r1, r1, {4 * _TOMCATV_N}
+        bne  r1, r8, trow
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+"""
+
+
+def _tomcatv_setup(mem: Memory, rng: np.random.Generator) -> None:
+    a = _smooth_field(rng, _TOMCATV_N * _TOMCATV_N, scale=12.0)
+    b = _smooth_field(rng, _TOMCATV_N * _TOMCATV_N, scale=12.0)
+    mem.store_words(DATA, [int(v) for v in a])
+    mem.store_words(DATA + 4 * _TOMCATV_N * _TOMCATV_N, [int(v) for v in b])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name: str, category: str, source: str, setup, description: str) -> None:
+    WORKLOADS[name] = Workload(name, category, source, setup, description)
+
+
+_register("gcc", "int", _GCC_SRC, _gcc_setup, "binary-tree search, pointer chasing")
+_register("go", "int", _GO_SRC, _go_setup, "board scanning, byte neighbourhoods")
+_register("m88ksim", "int", _M88K_SRC, _m88k_setup, "instruction interpreter loop")
+_register("compress", "int", _COMPRESS_SRC, _compress_setup, "LZW-style hashing")
+_register("li", "int", _LI_SRC, _li_setup, "cons-cell building and marking")
+_register("ijpeg", "int", _IJPEG_SRC, _ijpeg_setup, "fixed-point block transform")
+_register("perl", "int", _PERL_SRC, _perl_setup, "string hashing, table probing")
+_register("swim", "fp", _SWIM_SRC, _swim_setup, "2-D 5-point stencil")
+_register("su2cor", "fp", _SU2_SRC, _su2_setup, "4x4 matrix-vector stream")
+_register("hydro2d", "fp", _HYDRO_SRC, _hydro_setup, "1-D 3-point stencil")
+_register("mgrid", "fp", _MGRID_SRC, _mgrid_setup, "3-D 7-point stencil")
+_register("applu", "fp", _APPLU_SRC, _applu_setup, "forward-substitution sweeps")
+_register("turb3d", "fp", _TURB_SRC, _turb_setup, "FFT-style butterflies")
+_register("apsi", "fp", _APSI_SRC, _apsi_setup, "column sweeps, recurrences")
+_register("fpppp", "fp", _FPPPP_SRC, _fpppp_setup, "unrolled multiply-add block")
+_register("wave5", "fp", _WAVE_SRC, _wave_setup, "particle gather/scatter")
+_register("tomcatv", "fp", _TOMCATV_SRC, _tomcatv_setup, "two-mesh relaxation")
+
+INT_WORKLOADS = tuple(w.name for w in WORKLOADS.values() if w.category == "int")
+FP_WORKLOADS = tuple(w.name for w in WORKLOADS.values() if w.category == "fp")
+
+
+def workload_names() -> List[str]:
+    """All registered benchmark names, integer suite first."""
+    return list(INT_WORKLOADS) + list(FP_WORKLOADS)

@@ -1,0 +1,93 @@
+"""Running the workload suite and caching its bus traces.
+
+Trace generation (running the CPU substrate) is the expensive step of
+every experiment, and every figure reuses the same traces, so this
+module memoises them per (benchmark, bus, cycle budget) within the
+process.  All experiments in ``benchmarks/`` pull traces from here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu.machine import Machine, SimulationResult
+from ..cpu.pipeline import PipelineConfig
+from ..traces.trace import BusTrace
+from .extended import EXTENDED_WORKLOADS
+from .programs import WORKLOADS, Workload
+
+__all__ = [
+    "run_workload",
+    "register_trace",
+    "memory_trace",
+    "address_trace",
+    "result_trace",
+    "suite_traces",
+    "DEFAULT_CYCLES",
+]
+
+#: Default trace length (cycles).  Long enough for the dictionaries and
+#: counters to reach steady state, short enough to sweep dozens of
+#: configurations per figure.
+DEFAULT_CYCLES = 60_000
+
+
+def _get(name: str) -> Workload:
+    workload = WORKLOADS.get(name) or EXTENDED_WORKLOADS.get(name)
+    if workload is None:
+        known = ", ".join(sorted(set(WORKLOADS) | set(EXTENDED_WORKLOADS)))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return workload
+
+
+@lru_cache(maxsize=None)
+def run_workload(name: str, cycles: int = DEFAULT_CYCLES) -> SimulationResult:
+    """Run one benchmark for ``cycles`` cycles; memoised."""
+    workload = _get(name)
+    machine = Machine(
+        source=workload.source,
+        config=PipelineConfig(max_cycles=cycles),
+        name=workload.name,
+    )
+    workload.setup(machine.memory, workload.rng())
+    return machine.run()
+
+
+def register_trace(name: str, cycles: int = DEFAULT_CYCLES) -> BusTrace:
+    """The register-bus trace of one benchmark."""
+    return run_workload(name, cycles).register_trace
+
+
+def memory_trace(name: str, cycles: int = DEFAULT_CYCLES) -> BusTrace:
+    """The memory-bus trace of one benchmark."""
+    return run_workload(name, cycles).memory_trace
+
+
+def address_trace(name: str, cycles: int = DEFAULT_CYCLES) -> BusTrace:
+    """The memory-address-bus trace of one benchmark."""
+    return run_workload(name, cycles).address_trace
+
+
+def result_trace(name: str, cycles: int = DEFAULT_CYCLES) -> BusTrace:
+    """The writeback/result-bus trace of one benchmark."""
+    return run_workload(name, cycles).result_trace
+
+
+def suite_traces(
+    bus: str,
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+) -> Dict[str, BusTrace]:
+    """Traces of many benchmarks on one bus (``"register"``/``"memory"``)."""
+    fetchers = {
+        "register": register_trace,
+        "memory": memory_trace,
+        "address": address_trace,
+        "result": result_trace,
+    }
+    if bus not in fetchers:
+        raise ValueError(f"bus must be one of {sorted(fetchers)}, got {bus!r}")
+    fetch = fetchers[bus]
+    selected: List[str] = list(names) if names is not None else sorted(WORKLOADS)
+    return {name: fetch(name, cycles) for name in selected}

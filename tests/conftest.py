@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic traces and suite samples."""
+
+import numpy as np
+import pytest
+
+from repro.traces import BusTrace
+from repro.workloads import locality_trace, random_trace, register_trace, memory_trace
+
+#: Short cycle budget so CPU-substrate fixtures stay fast.
+FAST_CYCLES = 6000
+
+
+@pytest.fixture(scope="session")
+def rand_trace():
+    """A 32-bit uniform random trace."""
+    return random_trace(2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def local_trace():
+    """A trace with strong repeat/reuse/stride structure."""
+    return locality_trace(3000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def gcc_register():
+    """Register-bus trace of the gcc kernel (short run)."""
+    return register_trace("gcc", FAST_CYCLES)
+
+
+@pytest.fixture(scope="session")
+def swim_memory():
+    """Memory-bus trace of the swim kernel (short run)."""
+    return memory_trace("swim", FAST_CYCLES)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A handmade 8-value trace with known transitions."""
+    return BusTrace.from_values(
+        [0x0, 0x1, 0x1, 0x3, 0xF0, 0xF0, 0x0F, 0xFF], width=8, name="tiny"
+    )

@@ -1,0 +1,108 @@
+"""Unit tests for transition/coupling accounting (equations 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    count_activity,
+    coupling_counts,
+    normalized_energy_removed,
+    popcount,
+    transition_counts,
+    weighted_activity,
+)
+from repro.traces import BusTrace
+
+
+class TestPopcount:
+    def test_known_values(self):
+        values = np.array([0, 1, 3, 0xFF, 2**63], dtype=np.uint64)
+        assert list(popcount(values)) == [0, 1, 2, 8, 1]
+
+    def test_all_ones_64bit(self):
+        assert popcount(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
+
+
+class TestTransitionCounts:
+    def test_single_wire_toggling(self):
+        trace = BusTrace.from_values([1, 0, 1, 0], width=2)
+        tau = transition_counts(trace)
+        assert tau[0] == 4  # wire 0 flips every cycle (initial 0)
+        assert tau[1] == 0
+
+    def test_includes_initial_state(self):
+        trace = BusTrace.from_values([0], width=1, initial=1)
+        assert transition_counts(trace)[0] == 1
+
+    def test_empty_trace(self):
+        counts = count_activity(BusTrace.from_values([], width=4))
+        assert counts.total_transitions == 0
+        assert counts.total_coupling == 0
+
+
+class TestCouplingCounts:
+    def test_lone_toggle_couples_once_per_neighbour(self):
+        # Wire 1 toggles, wires 0 and 2 quiet: pair (0,1) and (1,2) each
+        # see one coupling event.
+        trace = BusTrace.from_values([0b010], width=3, initial=0)
+        kappa = coupling_counts(trace)
+        assert list(kappa) == [1, 1]
+
+    def test_same_direction_toggles_do_not_couple(self):
+        # Wires 0 and 1 rise together: the inter-wire capacitor sees no
+        # voltage change.
+        trace = BusTrace.from_values([0b11], width=2, initial=0)
+        assert coupling_counts(trace)[0] == 0
+
+    def test_opposite_toggles_couple_twice(self):
+        # Wire 0 rises while wire 1 falls: double swing across C_I.
+        trace = BusTrace.from_values([0b01], width=2, initial=0b10)
+        assert coupling_counts(trace)[0] == 2
+
+    def test_width_one_bus_has_no_pairs(self):
+        trace = BusTrace.from_values([1, 0, 1], width=1)
+        assert coupling_counts(trace).shape == (0,)
+
+
+class TestWeightedActivity:
+    def test_lambda_zero_counts_only_transitions(self, tiny_trace):
+        counts = count_activity(tiny_trace)
+        assert weighted_activity(tiny_trace, 0.0) == counts.total_transitions
+
+    def test_lambda_one_adds_coupling(self, tiny_trace):
+        counts = count_activity(tiny_trace)
+        expected = counts.total_transitions + counts.total_coupling
+        assert weighted_activity(tiny_trace, 1.0) == expected
+
+    def test_activity_counts_addition(self, tiny_trace):
+        counts = count_activity(tiny_trace)
+        doubled = counts + counts
+        assert doubled.total_transitions == 2 * counts.total_transitions
+        assert doubled.cycles == 2 * counts.cycles
+
+    def test_addition_rejects_width_mismatch(self, tiny_trace):
+        other = count_activity(BusTrace.from_values([1], width=4))
+        with pytest.raises(ValueError):
+            count_activity(tiny_trace) + other
+
+
+class TestNormalizedEnergyRemoved:
+    def test_identical_traces_remove_nothing(self, tiny_trace):
+        assert normalized_energy_removed(tiny_trace, tiny_trace) == pytest.approx(0.0)
+
+    def test_quiet_coded_bus_removes_everything(self, tiny_trace):
+        quiet = BusTrace.from_values([0] * len(tiny_trace), width=8)
+        assert normalized_energy_removed(tiny_trace, quiet) == pytest.approx(100.0)
+
+    def test_noisier_coded_bus_is_negative(self):
+        base = BusTrace.from_values([0, 0, 0, 0], width=8)
+        noisy = BusTrace.from_values([0xFF, 0x00, 0xFF, 0x00], width=8)
+        assert normalized_energy_removed(base, noisy) == 0.0  # base energy 0
+        base2 = BusTrace.from_values([1, 0, 1, 0], width=8)
+        assert normalized_energy_removed(base2, noisy) < 0
+
+    def test_kappa_bounded_by_neighbour_taus(self, gcc_register):
+        # |delta_n - delta_{n+1}| <= |delta_n| + |delta_{n+1}| cycle-wise.
+        counts = count_activity(gcc_register)
+        for n in range(gcc_register.width - 1):
+            assert counts.kappa[n] <= counts.tau[n] + counts.tau[n + 1]

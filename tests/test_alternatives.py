@@ -1,0 +1,117 @@
+"""Unit tests for the shielding and low-swing wire alternatives."""
+
+import pytest
+
+from repro.energy import BusEnergyModel, count_activity
+from repro.traces import BusTrace
+from repro.wires import (
+    TECH_013,
+    WireModel,
+    low_swing_energy,
+    shielded_bus_energy,
+    shielded_wire_count,
+)
+
+
+@pytest.fixture
+def counts():
+    trace = BusTrace.from_values([0x5, 0xA, 0x5, 0xA, 0x0], width=4)
+    return count_activity(trace)
+
+
+@pytest.fixture
+def wire():
+    return WireModel(TECH_013, 10.0)
+
+
+class TestShielding:
+    def test_wire_count_doubles_minus_one(self):
+        assert shielded_wire_count(32) == 63
+        assert shielded_wire_count(1) == 1
+
+    def test_rejects_zero_wires(self):
+        with pytest.raises(ValueError):
+            shielded_wire_count(0)
+
+    def test_energy_is_tau_times_worst_case(self, counts, wire):
+        per_transition = (
+            wire.self_energy_per_transition + 2 * wire.coupling_energy_per_event
+        )
+        assert shielded_bus_energy(counts, wire) == pytest.approx(
+            counts.total_transitions * per_transition
+        )
+
+    def test_independent_of_kappa(self, wire):
+        # Opposite-switching and same-direction traces with equal tau
+        # cost the same once shielded.
+        opposite = count_activity(
+            BusTrace.from_values([0b10, 0b01] * 10, width=2, initial=0b01)
+        )
+        together = count_activity(
+            BusTrace.from_values([0b11, 0b00] * 10, width=2, initial=0b00)
+        )
+        assert opposite.total_transitions == together.total_transitions
+        assert shielded_bus_energy(opposite, wire) == pytest.approx(
+            shielded_bus_energy(together, wire)
+        )
+
+    def test_quiet_bus_costs_nothing(self, wire):
+        counts = count_activity(BusTrace.from_values([0, 0, 0], width=4))
+        assert shielded_bus_energy(counts, wire) == 0.0
+
+
+class TestLowSwing:
+    def test_quadratic_in_swing(self, counts, wire):
+        full = low_swing_energy(counts, wire, 1.0, receiver_energy_per_cycle=0.0)
+        half = low_swing_energy(counts, wire, 0.5, receiver_energy_per_cycle=0.0)
+        assert half == pytest.approx(full / 4)
+
+    def test_full_swing_no_receiver_equals_raw(self, counts, wire):
+        raw = wire.bus_energy(counts.total_transitions, counts.total_coupling)
+        assert low_swing_energy(
+            counts, wire, 1.0, receiver_energy_per_cycle=0.0
+        ) == pytest.approx(raw)
+
+    def test_receiver_cost_scales_with_cycles_and_wires(self, counts, wire):
+        base = low_swing_energy(counts, wire, 0.4, receiver_energy_per_cycle=0.0)
+        with_receiver = low_swing_energy(
+            counts, wire, 0.4, receiver_energy_per_cycle=1e-15
+        )
+        expected = 1e-15 * counts.cycles * counts.tau.shape[0]
+        assert with_receiver - base == pytest.approx(expected)
+
+    def test_receiver_floor_dominates_quiet_buses(self, wire):
+        counts = count_activity(BusTrace.from_values([0] * 100, width=8))
+        energy = low_swing_energy(counts, wire, 0.4)
+        assert energy > 0  # receivers burn even when the bus idles
+
+    def test_validation(self, counts, wire):
+        with pytest.raises(ValueError):
+            low_swing_energy(counts, wire, 0.0)
+        with pytest.raises(ValueError):
+            low_swing_energy(counts, wire, 1.5)
+        with pytest.raises(ValueError):
+            low_swing_energy(counts, wire, 0.4, receiver_energy_per_cycle=-1.0)
+
+
+class TestQuadraticCouplingOption:
+    def test_opposite_toggles_cost_four(self):
+        trace = BusTrace.from_values([0b01], width=2, initial=0b10)
+        linear = count_activity(trace).total_coupling
+        quadratic = count_activity(trace, quadratic_coupling=True).total_coupling
+        assert linear == 2
+        assert quadratic == 4
+
+    def test_lone_toggle_same_in_both_models(self):
+        trace = BusTrace.from_values([0b01], width=2, initial=0b00)
+        assert (
+            count_activity(trace).total_coupling
+            == count_activity(trace, quadratic_coupling=True).total_coupling
+        )
+
+    def test_quadratic_never_below_linear(self, gcc_register):
+        linear = count_activity(gcc_register).total_coupling
+        quadratic = count_activity(
+            gcc_register, quadratic_coupling=True
+        ).total_coupling
+        assert quadratic >= linear

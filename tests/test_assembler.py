@@ -1,0 +1,118 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.cpu import AssemblyError, assemble
+
+
+class TestBasicSyntax:
+    def test_empty_source(self):
+        assert assemble("") == []
+
+    def test_comments_ignored(self):
+        program = assemble("# a comment\n  add r1, r2, r3 ; trailing\n")
+        assert len(program) == 1
+        assert program[0].op == "add"
+
+    def test_memory_operand(self):
+        program = assemble("lw r1, 8(r2)")
+        instr = program[0]
+        assert (instr.rd, instr.rs1, instr.imm) == (1, 2, 8)
+
+    def test_negative_displacement(self):
+        assert assemble("lw r1, -4(r2)")[0].imm == -4
+
+    def test_store_operand_order(self):
+        instr = assemble("sw r5, 12(r6)")[0]
+        assert (instr.rs1, instr.rs2, instr.imm) == (6, 5, 12)
+
+    def test_hex_immediates(self):
+        assert assemble("addi r1, r0, 0x10")[0].imm == 16
+
+
+class TestLabels:
+    def test_branch_resolves_to_index(self):
+        program = assemble(
+            """
+            nop
+            target: nop
+            beq r1, r2, target
+            """
+        )
+        assert program[2].imm == 1
+
+    def test_forward_reference(self):
+        program = assemble("j end\nnop\nend: halt")
+        assert program[0].imm == 2
+
+    def test_label_on_same_line(self):
+        program = assemble("loop: addi r1, r1, 1\n j loop")
+        assert program[1].imm == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: nop\nx: nop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+    def test_numeric_branch_target(self):
+        assert assemble("jal r0, 5")[0].imm == 5
+
+
+class TestPseudoInstructions:
+    def test_li_small_becomes_addi(self):
+        program = assemble("li r1, 100")
+        assert len(program) == 1
+        assert program[0].op == "addi"
+
+    def test_li_negative_small(self):
+        program = assemble("li r1, -5")
+        assert program[0].op == "addi"
+        assert program[0].imm == -5
+
+    def test_li_large_becomes_lui_ori(self):
+        program = assemble("li r1, 0x12345678")
+        assert [i.op for i in program] == ["lui", "ori"]
+        assert program[0].imm == 0x1234
+        assert program[1].imm == 0x5678
+
+    def test_li_high_only_skips_ori(self):
+        program = assemble("li r1, 0x10000")
+        assert [i.op for i in program] == ["lui"]
+
+    def test_mv(self):
+        instr = assemble("mv r3, r4")[0]
+        assert (instr.op, instr.rd, instr.rs1, instr.imm) == ("addi", 3, 4, 0)
+
+    def test_call_and_ret(self):
+        program = assemble("call fn\nhalt\nfn: ret")
+        assert program[0].op == "jal" and program[0].rd == 31
+        assert program[2].op == "jalr" and program[2].rs1 == 31
+
+    def test_not_and_neg(self):
+        assert assemble("not r1, r2")[0].op == "xori"
+        assert assemble("neg r1, r2")[0].op == "sub"
+
+
+class TestErrors:
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r99")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("lw r1, r2")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("bogus r1, r2, r3")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nadd r1, r2\n")

@@ -1,0 +1,80 @@
+"""Tests for the bimodal branch predictor pipeline option."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Machine, PipelineConfig
+
+LOOP = """
+        li   r1, 200
+        li   r2, 0
+loop:   addi r2, r2, 1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+"""
+
+
+def run(predictor, source=LOOP):
+    machine = Machine(
+        source=source, config=PipelineConfig(branch_predictor=predictor)
+    )
+    result = machine.run()
+    return machine, result
+
+
+class TestBimodal:
+    def test_loop_branches_learned(self):
+        _, result = run("bimodal")
+        # A monotone loop mispredicts only during warm-up and at exit.
+        assert result.stats.branch_mispredictions <= 4
+        assert result.stats.taken_branches == 199
+
+    def test_bimodal_faster_than_static_on_loops(self):
+        _, static = run("static")
+        _, bimodal = run("bimodal")
+        assert bimodal.stats.cycles < static.stats.cycles
+
+    def test_static_counts_no_mispredictions(self):
+        _, result = run("static")
+        assert result.stats.branch_mispredictions == 0
+
+    def test_architectural_results_identical(self):
+        m_static, _ = run("static")
+        m_bimodal, _ = run("bimodal")
+        assert (
+            m_static.last_pipeline.registers[2]
+            == m_bimodal.last_pipeline.registers[2]
+            == 200
+        )
+
+    def test_alternating_branch_defeats_bimodal(self):
+        # taken/not-taken alternation keeps a 2-bit counter guessing.
+        source = """
+            li   r1, 100
+            li   r3, 0
+    loop:   andi r4, r1, 1
+            beq  r4, r0, even
+            addi r3, r3, 1
+    even:   addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """
+        _, result = run("bimodal", source)
+        assert result.stats.branch_mispredictions > 20
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError):
+            run("gshare")
+
+    def test_bad_table_size_rejected(self):
+        machine = Machine(
+            source=LOOP,
+            config=PipelineConfig(branch_predictor="bimodal", branch_table_size=100),
+        )
+        with pytest.raises(ValueError):
+            machine.run()
+
+    def test_traces_still_well_formed(self):
+        machine, result = run("bimodal")
+        assert len(result.register_trace) == result.stats.cycles

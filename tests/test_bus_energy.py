@@ -1,0 +1,51 @@
+"""Unit tests for the absolute bus energy model."""
+
+import pytest
+
+from repro.energy import BusEnergyModel, count_activity
+from repro.traces import BusTrace
+from repro.wires import TECH_007, TECH_013
+
+
+class TestBusEnergyModel:
+    def test_quiet_trace_costs_nothing(self):
+        model = BusEnergyModel(TECH_013, 10.0)
+        trace = BusTrace.from_values([0, 0, 0], width=32)
+        assert model.trace_energy(trace) == 0.0
+
+    def test_energy_matches_manual_combination(self, tiny_trace):
+        model = BusEnergyModel(TECH_013, 8.0)
+        counts = count_activity(tiny_trace)
+        expected = model.wire.bus_energy(
+            counts.total_transitions, counts.total_coupling
+        )
+        assert model.trace_energy(tiny_trace) == pytest.approx(expected)
+
+    def test_energy_per_cycle(self, tiny_trace):
+        model = BusEnergyModel(TECH_013, 8.0)
+        assert model.energy_per_cycle(tiny_trace) == pytest.approx(
+            model.trace_energy(tiny_trace) / len(tiny_trace)
+        )
+
+    def test_energy_per_cycle_empty_trace(self):
+        model = BusEnergyModel(TECH_013, 8.0)
+        assert model.energy_per_cycle(BusTrace.from_values([], width=8)) == 0.0
+
+    def test_longer_bus_costs_more(self, tiny_trace):
+        short = BusEnergyModel(TECH_013, 5.0).trace_energy(tiny_trace)
+        long = BusEnergyModel(TECH_013, 20.0).trace_energy(tiny_trace)
+        assert long > short
+        # Not exactly 4x: the integer repeater count quantises the
+        # per-mm capacitance at short lengths.
+        assert long == pytest.approx(4 * short, rel=0.25)
+
+    def test_smaller_node_costs_less(self, tiny_trace):
+        e13 = BusEnergyModel(TECH_013, 10.0).trace_energy(tiny_trace)
+        e07 = BusEnergyModel(TECH_007, 10.0).trace_energy(tiny_trace)
+        assert e07 < e13
+
+    def test_effective_lambda_passthrough(self):
+        model = BusEnergyModel(TECH_013, 10.0)
+        assert model.effective_lambda == pytest.approx(
+            model.wire.effective_lambda
+        )

@@ -1,0 +1,58 @@
+"""Unit tests for the bus timing generators."""
+
+import pytest
+
+from repro.cpu import BusTimingGenerator
+
+
+class TestRendering:
+    def test_hold_semantics(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(1, 0xAA)
+        gen.record(4, 0x55)
+        trace = gen.render(6)
+        assert list(trace) == [0, 0xAA, 0xAA, 0xAA, 0x55, 0x55]
+
+    def test_empty_generator_renders_zeros(self):
+        trace = BusTimingGenerator("b", 8).render(3)
+        assert list(trace) == [0, 0, 0]
+
+    def test_out_of_order_events(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(5, 2)
+        gen.record(2, 1)
+        assert list(gen.render(7)) == [0, 0, 1, 1, 1, 2, 2]
+
+    def test_same_cycle_last_recorded_wins(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(3, 1)
+        gen.record(3, 9)
+        assert gen.render(5)[3] == 9
+
+    def test_events_beyond_horizon_dropped(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(100, 7)
+        assert list(gen.render(3)) == [0, 0, 0]
+
+    def test_values_masked_to_width(self):
+        gen = BusTimingGenerator("b", 4)
+        gen.record(0, 0xFF)
+        assert gen.render(1)[0] == 0xF
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            BusTimingGenerator("b", 8).record(-1, 0)
+
+    def test_num_events(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(0, 1)
+        gen.record(1, 2)
+        assert gen.num_events == 2
+
+    def test_render_zero_cycles(self):
+        gen = BusTimingGenerator("b", 8)
+        gen.record(0, 1)
+        assert len(gen.render(0)) == 0
+
+    def test_trace_carries_name(self):
+        assert BusTimingGenerator("memory", 32).render(2).name == "memory"

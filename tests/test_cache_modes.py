@@ -1,0 +1,158 @@
+"""Unit tests for set-associative and write-back cache modes."""
+
+import pytest
+
+from repro.cpu import Cache, Machine, PipelineConfig
+
+
+class TestSetAssociative:
+    def test_two_way_tolerates_one_conflict(self):
+        cache = Cache(1024, 16, associativity=2)
+        cache.fill(0)
+        cache.fill(512)  # same set in a 32-set, 2-way cache
+        assert cache.lookup(0)
+        assert cache.lookup(512)
+
+    def test_lru_eviction_order(self):
+        cache = Cache(1024, 16, associativity=2)
+        cache.fill(0)
+        cache.fill(512)
+        cache.lookup(0)  # refresh 0, making 512 the LRU way
+        cache.fill(1024)  # conflicts; must evict 512
+        assert cache.lookup(0)
+        assert not cache.lookup(512)
+
+    def test_validates_associativity(self):
+        with pytest.raises(ValueError):
+            Cache(1024, 16, associativity=0)
+        with pytest.raises(ValueError):
+            Cache(1024, 16, associativity=7)  # 64 lines % 7 != 0
+
+    def test_fully_associative(self):
+        cache = Cache(64, 16, associativity=4)  # one set, 4 ways
+        for addr in (0, 100, 200, 300):
+            cache.fill(addr)
+        assert all(cache.lookup(a) for a in (0, 100, 200, 300))
+        cache.fill(400)
+        assert not cache.lookup(0)  # LRU victim
+
+
+class TestDirtyTracking:
+    def test_mark_dirty_requires_residency(self):
+        cache = Cache(1024, 16)
+        assert not cache.mark_dirty(0)
+        cache.fill(0)
+        assert cache.mark_dirty(0)
+
+    def test_dirty_eviction_reports_victim(self):
+        cache = Cache(1024, 16)  # 64 lines
+        cache.fill(0, dirty=True)
+        victim = cache.fill(1024)  # same line, different tag
+        assert victim == 0
+
+    def test_clean_eviction_reports_none(self):
+        cache = Cache(1024, 16)
+        cache.fill(0, dirty=False)
+        assert cache.fill(1024) is None
+
+    def test_refill_merges_dirty_bit(self):
+        cache = Cache(1024, 16)
+        cache.fill(0, dirty=False)
+        assert cache.fill(0, dirty=True) is None
+        assert cache.fill(1024) == 0  # now dirty -> write-back
+
+
+WRITE_LOOP = """
+        li   r1, 0x10000
+        li   r4, 0x12000        # 2048 words: exceeds the 4 KiB cache
+        li   r2, 7
+loop:   sw   r2, 0(r1)
+        addi r1, r1, 4
+        bne  r1, r4, loop
+        halt
+"""
+
+
+class TestWriteBackPipeline:
+    def run(self, write_back):
+        machine = Machine(
+            source=WRITE_LOOP,
+            config=PipelineConfig(write_back=write_back),
+        )
+        result = machine.run()
+        return machine, result
+
+    def test_write_through_streams_every_store(self):
+        machine, result = self.run(write_back=False)
+        # Every store appears on the memory bus.
+        assert machine.last_pipeline.memory_bus.num_events >= result.stats.stores
+
+    def test_write_back_coalesces_repeated_stores(self):
+        # Rewriting a small buffer many times: write-through streams
+        # every store; write-back absorbs the rewrites in the cache.
+        source = """
+            li   r5, 32            # passes
+        pass: li   r1, 0x10000
+            li   r4, 0x10100       # 64 words
+            li   r2, 9
+        loop: sw   r2, 0(r1)
+            addi r1, r1, 4
+            bne  r1, r4, loop
+            addi r5, r5, -1
+            bne  r5, r0, pass
+            halt
+        """
+        through = Machine(source=source, config=PipelineConfig(write_back=False))
+        through.run()
+        back = Machine(source=source, config=PipelineConfig(write_back=True))
+        back_result = back.run()
+        assert (
+            back.last_pipeline.memory_bus.num_events
+            < through.last_pipeline.memory_bus.num_events / 10
+        )
+        assert back_result.stats.store_misses > 0
+
+    def test_write_back_streaming_stores_cost_read_for_ownership(self):
+        # The flip side: pure streaming stores generate MORE traffic
+        # under write-allocate (fetch + eventual write-back per block).
+        machine_wb, back = self.run(write_back=True)
+        assert back.stats.store_misses == 512  # one per 16-byte block
+        assert machine_wb.last_pipeline.memory_bus.num_events > 512
+
+    def test_write_back_store_hit_is_fast(self):
+        source = """
+            li r1, 0x1000
+            li r2, 5
+            sw r2, 0(r1)
+            sw r2, 0(r1)
+            sw r2, 0(r1)
+            halt
+        """
+        machine = Machine(source=source, config=PipelineConfig(write_back=True))
+        result = machine.run()
+        assert result.stats.store_misses == 1  # first allocates, rest hit
+
+    def test_results_identical_across_modes(self):
+        m1, _ = self.run(write_back=False)
+        m2, _ = self.run(write_back=True)
+        assert m1.memory.load_word(0x11FFC) == 7
+        assert m2.memory.load_word(0x11FFC) == 7
+
+
+class TestAddressAndResultBuses:
+    def test_address_bus_carries_block_addresses(self):
+        machine = Machine(source=WRITE_LOOP)
+        result = machine.run()
+        addresses = set(result.address_trace.values)
+        assert any(0x10000 <= a < 0x12000 for a in addresses)
+
+    def test_result_bus_sees_computed_values(self):
+        machine = Machine(source="li r1, 42\nadd r2, r1, r1\nhalt")
+        result = machine.run()
+        values = set(result.result_trace.values)
+        assert 42 in values and 84 in values
+
+    def test_result_bus_skips_r0_writes(self):
+        machine = Machine(source="add r0, r0, r0\nnop\nhalt")
+        machine.run()
+        assert machine.last_pipeline.result_bus.num_events == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the CAM model and the pending-bit sorter (Figure 27)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LOW_BITS,
+    Op,
+    OperationCounts,
+    SelectiveCAM,
+    SortedFrequencyTable,
+)
+
+
+class TestSelectiveCAM:
+    def test_probe_hit(self):
+        cam = SelectiveCAM(4, 32)
+        cam.write(2, 0xCAFE)
+        result = cam.probe(0xCAFE)
+        assert result.hit_index == 2
+
+    def test_empty_entries_not_probed(self):
+        cam = SelectiveCAM(4, 32)
+        cam.write(0, 1)
+        result = cam.probe(99)
+        assert result.low_probes == 1
+        assert result.hit_index is None
+
+    def test_selective_precharge_filters_full_compares(self):
+        cam = SelectiveCAM(3, 32)
+        cam.write(0, 0x100)  # low byte 0x00
+        cam.write(1, 0x2FF)  # low byte 0xFF
+        cam.write(2, 0x300)  # low byte 0x00
+        result = cam.probe(0x900)  # low byte 0x00: two candidates
+        assert result.low_probes == 3
+        assert result.full_probes == 2
+        assert result.hit_index is None
+
+    def test_write_reports_bit_flips(self):
+        cam = SelectiveCAM(2, 32)
+        assert cam.write(0, 0b1010) == 32  # first write: full charge
+        assert cam.write(0, 0b1000) == 1  # one bit changed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectiveCAM(0, 32)
+        with pytest.raises(ValueError):
+            SelectiveCAM(4, 32, low_bits=40)
+
+
+class TestSortedFrequencyTable:
+    def drive(self, table, hits, cycles=None):
+        """Apply a hit sequence (position per cycle; None = no hit)."""
+        ops = OperationCounts()
+        for position in hits:
+            if position is not None:
+                table.hit(position, ops)
+            table.step(ops)
+        for _ in range(cycles or 0):
+            table.step(ops)
+        return ops
+
+    def make(self, tags_and_counts):
+        table = SortedFrequencyTable(len(tags_and_counts))
+        ops = OperationCounts()
+        for tag, count in tags_and_counts:
+            table.insert_bottom(tag, count, ops)
+            table.step(ops)
+        return table
+
+    def test_paper_example_figure27(self):
+        # Entries with counts 9, 8, 6, 6, 6 (tags A..E); a hit on the
+        # last bubbles it past its equals and increments to 7.
+        table = self.make([("A", 9), ("B", 8), ("C", 6), ("D", 6), ("E", 6)])
+        position_e = table.find("E")
+        ops = OperationCounts()
+        table.hit(position_e, ops)
+        for _ in range(6):
+            table.step(ops)
+        table.check_invariants()
+        assert table.entries[table.find("E")].counter.value == 7
+        # E must now sit above the remaining count-6 entries.
+        assert table.find("E") < table.find("C")
+        assert table.find("E") < table.find("D")
+
+    def test_hit_while_pending_is_lost(self):
+        # The paper's caveat: a second hit before the increment lands
+        # is dropped.
+        table = self.make([("A", 5), ("B", 5)])
+        ops = OperationCounts()
+        position = table.find("B")
+        table.hit(position, ops)
+        table.hit(position, ops)  # lost
+        for _ in range(4):
+            table.step(ops)
+        assert table.entries[table.find("B")].counter.value == 6
+
+    def test_invariant_holds_under_random_traffic(self):
+        rng = np.random.default_rng(1)
+        table = self.make([(f"t{i}", int(c)) for i, c in enumerate(rng.integers(0, 6, 8))])
+        ops = OperationCounts()
+        for _ in range(500):
+            position = int(rng.integers(0, 8))
+            if table.entries[position] is not None and rng.random() < 0.5:
+                table.hit(position, ops)
+            table.step(ops)
+            table.check_invariants()
+
+    def test_divide_all_halves_counters(self):
+        table = self.make([("A", 8), ("B", 3)])
+        ops = OperationCounts()
+        table.divide_all(ops)
+        assert table.entries[table.find("A")].counter.value == 4
+        assert table.entries[table.find("B")].counter.value == 1
+        assert ops[Op.DIVIDE] == 1
+
+    def test_insert_bottom_replaces_least_frequent(self):
+        table = self.make([("A", 9), ("B", 1)])
+        ops = OperationCounts()
+        table.insert_bottom("C", 5, ops)
+        table.step(ops)
+        table.check_invariants()
+        assert table.find("B") is None
+        assert table.find("C") is not None
+
+    def test_swap_ops_counted(self):
+        table = self.make([("A", 4), ("B", 4)])
+        ops = OperationCounts()
+        table.hit(table.find("B"), ops)
+        for _ in range(3):
+            table.step(ops)
+        assert ops[Op.SWAP] >= 1
+        assert ops[Op.COUNT] >= 1
+
+    def test_bottom_count(self):
+        table = SortedFrequencyTable(2)
+        assert table.bottom_count == -1
+        ops = OperationCounts()
+        table.insert_bottom("A", 7, ops)
+        assert table.bottom_count == 7
+
+    def test_hit_on_empty_position_raises(self):
+        table = SortedFrequencyTable(2)
+        with pytest.raises(ValueError):
+            table.hit(0, OperationCounts())
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            SortedFrequencyTable(0)

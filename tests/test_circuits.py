@@ -1,0 +1,129 @@
+"""Unit tests for the circuit energy/area/delay model (Table 2)."""
+
+import pytest
+
+from repro.hardware import (
+    InversionCircuit,
+    Op,
+    OperationCounts,
+    TranscoderCircuit,
+    scale_design,
+)
+from repro.wires import TECH_007, TECH_010, TECH_013
+
+
+class TestOperationCounts:
+    def test_accumulates(self):
+        ops = OperationCounts()
+        ops.add(Op.SHIFT)
+        ops.add(Op.SHIFT, 2)
+        assert ops[Op.SHIFT] == 3
+        assert ops[Op.SWAP] == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OperationCounts().add(Op.SHIFT, -1)
+
+    def test_addition_merges(self):
+        a = OperationCounts()
+        a.add(Op.CYCLE, 5)
+        b = OperationCounts()
+        b.add(Op.CYCLE, 3)
+        b.add(Op.SWAP, 1)
+        merged = a + b
+        assert merged[Op.CYCLE] == 8
+        assert merged[Op.SWAP] == 1
+        assert merged.total == 9
+
+    def test_as_dict_copy(self):
+        ops = OperationCounts()
+        ops.add(Op.COUNT, 2)
+        d = ops.as_dict()
+        d[Op.COUNT] = 99
+        assert ops[Op.COUNT] == 2
+
+
+class TestWindowCircuit:
+    def test_under_5k_transistors(self):
+        # The paper: the 8-entry window encoder is "less than 5k
+        # transistors".
+        circuit = TranscoderCircuit(TECH_013, num_entries=8, width=32)
+        assert circuit.transistor_count < 5000
+
+    def test_area_matches_table2(self):
+        circuit = TranscoderCircuit(TECH_013, num_entries=8, width=32)
+        assert circuit.area_um2 == pytest.approx(12400, rel=0.05)
+
+    def test_area_scales_quadratically(self):
+        base = TranscoderCircuit(TECH_013, num_entries=8, width=32)
+        small = scale_design(base, TECH_007)
+        ratio = (0.07 / 0.13) ** 2
+        assert small.area_um2 == pytest.approx(base.area_um2 * ratio, rel=0.01)
+
+    def test_leakage_matches_table2(self):
+        targets = {TECH_013: 0.00088e-12, TECH_010: 0.00338e-12, TECH_007: 0.00787e-12}
+        for tech, target in targets.items():
+            circuit = TranscoderCircuit(tech, num_entries=8, width=32)
+            assert circuit.leakage_energy_per_cycle == pytest.approx(
+                target, rel=0.15
+            ), tech.name
+
+    def test_delay_matches_table2(self):
+        circuit = TranscoderCircuit(TECH_013, num_entries=8, width=32)
+        assert circuit.delay_seconds == pytest.approx(3.1e-9, rel=0.1)
+
+    def test_every_op_has_positive_energy(self):
+        circuit = TranscoderCircuit(TECH_013, num_entries=8, width=32, table_size=28)
+        for op in Op:
+            assert circuit.op_energy(op) > 0, op
+
+    def test_energy_sums_counts(self):
+        circuit = TranscoderCircuit(TECH_013)
+        ops = OperationCounts()
+        ops.add(Op.SHIFT, 3)
+        assert circuit.energy(ops) == pytest.approx(3 * circuit.op_energy(Op.SHIFT))
+
+    def test_smaller_node_cheaper_ops(self):
+        for op in (Op.SHIFT, Op.CYCLE, Op.MATCH_LOW):
+            e13 = TranscoderCircuit(TECH_013).op_energy(op)
+            e07 = TranscoderCircuit(TECH_007).op_energy(op)
+            assert e07 < e13
+
+
+class TestContextCircuit:
+    def test_context_has_more_transistors(self):
+        window = TranscoderCircuit(TECH_013, num_entries=8, width=32)
+        context = TranscoderCircuit(TECH_013, num_entries=8, width=32, table_size=28)
+        # Section 5.3.4: counters + counter match are a large fraction
+        # (~33% of area) on top of the window design.
+        assert context.transistor_count > 1.5 * window.transistor_count
+
+    def test_counter_area_fraction(self):
+        context = TranscoderCircuit(TECH_013, num_entries=8, width=32, table_size=28)
+        counter_transistors = (28 + 8) * 16 * (10 + 4)
+        fraction = counter_transistors / context.transistor_count
+        assert 0.2 < fraction < 0.5
+
+
+class TestInversionCircuit:
+    def test_energy_near_table2(self):
+        # 1.76 pJ/cycle at moderate input activity.
+        circuit = InversionCircuit(TECH_013, 32)
+        energy = circuit.cycle_energy(input_bits_changed=10)
+        assert 1.0e-12 < energy < 2.5e-12
+
+    def test_energy_grows_with_activity(self):
+        circuit = InversionCircuit(TECH_013, 32)
+        assert circuit.cycle_energy(30) > circuit.cycle_energy(2)
+
+    def test_idle_still_costs(self):
+        # The CSA tree glitches even on quiet inputs.
+        assert InversionCircuit(TECH_013, 32).cycle_energy(0) > 0
+
+    def test_area_near_table2(self):
+        assert InversionCircuit(TECH_013, 32).area_um2 == pytest.approx(4700, rel=0.15)
+
+    def test_delay_near_table2(self):
+        assert InversionCircuit(TECH_013, 32).delay_seconds == pytest.approx(
+            2.2e-9, rel=0.15
+        )

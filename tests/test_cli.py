@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--cycles", "4000"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestCommands:
+    def test_workloads_lists_suite(self, capsys):
+        out = run_cli(capsys, "workloads")
+        assert "gcc" in out and "swim" in out
+        assert "fp" in out and "int" in out
+
+    def test_run_prints_stats(self, capsys):
+        out = run_cli(capsys, "run", "gcc", *FAST)
+        assert "instructions" in out
+        assert "IPC" in out
+
+    def test_stats_prints_figure8_quantities(self, capsys):
+        out = run_cli(capsys, "stats", "gcc", *FAST)
+        assert "unique fraction, window 8" in out
+        assert "toggle rate" in out
+
+    def test_stats_accepts_bus_choice(self, capsys):
+        out = run_cli(capsys, "stats", "swim", "--bus", "memory", *FAST)
+        assert "swim/memory" in out
+
+    def test_encode_reports_savings(self, capsys):
+        out = run_cli(capsys, "encode", "m88ksim", "--coder", "window", *FAST)
+        assert "energy removed" in out
+        assert "32 -> 34" in out
+
+    def test_encode_all_coder_names(self, capsys):
+        for coder in ("last", "invert", "businvert", "stride", "codebook", "context"):
+            out = run_cli(capsys, "encode", "gcc", "--coder", coder, *FAST)
+            assert "energy removed" in out
+
+    def test_encode_unknown_coder_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["encode", "gcc", "--coder", "magic", *FAST])
+
+    def test_compare_lists_all_schemes(self, capsys):
+        out = run_cli(capsys, "compare", "ijpeg", *FAST)
+        for name in ("window-8", "context-28+8", "stride-8", "businvert x4"):
+            assert name in out
+
+    def test_crossover_reports_length_or_never(self, capsys):
+        out = run_cli(capsys, "crossover", "ijpeg", "--technology", "0.07um", *FAST)
+        assert "ratio at 15 mm" in out
+        assert ("mm" in out) or ("never" in out)
+
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "With repeaters" in out
+        assert "0.07um" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2", "gcc", *FAST)
+        assert "InvertCoder" in out
+        assert "Op pJ" in out
+
+
+class TestParser:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spice"])
+
+    def test_unknown_bus_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "gcc", "--bus", "pci"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

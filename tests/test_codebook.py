@@ -1,0 +1,58 @@
+"""Unit tests for low-weight codeword assignment."""
+
+import pytest
+
+from repro.coding import adjacent_pairs, codeword_table, hamming_weight, iter_codewords
+
+
+class TestHelpers:
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0b1011) == 3
+
+    def test_adjacent_pairs(self):
+        assert adjacent_pairs(0b0101) == 0
+        assert adjacent_pairs(0b0011) == 1
+        assert adjacent_pairs(0b0111) == 2
+
+
+class TestCodewordOrder:
+    def test_first_word_is_zero(self):
+        assert codeword_table(1, 8) == [0]
+
+    def test_weight_nondecreasing(self):
+        table = codeword_table(40, 8)
+        weights = [hamming_weight(w) for w in table]
+        assert weights == sorted(weights)
+
+    def test_weight_one_words_cover_all_wires(self):
+        table = codeword_table(9, 8)
+        assert set(table[1:9]) == {1 << n for n in range(8)}
+
+    def test_within_weight_fewer_adjacent_pairs_first(self):
+        # The first weight-2 codes of a wide bus must be non-adjacent.
+        table = codeword_table(34, 32)
+        first_weight2 = table[33]
+        assert hamming_weight(first_weight2) == 2
+        assert adjacent_pairs(first_weight2) == 0
+
+    def test_all_words_distinct(self):
+        table = codeword_table(256, 8)
+        assert len(set(table)) == 256
+
+    def test_exhausts_full_space(self):
+        assert sorted(codeword_table(16, 4)) == list(range(16))
+
+
+class TestValidation:
+    def test_rejects_count_beyond_space(self):
+        with pytest.raises(ValueError):
+            codeword_table(17, 4)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            codeword_table(-1, 8)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            list(iter_codewords(0))

@@ -1,0 +1,159 @@
+"""Unit tests for the context-based transcoder (Figures 12-14, 20-25)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    COUNTER_MAX,
+    ContextPredictor,
+    ContextTranscoder,
+    TRANSITION_BASED,
+    VALUE_BASED,
+)
+from repro.energy import normalized_energy_removed
+from repro.traces import BusTrace
+from repro.workloads import locality_trace
+
+
+def feed(pred, values):
+    for v in values:
+        pred.update(v)
+
+
+class TestValueBasedPredictor:
+    def test_frequent_value_promoted_to_table(self):
+        pred = ContextPredictor(table_size=4, shift_size=2, divide_period=10**9)
+        # 9 repeats inside the window, then push it out with new values.
+        feed(pred, [5, 1, 5, 2, 5, 3, 5, 4, 5, 6, 7, 8])
+        assert any(
+            e is not None and e[0] == 5 for e in pred.table_contents
+        )
+
+    def test_table_sorted_by_count(self):
+        pred = ContextPredictor(table_size=8, shift_size=2, divide_period=10**9)
+        values = [1, 2] * 3 + [1, 3] * 6 + [9, 10, 11, 12, 13, 14]
+        feed(pred, values)
+        pred.check_invariants()
+        counts = [e[1] for e in pred.table_contents if e is not None]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_one_time_values_never_enter_table(self):
+        pred = ContextPredictor(table_size=4, shift_size=2, divide_period=10**9)
+        feed(pred, range(100, 120))  # all unique
+        assert all(e is None for e in pred.table_contents)
+
+    def test_invariant_one_no_duplicate_tags(self):
+        pred = ContextPredictor(table_size=6, shift_size=3, divide_period=64)
+        rng = np.random.default_rng(0)
+        feed(pred, (int(v) for v in rng.integers(0, 12, 3000)))
+        pred.check_invariants()
+
+    def test_counter_saturates(self):
+        pred = ContextPredictor(table_size=2, shift_size=2, divide_period=10**9)
+        # Value 5 recurs between fresh values: promoted to the table,
+        # then hit more times than the Johnson counters can count.
+        stream = [v for i in range(COUNTER_MAX + 200) for v in (5, 100 + i)]
+        feed(pred, stream)
+        pred.check_invariants()
+        top = pred.table_contents[0]
+        assert top is not None and top[0] == 5 and top[1] <= COUNTER_MAX
+
+    def test_counter_division_halves_counts(self):
+        pred = ContextPredictor(table_size=2, shift_size=2, divide_period=10**9)
+        feed(pred, [1, 2] * 10)
+        before = [e[1] for e in pred.table_contents if e is not None]
+        pred._divide_counters()
+        after = [e[1] for e in pred.table_contents if e is not None]
+        assert after == [c // 2 for c in before]
+
+    def test_match_priority_last_table_shift(self):
+        pred = ContextPredictor(table_size=4, shift_size=4, divide_period=10**9)
+        feed(pred, [5, 1, 5, 2, 5, 3, 5, 4, 5, 6, 7, 8, 9])
+        # 5 is in the table, 9 was just seen (in SR and is LAST).
+        assert pred.match(9) == 0
+        index_5 = pred.match(5)
+        assert index_5 is not None and 1 <= index_5 <= 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ContextPredictor(table_size=0)
+        with pytest.raises(ValueError):
+            ContextPredictor(shift_size=0)
+        with pytest.raises(ValueError):
+            ContextPredictor(flavor="bogus")
+        with pytest.raises(ValueError):
+            ContextPredictor(divide_period=0)
+
+
+class TestTransitionBasedPredictor:
+    def test_pair_tags(self):
+        pred = ContextPredictor(
+            table_size=4, shift_size=4, flavor=TRANSITION_BASED, divide_period=10**9
+        )
+        feed(pred, [1, 2, 1, 2, 1, 2])
+        # After seeing 1 -> 2 repeatedly, with last == 1 the pair (1, 2)
+        # should predict 2.
+        assert pred.last == 2
+        pred.update(1)
+        assert pred.match(2) is not None
+
+    def test_pair_requires_matching_prefix(self):
+        pred = ContextPredictor(
+            table_size=4, shift_size=4, flavor=TRANSITION_BASED, divide_period=10**9
+        )
+        feed(pred, [1, 2, 3])  # pairs (x,1),(1,2),(2,3); last == 3
+        # Pair (1, 2) exists but last is 3, so 2 must not match via it.
+        assert pred.match(2) is None
+
+
+class TestContextTranscoder:
+    @pytest.mark.parametrize("flavor", [VALUE_BASED, TRANSITION_BASED])
+    def test_roundtrip(self, flavor, local_trace):
+        coder = ContextTranscoder(12, 4, flavor, divide_period=256)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_roundtrip_register_bus(self, gcc_register):
+        coder = ContextTranscoder(28, 8)
+        assert np.array_equal(
+            coder.roundtrip(gcc_register).values, gcc_register.values
+        )
+
+    def test_value_based_beats_transition_based(self, gcc_register):
+        # Figures 20-23: far more arcs than states, so the transition
+        # flavour hits less for equal hardware.
+        value = normalized_energy_removed(
+            gcc_register, ContextTranscoder(16, 8, VALUE_BASED).encode_trace(gcc_register)
+        )
+        transition = normalized_energy_removed(
+            gcc_register,
+            ContextTranscoder(16, 8, TRANSITION_BASED).encode_trace(gcc_register),
+        )
+        assert value > transition
+
+    def test_saves_on_hot_value_traffic(self):
+        trace = locality_trace(
+            4000,
+            repeat_fraction=0.15,
+            reuse_fraction=0.55,
+            stride_fraction=0.1,
+            working_set=16,
+            seed=9,
+        )
+        saved = normalized_energy_removed(
+            trace, ContextTranscoder(16, 8).encode_trace(trace)
+        )
+        assert saved > 25.0
+
+    def test_divide_period_keeps_adapting_to_phases(self):
+        # Phase 1 hammers one value set, phase 2 another; a short divide
+        # period lets phase-2 values displace stale phase-1 counts.
+        phase1 = [1, 2, 3, 4] * 500
+        phase2 = [100, 200, 300, 400] * 500
+        trace = BusTrace.from_values(phase1 + phase2, width=32)
+        adaptive = normalized_energy_removed(
+            trace, ContextTranscoder(4, 4, divide_period=256).encode_trace(trace)
+        )
+        stale = normalized_energy_removed(
+            trace, ContextTranscoder(4, 4, divide_period=10**9).encode_trace(trace)
+        )
+        assert adaptive >= stale

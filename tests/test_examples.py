@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples.
+
+The quickstart executes end-to-end (it is fast); the longer studies are
+imported and their mains verified callable, plus a reduced-size version
+of each core computation is exercised so a broken API surfaces here
+rather than when a user runs the script.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "round-trip" in out
+        assert "normalized energy removed" in out
+
+    def test_register_bus_study_importable(self):
+        module = load("register_bus_study")
+        assert callable(module.main)
+        # Reduced-size version of its core computation.
+        from repro import WindowTranscoder, register_trace, savings_for
+
+        trace = register_trace("gcc", 4000)
+        assert isinstance(savings_for(trace, WindowTranscoder(8, 32)), float)
+
+    def test_technology_scaling_importable(self):
+        module = load("technology_scaling")
+        assert callable(module.main)
+
+    def test_custom_coder_predictor_is_sound(self):
+        module = load("custom_coder")
+        import numpy as np
+
+        from repro.coding import PredictiveTranscoder
+        from repro.workloads import locality_trace
+
+        coder = PredictiveTranscoder(module.XorDeltaPredictor(8, 32), 32)
+        trace = locality_trace(1500, seed=21)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)

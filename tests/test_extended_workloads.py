@@ -1,0 +1,56 @@
+"""Tests for the SPEC2000-flavoured extended workload set."""
+
+import numpy as np
+import pytest
+
+from repro.coding import WindowTranscoder
+from repro.workloads import EXTENDED_WORKLOADS, WORKLOADS, register_trace, run_workload
+
+FAST = 5000
+
+
+class TestRegistry:
+    def test_five_extended_kernels(self):
+        assert set(EXTENDED_WORKLOADS) == {"gzip", "vpr", "mcf", "art", "equake"}
+
+    def test_disjoint_from_paper_suite(self):
+        assert not set(EXTENDED_WORKLOADS) & set(WORKLOADS)
+
+    def test_categories(self):
+        assert EXTENDED_WORKLOADS["gzip"].category == "int"
+        assert EXTENDED_WORKLOADS["art"].category == "fp"
+
+
+@pytest.mark.parametrize("name", sorted(EXTENDED_WORKLOADS))
+class TestEveryExtendedKernel:
+    def test_runs_and_produces_traffic(self, name):
+        result = run_workload(name, FAST)
+        assert result.stats.instructions > 400
+        assert result.stats.loads > 100
+        assert not result.stats.halted  # loops outlive the budget
+
+    def test_register_trace_viable_for_coding(self, name):
+        trace = register_trace(name, FAST)
+        coder = WindowTranscoder(8, 32)
+        coded = coder.encode_trace(trace)
+        assert np.array_equal(coder.decode_trace(coded).values, trace.values)
+
+    def test_deterministic(self, name):
+        run_workload.cache_clear()
+        first = register_trace(name, FAST).values.copy()
+        run_workload.cache_clear()
+        assert np.array_equal(first, register_trace(name, FAST).values)
+
+
+class TestCharacter:
+    def test_gzip_has_byte_locality(self):
+        trace = register_trace("gzip", FAST)
+        # Small alphabet byte values recur heavily.
+        from repro.traces import window_unique_fraction
+
+        assert window_unique_fraction(trace, 16) < 0.6
+
+    def test_mcf_is_pointer_heavy(self):
+        result = run_workload("mcf", FAST)
+        # Indirect loads (pointer chasing through potentials).
+        assert result.stats.loads > result.stats.instructions / 3

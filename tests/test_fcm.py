@@ -1,0 +1,85 @@
+"""Unit tests for the finite-context-method value predictor."""
+
+import numpy as np
+import pytest
+
+from repro.coding import FCMPredictor, FCMTranscoder
+from repro.energy import normalized_energy_removed
+from repro.traces import BusTrace
+
+
+class TestFCMPredictor:
+    def test_learns_context_to_value(self):
+        pred = FCMPredictor(order=1, table_bits=6)
+        # Teach the pattern 7 -> 9 (contexts 7 and 9 hash to distinct
+        # rows, so the mapping survives the intermediate write).
+        for v in (7, 9, 7):
+            pred.update(v)
+        assert pred.match(9) is not None
+        assert pred.lookup(pred.match(9)) == 9
+
+    def test_periodic_sequence_fully_predicted(self):
+        pred = FCMPredictor(order=2, table_bits=6)
+        period = [5, 9, 13, 7]
+        for v in period * 3:
+            pred.update(v)
+        hits = 0
+        for v in period * 2:
+            if pred.match(v) is not None:
+                hits += 1
+            pred.update(v)
+        assert hits == len(period) * 2
+
+    def test_last_still_slot_zero(self):
+        pred = FCMPredictor()
+        pred.update(42)
+        assert pred.match(42) == 0
+
+    def test_lookup_matches_match(self):
+        pred = FCMPredictor(order=1, table_bits=4)
+        for v in (3, 8, 3, 8, 3):
+            pred.update(v)
+        index = pred.match(8)
+        assert index is not None
+        assert pred.lookup(index) == 8
+
+    def test_lookup_empty_row_raises(self):
+        pred = FCMPredictor(order=1, table_bits=4)
+        with pytest.raises(ValueError):
+            pred.lookup(1)
+
+    def test_lookup_out_of_range(self):
+        pred = FCMPredictor(order=1, table_bits=2)
+        with pytest.raises(IndexError):
+            pred.lookup(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FCMPredictor(order=0)
+        with pytest.raises(ValueError):
+            FCMPredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            FCMPredictor(table_bits=9)
+
+
+class TestFCMTranscoder:
+    def test_roundtrip(self, local_trace):
+        coder = FCMTranscoder(2, 4, 32)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_roundtrip_random(self, rand_trace):
+        coder = FCMTranscoder(3, 5, 32)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_captures_long_periodic_patterns(self):
+        # Period 12 exceeds an 8-entry recency window's reach once the
+        # values are distinct, but FCM keys on context.
+        period = [100 + 17 * i for i in range(12)]
+        trace = BusTrace.from_values(period * 80, width=32)
+        saved = normalized_energy_removed(
+            trace, FCMTranscoder(2, 6, 32).encode_trace(trace)
+        )
+        assert saved > 50.0
+
+    def test_output_width(self):
+        assert FCMTranscoder(2, 4, 32).output_width == 34

@@ -1,0 +1,55 @@
+"""Tests for CSV figure export."""
+
+import csv
+
+import pytest
+
+from repro.analysis import export_figures, write_csv
+
+
+class TestWriteCsv:
+    def test_header_and_rows(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+        assert len(rows) == 3
+
+
+class TestExportFigures:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("figs"))
+        return directory, export_figures(directory, cycles=3000)
+
+    def test_all_datasets_written(self, exported):
+        _, paths = exported
+        assert set(paths) == {"fig5", "fig6", "fig18", "fig19", "fig35_37"}
+        import os
+
+        assert all(os.path.exists(p) for p in paths.values())
+
+    def test_fig5_has_thirty_lengths(self, exported):
+        _, paths = exported
+        with open(paths["fig5"]) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 31  # header + 30 lengths
+        assert rows[0][0] == "length_mm"
+        assert len(rows[0]) == 1 + 6  # 3 technologies x {repeater, wire}
+
+    def test_window_sweep_covers_suite(self, exported):
+        _, paths = exported
+        with open(paths["fig19"]) as handle:
+            rows = list(csv.reader(handle))
+        names = {row[0] for row in rows[1:]}
+        assert {"gcc", "swim", "m88ksim"} <= names
+
+    def test_crossover_curves_monotone(self, exported):
+        _, paths = exported
+        with open(paths["fig35_37"]) as handle:
+            rows = list(csv.reader(handle))
+        for row in rows[1:4]:
+            ratios = [float(x) for x in row[2:]]
+            assert all(a >= b for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,91 @@
+"""Integration tests: the full pipeline from program text to joules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BusEnergyModel,
+    CrossoverAnalysis,
+    HardwareWindowTranscoder,
+    Machine,
+    PipelineConfig,
+    TECH_013,
+    WindowTranscoder,
+    normalized_energy_removed,
+)
+from repro.workloads import register_trace
+
+SUM_LOOP = """
+        li   r1, 0x10000
+        li   r4, 0x10100
+        li   r3, 0
+loop:   lw   r2, 0(r1)
+        add  r3, r3, r2
+        addi r1, r1, 4
+        bne  r1, r4, loop
+        li   r10, 0x20000
+        sw   r3, 0(r10)
+        halt
+"""
+
+
+class TestProgramToEnergy:
+    def test_full_stack(self):
+        machine = Machine(source=SUM_LOOP, name="sum")
+        machine.memory.store_words(0x10000, range(64))
+        result = machine.run()
+        assert machine.memory.load_word(0x20000) == sum(range(64))
+
+        trace = result.register_trace
+        coder = WindowTranscoder(8, 32)
+        coded = coder.encode_trace(trace)
+        assert np.array_equal(coder.decode_trace(coded).values, trace.values)
+
+        model = BusEnergyModel(TECH_013, 10.0)
+        assert model.trace_energy(trace) > 0
+        assert model.trace_energy(coded) != model.trace_energy(trace)
+
+    def test_savings_are_stable_across_runs(self):
+        def measure():
+            machine = Machine(source=SUM_LOOP)
+            machine.memory.store_words(0x10000, range(64))
+            trace = machine.run().register_trace
+            return normalized_energy_removed(
+                trace, WindowTranscoder(8, 32).encode_trace(trace)
+            )
+
+        assert measure() == pytest.approx(measure())
+
+
+class TestSuiteToCrossover:
+    def test_crossover_pipeline(self):
+        trace = register_trace("ijpeg", 5000)
+        analysis = CrossoverAnalysis(trace, TECH_013, 8)
+        ratio_short = analysis.ratio(1.0)
+        ratio_long = analysis.ratio(40.0)
+        assert ratio_short > ratio_long
+        # ijpeg compresses well; at 40 mm the transcoder must win.
+        assert ratio_long < 1.0
+
+    def test_hw_energy_consistent_with_analysis(self):
+        trace = register_trace("ijpeg", 5000)
+        hw = HardwareWindowTranscoder(TECH_013, 8, 32)
+        per_cycle = hw.trace_energy_per_cycle(trace)
+        analysis = CrossoverAnalysis(trace, TECH_013, 8)
+        assert analysis.transcoder_energy == pytest.approx(
+            per_cycle * 1.4 * len(trace), rel=0.01
+        )
+
+
+class TestPipelineCacheInteraction:
+    def test_small_cache_more_memory_traffic(self):
+        def mem_events(cache_bytes):
+            machine = Machine(
+                source=SUM_LOOP,
+                config=PipelineConfig(cache_size_bytes=cache_bytes),
+            )
+            machine.memory.store_words(0x10000, range(64))
+            result = machine.run()
+            return result.stats.load_misses
+
+        assert mem_events(256) >= mem_events(4096)

@@ -1,0 +1,89 @@
+"""Unit tests for the generalized inversion coder (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import InversionTranscoder, default_patterns
+from repro.energy import count_activity, weighted_activity
+from repro.traces import BusTrace
+from repro.workloads import random_trace
+
+
+class TestPatterns:
+    def test_one_bit_is_classic_bus_invert(self):
+        assert default_patterns(1, 32) == [0, 0xFFFFFFFF]
+
+    def test_identity_always_first(self):
+        for k in (1, 2, 3):
+            assert default_patterns(k, 32)[0] == 0
+
+    def test_patterns_distinct(self):
+        patterns = default_patterns(3, 32)
+        assert len(set(patterns)) == 8
+
+    def test_too_many_control_bits_raises(self):
+        with pytest.raises(ValueError):
+            default_patterns(4, 32)
+
+
+class TestInversionCoder:
+    def test_roundtrip(self, rand_trace):
+        coder = InversionTranscoder(32, 1)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_roundtrip_two_control_bits(self, local_trace):
+        coder = InversionTranscoder(32, 2)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_output_width(self):
+        assert InversionTranscoder(32, 1).output_width == 33
+        assert InversionTranscoder(32, 3).output_width == 35
+
+    def test_never_more_than_half_data_transitions(self):
+        # Bus-invert's defining guarantee, counted on the data wires.
+        trace = random_trace(500, seed=5)
+        phys = InversionTranscoder(32, 1, assumed_lambda=0.0).encode_trace(trace)
+        toggles = phys.transition_vectors()
+        for t in toggles:
+            data_toggles = bin(int(t) & 0xFFFFFFFF).count("1")
+            assert data_toggles <= 16
+
+    def test_repeated_values_stay_free(self):
+        # Section 5.2: minimising against the current bus value keeps
+        # repeats at zero transitions.
+        trace = BusTrace.from_values([0xDEAD, 0xDEAD, 0xDEAD], width=32)
+        phys = InversionTranscoder(32, 1).encode_trace(trace)
+        assert count_activity(phys).total_transitions == count_activity(
+            phys.head(1)
+        ).total_transitions
+
+    def test_saves_on_random_traffic(self):
+        trace = random_trace(2000, seed=1)
+        phys = InversionTranscoder(32, 1, assumed_lambda=1.0).encode_trace(trace)
+        assert weighted_activity(phys, 1.0) < weighted_activity(trace, 1.0)
+
+    def test_lambda_aware_choice_helps_at_high_lambda(self):
+        # Figure 15: at large actual lambda, the coder that knows lambda
+        # does at least as well as the lambda-0 coder.
+        trace = random_trace(1500, seed=2)
+        actual = 10.0
+        blind = InversionTranscoder(32, 1, assumed_lambda=0.0).encode_trace(trace)
+        aware = InversionTranscoder(32, 1, assumed_lambda=actual).encode_trace(trace)
+        assert weighted_activity(aware, actual) <= weighted_activity(blind, actual) * 1.02
+
+    def test_rejects_bad_patterns(self):
+        with pytest.raises(ValueError):
+            InversionTranscoder(8, 1, patterns=[1, 2])  # first must be 0
+        with pytest.raises(ValueError):
+            InversionTranscoder(8, 1, patterns=[0])  # wrong count
+        with pytest.raises(ValueError):
+            InversionTranscoder(8, 1, patterns=[0, 0])  # duplicates
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            InversionTranscoder(8, 1, assumed_lambda=-1.0)
+
+    def test_custom_patterns_roundtrip(self):
+        coder = InversionTranscoder(8, 1, patterns=[0, 0x0F])
+        trace = BusTrace.from_values([0x12, 0xF0, 0x0F, 0xFF], width=8)
+        assert list(coder.roundtrip(trace)) == [0x12, 0xF0, 0x0F, 0xFF]

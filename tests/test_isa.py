@@ -1,0 +1,62 @@
+"""Unit tests for the ISA definitions."""
+
+import pytest
+
+from repro.cpu import Instruction, sign_extend, to_signed
+
+
+class TestHelpers:
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0x80, 8) == -128
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+
+
+class TestInstruction:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(ValueError):
+            Instruction("add", rd=32)
+
+    def test_alu_reads_both_sources(self):
+        instr = Instruction("add", rd=1, rs1=2, rs2=3)
+        assert instr.reads == (2, 3)
+        assert instr.writes == 1
+
+    def test_store_reads_base_and_data(self):
+        instr = Instruction("sw", rs1=4, rs2=5, imm=8)
+        assert instr.reads == (4, 5)
+        assert instr.writes is None
+
+    def test_load_reads_base_writes_dest(self):
+        instr = Instruction("lw", rd=6, rs1=7, imm=0)
+        assert instr.reads == (7,)
+        assert instr.writes == 6
+
+    def test_lui_reads_nothing(self):
+        assert Instruction("lui", rd=1, imm=5).reads == ()
+
+    def test_branch_writes_nothing(self):
+        assert Instruction("beq", rs1=1, rs2=2, imm=0).writes is None
+
+    def test_jal_writes_link(self):
+        assert Instruction("jal", rd=31, imm=0).writes == 31
+
+    def test_halt_neither_reads_nor_writes(self):
+        instr = Instruction("halt")
+        assert instr.reads == ()
+        assert instr.writes is None
+
+    def test_str_forms(self):
+        assert str(Instruction("add", rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+        assert "r5" in str(Instruction("lw", rd=5, rs1=6, imm=4))
+        assert str(Instruction("halt")) == "halt"

@@ -1,0 +1,58 @@
+"""Unit tests for the Johnson counter model."""
+
+import pytest
+
+from repro.hardware import MAX_COUNT, JohnsonCounter
+
+
+class TestCounting:
+    def test_counts_up(self):
+        counter = JohnsonCounter()
+        for expected in range(1, 20):
+            counter.increment()
+            assert counter.value == expected
+
+    def test_single_flip_within_stage(self):
+        # The Johnson property: most increments flip exactly one bit.
+        counter = JohnsonCounter()
+        assert counter.increment() == 1
+
+    def test_stage_wrap_costs_extra_flip(self):
+        counter = JohnsonCounter(7)  # first 8-state ring about to wrap
+        flips = counter.increment()
+        assert counter.value == 8
+        assert flips == 2  # ring 0 wraps + ring 1 advances
+
+    def test_average_flips_close_to_one(self):
+        counter = JohnsonCounter()
+        total = sum(counter.increment() for _ in range(511))
+        assert total / 511 < 1.25
+
+    def test_saturates_at_max(self):
+        counter = JohnsonCounter(MAX_COUNT - 1)
+        assert counter.saturated
+        assert counter.increment() == 0
+        assert counter.value == MAX_COUNT - 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            JohnsonCounter(MAX_COUNT)
+        with pytest.raises(ValueError):
+            JohnsonCounter(-1)
+
+
+class TestHalving:
+    def test_halve_divides_value(self):
+        counter = JohnsonCounter(100)
+        counter.halve()
+        assert counter.value == 50
+
+    def test_halve_zero_is_free(self):
+        counter = JohnsonCounter(0)
+        assert counter.halve() == 0
+
+    def test_halve_reports_flips(self):
+        counter = JohnsonCounter(9)
+        flips = counter.halve()
+        assert counter.value == 4
+        assert flips > 0

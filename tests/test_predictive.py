@@ -1,0 +1,132 @@
+"""Unit tests for the prediction transcoding framework (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    CTRL_CODE,
+    CTRL_RAW,
+    CTRL_RAW_INVERTED,
+    LastValuePredictor,
+    LastValueTranscoder,
+    PredictiveTranscoder,
+    WindowTranscoder,
+)
+from repro.energy import count_activity
+from repro.traces import BusTrace
+
+
+class TestControlEncoding:
+    def test_gray_coded_raw_modes(self):
+        # RAW <-> RAW_INVERTED must differ in a single bit.
+        assert bin(CTRL_RAW ^ CTRL_RAW_INVERTED).count("1") == 1
+
+    def test_code_mode_is_zero(self):
+        assert CTRL_CODE == 0
+
+
+class TestLastValueTranscoder:
+    def test_roundtrip(self, local_trace):
+        coder = LastValueTranscoder(32)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_output_width_adds_two_control_wires(self):
+        assert LastValueTranscoder(32).output_width == 34
+
+    def test_repeats_are_completely_silent(self):
+        trace = BusTrace.from_values([0xAB, 0xAB, 0xAB, 0xAB], width=8)
+        phys = LastValueTranscoder(8).encode_trace(trace)
+        counts = count_activity(phys)
+        # Only the first (raw) word costs anything.
+        first_only = count_activity(phys.head(1))
+        assert counts.total_transitions == first_only.total_transitions
+
+    def test_repeat_after_raw_does_not_touch_control(self):
+        # The silent-LAST rule: a repeat leaves data AND control wires
+        # exactly as they were.
+        trace = BusTrace.from_values([0x5A, 0x5A], width=8)
+        phys = LastValueTranscoder(8).encode_trace(trace)
+        assert phys[0] == phys[1]
+
+    def test_inverted_raw_when_cheaper(self):
+        coder = LastValueTranscoder(8)
+        coder.reset()
+        coder.encode_value(0x00)
+        # 0xFE differs from current data state (0x00) in 7 bits; its
+        # complement 0x01 differs in 1 -> the encoder must invert.
+        state = coder.encode_value(0xFE)
+        _, ctrl = coder._unpack(state)
+        assert ctrl == CTRL_RAW_INVERTED
+
+    def test_decoder_rejects_invalid_control(self):
+        coder = LastValueTranscoder(8)
+        coder.reset()
+        with pytest.raises(ValueError):
+            # Control 0b10 is not a valid Gray encoding.
+            coder.decode_state(coder._pack(0x55, 0b10))
+
+    def test_edge_control_layout_roundtrips(self, local_trace):
+        import numpy as np
+        from repro.coding import WindowPredictor
+
+        coder = PredictiveTranscoder(
+            WindowPredictor(8, 32), 32, edge_control=True
+        )
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_non_silent_last_roundtrips(self, local_trace):
+        import numpy as np
+        from repro.coding import WindowPredictor
+
+        coder = PredictiveTranscoder(
+            WindowPredictor(8, 32), 32, silent_last=False
+        )
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_raw_value_equal_to_bus_state_is_disambiguated(self):
+        # Force the pathological case: a raw miss whose value equals the
+        # current physical data state must not look like a silent LAST.
+        coder = LastValueTranscoder(8)
+        trace = BusTrace.from_values([0x0F, 0xF0, 0x0F, 0x55], width=8)
+        assert list(coder.roundtrip(trace)) == [0x0F, 0xF0, 0x0F, 0x55]
+
+
+class TestPredictorContract:
+    def test_last_value_predictor_slots(self):
+        pred = LastValuePredictor()
+        pred.update(42)
+        assert pred.match(42) == 0
+        assert pred.match(43) is None
+        assert pred.lookup(0) == 42
+        with pytest.raises(IndexError):
+            pred.lookup(1)
+
+    def test_transcoder_requires_nonempty_predictor(self):
+        class Empty(LastValuePredictor):
+            num_codes = 0
+
+        with pytest.raises(ValueError):
+            PredictiveTranscoder(Empty(), 8)
+
+    def test_width_mismatch_rejected(self, local_trace):
+        coder = WindowTranscoder(8, 16)
+        with pytest.raises(ValueError):
+            coder.encode_trace(local_trace)  # 32-bit trace, 16-bit coder
+
+    def test_decode_width_mismatch_rejected(self, local_trace):
+        coder = WindowTranscoder(8, 32)
+        with pytest.raises(ValueError):
+            coder.decode_trace(local_trace)  # width 32 != 34
+
+    def test_encode_trace_resets_state(self, local_trace):
+        coder = WindowTranscoder(8, 32)
+        first = coder.encode_trace(local_trace)
+        second = coder.encode_trace(local_trace)
+        assert np.array_equal(first.values, second.values)
+
+    def test_out_of_sync_codeword_raises(self):
+        coder = WindowTranscoder(8, 8)
+        coder.reset()
+        with pytest.raises(ValueError):
+            # A weight-3 codeword (0b111) in CODE mode was never assigned.
+            coder.decode_state(0b111 << 1)

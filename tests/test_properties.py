@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The paper's correctness contract is that encoder and decoder FSMs stay
+synchronised for *any* input stream; these tests throw arbitrary
+streams at every scheme and check the contract plus the structural
+invariants of the dictionaries and the accounting algebra.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    AdaptiveCodebookTranscoder,
+    BusInvertTranscoder,
+    ContextTranscoder,
+    InversionTranscoder,
+    LastValueTranscoder,
+    SpatialTranscoder,
+    StrideTranscoder,
+    TRANSITION_BASED,
+    TransitionCoder,
+    VariableLengthTranscoder,
+    WindowTranscoder,
+    WorkZoneTranscoder,
+    codeword_table,
+    hamming_weight,
+)
+from repro.energy import count_activity, weighted_activity
+from repro.hardware import JohnsonCounter, MAX_COUNT
+from repro.traces import BusTrace
+
+# Value streams: biased toward repeats and small working sets so the
+# dictionary paths (hits, evictions, promotions) actually exercise.
+values16 = st.lists(
+    st.one_of(
+        st.integers(0, 0xFFFF),
+        st.sampled_from([0, 1, 0xAAAA, 0x00FF, 0x1234]),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def make_trace(values, width=16):
+    return BusTrace.from_values(values, width=width)
+
+
+class TestRoundTrips:
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_window(self, values):
+        coder = WindowTranscoder(5, 16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_context_value_based(self, values):
+        coder = ContextTranscoder(6, 3, divide_period=17, width=16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=40, deadline=None)
+    def test_context_transition_based(self, values):
+        coder = ContextTranscoder(6, 3, TRANSITION_BASED, divide_period=23, width=16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_stride(self, values):
+        coder = StrideTranscoder(4, 16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_last_value(self, values):
+        coder = LastValueTranscoder(16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_inversion(self, values):
+        coder = InversionTranscoder(16, 2)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_transition_coder(self, values):
+        coder = TransitionCoder(16)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(st.lists(st.integers(0, 15), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_spatial(self, values):
+        coder = SpatialTranscoder(4)
+        trace = make_trace(values, width=4)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_bus_invert(self, values):
+        coder = BusInvertTranscoder(16, 2)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_workzone(self, values):
+        coder = WorkZoneTranscoder(16, zones=3, offset_bits=4, granularity=1)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_codebook(self, values):
+        coder = AdaptiveCodebookTranscoder(16, 4)
+        trace = make_trace(values)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_variable_length(self, values):
+        coder = VariableLengthTranscoder(16, 8, 8)
+        trace = make_trace(values)
+        report = coder.encode_trace(trace)
+        assert np.array_equal(coder.decode_flits(report).values, trace.values)
+
+
+class TestEncoderDeterminism:
+    @given(values16)
+    @settings(max_examples=30, deadline=None)
+    def test_encoding_is_pure(self, values):
+        trace = make_trace(values)
+        coder = ContextTranscoder(5, 3, divide_period=11, width=16)
+        first = coder.encode_trace(trace).values
+        second = coder.encode_trace(trace).values
+        assert np.array_equal(first, second)
+
+
+class TestAccountingAlgebra:
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_kappa_bounded_by_adjacent_taus(self, values):
+        counts = count_activity(make_trace(values))
+        for n in range(len(counts.kappa)):
+            assert counts.kappa[n] <= counts.tau[n] + counts.tau[n + 1]
+
+    @given(values16)
+    @settings(max_examples=60, deadline=None)
+    def test_tau_bounded_by_cycles(self, values):
+        counts = count_activity(make_trace(values))
+        assert all(t <= counts.cycles for t in counts.tau)
+
+    @given(values16, st.floats(0, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_activity_monotone_in_lambda(self, values, lam):
+        trace = make_trace(values)
+        assert weighted_activity(trace, lam) >= weighted_activity(trace, 0.0)
+
+    @given(values16)
+    @settings(max_examples=40, deadline=None)
+    def test_concatenation_additivity(self, values):
+        # Activity of a trace equals the sum over a split at any point
+        # when the second half carries the boundary state.
+        trace = make_trace(values)
+        if len(trace) < 2:
+            return
+        cut = len(trace) // 2
+        front, back = trace[:cut], trace[cut:]
+        total = count_activity(trace)
+        split = count_activity(front) + count_activity(back)
+        assert total.total_transitions == split.total_transitions
+        assert total.total_coupling == split.total_coupling
+
+
+class TestContextInvariants:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_throughout(self, values):
+        from repro.coding import ContextPredictor
+
+        pred = ContextPredictor(table_size=4, shift_size=2, divide_period=13)
+        for v in values:
+            pred.update(v)
+            pred.check_invariants()
+
+
+class TestCodebookProperties:
+    @given(st.integers(1, 12), st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_and_weight_sorted(self, width, count):
+        count = min(count, 1 << width)
+        table = codeword_table(count, width)
+        assert len(set(table)) == len(table)
+        weights = [hamming_weight(w) for w in table]
+        assert weights == sorted(weights)
+
+
+class TestJohnsonProperties:
+    @given(st.integers(0, MAX_COUNT - 1), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_increment_semantics(self, start, steps):
+        counter = JohnsonCounter(start)
+        for _ in range(steps):
+            before = counter.value
+            flips = counter.increment()
+            if before == MAX_COUNT - 1:
+                assert counter.value == before and flips == 0
+            else:
+                assert counter.value == before + 1 and flips >= 1
+
+    @given(st.integers(0, MAX_COUNT - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_halve_semantics(self, start):
+        counter = JohnsonCounter(start)
+        counter.halve()
+        assert counter.value == start // 2

@@ -1,0 +1,141 @@
+"""Unit tests for the related-work coding schemes (paper Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    AdaptiveCodebookTranscoder,
+    BusInvertTranscoder,
+    WorkZoneTranscoder,
+)
+from repro.energy import count_activity, normalized_energy_removed
+from repro.traces import BusTrace
+from repro.workloads import random_trace
+
+
+class TestBusInvert:
+    def test_roundtrip(self, rand_trace):
+        coder = BusInvertTranscoder(32, 1)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_partial_roundtrip(self, rand_trace):
+        coder = BusInvertTranscoder(32, 4)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_majority_rule(self):
+        coder = BusInvertTranscoder(8, 1)
+        coder.reset()
+        coder.encode_value(0x00)
+        # 5 of 8 wires would toggle -> inverted (3 toggles + invert wire).
+        state = coder.encode_value(0x1F)
+        assert state >> 8 == 1  # invert wire set
+        assert state & 0xFF == (~0x1F) & 0xFF
+
+    def test_no_invert_at_half(self):
+        coder = BusInvertTranscoder(8, 1)
+        coder.reset()
+        coder.encode_value(0x00)
+        # Exactly half (4 of 8): the classic rule does not invert.
+        state = coder.encode_value(0x0F)
+        assert state >> 8 == 0
+
+    def test_data_toggles_never_exceed_half_per_group(self):
+        trace = random_trace(400, seed=3)
+        coder = BusInvertTranscoder(32, 4)
+        phys = coder.encode_trace(trace)
+        group_mask = 0xFF
+        previous = 0
+        for state in phys:
+            for g in range(4):
+                old = (previous >> (8 * g)) & group_mask
+                new = (state >> (8 * g)) & group_mask
+                assert bin(old ^ new).count("1") <= 4
+            previous = state & 0xFFFFFFFF
+
+    def test_saves_on_random_traffic(self):
+        trace = random_trace(3000, seed=6)
+        phys = BusInvertTranscoder(32, 4).encode_trace(trace)
+        assert normalized_energy_removed(trace, phys, lam=0.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusInvertTranscoder(32, 0)
+        with pytest.raises(ValueError):
+            BusInvertTranscoder(32, 5)  # 32 % 5 != 0
+
+
+class TestWorkZone:
+    def test_roundtrip_addresses(self):
+        addresses = []
+        for i in range(300):
+            addresses.append(0x10000 + 4 * i)  # streaming zone
+            if i % 3 == 0:
+                addresses.append(0x7F000 + 8 * (i % 10))  # stack-ish zone
+        trace = BusTrace.from_values(addresses, 32)
+        coder = WorkZoneTranscoder(32, zones=4, offset_bits=5)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    def test_roundtrip_random(self, rand_trace):
+        coder = WorkZoneTranscoder(32, zones=4, offset_bits=5)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_sequential_addresses_cost_little(self):
+        trace = BusTrace.from_values([0x4000 + 4 * i for i in range(500)], 32)
+        phys = WorkZoneTranscoder(32, zones=2, offset_bits=5).encode_trace(trace)
+        counts = count_activity(phys)
+        # ~2 transitions per access (offset toggle on/off) after warm-up.
+        assert counts.total_transitions < 3 * len(trace)
+
+    def test_beats_raw_bus_on_strided_addresses(self):
+        trace = BusTrace.from_values(
+            [0x10000 + 4 * (i % 800) for i in range(2000)], 32
+        )
+        phys = WorkZoneTranscoder(32).encode_trace(trace)
+        assert normalized_energy_removed(trace, phys) > 20.0
+
+    def test_negative_offsets(self):
+        values = [0x8000, 0x8000 - 4, 0x8000 - 8, 0x8000 - 4]
+        trace = BusTrace.from_values(values, 32)
+        coder = WorkZoneTranscoder(32, zones=2, offset_bits=4)
+        assert list(coder.roundtrip(trace)) == values
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkZoneTranscoder(32, zones=0)
+        with pytest.raises(ValueError):
+            WorkZoneTranscoder(32, offset_bits=0)
+        with pytest.raises(ValueError):
+            WorkZoneTranscoder(4, offset_bits=6)  # one-hot field too wide
+
+
+class TestAdaptiveCodebook:
+    def test_roundtrip(self, rand_trace):
+        coder = AdaptiveCodebookTranscoder(32, 8)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_roundtrip_locality(self, local_trace):
+        coder = AdaptiveCodebookTranscoder(32, 4)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_learns_recurring_delta(self):
+        # Alternating A/B traffic has one recurring transition vector;
+        # after learning it, each step costs ~1 select-wire toggle.
+        values = [0x12345678, 0x0BADF00D] * 400
+        trace = BusTrace.from_values(values, 32)
+        coder = AdaptiveCodebookTranscoder(32, 4)
+        phys = coder.encode_trace(trace)
+        tail = count_activity(phys[100:])
+        # ~2 select-wire toggles per step once learned, vs ~16 data
+        # toggles unencoded.
+        assert tail.total_transitions <= 2 * (len(trace) - 100)
+
+    def test_identity_pattern_pinned(self):
+        coder = AdaptiveCodebookTranscoder(32, 4)
+        coder.encode_trace(random_trace(500, seed=2))
+        assert coder._book[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCodebookTranscoder(32, 3)  # not a power of two
+        with pytest.raises(ValueError):
+            AdaptiveCodebookTranscoder(32, 1)

@@ -1,0 +1,80 @@
+"""Unit tests for the strided predictor (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import StridePredictor, StrideTranscoder
+from repro.energy import count_activity, normalized_energy_removed
+from repro.traces import BusTrace
+
+
+class TestStridePredictor:
+    def test_stride_one_arithmetic_sequence(self):
+        pred = StridePredictor(1, 32)
+        for v in (10, 14):
+            pred.update(v)
+        assert pred.match(18) == 1  # 14 + (14 - 10)
+
+    def test_stride_two_interleaved_lanes(self):
+        pred = StridePredictor(2, 32)
+        for v in (100, 7, 110, 14):  # lane A: 100,110 lane B: 7,14
+            pred.update(v)
+        assert pred.match(120) == 2  # lane A extrapolation at stride 2
+
+    def test_lowest_stride_wins(self):
+        pred = StridePredictor(4, 32)
+        for v in (5, 5, 5, 5, 5, 5, 5, 5):
+            pred.update(v)
+        # All strides predict 5, but LAST (slot 0) wins first.
+        assert pred.match(5) == 0
+
+    def test_prediction_wraps_modulo_word(self):
+        pred = StridePredictor(1, 32)
+        pred.update(0xFFFFFFFE)
+        pred.update(0xFFFFFFFF)
+        assert pred.match(0) == 1
+
+    def test_lookup_inverts_match(self):
+        pred = StridePredictor(3, 32)
+        for v in (1, 2, 3, 4, 5, 6):
+            pred.update(v)
+        for slot in range(4):
+            assert pred.match(pred.lookup(slot)) is not None
+
+    def test_lookup_out_of_range(self):
+        pred = StridePredictor(2, 32)
+        with pytest.raises(IndexError):
+            pred.lookup(3)
+
+    def test_rejects_zero_strides(self):
+        with pytest.raises(ValueError):
+            StridePredictor(0, 32)
+
+
+class TestStrideTranscoder:
+    def test_roundtrip(self, local_trace):
+        coder = StrideTranscoder(8, 32)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_pure_stride_stream_is_nearly_free(self):
+        # An arithmetic sequence costs one wire toggle per value after
+        # warm-up (the stride-1 codeword).
+        trace = BusTrace.from_values(range(0, 4000, 4), width=32)
+        phys = StrideTranscoder(1, 32).encode_trace(trace)
+        counts = count_activity(phys)
+        assert counts.total_transitions < 1.5 * len(trace)
+
+    def test_saves_on_strided_traffic(self):
+        trace = BusTrace.from_values(range(0, 8000, 8), width=32)
+        assert normalized_energy_removed(
+            trace, StrideTranscoder(4, 32).encode_trace(trace)
+        ) > 30.0
+
+    def test_more_strides_never_hurt_much(self, gcc_register):
+        few = normalized_energy_removed(
+            gcc_register, StrideTranscoder(2, 32).encode_trace(gcc_register)
+        )
+        many = normalized_energy_removed(
+            gcc_register, StrideTranscoder(16, 32).encode_trace(gcc_register)
+        )
+        assert many >= few - 3.0  # small codeword-weight penalty allowed

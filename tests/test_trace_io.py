@@ -1,0 +1,53 @@
+"""Unit tests for trace persistence."""
+
+import os
+
+import numpy as np
+
+from repro.traces import BusTrace, load_trace, load_traces, save_trace, save_traces
+
+
+class TestSingleTrace:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = BusTrace.from_values([1, 2, 3], width=12, name="a/b", initial=5)
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.values, trace.values)
+        assert loaded.width == 12
+        assert loaded.name == "a/b"
+        assert loaded.initial == 5
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = BusTrace.from_values([], width=8)
+        path = str(tmp_path / "empty.npz")
+        save_trace(trace, path)
+        assert len(load_trace(path)) == 0
+
+
+class TestDirectories:
+    def test_save_traces_sanitises_names(self, tmp_path):
+        traces = [
+            BusTrace.from_values([1], width=8, name="gcc/register"),
+            BusTrace.from_values([2], width=8),  # unnamed
+        ]
+        paths = save_traces(traces, str(tmp_path))
+        assert sorted(os.path.basename(p) for p in paths) == [
+            "gcc_register.npz",
+            "trace_1.npz",
+        ]
+
+    def test_load_traces_keys_by_name(self, tmp_path):
+        traces = [
+            BusTrace.from_values([1, 2], width=8, name="one"),
+            BusTrace.from_values([3], width=8, name="two"),
+        ]
+        save_traces(traces, str(tmp_path))
+        loaded = load_traces(str(tmp_path))
+        assert set(loaded) == {"one", "two"}
+        assert len(loaded["one"]) == 2
+
+    def test_load_ignores_other_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        save_traces([BusTrace.from_values([1], width=8, name="x")], str(tmp_path))
+        assert set(load_traces(str(tmp_path))) == {"x"}

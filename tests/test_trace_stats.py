@@ -1,0 +1,93 @@
+"""Unit tests for trace statistics (paper Figures 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    BusTrace,
+    coverage_at,
+    toggle_rate,
+    unique_value_cdf,
+    value_frequencies,
+    window_unique_curve,
+    window_unique_fraction,
+)
+
+
+class TestValueFrequencies:
+    def test_sorted_descending(self):
+        trace = BusTrace.from_values([1, 1, 1, 2, 2, 3], width=8)
+        assert list(value_frequencies(trace)) == [3, 2, 1]
+
+    def test_empty_trace(self):
+        assert value_frequencies(BusTrace.from_values([], width=8)).size == 0
+
+
+class TestUniqueValueCdf:
+    def test_single_value_covers_everything(self):
+        trace = BusTrace.from_values([7] * 10, width=8)
+        cdf = unique_value_cdf(trace)
+        assert cdf.shape == (1,)
+        assert cdf[0] == pytest.approx(1.0)
+
+    def test_monotone_and_ends_at_one(self):
+        trace = BusTrace.from_values([1, 2, 2, 3, 3, 3, 4], width=8)
+        cdf = unique_value_cdf(trace)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_most_frequent_first(self):
+        trace = BusTrace.from_values([9, 9, 9, 1], width=8)
+        assert unique_value_cdf(trace)[0] == pytest.approx(0.75)
+
+    def test_coverage_at_clamps_k(self):
+        trace = BusTrace.from_values([1, 2], width=8)
+        assert coverage_at(trace, 100) == pytest.approx(1.0)
+
+    def test_random_needs_many_values(self, rand_trace):
+        # The Figure 7 motivation: random-ish traffic has no small
+        # dominating value set.
+        assert coverage_at(rand_trace, 10) < 0.05
+
+
+class TestWindowUniqueFraction:
+    def test_all_same_value(self):
+        trace = BusTrace.from_values([3] * 100, width=8)
+        assert window_unique_fraction(trace, 10) == pytest.approx(0.1)
+
+    def test_all_distinct(self):
+        trace = BusTrace.from_values(range(100), width=8)
+        assert window_unique_fraction(trace, 10) == pytest.approx(1.0)
+
+    def test_window_larger_than_trace(self):
+        trace = BusTrace.from_values([1, 1, 2], width=8)
+        assert window_unique_fraction(trace, 10) == pytest.approx(2 / 3)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            window_unique_fraction(BusTrace.from_values([1], width=8), 0)
+
+    def test_curve_matches_pointwise(self, local_trace):
+        sizes = [2, 8, 32]
+        curve = window_unique_curve(local_trace, sizes)
+        assert curve[1] == pytest.approx(window_unique_fraction(local_trace, 8))
+
+    def test_locality_trace_less_unique_than_random(self, local_trace, rand_trace):
+        # The Figure 8 motivation for the window transcoder.
+        assert window_unique_fraction(local_trace, 16) < window_unique_fraction(
+            rand_trace, 16
+        )
+
+
+class TestToggleRate:
+    def test_constant_bus_never_toggles(self):
+        trace = BusTrace.from_values([5, 5, 5], width=8, initial=5)
+        assert toggle_rate(trace) == 0.0
+
+    def test_alternating_all_bits(self):
+        # Initial state 0, so every cycle flips all 8 wires.
+        trace = BusTrace.from_values([0xFF, 0x00, 0xFF, 0x00], width=8)
+        assert toggle_rate(trace) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        assert toggle_rate(BusTrace.from_values([], width=8)) == 0.0

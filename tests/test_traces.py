@@ -1,0 +1,92 @@
+"""Unit tests for the BusTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.traces import BusTrace
+
+
+class TestConstruction:
+    def test_masks_values_to_width(self):
+        trace = BusTrace.from_values([0x1FF, 0x100], width=8)
+        assert list(trace) == [0xFF, 0x00]
+
+    def test_masks_initial_state(self):
+        trace = BusTrace.from_values([0], width=4, initial=0xFF)
+        assert trace.initial == 0xF
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            BusTrace.from_values([1], width=0)
+
+    def test_rejects_width_over_64(self):
+        with pytest.raises(ValueError):
+            BusTrace.from_values([1], width=65)
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            BusTrace(np.zeros((2, 2)), width=8)
+
+    def test_values_are_read_only(self):
+        trace = BusTrace.from_values([1, 2, 3], width=8)
+        with pytest.raises(ValueError):
+            trace.values[0] = 9
+
+    def test_accepts_width_64(self):
+        trace = BusTrace.from_values([2**63 + 1], width=64)
+        assert trace[0] == 2**63 + 1
+
+
+class TestContainerProtocol:
+    def test_len(self, tiny_trace):
+        assert len(tiny_trace) == 8
+
+    def test_iter_yields_python_ints(self, tiny_trace):
+        values = list(tiny_trace)
+        assert all(isinstance(v, int) for v in values)
+
+    def test_getitem_scalar(self, tiny_trace):
+        assert tiny_trace[4] == 0xF0
+
+    def test_getitem_slice_returns_trace(self, tiny_trace):
+        part = tiny_trace[2:5]
+        assert isinstance(part, BusTrace)
+        assert list(part) == [0x1, 0x3, 0xF0]
+
+    def test_slice_carries_previous_value_as_initial(self, tiny_trace):
+        part = tiny_trace[3:]
+        assert part.initial == 0x1  # value at index 2
+
+    def test_slice_from_zero_keeps_initial(self):
+        trace = BusTrace.from_values([1, 2], width=8, initial=7)
+        assert trace[0:1].initial == 7
+
+
+class TestDerivedViews:
+    def test_bit_matrix_shape_and_content(self):
+        trace = BusTrace.from_values([0b101, 0b010], width=3)
+        matrix = trace.bit_matrix()
+        assert matrix.shape == (2, 3)
+        assert list(matrix[0]) == [1, 0, 1]  # LSB first
+        assert list(matrix[1]) == [0, 1, 0]
+
+    def test_transition_vectors_start_from_initial(self):
+        trace = BusTrace.from_values([0b11, 0b01], width=2, initial=0b10)
+        xors = trace.transition_vectors()
+        assert list(xors) == [0b01, 0b10]
+
+    def test_head(self, tiny_trace):
+        assert len(tiny_trace.head(3)) == 3
+        assert tiny_trace.head(3).initial == tiny_trace.initial
+
+    def test_with_name(self, tiny_trace):
+        renamed = tiny_trace.with_name("other")
+        assert renamed.name == "other"
+        assert np.array_equal(renamed.values, tiny_trace.values)
+
+    def test_unique_values(self):
+        trace = BusTrace.from_values([5, 5, 2, 9, 2], width=8)
+        assert list(trace.unique_values()) == [2, 5, 9]
+
+    def test_mask(self):
+        assert BusTrace.from_values([0], width=12).mask == 0xFFF

@@ -1,0 +1,71 @@
+"""Unit tests for the transition and spatial coders."""
+
+import numpy as np
+import pytest
+
+from repro.coding import MAX_SPATIAL_WIDTH, SpatialTranscoder, TransitionCoder
+from repro.energy import count_activity, weighted_activity
+from repro.traces import BusTrace
+
+
+class TestTransitionCoder:
+    def test_roundtrip(self, rand_trace):
+        coder = TransitionCoder(32)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_bits_become_toggles(self):
+        coder = TransitionCoder(4)
+        trace = BusTrace.from_values([0b0001, 0b0010], width=4)
+        phys = coder.encode_trace(trace)
+        # state accumulates XORs: 0001 then 0011
+        assert list(phys) == [0b0001, 0b0011]
+
+    def test_transitions_equal_input_weight(self):
+        trace = BusTrace.from_values([0b111, 0b001, 0b000], width=3)
+        phys = TransitionCoder(3).encode_trace(trace)
+        counts = count_activity(phys)
+        assert counts.total_transitions == 3 + 1 + 0
+
+    def test_zero_input_is_silent(self):
+        trace = BusTrace.from_values([0, 0, 0], width=8)
+        phys = TransitionCoder(8).encode_trace(trace)
+        assert count_activity(phys).total_transitions == 0
+
+
+class TestSpatialTranscoder:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        trace = BusTrace.from_values(rng.integers(0, 16, 500), width=4)
+        coder = SpatialTranscoder(4)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    def test_output_width_is_exponential(self):
+        assert SpatialTranscoder(4).output_width == 16
+        assert SpatialTranscoder(6).output_width == 64
+
+    def test_one_transition_per_new_value(self):
+        trace = BusTrace.from_values([1, 2, 3, 1], width=4)
+        phys = SpatialTranscoder(4).encode_trace(trace)
+        assert count_activity(phys).total_transitions == 4
+
+    def test_repeats_are_free(self):
+        trace = BusTrace.from_values([5, 5, 5, 5], width=4)
+        phys = SpatialTranscoder(4).encode_trace(trace)
+        assert count_activity(phys).total_transitions == 1  # only the first
+
+    def test_rejects_wide_bus(self):
+        with pytest.raises(ValueError):
+            SpatialTranscoder(MAX_SPATIAL_WIDTH + 1)
+
+    def test_beats_raw_bus_on_random_data(self):
+        rng = np.random.default_rng(9)
+        trace = BusTrace.from_values(rng.integers(0, 16, 2000), width=4)
+        phys = SpatialTranscoder(4).encode_trace(trace)
+        assert weighted_activity(phys, 1.0) < weighted_activity(trace, 1.0)
+
+    def test_repeat_of_initial_zero_value(self):
+        # Value 0 repeated from power-on must decode correctly even
+        # though no wire ever toggles.
+        trace = BusTrace.from_values([0, 0, 1, 0], width=4)
+        coder = SpatialTranscoder(4)
+        assert list(coder.roundtrip(trace)) == [0, 0, 1, 0]

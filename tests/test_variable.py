@@ -1,0 +1,79 @@
+"""Unit tests for variable-length coding (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import VariableLengthTranscoder
+from repro.energy import weighted_activity
+from repro.traces import BusTrace
+from repro.workloads import locality_trace, random_trace
+
+
+class TestFlitStream:
+    def test_roundtrip_locality(self, local_trace):
+        coder = VariableLengthTranscoder(32, 8, 8)
+        report = coder.encode_trace(local_trace)
+        decoded = coder.decode_flits(report)
+        assert np.array_equal(decoded.values, local_trace.values)
+
+    def test_roundtrip_random(self, rand_trace):
+        coder = VariableLengthTranscoder(32, 8, 8)
+        report = coder.encode_trace(rand_trace)
+        assert np.array_equal(coder.decode_flits(report).values, rand_trace.values)
+
+    def test_repeats_take_one_flit(self):
+        trace = BusTrace.from_values([7] * 100, width=32)
+        report = VariableLengthTranscoder(32, 8, 8).encode_trace(trace)
+        # First value: raw header + 4 payload flits; repeats: 1 each.
+        assert len(report.flits) == 5 + 99
+        assert report.expansion == pytest.approx(len(report.flits) / 100)
+
+    def test_dictionary_hits_take_one_flit(self):
+        values = [0xAAAA0000, 0x5555FFFF] * 50
+        trace = BusTrace.from_values(values, width=32)
+        report = VariableLengthTranscoder(32, 8, 8).encode_trace(trace)
+        # Two raw values (5 flits each), everything else hits (1 flit).
+        assert len(report.flits) == 2 * 5 + 98
+
+    def test_random_data_expands_timing(self):
+        trace = random_trace(500, seed=4)
+        report = VariableLengthTranscoder(32, 8, 8).encode_trace(trace)
+        # Nearly everything is raw: ~5 flits per value.
+        assert report.expansion > 4.0
+
+    def test_local_data_compresses_timing(self):
+        trace = locality_trace(
+            2000, repeat_fraction=0.4, reuse_fraction=0.4, stride_fraction=0.1,
+            working_set=8, seed=5,
+        )
+        report = VariableLengthTranscoder(32, 8, 8).encode_trace(trace)
+        assert report.expansion < 2.0
+
+    def test_narrow_bus_moves_fewer_wires(self, local_trace):
+        # The Section 6 claim: over a window of time, fewer bits move.
+        coder = VariableLengthTranscoder(32, 8, 8)
+        report = coder.encode_trace(local_trace)
+        narrow = weighted_activity(report.flits, 1.0)
+        wide = weighted_activity(local_trace, 1.0)
+        assert narrow < wide
+
+    def test_width_mismatch_rejected(self, local_trace):
+        with pytest.raises(ValueError):
+            VariableLengthTranscoder(16, 8, 8).encode_trace(local_trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableLengthTranscoder(32, 3, 2)
+        with pytest.raises(ValueError):
+            VariableLengthTranscoder(32, 8, 100)  # window too big for header
+
+    def test_truncated_stream_rejected(self, local_trace):
+        coder = VariableLengthTranscoder(32, 8, 8)
+        report = coder.encode_trace(local_trace)
+        truncated = type(report)(
+            report.flits.head(len(report.flits) // 2),
+            report.input_values,
+            report.expansion,
+        )
+        with pytest.raises((ValueError, IndexError)):
+            coder.decode_flits(truncated)

@@ -1,0 +1,127 @@
+"""Unit tests for the window-based transcoder (Figures 18-19, 30, 33)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import WindowPredictor, WindowTranscoder
+from repro.energy import count_activity, normalized_energy_removed
+from repro.traces import BusTrace
+from repro.workloads import locality_trace, random_trace
+
+
+class TestWindowPredictor:
+    def test_miss_inserts_at_head(self):
+        pred = WindowPredictor(4, 32)
+        pred.update(10)
+        assert 10 in pred.contents
+
+    def test_evicts_oldest_unique_value(self):
+        pred = WindowPredictor(2, 32)
+        for v in (1, 2, 3):
+            pred.update(v)
+        assert 1 not in pred.contents
+        assert {2, 3} <= set(pred.contents)
+
+    def test_repeats_do_not_duplicate_entries(self):
+        pred = WindowPredictor(4, 32)
+        for v in (7, 7, 7):
+            pred.update(v)
+        assert pred.contents.count(7) == 1
+
+    def test_resident_entry_keeps_its_slot(self):
+        # Pointer-based design (Figure 30): hits never move entries.
+        pred = WindowPredictor(4, 32)
+        for v in (1, 2, 3):
+            pred.update(v)
+        slot_before = pred.contents.index(2)
+        pred.update(2)  # hit
+        assert pred.contents.index(2) == slot_before
+
+    def test_match_prefers_last_slot(self):
+        pred = WindowPredictor(4, 32)
+        pred.update(5)
+        assert pred.match(5) == 0  # LAST, not the window slot
+
+    def test_match_returns_slot_plus_one(self):
+        pred = WindowPredictor(4, 32)
+        pred.update(5)
+        pred.update(6)
+        assert pred.match(5) == 1 + pred.contents.index(5)
+
+    def test_lookup_empty_slot_raises(self):
+        pred = WindowPredictor(4, 32)
+        with pytest.raises(ValueError):
+            pred.lookup(3)
+
+    def test_lookup_out_of_range(self):
+        pred = WindowPredictor(2, 32)
+        with pytest.raises(IndexError):
+            pred.lookup(5)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            WindowPredictor(0, 32)
+
+
+class TestWindowTranscoder:
+    def test_roundtrip_locality(self, local_trace):
+        coder = WindowTranscoder(8, 32)
+        assert np.array_equal(coder.roundtrip(local_trace).values, local_trace.values)
+
+    def test_roundtrip_random(self, rand_trace):
+        coder = WindowTranscoder(8, 32)
+        assert np.array_equal(coder.roundtrip(rand_trace).values, rand_trace.values)
+
+    def test_roundtrip_register_bus(self, gcc_register):
+        coder = WindowTranscoder(8, 32)
+        assert np.array_equal(
+            coder.roundtrip(gcc_register).values, gcc_register.values
+        )
+
+    def test_window_hit_costs_one_data_transition(self):
+        coder = WindowTranscoder(8, 32)
+        coder.reset()
+        coder.encode_value(100)
+        coder.encode_value(200)
+        before = coder.encode_value(300)
+        after = coder.encode_value(100)  # window hit (not LAST)
+        assert bin(before ^ after).count("1") <= 2  # codeword + control
+
+    def test_sizes_beyond_bus_width_use_weight_two_codes(self):
+        # 64 entries on a 32-bit bus forces weight-2 codewords; the
+        # coder must still round-trip.
+        trace = locality_trace(1500, working_set=60, seed=3)
+        coder = WindowTranscoder(64, 32)
+        assert np.array_equal(coder.roundtrip(trace).values, trace.values)
+
+    def test_savings_grow_with_window_on_reuse_heavy_traffic(self):
+        trace = locality_trace(
+            4000, repeat_fraction=0.1, reuse_fraction=0.6, working_set=24, seed=5
+        )
+        small = normalized_energy_removed(
+            trace, WindowTranscoder(2, 32).encode_trace(trace)
+        )
+        large = normalized_energy_removed(
+            trace, WindowTranscoder(32, 32).encode_trace(trace)
+        )
+        assert large > small
+
+    def test_saves_energy_on_reuse_heavy_traffic(self):
+        trace = locality_trace(
+            4000,
+            repeat_fraction=0.2,
+            reuse_fraction=0.6,
+            stride_fraction=0.1,
+            working_set=8,
+            seed=6,
+        )
+        phys = WindowTranscoder(8, 32).encode_trace(trace)
+        assert normalized_energy_removed(trace, phys) > 30.0
+
+    def test_random_traffic_roughly_breaks_even(self):
+        # No locality to exploit: the coder should not blow up the bus.
+        trace = random_trace(3000, seed=8)
+        saved = normalized_energy_removed(
+            trace, WindowTranscoder(8, 32).encode_trace(trace)
+        )
+        assert saved > -10.0

@@ -1,0 +1,129 @@
+"""Unit tests for the wires subpackage (paper Section 3)."""
+
+import pytest
+
+from repro.wires import (
+    TECH_007,
+    TECH_010,
+    TECH_013,
+    TECHNOLOGIES,
+    WireModel,
+    design_repeaters,
+    repeater_cap_per_mm,
+    technology_by_name,
+)
+
+
+class TestTechnologyRegistry:
+    def test_three_nodes(self):
+        assert [t.name for t in TECHNOLOGIES] == ["0.13um", "0.10um", "0.07um"]
+
+    def test_lookup_by_name_variants(self):
+        assert technology_by_name("0.13um") is TECH_013
+        assert technology_by_name("70nm") is TECH_007
+        assert technology_by_name("0.10") is TECH_010
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            technology_by_name("90nm")
+
+    def test_voltages_follow_itrs(self):
+        # Table 2's voltage column.
+        assert TECH_013.vdd == pytest.approx(1.2)
+        assert TECH_010.vdd == pytest.approx(1.1)
+        assert TECH_007.vdd == pytest.approx(0.9)
+
+    def test_unbuffered_lambda_matches_table1(self):
+        # Table 1: 14.0 / 16.6 / 14.5.
+        assert TECH_013.unbuffered_lambda == pytest.approx(14.0, rel=0.02)
+        assert TECH_010.unbuffered_lambda == pytest.approx(16.6, rel=0.02)
+        assert TECH_007.unbuffered_lambda == pytest.approx(14.5, rel=0.02)
+
+
+class TestRepeaters:
+    def test_count_grows_with_length(self):
+        short = design_repeaters(TECH_013, 5.0)
+        long = design_repeaters(TECH_013, 30.0)
+        assert long.count > short.count
+
+    def test_segment_length_roughly_constant(self):
+        a = design_repeaters(TECH_013, 15.0)
+        b = design_repeaters(TECH_013, 30.0)
+        assert a.segment_length_mm == pytest.approx(b.segment_length_mm, rel=0.3)
+
+    def test_repeater_size_is_tens_of_minimum(self):
+        # The paper: repeaters are 40-50x minimum inverters; our derated
+        # design stays in that regime.
+        design = design_repeaters(TECH_013, 20.0)
+        assert 20 < design.size < 120
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            design_repeaters(TECH_013, 0.0)
+
+    def test_long_wire_cap_converges_to_asymptote(self):
+        design = design_repeaters(TECH_013, 50.0)
+        assert design.cap_per_mm == pytest.approx(
+            repeater_cap_per_mm(TECH_013), rel=0.15
+        )
+
+
+class TestWireModel:
+    def test_buffered_lambda_matches_table1(self):
+        # Table 1: 0.670 / 0.576 / 0.591 (with repeaters).
+        targets = {TECH_013: 0.670, TECH_010: 0.576, TECH_007: 0.591}
+        for tech, target in targets.items():
+            lam = WireModel(tech, 30.0, buffered=True).effective_lambda
+            assert lam == pytest.approx(target, rel=0.08), tech.name
+
+    def test_energy_scales_linearly_with_length(self):
+        e10 = WireModel(TECH_013, 10.0).single_transition_energy
+        e30 = WireModel(TECH_013, 30.0).single_transition_energy
+        assert e30 == pytest.approx(3 * e10, rel=0.05)
+
+    def test_buffered_wire_costs_more_energy(self):
+        # Figure 5: repeaters add energy.
+        buffered = WireModel(TECH_013, 20.0, buffered=True)
+        bare = WireModel(TECH_013, 20.0, buffered=False)
+        assert buffered.single_transition_energy > bare.single_transition_energy
+
+    def test_energy_magnitude_matches_figure5(self):
+        # Repeater_013u is a few pJ at 30 mm.
+        energy = WireModel(TECH_013, 30.0).single_transition_energy
+        assert 3e-12 < energy < 8e-12
+
+    def test_smaller_technology_uses_less_energy(self):
+        e13 = WireModel(TECH_013, 20.0).single_transition_energy
+        e07 = WireModel(TECH_007, 20.0).single_transition_energy
+        assert e07 < e13
+
+    def test_unbuffered_delay_quadratic(self):
+        d10 = WireModel(TECH_013, 10.0, buffered=False).delay_seconds
+        d20 = WireModel(TECH_013, 20.0, buffered=False).delay_seconds
+        assert d20 == pytest.approx(4 * d10, rel=0.05)
+
+    def test_buffered_delay_linear(self):
+        d10 = WireModel(TECH_013, 10.0, buffered=True).delay_seconds
+        d30 = WireModel(TECH_013, 30.0, buffered=True).delay_seconds
+        assert d30 == pytest.approx(3 * d10, rel=0.25)
+
+    def test_repeaters_win_for_long_wires(self):
+        # Figure 6's motivation for repeaters.
+        buffered = WireModel(TECH_013, 30.0, buffered=True).delay_seconds
+        bare = WireModel(TECH_013, 30.0, buffered=False).delay_seconds
+        assert buffered < bare
+
+    def test_bus_energy_combines_tau_and_kappa(self):
+        wire = WireModel(TECH_013, 10.0)
+        energy = wire.bus_energy(tau=10, kappa=4)
+        expected = (
+            10 * wire.self_energy_per_transition + 4 * wire.coupling_energy_per_event
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            WireModel(TECH_013, -1.0)
+
+    def test_unbuffered_has_no_repeater_design(self):
+        assert WireModel(TECH_013, 5.0, buffered=False).repeater_design is None

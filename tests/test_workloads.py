@@ -1,0 +1,128 @@
+"""Unit tests for the SPEC95-substitute workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.traces import window_unique_fraction
+from repro.workloads import (
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    WORKLOADS,
+    locality_trace,
+    memory_trace,
+    random_trace,
+    register_trace,
+    run_workload,
+    suite_traces,
+    workload_names,
+)
+
+FAST = 4000
+
+
+class TestRegistry:
+    def test_seventeen_benchmarks(self):
+        assert len(WORKLOADS) == 17
+
+    def test_int_fp_partition(self):
+        assert set(INT_WORKLOADS) | set(FP_WORKLOADS) == set(WORKLOADS)
+        assert not set(INT_WORKLOADS) & set(FP_WORKLOADS)
+
+    def test_expected_names_present(self):
+        for name in ("gcc", "compress", "swim", "su2cor", "turb3d", "li"):
+            assert name in WORKLOADS
+
+    def test_workload_names_order(self):
+        names = workload_names()
+        assert names[: len(INT_WORKLOADS)] == list(INT_WORKLOADS)
+
+    def test_seeds_stable(self):
+        assert WORKLOADS["gcc"].seed == WORKLOADS["gcc"].seed
+        assert WORKLOADS["gcc"].seed != WORKLOADS["swim"].seed
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestEveryKernel:
+    def test_runs_and_produces_traces(self, name):
+        result = run_workload(name, FAST)
+        assert result.stats.instructions > 500
+        assert len(result.register_trace) == result.stats.cycles
+        # Every kernel loops longer than any trace budget.
+        assert not result.stats.halted
+
+    def test_traces_not_degenerate(self, name):
+        trace = register_trace(name, FAST)
+        assert trace.unique_values().size > 10
+
+
+class TestDeterminism:
+    def test_same_run_twice_identical(self):
+        run_workload.cache_clear()
+        first = register_trace("compress", FAST).values.copy()
+        run_workload.cache_clear()
+        second = register_trace("compress", FAST).values
+        assert np.array_equal(first, second)
+
+    def test_memoisation_returns_same_object(self):
+        assert run_workload("gcc", FAST) is run_workload("gcc", FAST)
+
+
+class TestSuiteTraces:
+    def test_selects_bus(self):
+        regs = suite_traces("register", ("gcc",), FAST)
+        mems = suite_traces("memory", ("gcc",), FAST)
+        assert not np.array_equal(regs["gcc"].values, mems["gcc"].values)
+
+    def test_rejects_unknown_bus(self):
+        with pytest.raises(ValueError):
+            suite_traces("axi", ("gcc",), FAST)
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(KeyError):
+            register_trace("spice", FAST)
+
+    def test_default_selects_all(self):
+        traces = suite_traces("register", None, FAST)
+        assert set(traces) == set(WORKLOADS)
+
+
+class TestSynthetic:
+    def test_random_trace_deterministic(self):
+        a = random_trace(100, seed=3).values
+        b = random_trace(100, seed=3).values
+        assert np.array_equal(a, b)
+
+    def test_random_trace_uses_full_width(self):
+        trace = random_trace(5000, width=32, seed=1)
+        assert int(trace.values.max()) > 2**31
+
+    def test_locality_trace_has_more_reuse_than_random(self):
+        local = locality_trace(3000, seed=2)
+        rand = random_trace(3000, seed=2)
+        assert window_unique_fraction(local, 16) < window_unique_fraction(rand, 16)
+
+    def test_locality_fraction_validation(self):
+        with pytest.raises(ValueError):
+            locality_trace(10, repeat_fraction=0.9, reuse_fraction=0.9)
+        with pytest.raises(ValueError):
+            locality_trace(10, repeat_fraction=-0.1)
+        with pytest.raises(ValueError):
+            locality_trace(10, working_set=0)
+
+    def test_pure_repeat_trace(self):
+        trace = locality_trace(
+            50, repeat_fraction=1.0, reuse_fraction=0.0, stride_fraction=0.0
+        )
+        assert trace.unique_values().size == 1
+
+
+class TestTraceCharacter:
+    def test_fp_kernels_touch_memory(self):
+        # Streaming FP kernels must produce live memory-bus traffic.
+        trace = memory_trace("swim", FAST)
+        assert trace.unique_values().size > 20
+
+    def test_int_kernels_have_register_reuse(self):
+        # Figure 8's premise: small windows catch real reuse.
+        trace = register_trace("m88ksim", FAST)
+        assert window_unique_fraction(trace, 16) < 0.6

@@ -4,10 +4,21 @@ from .budget import budget_curve, energy_budget
 from .crossover import CrossoverAnalysis, median_crossover
 from .experiments import (
     CrossoverCell,
+    SweepFailure,
+    SweepOutcome,
     crossover_table,
     headline_transition_savings,
+    isolated_suite_traces,
+    robust_savings_sweep,
     savings_for,
     savings_sweep,
+)
+from .faults_experiments import (
+    DEFAULT_POLICIES,
+    FaultCell,
+    FaultSweepResult,
+    faults_sweep,
+    format_faults_report,
 )
 from .figures import export_figures, write_csv
 from .reporting import fmt, format_series, format_table
@@ -22,6 +33,15 @@ __all__ = [
     "headline_transition_savings",
     "savings_for",
     "savings_sweep",
+    "SweepFailure",
+    "SweepOutcome",
+    "isolated_suite_traces",
+    "robust_savings_sweep",
+    "DEFAULT_POLICIES",
+    "FaultCell",
+    "FaultSweepResult",
+    "faults_sweep",
+    "format_faults_report",
     "export_figures",
     "write_csv",
     "fmt",

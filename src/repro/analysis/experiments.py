@@ -3,11 +3,21 @@
 Convenience entry points that the benches and examples share: savings
 sweeps across the workload suite, the Table 3 crossover matrix, and the
 paper's headline transition-savings number.
+
+The sweep paths are **hardened**: :func:`isolated_suite_traces` and
+:func:`robust_savings_sweep` give every workload its own error
+isolation boundary, so one kernel that assembles badly, trips the cycle
+watchdog or blows up mid-encode yields a structured
+:class:`SweepFailure` record instead of killing a whole overnight
+sweep.  The strict behaviour (first failure propagates) remains
+available via ``keep_going=False`` and is what the CLI's ``--strict``
+flag selects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +36,88 @@ __all__ = [
     "headline_transition_savings",
     "crossover_table",
     "CrossoverCell",
+    "SweepFailure",
+    "SweepOutcome",
+    "isolated_suite_traces",
+    "robust_savings_sweep",
 ]
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """Structured record of one isolated per-workload failure.
+
+    Attributes
+    ----------
+    workload:
+        The benchmark whose cell failed.
+    stage:
+        Where it failed (``"trace"``, ``"encode"``, or an
+        experiment-specific label such as ``"faults[reset-both, ber=1e-05]"``).
+    kind:
+        The exception class name.
+    message:
+        ``str(exception)``, one line.
+    detail:
+        Short traceback excerpt for post-mortems; never printed by the
+        default reports.
+    """
+
+    workload: str
+    stage: str
+    kind: str
+    message: str
+    detail: str = ""
+
+
+@dataclass
+class SweepOutcome:
+    """Curves that survived plus the failures that did not."""
+
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+    failures: List[SweepFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def isolated_suite_traces(
+    bus: str,
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+    keep_going: bool = True,
+) -> Tuple[Dict[str, BusTrace], List[SweepFailure]]:
+    """Like :func:`~repro.workloads.suite.suite_traces`, per-workload isolated.
+
+    Each benchmark's simulation runs inside its own try/except; a
+    failure (unknown name, assembly error, cycle-budget watchdog, ...)
+    becomes a :class:`SweepFailure` and the remaining benchmarks still
+    produce traces.  With ``keep_going=False`` the first failure
+    propagates unchanged (strict mode).
+    """
+    if names is None:
+        from ..workloads.programs import WORKLOADS
+
+        names = tuple(sorted(WORKLOADS))
+    traces: Dict[str, BusTrace] = {}
+    failures: List[SweepFailure] = []
+    for name in names:
+        try:
+            traces.update(suite_traces(bus, (name,), cycles))
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            if not keep_going:
+                raise
+            failures.append(
+                SweepFailure(
+                    workload=name,
+                    stage="trace",
+                    kind=type(exc).__name__,
+                    message=str(exc),
+                    detail=traceback.format_exc(limit=3),
+                )
+            )
+    return traces, failures
 
 
 def savings_for(trace: BusTrace, coder: Transcoder, lam: float = 1.0) -> float:
@@ -72,6 +163,46 @@ def headline_transition_savings(
     traces = suite_traces(bus, names, cycles)
     savings = [savings_for(t, coder_factory(), lam=0.0) for t in traces.values()]
     return float(np.mean(savings))
+
+
+def robust_savings_sweep(
+    bus: str,
+    coder_factory: Callable[[int], Transcoder],
+    parameter_values: Sequence[int],
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+    lam: float = 1.0,
+    keep_going: bool = True,
+) -> SweepOutcome:
+    """:func:`savings_sweep` with per-workload error isolation.
+
+    A benchmark that fails to simulate, or a coder that blows up on one
+    of its traces, contributes a :class:`SweepFailure` instead of
+    aborting the sweep; every other curve is still computed.  With
+    ``keep_going=False`` this behaves exactly like the strict
+    :func:`savings_sweep` (first failure propagates).
+    """
+    traces, failures = isolated_suite_traces(bus, names, cycles, keep_going)
+    outcome = SweepOutcome(failures=failures)
+    for name, trace in traces.items():
+        try:
+            outcome.curves[name] = [
+                savings_for(trace, coder_factory(value), lam)
+                for value in parameter_values
+            ]
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            if not keep_going:
+                raise
+            outcome.failures.append(
+                SweepFailure(
+                    workload=name,
+                    stage="encode",
+                    kind=type(exc).__name__,
+                    message=str(exc),
+                    detail=traceback.format_exc(limit=3),
+                )
+            )
+    return outcome
 
 
 @dataclass(frozen=True)

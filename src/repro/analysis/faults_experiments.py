@@ -1,0 +1,202 @@
+"""Net-savings-vs-BER experiments for the resilient transcoders.
+
+The paper's central question is an energy budget: how much bus energy
+does prediction remove, net of the machinery's own cost?  This module
+extends that question to a faulty bus: once a transcoder must carry a
+parity wire, occasionally retransmit raw values and periodically rebuild
+its dictionaries, how much of the savings survives at a given bit-error
+rate — and how long does each recovery policy leave the receiver
+desynchronised?
+
+The sweep runs every (workload, policy, BER) cell through the two-FSM
+co-simulation of :class:`~repro.faults.resilient.ResilientTranscoder`
+and reports, per cell:
+
+* net normalised energy removed vs. the un-encoded bus (equation 1,
+  coupling ratio ``lam``) — the coded bus here *includes* the parity
+  and NACK wires and all fault-recovery traffic;
+* the delivered-value correctness fraction;
+* detection count and mean cycles-to-recovery.
+
+Per-cell **error isolation**: one failing benchmark produces a
+structured :class:`SweepFailure` record instead of killing the sweep
+(``keep_going=True``, the default), matching the hardened-runner
+behaviour of :mod:`repro.analysis.experiments`.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..coding.base import Transcoder
+from ..energy.accounting import normalized_energy_removed
+from ..faults.models import BitFlips, FaultyChannel
+from ..faults.policies import RecoveryPolicy, resolve_policy
+from ..faults.resilient import ResilientRun, ResilientTranscoder
+from ..traces.trace import BusTrace
+from ..workloads.suite import DEFAULT_CYCLES
+from .experiments import SweepFailure, isolated_suite_traces
+from .reporting import format_table
+
+__all__ = [
+    "FaultCell",
+    "FaultSweepResult",
+    "DEFAULT_POLICIES",
+    "faults_sweep",
+    "format_faults_report",
+]
+
+#: Policy names swept by default, cheapest hardware first.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "reset-both",
+    "fallback-stateless",
+    "resync-on-error",
+)
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One (workload, policy, BER) cell of the sweep."""
+
+    workload: str
+    policy: str
+    ber: float
+    savings_pct: float  #: net normalised energy removed vs. un-encoded bus
+    correct_fraction: float  #: fraction of cycles delivered correctly
+    injected_cycles: int
+    detections: int
+    recoveries: int
+    mean_cycles_to_recovery: float  #: NaN when no episode closed
+
+
+@dataclass
+class FaultSweepResult:
+    """All cells plus the structured failure records."""
+
+    cells: List[FaultCell] = field(default_factory=list)
+    failures: List[SweepFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _seed_for(workload: str, policy: str, ber: float, seed: int) -> int:
+    """A stable per-cell RNG seed so cells are independently reproducible."""
+    return abs(hash((workload, policy, repr(ber)))) % (1 << 31) ^ seed
+
+
+def faults_sweep(
+    coder_factory: Callable[[], Transcoder],
+    bers: Sequence[float],
+    policies: Sequence[Union[str, RecoveryPolicy]] = DEFAULT_POLICIES,
+    bus: str = "register",
+    names: Optional[Tuple[str, ...]] = None,
+    cycles: int = DEFAULT_CYCLES,
+    lam: float = 1.0,
+    seed: int = 0,
+    keep_going: bool = True,
+    traces: Optional[Dict[str, BusTrace]] = None,
+) -> FaultSweepResult:
+    """Run the savings-vs-BER matrix for one coder across the suite.
+
+    Parameters
+    ----------
+    coder_factory:
+        Zero-argument factory for the transcoder under test (a fresh
+        instance per cell, so cells cannot contaminate each other).
+    bers:
+        Bit-error rates to inject (e.g. ``(1e-6, 1e-5, 1e-4)``).
+    policies:
+        Recovery policies (names or instances) to compare.
+    names / bus / cycles:
+        Workload selection, forwarded to the trace suite.  ``traces``
+        may instead supply pre-built traces keyed by name (used by the
+        tests to sweep synthetic streams).
+    keep_going:
+        When True (default), a failing cell is recorded as a
+        :class:`SweepFailure` and the sweep continues; when False the
+        first failure propagates.
+    """
+    result = FaultSweepResult()
+    if traces is None:
+        traces, trace_failures = isolated_suite_traces(
+            bus, names, cycles, keep_going=keep_going
+        )
+        result.failures.extend(trace_failures)
+    resolved = [resolve_policy(p) for p in policies]
+    for workload, trace in traces.items():
+        for policy in resolved:
+            for ber in bers:
+                try:
+                    coder = ResilientTranscoder(coder_factory(), policy)
+                    channel = FaultyChannel(
+                        BitFlips(ber, seed=_seed_for(workload, policy.name, ber, seed))
+                    )
+                    run: ResilientRun = coder.run(trace, channel)
+                    savings = normalized_energy_removed(trace, run.physical, lam)
+                    result.cells.append(
+                        FaultCell(
+                            workload=workload,
+                            policy=policy.name,
+                            ber=float(ber),
+                            savings_pct=savings,
+                            correct_fraction=run.correct_fraction,
+                            injected_cycles=run.injected_cycles,
+                            detections=len(run.detections),
+                            recoveries=len(run.recoveries),
+                            mean_cycles_to_recovery=run.mean_cycles_to_recovery,
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    if not keep_going:
+                        raise
+                    result.failures.append(
+                        SweepFailure(
+                            workload=workload,
+                            stage=f"faults[{policy.name}, ber={ber:g}]",
+                            kind=type(exc).__name__,
+                            message=str(exc),
+                            detail=traceback.format_exc(limit=3),
+                        )
+                    )
+    return result
+
+
+def format_faults_report(result: FaultSweepResult, title: str = "") -> str:
+    """Render the sweep as the two tables the CLI prints.
+
+    Table 1: per-cell net savings and recovery statistics.  Table 2
+    (only when present): the structured failure records.
+    """
+    rows = [
+        (
+            cell.workload,
+            cell.policy,
+            f"{cell.ber:g}",
+            round(cell.savings_pct, 2),
+            round(100.0 * cell.correct_fraction, 3),
+            cell.detections,
+            "-" if math.isnan(cell.mean_cycles_to_recovery)
+            else round(cell.mean_cycles_to_recovery, 1),
+        )
+        for cell in result.cells
+    ]
+    out = format_table(
+        ["workload", "policy", "BER", "net savings %", "correct %", "detects", "cycles to recover"],
+        rows,
+        title=title or "net savings vs BER",
+    )
+    if result.failures:
+        failure_rows = [
+            (f.workload, f.stage, f.kind, f.message[:60]) for f in result.failures
+        ]
+        out += "\n" + format_table(
+            ["workload", "stage", "error", "message"],
+            failure_rows,
+            title="failed cells (isolated)",
+        )
+    return out

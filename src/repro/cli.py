@@ -2,25 +2,37 @@
 
 Gives shell access to the library's main entry points:
 
-* ``workloads`` — list the benchmark suite;
-* ``run``       — execute a kernel, print pipeline statistics;
-* ``stats``     — trace statistics (the Figure 7/8 quantities);
-* ``encode``    — apply a coding scheme, print activity and savings;
-* ``compare``   — all coding schemes side by side on one trace;
-* ``crossover`` — break-even wire length for the window transcoder;
+* ``workloads``    — list the benchmark suite;
+* ``run``          — execute a kernel, print pipeline statistics;
+* ``stats``        — trace statistics (the Figure 7/8 quantities);
+* ``encode``       — apply a coding scheme, print activity and savings;
+* ``compare``      — all coding schemes side by side on one trace;
+* ``crossover``    — break-even wire length for the window transcoder;
+* ``faults-sweep`` — net savings vs bit-error rate per recovery policy;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables.
+
+Trace-consuming commands accept ``--trace PATH`` to analyse a saved
+``.npz`` trace instead of simulating a workload.
+
+User errors (unknown coder or workload, unreadable or tampered trace
+files, a tripped cycle watchdog) exit with code 1 and a one-line
+``repro: error: ...`` message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional
 
 from .analysis import (
     CrossoverAnalysis,
+    DEFAULT_POLICIES,
     export_figures,
     crossover_table,
+    faults_sweep,
+    format_faults_report,
     format_table,
     savings_for,
 )
@@ -35,15 +47,19 @@ from .coding import (
     Transcoder,
     WindowTranscoder,
 )
+from .cpu import CycleBudgetExceeded
 from .energy import count_activity
 from .hardware import table2_summaries
-from .traces import coverage_at, toggle_rate, window_unique_fraction
+from .traces import TraceFormatError, coverage_at, load_trace, toggle_rate, window_unique_fraction
 from .wires import TECHNOLOGIES, WireModel, technology_by_name
-from .workloads import WORKLOADS, run_workload, suite_traces
+from .workloads import EXTENDED_WORKLOADS, WORKLOADS, run_workload, suite_traces
 
 __all__ = ["main"]
 
 BUSES = ("register", "memory", "address", "result")
+
+#: Default workload trio for the fault sweep: two int kernels and one fp.
+FAULT_SWEEP_WORKLOADS = ("gcc", "ijpeg", "swim")
 
 
 def _build_coder(name: str, size: int, width: int = 32) -> Transcoder:
@@ -65,7 +81,38 @@ def _build_coder(name: str, size: int, width: int = 32) -> Transcoder:
         ) from None
 
 
+def _parse_coder_spec(spec: str, width: int = 32) -> Transcoder:
+    """Build a coder from a compact spec like ``window8`` or ``stride4``.
+
+    A trailing integer is the size parameter (default 8); the leading
+    word is the coder family passed to :func:`_build_coder`.
+    """
+    match = re.fullmatch(r"([a-z]+)(\d+)?", spec.strip().lower())
+    if not match:
+        raise ValueError(
+            f"bad coder spec {spec!r}; expected a name with an optional "
+            f"size suffix, e.g. window8"
+        )
+    name, size = match.group(1), int(match.group(2) or 8)
+    return _build_coder(name, size, width)
+
+
+def _parse_float_list(spec: str, flag: str) -> List[float]:
+    try:
+        values = [float(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"{flag} expects a comma-separated list of numbers, got {spec!r}") from None
+    if not values:
+        raise ValueError(f"{flag} expects at least one value")
+    return values
+
+
 def _trace_for(args: argparse.Namespace):
+    path = getattr(args, "trace", None)
+    if path:
+        return load_trace(path)
+    if not args.workload:
+        raise ValueError("provide a workload name or --trace PATH")
     result = run_workload(args.workload, args.cycles)
     return getattr(result, f"{args.bus}_trace")
 
@@ -202,6 +249,44 @@ def _cmd_table3(args: argparse.Namespace) -> None:
     print(format_table(["Technology", "Entries", "Suite", "Median mm"], rows))
 
 
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    bers = _parse_float_list(args.ber, "--ber")
+    for ber in bers:
+        if not 0.0 <= ber < 1.0:
+            raise ValueError(f"--ber values must be in [0, 1), got {ber:g}")
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        raise ValueError("--policies expects at least one policy name")
+    workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+    for workload in workloads:
+        if workload not in WORKLOADS and workload not in EXTENDED_WORKLOADS:
+            raise ValueError(
+                f"unknown workload {workload!r}; see `repro workloads`"
+            )
+    # Validate the coder spec once up front (fail fast before simulating).
+    _parse_coder_spec(args.coder)
+    result = faults_sweep(
+        coder_factory=lambda: _parse_coder_spec(args.coder),
+        bers=bers,
+        policies=policies,
+        bus=args.bus,
+        names=workloads,
+        cycles=args.cycles,
+        lam=args.lam,
+        seed=args.seed,
+        keep_going=not args.strict,
+    )
+    title = f"{args.coder} on {args.bus} bus ({', '.join(workloads)})"
+    print(format_faults_report(result, title=title))
+    if result.failures:
+        print(
+            f"repro: {len(result.failures)} cell(s) failed; see table above",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,7 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.set_defaults(func=func)
         if workload:
-            cmd.add_argument("workload", choices=sorted(WORKLOADS))
+            if bus:
+                # Trace-consuming commands can read a saved trace file
+                # instead of simulating a workload.
+                cmd.add_argument("workload", nargs="?", choices=sorted(WORKLOADS))
+                cmd.add_argument(
+                    "--trace",
+                    metavar="PATH",
+                    help="analyse a saved .npz trace instead of a workload",
+                )
+            else:
+                cmd.add_argument("workload", choices=sorted(WORKLOADS))
         if bus:
             cmd.add_argument("--bus", choices=BUSES, default="register")
         cmd.add_argument("--cycles", type=int, default=30_000)
@@ -245,13 +340,78 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("directory")
     figures.add_argument("--cycles", type=int, default=10_000)
 
+    faults = sub.add_parser(
+        "faults-sweep",
+        help="net savings vs bit-error rate per recovery policy",
+    )
+    faults.set_defaults(func=_cmd_faults_sweep)
+    faults.add_argument(
+        "--coder",
+        default="window8",
+        help="coder spec, family plus size suffix (default window8)",
+    )
+    faults.add_argument(
+        "--ber",
+        default="1e-6,1e-5,1e-4",
+        help="comma-separated bit-error rates to inject",
+    )
+    faults.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help=f"comma-separated recovery policies (default {','.join(DEFAULT_POLICIES)})",
+    )
+    faults.add_argument(
+        "--workloads",
+        default=",".join(FAULT_SWEEP_WORKLOADS),
+        help=f"comma-separated benchmarks (default {','.join(FAULT_SWEEP_WORKLOADS)})",
+    )
+    faults.add_argument("--bus", choices=BUSES, default="register")
+    faults.add_argument("--cycles", type=int, default=20_000)
+    faults.add_argument("--lam", type=float, default=1.0)
+    faults.add_argument("--seed", type=int, default=0)
+    strictness = faults.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first failing cell instead of recording it",
+    )
+    strictness.add_argument(
+        "--keep-going",
+        dest="strict",
+        action="store_false",
+        help="isolate per-cell failures and finish the sweep (default)",
+    )
+    faults.set_defaults(strict=False)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point.  Returns 0 on success, 1 on a handled user error.
+
+    Argparse-level errors (unknown command, bad choices) keep raising
+    ``SystemExit`` as before; runtime user errors — unknown workload or
+    coder reaching the library, unreadable or tampered trace files, a
+    tripped cycle watchdog — are reported as a one-line message on
+    stderr with exit code 1 instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    try:
+        code = args.func(args)
+    except (
+        FileNotFoundError,
+        NotADirectoryError,
+        PermissionError,
+        IsADirectoryError,
+        CycleBudgetExceeded,
+        TraceFormatError,
+        KeyError,
+        ValueError,
+    ) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 1
+    return int(code) if code else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -8,6 +8,7 @@ physical traces through :mod:`repro.energy`.
 
 from .base import IdentityTranscoder, Transcoder
 from .codebook import adjacent_pairs, codeword_table, hamming_weight, iter_codewords
+from .errors import CodeIndexError, DesyncError
 from .transition import TransitionCoder
 from .predictive import (
     CTRL_CODE,
@@ -39,6 +40,8 @@ from .fcm import FCMPredictor, FCMTranscoder
 __all__ = [
     "Transcoder",
     "IdentityTranscoder",
+    "DesyncError",
+    "CodeIndexError",
     "TransitionCoder",
     "Predictor",
     "PredictiveTranscoder",

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from .errors import CodeIndexError, DesyncError
 from .predictive import Predictor, PredictiveTranscoder
 
 __all__ = [
@@ -146,10 +147,12 @@ class ContextPredictor(Predictor):
         else:
             slot = index - 1 - self.table_size
             if slot >= self.shift_size:
-                raise IndexError(f"code index {index} out of range")
+                raise CodeIndexError(
+                    f"code index {index} out of range 0..{self.num_codes - 1}"
+                )
             entry = self._sr[slot]
         if entry is None:
-            raise ValueError(f"code index {index} names an empty entry; out of sync")
+            raise DesyncError(f"code index {index} names an empty entry; out of sync")
         return self._tag_value(entry.tag)
 
     def update(self, value: int) -> None:

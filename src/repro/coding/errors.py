@@ -1,0 +1,88 @@
+"""Typed desynchronisation errors for the transcoder pair.
+
+Every stateful scheme in :mod:`repro.coding` relies on the lock-step
+encoder/decoder symmetry described in :mod:`repro.coding.base` — both
+FSMs evolve from the same value stream, so they agree on every
+dictionary slot and codeword assignment.  A single corrupted wire state
+breaks that symmetry *permanently*: the decoder's next dictionary
+update diverges from the encoder's, and sooner or later the decoder is
+asked to look up a code index that names an empty (or differently
+populated) slot.
+
+Historically those conditions surfaced as bare ``ValueError`` /
+``IndexError`` raised deep inside a predictor's ``lookup``.  The fault
+subsystem (:mod:`repro.faults`) needs to *catch and classify* them, so
+they are now typed:
+
+* :class:`DesyncError` — the decoder has observed evidence that the two
+  FSMs diverged.  Subclasses ``ValueError`` so existing ``except
+  ValueError`` call sites keep working.
+* :class:`CodeIndexError` — the specific case of a code index outside
+  the predictor's range.  Additionally subclasses ``IndexError`` for
+  backwards compatibility with the historical signal.
+
+Both carry the offending ``coder`` name and the decode ``cycle`` when
+known; :class:`~repro.coding.predictive.PredictiveTranscoder` fills
+those in as the error propagates out of the predictor (which knows
+neither).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["DesyncError", "CodeIndexError"]
+
+
+class DesyncError(ValueError):
+    """Encoder and decoder FSMs are (or appear to be) out of sync.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the evidence.
+    coder:
+        Name of the transcoder whose decoder detected the condition
+        (filled in by the transcoder if the predictor does not know it).
+    cycle:
+        0-based decode cycle index at which the condition was detected,
+        when known.
+    """
+
+    def __init__(self, message: str, coder: str = "", cycle: Optional[int] = None):
+        super().__init__(message)
+        self.message = message
+        self.coder = coder
+        self.cycle = cycle
+
+    def annotate(self, coder: str = "", cycle: Optional[int] = None) -> "DesyncError":
+        """Fill in ``coder``/``cycle`` if not already known; returns self.
+
+        Used by the transcoder layer: predictors raise with neither
+        field set, and :meth:`PredictiveTranscoder.decode_state` adds
+        its own name and running cycle count before re-raising.
+        """
+        if coder and not self.coder:
+            self.coder = coder
+        if cycle is not None and self.cycle is None:
+            self.cycle = cycle
+        return self
+
+    def __str__(self) -> str:
+        where = []
+        if self.coder:
+            where.append(self.coder)
+        if self.cycle is not None:
+            where.append(f"cycle {self.cycle}")
+        if where:
+            return f"[{' @ '.join(where)}] {self.message}"
+        return self.message
+
+
+class CodeIndexError(DesyncError, IndexError):
+    """A code index outside the predictor's assigned range.
+
+    This is still a desync signal (a synchronised encoder never emits
+    such an index) but keeps ``IndexError`` in its MRO because that is
+    what these paths raised historically.
+    """

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .errors import CodeIndexError, DesyncError
 from .predictive import Predictor, PredictiveTranscoder
 
 __all__ = ["FCMPredictor", "FCMTranscoder"]
@@ -84,10 +85,10 @@ class FCMPredictor(Predictor):
             return self.last
         row = index - 1
         if not 0 <= row < self.table_size:
-            raise IndexError(f"context row {row} out of range")
+            raise CodeIndexError(f"context row {row} out of range 0..{self.table_size - 1}")
         value = self._table[row]
         if value is None:
-            raise ValueError(f"context row {row} is empty; streams out of sync")
+            raise DesyncError(f"context row {row} is empty; streams out of sync")
         return value
 
     def update(self, value: int) -> None:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from .base import Transcoder
 from .codebook import codeword_table
+from .errors import DesyncError
 
 __all__ = ["Predictor", "PredictiveTranscoder", "CTRL_CODE", "CTRL_RAW", "CTRL_RAW_INVERTED"]
 
@@ -108,6 +109,7 @@ class PredictiveTranscoder(Transcoder):
         self.predictor.reset()
         self._data_state = 0
         self._ctrl_state = CTRL_CODE
+        self._decode_cycle = 0  # decode calls since reset, for error reports
 
     # -- helpers ---------------------------------------------------------
     #
@@ -171,25 +173,32 @@ class PredictiveTranscoder(Transcoder):
 
     def decode_state(self, state: int) -> int:
         data, ctrl = self._unpack(state)
-        if self.silent_last and data == self._data_state and ctrl == self._ctrl_state:
-            # Silent bus: the LAST value repeats.
-            value = self.predictor.lookup(0)
-        elif ctrl == CTRL_CODE:
-            codeword = data ^ self._data_state
-            try:
-                index = self._code_to_index[codeword]
-            except KeyError:
-                raise ValueError(
-                    f"received unassigned codeword {codeword:#x}; encoder/decoder out of sync"
-                ) from None
-            value = self.predictor.lookup(index)
-        elif ctrl == CTRL_RAW:
-            value = data
-        elif ctrl == CTRL_RAW_INVERTED:
-            value = ~data & self._mask
-        else:
-            raise ValueError(f"invalid control state {ctrl:#b}")
+        cycle = self._decode_cycle
+        try:
+            if self.silent_last and data == self._data_state and ctrl == self._ctrl_state:
+                # Silent bus: the LAST value repeats.
+                value = self.predictor.lookup(0)
+            elif ctrl == CTRL_CODE:
+                codeword = data ^ self._data_state
+                try:
+                    index = self._code_to_index[codeword]
+                except KeyError:
+                    raise DesyncError(
+                        f"received unassigned codeword {codeword:#x}; "
+                        f"encoder/decoder out of sync"
+                    ) from None
+                value = self.predictor.lookup(index)
+            elif ctrl == CTRL_RAW:
+                value = data
+            elif ctrl == CTRL_RAW_INVERTED:
+                value = ~data & self._mask
+            else:
+                raise DesyncError(f"invalid control state {ctrl:#b}")
+        except DesyncError as exc:
+            # Predictors know neither the coder nor the cycle; add both.
+            raise exc.annotate(coder=type(self).__name__, cycle=cycle)
         self.predictor.update(value)
         self._data_state = data
         self._ctrl_state = ctrl
+        self._decode_cycle = cycle + 1
         return value

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .errors import CodeIndexError
 from .predictive import Predictor, PredictiveTranscoder
 
 __all__ = ["StridePredictor", "StrideTranscoder"]
@@ -56,7 +57,9 @@ class StridePredictor(Predictor):
         if index == 0:
             return self.last
         if not 1 <= index <= self.num_strides:
-            raise IndexError(f"stride slot {index} out of range 0..{self.num_strides}")
+            raise CodeIndexError(
+                f"stride slot {index} out of range 0..{self.num_strides}"
+            )
         return self._predict_stride(index)
 
     def update(self, value: int) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .errors import CodeIndexError, DesyncError
 from .predictive import Predictor, PredictiveTranscoder
 
 __all__ = ["WindowPredictor", "WindowTranscoder"]
@@ -50,10 +51,10 @@ class WindowPredictor(Predictor):
             return self.last
         slot = index - 1
         if not 0 <= slot < self.size:
-            raise IndexError(f"window slot {slot} out of range")
+            raise CodeIndexError(f"window slot {slot} out of range 0..{self.size - 1}")
         value = self._slots[slot]
         if value is None:
-            raise ValueError(f"window slot {slot} is empty; streams out of sync")
+            raise DesyncError(f"window slot {slot} is empty; streams out of sync")
         return value
 
     def update(self, value: int) -> None:

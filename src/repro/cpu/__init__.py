@@ -5,7 +5,7 @@ from .assembler import AssemblyError, assemble
 from .memory import Memory, PAGE_SIZE
 from .buses import BusTimingGenerator
 from .pipeline import Cache, DirectMappedCache, Pipeline, PipelineConfig, RunStats
-from .machine import Machine, SimulationResult
+from .machine import CycleBudgetExceeded, Machine, SimulationResult
 
 __all__ = [
     "Instruction",
@@ -25,4 +25,5 @@ __all__ = [
     "RunStats",
     "Machine",
     "SimulationResult",
+    "CycleBudgetExceeded",
 ]

@@ -12,7 +12,7 @@ SimpleScalar).  Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from ..traces.trace import BusTrace
@@ -21,7 +21,28 @@ from .isa import Instruction
 from .memory import Memory
 from .pipeline import Pipeline, PipelineConfig, RunStats
 
-__all__ = ["Machine", "SimulationResult"]
+__all__ = ["Machine", "SimulationResult", "CycleBudgetExceeded"]
+
+
+class CycleBudgetExceeded(RuntimeError):
+    """A simulation burned its whole cycle budget without halting.
+
+    Raised by :meth:`Machine.run` when a ``watchdog_cycles`` budget is
+    given and the pipeline reaches it still running — the signature of
+    a runaway kernel (a bad branch target, an unbounded loop, a stuck
+    cache state).  Carries the run's :class:`RunStats` so the hardened
+    sweep runner can log how far the run got before being put down.
+    """
+
+    def __init__(self, budget: int, stats: RunStats, name: str = ""):
+        self.budget = budget
+        self.stats = stats
+        self.name = name
+        label = f" in {name!r}" if name else ""
+        super().__init__(
+            f"simulation{label} hit the {budget}-cycle watchdog without halting "
+            f"({stats.instructions} instructions retired)"
+        )
 
 
 @dataclass(frozen=True)
@@ -58,10 +79,33 @@ class Machine:
         self.config = config if config is not None else PipelineConfig()
         self.name = name
 
-    def run(self) -> SimulationResult:
-        """Execute the program and render all four bus traces."""
-        pipeline = Pipeline(self.program, self.memory, self.config)
+    def run(self, watchdog_cycles: Optional[int] = None) -> SimulationResult:
+        """Execute the program and render all four bus traces.
+
+        Parameters
+        ----------
+        watchdog_cycles:
+            Optional hard cycle budget for runaway protection.  The
+            pipeline is clamped to it, and if the budget is exhausted
+            while the program is still running,
+            :class:`CycleBudgetExceeded` is raised instead of silently
+            returning a truncated result.  ``None`` (the default)
+            preserves the historical behaviour — many workloads are
+            *designed* to run to ``config.max_cycles`` to fill a trace.
+        """
+        config = self.config
+        if watchdog_cycles is not None:
+            if watchdog_cycles < 1:
+                raise ValueError(f"watchdog_cycles must be >= 1, got {watchdog_cycles}")
+            config = replace(config, max_cycles=min(config.max_cycles, watchdog_cycles))
+        pipeline = Pipeline(self.program, self.memory, config)
         stats = pipeline.run()
+        if (
+            watchdog_cycles is not None
+            and not stats.halted
+            and stats.cycles >= watchdog_cycles
+        ):
+            raise CycleBudgetExceeded(watchdog_cycles, stats, self.name)
         cycles = max(stats.cycles, 1)
         traces = {
             "register": pipeline.register_bus.render(cycles),

@@ -1,0 +1,67 @@
+"""Fault injection and resilience for bus transcoders.
+
+The lock-step encoder/decoder symmetry that every stateful scheme in
+:mod:`repro.coding` relies on is exactly what a real on-chip bus cannot
+guarantee: transient timing errors, crosstalk glitches and supply droop
+all corrupt wire states in flight, and a single corrupted state
+desynchronises a dictionary-based transcoder *permanently*.
+
+This package quantifies that fragility and prices the cure:
+
+* :mod:`repro.faults.models` — deterministic, seeded fault injectors
+  (bit flips at a BER, stuck-at wires, bursts, droop) behind a
+  :class:`FaultyChannel`;
+* :mod:`repro.faults.policies` — recovery policies built on common
+  knowledge between the two FSMs (scheduled joint resets, NACK-driven
+  stateless fallback, NACK-driven resync);
+* :mod:`repro.faults.resilient` — the :class:`ResilientTranscoder`
+  wrapper adding a parity wire (charged by the energy model), desync
+  detection, and policy-driven recovery, plus the honest two-FSM
+  co-simulation in :meth:`ResilientTranscoder.run`.
+
+The net-savings-vs-BER experiment lives in
+:mod:`repro.analysis.faults_experiments` and is exposed as
+``repro faults-sweep`` on the command line.
+"""
+
+from .models import (
+    BitFlips,
+    Burst,
+    Compose,
+    Droop,
+    FaultModel,
+    FaultyChannel,
+    NoFaults,
+    Scripted,
+    StuckAt,
+)
+from .policies import (
+    POLICIES,
+    FallbackStateless,
+    RecoveryPolicy,
+    ResetBoth,
+    ResyncOnError,
+    resolve_policy,
+)
+from .resilient import RecoveryEvent, ResilientRun, ResilientTranscoder
+
+__all__ = [
+    "FaultModel",
+    "NoFaults",
+    "BitFlips",
+    "StuckAt",
+    "Burst",
+    "Droop",
+    "Scripted",
+    "Compose",
+    "FaultyChannel",
+    "RecoveryPolicy",
+    "ResetBoth",
+    "FallbackStateless",
+    "ResyncOnError",
+    "POLICIES",
+    "resolve_policy",
+    "ResilientTranscoder",
+    "ResilientRun",
+    "RecoveryEvent",
+]

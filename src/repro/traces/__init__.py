@@ -9,9 +9,10 @@ from .stats import (
     window_unique_curve,
     window_unique_fraction,
 )
-from .io import load_trace, load_traces, save_trace, save_traces
+from .io import TraceFormatError, load_trace, load_traces, save_trace, save_traces
 
 __all__ = [
+    "TraceFormatError",
     "BusTrace",
     "coverage_at",
     "toggle_rate",

@@ -3,6 +3,12 @@
 Traces are stored as NumPy ``.npz`` archives carrying the values plus
 the width/name/initial metadata, so a CPU-simulation run (the expensive
 part of the pipeline) can be captured once and re-analysed many times.
+
+Loading **validates**: a corrupt, truncated, tampered or wrong-width
+file raises :class:`TraceFormatError` naming the offending path,
+instead of letting a raw ``zipfile``/NumPy/JSON traceback escape into
+whatever sweep was reading the archive.  A genuinely missing file still
+raises the standard ``FileNotFoundError``.
 """
 
 from __future__ import annotations
@@ -14,7 +20,23 @@ import numpy as np
 
 from .trace import BusTrace
 
-__all__ = ["save_trace", "load_trace", "save_traces", "load_traces"]
+__all__ = ["TraceFormatError", "save_trace", "load_trace", "save_traces", "load_traces"]
+
+#: Archive members a trace file must carry.
+_REQUIRED_KEYS = ("values", "width", "initial", "name")
+
+
+class TraceFormatError(ValueError):
+    """A trace file exists but cannot be decoded as a saved trace.
+
+    Carries the offending ``path`` and a one-line ``reason``; the
+    string form is suitable for direct CLI display.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"{path}: not a valid trace file ({reason})")
 
 
 def save_trace(trace: BusTrace, path: str) -> None:
@@ -29,14 +51,64 @@ def save_trace(trace: BusTrace, path: str) -> None:
 
 
 def load_trace(path: str) -> BusTrace:
-    """Read a trace previously written by :func:`save_trace`."""
-    with np.load(path, allow_pickle=False) as data:
-        return BusTrace(
-            values=data["values"],
-            width=int(data["width"]),
-            initial=int(data["initial"]),
-            name=str(data["name"]),
-        )
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    TraceFormatError
+        If the file exists but is corrupt, truncated, missing archive
+        members, carries a non-1-D value array, or declares a width
+        outside 1..64 (or too narrow for its values).
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such trace file: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise TraceFormatError(path, f"unreadable archive: {exc}") from exc
+    try:
+        with archive as data:
+            missing = [key for key in _REQUIRED_KEYS if key not in data.files]
+            if missing:
+                raise TraceFormatError(
+                    path, f"missing archive member(s): {', '.join(missing)}"
+                )
+            try:
+                values = np.asarray(data["values"])
+                width = int(data["width"])
+                initial = int(data["initial"])
+                name = str(data["name"])
+            except TraceFormatError:
+                raise
+            except Exception as exc:  # truncated member, bad dtype, ...
+                raise TraceFormatError(path, f"corrupt archive member: {exc}") from exc
+            if values.ndim != 1:
+                raise TraceFormatError(
+                    path, f"values must be 1-D, got shape {values.shape}"
+                )
+            if not np.issubdtype(values.dtype, np.integer):
+                raise TraceFormatError(
+                    path, f"values must be an integer array, got dtype {values.dtype}"
+                )
+            if not 1 <= width <= 64:
+                raise TraceFormatError(path, f"width must be 1..64, got {width}")
+            values = values.astype(np.uint64, copy=False)
+            if len(values) and int(values.max()) >> width:
+                raise TraceFormatError(
+                    path,
+                    f"values exceed the declared {width}-bit width "
+                    f"(max value {int(values.max()):#x})",
+                )
+            try:
+                return BusTrace(values=values, width=width, initial=initial, name=name)
+            except ValueError as exc:
+                raise TraceFormatError(path, str(exc)) from exc
+    except TraceFormatError:
+        raise
+    except Exception as exc:  # defensive: decompression errors on read
+        raise TraceFormatError(path, f"corrupt archive: {exc}") from exc
 
 
 def save_traces(traces: Iterable[BusTrace], directory: str) -> List[str]:
@@ -56,7 +128,12 @@ def save_traces(traces: Iterable[BusTrace], directory: str) -> List[str]:
 
 
 def load_traces(directory: str) -> Dict[str, BusTrace]:
-    """Load every ``.npz`` trace in ``directory``, keyed by trace name."""
+    """Load every ``.npz`` trace in ``directory``, keyed by trace name.
+
+    Propagates :class:`TraceFormatError` (naming the bad file) so a
+    single tampered archive in a results directory is reported rather
+    than silently skipped or crashing with a zip traceback.
+    """
     traces: Dict[str, BusTrace] = {}
     for entry in sorted(os.listdir(directory)):
         if entry.endswith(".npz"):

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.traces import BusTrace, save_trace
 
 FAST = ["--cycles", "4000"]
 
@@ -11,6 +13,14 @@ def run_cli(capsys, *argv):
     code = main(list(argv))
     assert code == 0
     return capsys.readouterr().out
+
+
+def run_cli_error(capsys, *argv):
+    """Run a command expected to fail: returns the stderr line."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 1
+    return captured.err
 
 
 class TestCommands:
@@ -66,6 +76,97 @@ class TestCommands:
         out = run_cli(capsys, "table2", "gcc", *FAST)
         assert "InvertCoder" in out
         assert "Op pJ" in out
+
+
+class TestFaultsSweepCommand:
+    def test_runs_end_to_end_on_three_workloads(self, capsys):
+        """Acceptance: the documented invocation completes on >= 3
+        workloads without crashing."""
+        out = run_cli(
+            capsys,
+            "faults-sweep",
+            "--coder", "window8",
+            "--ber", "1e-6,1e-5,1e-4",
+            "--cycles", "2000",
+        )
+        for name in ("gcc", "ijpeg", "swim"):
+            assert name in out
+        for policy in ("reset-both", "fallback-stateless", "resync-on-error"):
+            assert policy in out
+        assert "net savings %" in out
+        assert "cycles to recover" in out
+
+    def test_custom_policies_and_workloads(self, capsys):
+        out = run_cli(
+            capsys,
+            "faults-sweep",
+            "--workloads", "gcc",
+            "--policies", "resync-on-error",
+            "--ber", "1e-4",
+            "--cycles", "1500",
+        )
+        assert "resync-on-error" in out
+        assert "reset-both" not in out
+
+    def test_bad_ber_is_one_line_error(self, capsys):
+        err = run_cli_error(capsys, "faults-sweep", "--ber", "2.0")
+        assert err.startswith("repro: error:")
+        assert "[0, 1)" in err
+
+    def test_unparsable_ber_list(self, capsys):
+        err = run_cli_error(capsys, "faults-sweep", "--ber", "lots")
+        assert "comma-separated" in err
+
+    def test_unknown_workload_is_one_line_error(self, capsys):
+        err = run_cli_error(capsys, "faults-sweep", "--workloads", "spice")
+        assert err.startswith("repro: error:")
+        assert "spice" in err
+
+    def test_bad_coder_spec_is_one_line_error(self, capsys):
+        err = run_cli_error(capsys, "faults-sweep", "--coder", "w!ndow")
+        assert err.startswith("repro: error:")
+        assert "coder spec" in err
+
+
+class TestTraceOption:
+    def _trace_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        trace = BusTrace.from_values(
+            rng.integers(0, 1 << 20, size=500), width=32, name="canned"
+        )
+        path = str(tmp_path / "canned.npz")
+        save_trace(trace, path)
+        return path
+
+    def test_stats_reads_saved_trace(self, capsys, tmp_path):
+        path = self._trace_file(tmp_path)
+        out = run_cli(capsys, "stats", "--trace", path)
+        assert "canned" in out
+        assert "toggle rate" in out
+
+    def test_encode_reads_saved_trace(self, capsys, tmp_path):
+        path = self._trace_file(tmp_path)
+        out = run_cli(capsys, "encode", "--trace", path, "--coder", "window")
+        assert "energy removed" in out
+
+    def test_missing_trace_file_is_one_line_error(self, capsys, tmp_path):
+        err = run_cli_error(
+            capsys, "stats", "--trace", str(tmp_path / "nope.npz")
+        )
+        assert err.startswith("repro: error:")
+        assert "nope.npz" in err
+
+    def test_tampered_trace_file_is_one_line_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an archive")
+        err = run_cli_error(capsys, "stats", "--trace", str(bad))
+        assert err.startswith("repro: error:")
+        assert "not a valid trace file" in err
+        assert "Traceback" not in err
+
+    def test_neither_workload_nor_trace_is_one_line_error(self, capsys):
+        err = run_cli_error(capsys, "stats")
+        assert "workload name or --trace" in err
 
 
 class TestParser:

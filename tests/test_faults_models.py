@@ -1,0 +1,177 @@
+"""Unit tests for the fault models and the faulty channel."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BitFlips,
+    Burst,
+    Compose,
+    Droop,
+    FaultyChannel,
+    NoFaults,
+    Scripted,
+    StuckAt,
+)
+from repro.traces import BusTrace
+
+
+def _flip_cycles(model, cycles=2000, width=32, state=0):
+    """Cycle -> xor mask actually applied by the model."""
+    model.reset()
+    flips = {}
+    for t in range(cycles):
+        out = model.perturb(t, state, width)
+        if out != state:
+            flips[t] = out ^ state
+    return flips
+
+
+class TestBitFlips:
+    def test_deterministic_across_resets(self):
+        model = BitFlips(1e-3, seed=42)
+        first = _flip_cycles(model)
+        second = _flip_cycles(model)
+        assert first == second
+
+    def test_seed_changes_pattern(self):
+        a = _flip_cycles(BitFlips(1e-3, seed=1))
+        b = _flip_cycles(BitFlips(1e-3, seed=2))
+        assert a != b
+
+    def test_rate_close_to_ber(self):
+        width, cycles, ber = 32, 20_000, 1e-3
+        flips = _flip_cycles(BitFlips(ber, seed=7), cycles, width)
+        total_bits = sum(bin(m).count("1") for m in flips.values())
+        expected = ber * cycles * width  # 640
+        assert 0.5 * expected < total_bits < 1.5 * expected
+
+    def test_zero_ber_is_clean(self):
+        assert _flip_cycles(BitFlips(0.0, seed=3)) == {}
+
+    def test_rejects_bad_ber(self):
+        with pytest.raises(ValueError):
+            BitFlips(1.5)
+        with pytest.raises(ValueError):
+            BitFlips(-0.1)
+
+
+class TestStuckAt:
+    def test_forces_wire_high(self):
+        model = StuckAt(wire=3, value=1)
+        assert model.perturb(0, 0, 8) == 0b1000
+        assert model.perturb(1, 0b1000, 8) == 0b1000  # already high: no change
+
+    def test_forces_wire_low(self):
+        model = StuckAt(wire=0, value=0)
+        assert model.perturb(0, 0b11, 8) == 0b10
+
+    def test_inactive_before_start(self):
+        model = StuckAt(wire=0, value=1, start=10)
+        assert model.perturb(9, 0, 8) == 0
+        assert model.perturb(10, 0, 8) == 1
+
+    def test_wire_beyond_width_is_harmless(self):
+        model = StuckAt(wire=40, value=1)
+        assert model.perturb(0, 0, 8) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckAt(wire=-1, value=1)
+        with pytest.raises(ValueError):
+            StuckAt(wire=0, value=2)
+
+
+class TestBurst:
+    def test_flips_adjacent_span_for_length_cycles(self):
+        flips = _flip_cycles(Burst(rate=0.01, span=3, length=2, seed=5), 5000, 32)
+        assert flips, "expected at least one burst at 1% rate over 5000 cycles"
+        for mask in flips.values():
+            bits = [i for i in range(32) if mask >> i & 1]
+            assert len(bits) == 3
+            assert bits[-1] - bits[0] == 2  # contiguous span
+
+    def test_burst_lasts_length_cycles(self):
+        cycles = 4000
+        model = Burst(rate=0.05, span=2, length=3, seed=9)
+        flips = sorted(_flip_cycles(model, cycles, 16))
+        # every burst start is followed by two more faulty cycles
+        runs = []
+        run = [flips[0]]
+        for t in flips[1:]:
+            if t == run[-1] + 1:
+                run.append(t)
+            else:
+                runs.append(run)
+                run = [t]
+        runs.append(run)
+        # a burst straddling the end of the observed window is truncated
+        complete = [r for r in runs if r[-1] < cycles - 1]
+        assert complete
+        assert all(len(r) % 3 == 0 for r in complete)
+
+    def test_deterministic(self):
+        model = Burst(rate=0.02, seed=3)
+        assert _flip_cycles(model) == _flip_cycles(model)
+
+
+class TestDroop:
+    def test_faults_confined_to_droop_window(self):
+        model = Droop(period=100, duration=5, ber=0.2, seed=1)
+        flips = _flip_cycles(model, 2000, 32)
+        assert flips
+        assert all(t % 100 < 5 for t in flips)
+
+    def test_deterministic(self):
+        model = Droop(period=50, duration=10, ber=0.1, seed=8)
+        assert _flip_cycles(model) == _flip_cycles(model)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Droop(period=0, duration=1, ber=0.1)
+        with pytest.raises(ValueError):
+            Droop(period=10, duration=11, ber=0.1)
+
+
+class TestScriptedAndCompose:
+    def test_scripted_exact_masks(self):
+        model = Scripted({3: 0b101, 7: 0b1})
+        assert _flip_cycles(model, 10, 8) == {3: 0b101, 7: 0b1}
+
+    def test_scripted_masks_clipped_to_width(self):
+        model = Scripted({0: 0x1FF})
+        assert model.perturb(0, 0, 8) == 0xFF
+
+    def test_compose_applies_in_sequence(self):
+        model = Compose(Scripted({0: 0b1}), StuckAt(wire=0, value=0))
+        # scripted sets wire 0, stuck-at clears it again
+        assert model.perturb(0, 0, 8) == 0
+
+    def test_compose_requires_models(self):
+        with pytest.raises(ValueError):
+            Compose()
+
+
+class TestFaultyChannel:
+    def test_counts_injections(self):
+        channel = FaultyChannel(Scripted({1: 0b11, 5: 0b100}))
+        for t in range(8):
+            channel.transmit(t, 0, 8)
+        assert channel.injected_cycles == 2
+        assert channel.flipped_bits == 3
+
+    def test_default_is_clean(self):
+        channel = FaultyChannel()
+        assert isinstance(channel.model, NoFaults)
+        assert channel.transmit(0, 0xAB, 8) == 0xAB
+        assert channel.injected_cycles == 0
+
+    def test_apply_perturbs_whole_trace(self):
+        trace = BusTrace.from_values([0, 0, 0, 0], width=8, name="z")
+        channel = FaultyChannel(Scripted({2: 0b10}))
+        faulty = channel.apply(trace)
+        assert list(faulty.values) == [0, 0, 2, 0]
+        assert faulty.width == 8
+        # apply() resets first, so it is repeatable
+        again = channel.apply(trace)
+        assert np.array_equal(faulty.values, again.values)

@@ -1,0 +1,231 @@
+"""Tests for the faults sweep and the hardened experiment runner.
+
+Covers the acceptance contract of the experiment layer:
+
+* ``faults_sweep`` runs end-to-end across >= 3 suite workloads without
+  crashing and produces one cell per (workload, policy, BER);
+* a failing cell or workload becomes a structured ``SweepFailure``
+  record under ``keep_going=True`` and propagates under strict mode;
+* the cycle-budget watchdog in ``Machine.run`` turns runaway kernels
+  into a typed ``CycleBudgetExceeded`` instead of a silent truncation.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_POLICIES,
+    FaultSweepResult,
+    SweepFailure,
+    faults_sweep,
+    format_faults_report,
+    isolated_suite_traces,
+    robust_savings_sweep,
+)
+from repro.coding import WindowTranscoder
+from repro.cpu import CycleBudgetExceeded, Machine
+from repro.cpu.pipeline import PipelineConfig
+from repro.workloads import locality_trace
+
+
+def window8():
+    return WindowTranscoder(8, 32)
+
+
+SYNTH = {
+    "synth-a": locality_trace(1500, seed=1),
+    "synth-b": locality_trace(1500, seed=2),
+}
+
+
+class TestFaultsSweep:
+    def test_end_to_end_three_workloads(self):
+        """The acceptance sweep: window8 x 3 BERs x 3 suite workloads."""
+        result = faults_sweep(
+            window8,
+            bers=(1e-6, 1e-5, 1e-4),
+            names=("gcc", "ijpeg", "swim"),
+            cycles=2000,
+        )
+        assert result.ok
+        assert len(result.cells) == 3 * len(DEFAULT_POLICIES) * 3
+        assert {c.workload for c in result.cells} == {"gcc", "ijpeg", "swim"}
+        for cell in result.cells:
+            assert 0.0 <= cell.correct_fraction <= 1.0
+            assert math.isfinite(cell.savings_pct)
+            assert cell.recoveries <= cell.detections + 1
+
+    def test_savings_degrade_with_ber(self):
+        result = faults_sweep(
+            window8,
+            bers=(0.0, 1e-3),
+            policies=("resync-on-error",),
+            traces=SYNTH,
+        )
+        by = {(c.workload, c.ber): c for c in result.cells}
+        for name in SYNTH:
+            clean = by[(name, 0.0)]
+            noisy = by[(name, 1e-3)]
+            assert clean.correct_fraction == 1.0
+            assert clean.detections == 0
+            assert noisy.detections > 0
+            # Recovery traffic costs energy: savings cannot improve.
+            assert noisy.savings_pct <= clean.savings_pct
+
+    def test_cells_are_reproducible(self):
+        kwargs = dict(bers=(1e-4,), policies=("reset-both",), traces=SYNTH, seed=3)
+        first = faults_sweep(window8, **kwargs)
+        second = faults_sweep(window8, **kwargs)
+        assert first.cells == second.cells
+
+    def test_unknown_workload_isolated_as_failure(self):
+        result = faults_sweep(
+            window8, bers=(1e-5,), policies=("reset-both",),
+            names=("gcc", "no-such-bench"), cycles=1500,
+        )
+        assert [c.workload for c in result.cells] == ["gcc"]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.workload == "no-such-bench"
+        assert failure.stage == "trace"
+        assert not result.ok
+
+    def test_strict_mode_propagates(self):
+        with pytest.raises(KeyError):
+            faults_sweep(
+                window8, bers=(1e-5,), policies=("reset-both",),
+                names=("no-such-bench",), cycles=1500, keep_going=False,
+            )
+
+    def test_failing_cell_isolated_with_stage_label(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("boom in cell")
+            return WindowTranscoder(8, 32)
+
+        result = faults_sweep(
+            flaky, bers=(1e-5, 1e-4), policies=("reset-both",), traces=dict(
+                list(SYNTH.items())[:1]
+            ),
+        )
+        assert len(result.cells) == 1
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.kind == "RuntimeError"
+        assert failure.stage.startswith("faults[reset-both")
+        assert "boom" in failure.message
+
+    def test_report_renders_cells_and_failures(self):
+        result = faults_sweep(
+            window8, bers=(1e-4,), policies=("resync-on-error",), traces=SYNTH,
+        )
+        result.failures.append(
+            SweepFailure("badger", "trace", "KeyError", "no such workload")
+        )
+        report = format_faults_report(result, title="demo")
+        assert "demo" in report
+        assert "synth-a" in report and "synth-b" in report
+        assert "failed cells (isolated)" in report
+        assert "badger" in report
+
+    def test_empty_result_report(self):
+        report = format_faults_report(FaultSweepResult())
+        assert "net savings vs BER" in report
+
+
+@pytest.mark.slow
+class TestFaultsSweepFull:
+    def test_default_cycle_budget_sweep(self):
+        result = faults_sweep(
+            window8, bers=(1e-6, 1e-5, 1e-4), names=("gcc", "ijpeg", "swim")
+        )
+        assert result.ok
+        assert len(result.cells) == 27
+
+
+class TestIsolatedSuiteTraces:
+    def test_good_names_produce_traces_and_no_failures(self):
+        traces, failures = isolated_suite_traces("register", ("gcc",), 1500)
+        assert set(traces) == {"gcc"} and failures == []
+
+    def test_bad_name_recorded_not_raised(self):
+        traces, failures = isolated_suite_traces(
+            "register", ("gcc", "bogus"), 1500
+        )
+        assert set(traces) == {"gcc"}
+        assert [f.workload for f in failures] == ["bogus"]
+        assert failures[0].stage == "trace"
+        assert failures[0].kind
+        assert failures[0].detail  # traceback excerpt for post-mortems
+
+    def test_strict_raises(self):
+        with pytest.raises(KeyError):
+            isolated_suite_traces("register", ("bogus",), 1500, keep_going=False)
+
+
+class TestRobustSavingsSweep:
+    def test_matches_intent_on_clean_suite(self):
+        outcome = robust_savings_sweep(
+            "register", lambda size: WindowTranscoder(size, 32), (4, 8),
+            names=("gcc",), cycles=1500,
+        )
+        assert outcome.ok
+        assert set(outcome.curves) == {"gcc"}
+        assert len(outcome.curves["gcc"]) == 2
+
+    def test_coder_failure_isolated_per_workload(self):
+        def factory(size):
+            raise RuntimeError("coder exploded")
+
+        outcome = robust_savings_sweep(
+            "register", factory, (8,), names=("gcc",), cycles=1500,
+        )
+        assert outcome.curves == {}
+        assert [f.stage for f in outcome.failures] == ["encode"]
+        assert outcome.failures[0].kind == "RuntimeError"
+
+
+class TestCycleWatchdog:
+    INFINITE = "loop: addi r1, r1, 1\n j loop\n"
+
+    def test_runaway_kernel_trips_watchdog(self):
+        machine = Machine(source=self.INFINITE, name="runaway")
+        with pytest.raises(CycleBudgetExceeded) as excinfo:
+            machine.run(watchdog_cycles=500)
+        err = excinfo.value
+        assert err.budget == 500
+        assert err.name == "runaway"
+        assert err.stats.instructions > 0
+        assert "500-cycle watchdog" in str(err)
+        assert "runaway" in str(err)
+
+    def test_halting_kernel_passes_under_budget(self):
+        machine = Machine(source="addi r1, r0, 5\n halt\n")
+        result = machine.run(watchdog_cycles=500)
+        assert result.stats.halted
+
+    def test_watchdog_does_not_fire_on_intentional_max_cycles(self):
+        # Workloads legitimately run to max_cycles; a watchdog above
+        # that ceiling must not misfire.
+        machine = Machine(
+            source=self.INFINITE, config=PipelineConfig(max_cycles=200)
+        )
+        result = machine.run(watchdog_cycles=1000)
+        assert not result.stats.halted
+        assert result.stats.cycles <= 200
+
+    def test_watchdog_validation(self):
+        machine = Machine(source="halt\n")
+        with pytest.raises(ValueError):
+            machine.run(watchdog_cycles=0)
+
+    def test_no_watchdog_is_legacy_behaviour(self):
+        machine = Machine(
+            source=self.INFINITE, config=PipelineConfig(max_cycles=300)
+        )
+        result = machine.run()  # silently truncates, as before
+        assert result.stats.cycles <= 300

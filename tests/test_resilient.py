@@ -1,0 +1,233 @@
+"""Tests for the resilient transcoder wrapper.
+
+Covers the acceptance contract of the fault subsystem:
+
+* with fault injection disabled, ``ResilientTranscoder(coder)``
+  reproduces the wrapped coder's decoded stream bit-exactly and its
+  energy equals the wrapped coder's plus the parity-wire overhead;
+* an injected desync under ``reset-both`` recovers within K cycles;
+* the NACK policies recover one cycle after detection;
+* decode paths that hit never-written dictionary slots raise a typed
+  :class:`DesyncError` carrying coder name and cycle.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    CTRL_CODE,
+    ContextTranscoder,
+    DesyncError,
+    FCMTranscoder,
+    StrideTranscoder,
+    WindowTranscoder,
+)
+from repro.coding.codebook import codeword_table
+from repro.energy import count_activity, weighted_activity
+from repro.faults import (
+    FallbackStateless,
+    ResetBoth,
+    ResilientTranscoder,
+    ResyncOnError,
+    Scripted,
+    StuckAt,
+)
+from repro.traces import BusTrace
+from repro.workloads import locality_trace
+
+POLICY_NAMES = ("reset-both", "fallback-stateless", "resync-on-error")
+
+
+def _coders():
+    return [
+        WindowTranscoder(8, 32),
+        ContextTranscoder(12, 4, width=32),
+        StrideTranscoder(4, 32),
+        FCMTranscoder(2, 4, 32),
+    ]
+
+
+@pytest.fixture(scope="module")
+def short_local():
+    return locality_trace(1200, seed=13)
+
+
+class TestFaultFreeTransparency:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_roundtrip_bit_exact_all_coders(self, policy, short_local):
+        for base in _coders():
+            resilient = ResilientTranscoder(base, policy)
+            recovered = resilient.roundtrip(short_local)
+            assert np.array_equal(recovered.values, short_local.values), (
+                type(base).__name__,
+                policy,
+            )
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_cosimulation_bit_exact_without_faults(self, policy, short_local):
+        resilient = ResilientTranscoder(WindowTranscoder(8, 32), policy)
+        run = resilient.run(short_local)
+        assert np.array_equal(run.decoded.values, short_local.values)
+        assert run.detections == []
+        assert run.recoveries == []
+        assert run.value_errors == 0
+        assert run.injected_cycles == 0
+        assert math.isnan(run.mean_cycles_to_recovery)
+
+    def test_energy_is_base_plus_parity_overhead(self, short_local):
+        """Reported energy == wrapped coder's + the parity-wire overhead."""
+        base = WindowTranscoder(8, 32)
+        resilient = ResilientTranscoder(WindowTranscoder(8, 32), "reset-both")
+        coded = base.encode_trace(short_local)
+        # The documented overhead: the same wire states plus one parity
+        # wire above the MSB, carrying even parity of each state.
+        parity = np.array(
+            [bin(int(v)).count("1") & 1 for v in coded.values], dtype=np.uint64
+        )
+        expected = BusTrace(
+            coded.values | (parity << np.uint64(base.output_width)),
+            resilient.output_width,
+        )
+        actual = resilient.encode_trace(short_local)
+        assert np.array_equal(actual.values, expected.values)
+        assert weighted_activity(actual, 1.0) == weighted_activity(expected, 1.0)
+        # and the base coder's own wires contribute exactly the base energy
+        base_only = count_activity(coded)
+        combined = count_activity(actual)
+        assert np.array_equal(combined.tau[: base.output_width], base_only.tau)
+
+    def test_feedback_wire_silent_without_faults(self, short_local):
+        resilient = ResilientTranscoder(WindowTranscoder(8, 32), "resync-on-error")
+        assert resilient.output_width == 32 + 2 + 2  # data+ctrl+parity+NACK
+        run = resilient.run(short_local)
+        fb = resilient.feedback_wire
+        assert all(int(v) >> fb & 1 == 0 for v in run.physical.values)
+
+    def test_width_mismatch_rejected(self):
+        resilient = ResilientTranscoder(WindowTranscoder(8, 16))
+        with pytest.raises(ValueError):
+            resilient.run(BusTrace.from_values([1, 2], width=8))
+
+    def test_empty_trace(self):
+        resilient = ResilientTranscoder(WindowTranscoder(8, 16))
+        run = resilient.run(BusTrace.from_values([], width=16))
+        assert len(run.decoded) == 0
+        assert run.correct_fraction == 1.0
+
+
+class TestHypothesisRoundTrip:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        values=st.lists(st.integers(0, (1 << 16) - 1), max_size=40),
+        policy=st.sampled_from(POLICY_NAMES),
+    )
+    def test_roundtrips_exactly_when_channel_disabled(self, values, policy):
+        trace = BusTrace.from_values(values, width=16)
+        resilient = ResilientTranscoder(WindowTranscoder(4, 16), policy)
+        run = resilient.run(trace)  # no channel at all
+        assert list(run.decoded.values) == [v & 0xFFFF for v in values]
+        assert run.value_errors == 0 and run.detections == []
+
+
+class TestRecovery:
+    def test_reset_both_recovers_within_k_cycles(self, short_local):
+        period = 64
+        resilient = ResilientTranscoder(
+            WindowTranscoder(8, 32), ResetBoth(period=period)
+        )
+        run = resilient.run(short_local, Scripted({10: 0b1}))  # flip data wire 0
+        assert 10 in run.detections
+        assert run.recoveries, "desync must close at the next scheduled reset"
+        first = run.recoveries[0]
+        assert first.detected == 10
+        assert first.recovered == period  # next multiple of the period
+        assert first.cycles <= period
+        truth = short_local.values
+        assert np.array_equal(run.decoded.values[period:], truth[period:])
+
+    @pytest.mark.parametrize(
+        "policy", [FallbackStateless(window=16), ResyncOnError()]
+    )
+    def test_nack_policies_recover_next_cycle(self, policy, short_local):
+        resilient = ResilientTranscoder(WindowTranscoder(8, 32), policy)
+        run = resilient.run(short_local, Scripted({10: 0b1}))
+        assert run.detections == [10]
+        assert run.recoveries == [type(run.recoveries[0])(10, 11)]
+        assert run.mean_cycles_to_recovery == 1.0
+        truth = short_local.values
+        assert np.array_equal(run.decoded.values[11:], truth[11:])
+        # the NACK wire really toggled in the detection cycle
+        fb = resilient.feedback_wire
+        assert int(run.physical.values[10]) >> fb & 1 == 1
+
+    def test_parity_wire_false_positive_still_recovers(self, short_local):
+        # Flip only the parity wire: the FSMs were still in sync, but the
+        # receiver must discard the word and resynchronise anyway.
+        resilient = ResilientTranscoder(WindowTranscoder(8, 32), ResyncOnError())
+        mask = 1 << resilient.parity_wire
+        run = resilient.run(short_local, Scripted({20: mask}))
+        assert run.detections == [20]
+        truth = short_local.values
+        assert np.array_equal(run.decoded.values[21:], truth[21:])
+
+    def test_stuck_at_wire_defeats_periodic_recovery(self, short_local):
+        # A hard fault re-desyncs after every reset: many detections,
+        # imperfect delivery — the sweep exposes exactly this.
+        resilient = ResilientTranscoder(
+            WindowTranscoder(8, 32), ResetBoth(period=50)
+        )
+        run = resilient.run(short_local, StuckAt(wire=0, value=1))
+        assert len(run.detections) > 5
+        assert run.correct_fraction < 1.0
+
+    def test_double_flip_can_be_silent_but_is_counted(self, short_local):
+        # Two flipped wires preserve parity: the error is undetectable
+        # that cycle and must show up in the silent-corruption counter.
+        resilient = ResilientTranscoder(
+            WindowTranscoder(8, 32), ResetBoth(period=64)
+        )
+        run = resilient.run(short_local, Scripted({10: 0b11}))
+        assert run.value_errors > 0
+        assert run.silent_errors >= 1
+
+
+class TestEmptySlotDecodePaths:
+    def test_decoding_never_written_window_slot_raises_desync(self):
+        coder = WindowTranscoder(4, 8)
+        # Codeword for slot index 2 (window slot 1), sent as the very
+        # first state: the decoder's window is still empty there.
+        codeword = codeword_table(coder.predictor.num_codes, 8)[2]
+        state = coder._pack(codeword, CTRL_CODE)
+        coder.reset()
+        with pytest.raises(DesyncError) as excinfo:
+            coder.decode_trace(BusTrace.from_values([state], width=coder.output_width))
+        err = excinfo.value
+        assert err.coder == "WindowTranscoder"
+        assert err.cycle == 0
+        assert "empty" in str(err)
+
+    def test_desync_error_cycle_tracks_position(self):
+        coder = WindowTranscoder(4, 8)
+        coder.reset()
+        good = coder.encode_trace(BusTrace.from_values([7, 7], width=8))
+        codeword = codeword_table(coder.predictor.num_codes, 8)[3]
+        last_data = int(good.values[-1]) & 0xFF
+        bad_state = coder._pack(last_data ^ codeword, CTRL_CODE)  # slot 2: empty
+        states = list(good.values) + [bad_state]
+        with pytest.raises(DesyncError) as excinfo:
+            coder.decode_trace(
+                BusTrace.from_values(states, width=coder.output_width)
+            )
+        assert excinfo.value.cycle == 2
+
+    def test_power_on_parity_decode_is_clean(self):
+        # Plain decode_state on the resilient wrapper: parity mismatch
+        # surfaces as DesyncError, not a bare ValueError subclass-less.
+        resilient = ResilientTranscoder(WindowTranscoder(4, 8))
+        resilient.reset()
+        state = 1 << resilient.parity_wire  # parity claims odd, state is 0
+        with pytest.raises(DesyncError):
+            resilient.decode_state(state)

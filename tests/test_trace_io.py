@@ -1,10 +1,19 @@
-"""Unit tests for trace persistence."""
+"""Unit tests for trace persistence and its validation."""
 
 import os
+import zipfile
 
 import numpy as np
+import pytest
 
-from repro.traces import BusTrace, load_trace, load_traces, save_trace, save_traces
+from repro.traces import (
+    BusTrace,
+    TraceFormatError,
+    load_trace,
+    load_traces,
+    save_trace,
+    save_traces,
+)
 
 
 class TestSingleTrace:
@@ -51,3 +60,113 @@ class TestDirectories:
         (tmp_path / "notes.txt").write_text("hello")
         save_traces([BusTrace.from_values([1], width=8, name="x")], str(tmp_path))
         assert set(load_traces(str(tmp_path))) == {"x"}
+
+
+class TestValidation:
+    """A corrupt file raises TraceFormatError naming the path (not a
+    zipfile/NumPy traceback), while a missing file keeps raising the
+    standard FileNotFoundError."""
+
+    def _good(self, tmp_path, name="t.npz"):
+        trace = BusTrace.from_values([1, 2, 3], width=12, name="w", initial=5)
+        path = str(tmp_path / name)
+        save_trace(trace, path)
+        return trace, path
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(str(tmp_path / "absent.npz"))
+
+    def test_garbage_bytes_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(str(path))
+        assert excinfo.value.path == str(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        _, path = self._good(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_tampered_roundtrip_rejected(self, tmp_path):
+        """Round-trip through a tampered archive: drop a member."""
+        trace, path = self._good(tmp_path)
+        assert np.array_equal(load_trace(path).values, trace.values)  # sane
+        tampered = str(tmp_path / "tampered.npz")
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(tampered, "w") as dst:
+            for member in src.namelist():
+                if member != "width.npy":
+                    dst.writestr(member, src.read(member))
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(tampered)
+        assert "width" in excinfo.value.reason
+
+    def test_width_too_narrow_for_values_rejected(self, tmp_path):
+        path = str(tmp_path / "narrow.npz")
+        np.savez_compressed(
+            path,
+            values=np.array([255], dtype=np.uint64),
+            width=np.int64(4),
+            initial=np.uint64(0),
+            name=np.str_("n"),
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert "width" in str(excinfo.value)
+
+    def test_bad_width_rejected(self, tmp_path):
+        for width in (0, 65):
+            path = str(tmp_path / f"w{width}.npz")
+            np.savez_compressed(
+                path,
+                values=np.array([], dtype=np.uint64),
+                width=np.int64(width),
+                initial=np.uint64(0),
+                name=np.str_("n"),
+            )
+            with pytest.raises(TraceFormatError):
+                load_trace(path)
+
+    def test_non_1d_values_rejected(self, tmp_path):
+        path = str(tmp_path / "2d.npz")
+        np.savez_compressed(
+            path,
+            values=np.zeros((2, 2), dtype=np.uint64),
+            width=np.int64(8),
+            initial=np.uint64(0),
+            name=np.str_("n"),
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert "1-D" in excinfo.value.reason
+
+    def test_non_integer_values_rejected(self, tmp_path):
+        path = str(tmp_path / "float.npz")
+        np.savez_compressed(
+            path,
+            values=np.array([1.5], dtype=np.float64),
+            width=np.int64(8),
+            initial=np.uint64(0),
+            name=np.str_("n"),
+        )
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_bad_file_in_directory_is_named(self, tmp_path):
+        save_traces([BusTrace.from_values([1], width=8, name="ok")], str(tmp_path))
+        bad = tmp_path / "evil.npz"
+        bad.write_bytes(b"\x00" * 32)
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_traces(str(tmp_path))
+        assert excinfo.value.path == str(bad)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        """Callers that catch ValueError keep working."""
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"nope")
+        with pytest.raises(ValueError):
+            load_trace(str(path))

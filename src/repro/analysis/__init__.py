@@ -1,7 +1,14 @@
 """Experiment analysis: budgets, crossovers, orchestration, reporting."""
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    run_bench,
+    validate_bench_report,
+    write_report,
+)
 from .budget import budget_curve, energy_budget
-from .crossover import CrossoverAnalysis, median_crossover
+from .crossover import CrossoverAnalysis, median_crossover, window_artifacts
 from .experiments import (
     CrossoverCell,
     SweepFailure,
@@ -21,13 +28,24 @@ from .faults_experiments import (
     format_faults_report,
 )
 from .figures import export_figures, write_csv
+from .parallel import CellError, CellOutcome, parallel_map_cells, resolve_jobs
 from .reporting import fmt, format_series, format_table
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "run_bench",
+    "validate_bench_report",
+    "write_report",
     "budget_curve",
     "energy_budget",
+    "CellError",
+    "CellOutcome",
+    "parallel_map_cells",
+    "resolve_jobs",
     "CrossoverAnalysis",
     "median_crossover",
+    "window_artifacts",
     "CrossoverCell",
     "crossover_table",
     "headline_transition_savings",

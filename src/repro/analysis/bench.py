@@ -1,0 +1,279 @@
+"""Reproducible performance benchmarks: ``repro bench``.
+
+Two families of measurements, both emitted as a ``BENCH_*.json``
+report so perf regressions are diffable across commits:
+
+* **kernel throughput** — each vectorized coding kernel
+  (:class:`~repro.coding.transition.TransitionCoder`,
+  :class:`~repro.coding.inversion.InversionTranscoder`,
+  :class:`~repro.coding.last_value.LastValueTranscoder`) timed against
+  its own scalar per-cycle loop on the same trace.  The scalar path is
+  the differential-testing oracle, so every timing run doubles as a
+  correctness check: the report records whether the two encodes were
+  bit-identical.
+* **sweep latency** — a small :func:`robust_savings_sweep` and
+  :func:`crossover_table` run cold (empty trace cache) and then warm
+  (persistent cache populated, in-memory layers cleared), quantifying
+  what the ``.npz``/JSON artifact cache buys a second invocation.
+
+The report carries a ``schema`` tag (:data:`BENCH_SCHEMA`);
+:func:`validate_bench_report` rejects drifted reports, which is what
+``repro bench --quick`` (and the ``bench_smoke`` tests) use to keep the
+emitted JSON stable for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..coding.inversion import InversionTranscoder
+from ..coding.last_value import LastValueTranscoder
+from ..coding.transition import TransitionCoder
+from ..traces.cache import TraceCache, get_default_cache, set_default_cache
+from ..traces.trace import BusTrace
+from ..wires.technology import TECHNOLOGIES
+from ..workloads.suite import clear_caches
+from ..workloads.synthetic import locality_trace, random_trace
+from .experiments import crossover_table, robust_savings_sweep
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "default_report_path",
+    "run_bench",
+    "validate_bench_report",
+    "write_report",
+]
+
+#: Schema tag stamped into every report.  Bump when the layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Workloads exercised by the sweep-latency benchmarks (one int, one fp).
+SWEEP_WORKLOADS = ("gcc", "swim")
+
+
+class BenchSchemaError(ValueError):
+    """A bench report does not match :data:`BENCH_SCHEMA`."""
+
+
+def _kernel_cases(quick: bool) -> List[Tuple[str, Any, BusTrace]]:
+    """(name, coder, trace) triples; trace sizes match the acceptance
+    targets (1M-cycle transition trace) unless ``quick``."""
+    scale = 0.02 if quick else 1.0
+
+    def cycles(n: int) -> int:
+        return max(2_000, int(n * scale))
+
+    return [
+        (
+            "transition",
+            TransitionCoder(32),
+            random_trace(cycles(1_000_000), 32, seed=7, name="bench-random"),
+        ),
+        (
+            "last-value",
+            LastValueTranscoder(32),
+            locality_trace(cycles(500_000), 32, seed=7, name="bench-locality"),
+        ),
+        (
+            "inversion",
+            InversionTranscoder(32, 1),
+            locality_trace(cycles(100_000), 32, seed=11, name="bench-locality"),
+        ),
+    ]
+
+
+def _time_kernel(name: str, coder: Any, trace: BusTrace) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    coder.reset()
+    scalar = coder.encode_trace_scalar(trace)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    coder.reset()
+    fast = coder.encode_trace(trace)
+    fast_s = time.perf_counter() - t0
+
+    identical = bool(np.array_equal(scalar.values, fast.values))
+    fast_s_safe = max(fast_s, 1e-9)  # keep the report finite (valid JSON)
+    return {
+        "coder": name,
+        "cycles": len(trace),
+        "scalar_s": scalar_s,
+        "fast_s": fast_s,
+        "speedup": scalar_s / fast_s_safe,
+        "fast_mcycles_per_s": len(trace) / fast_s_safe / 1e6,
+        "identical": identical,
+    }
+
+
+def _time_sweeps(quick: bool, jobs: Optional[int]) -> List[Dict[str, Any]]:
+    """Cold-vs-warm latency of the cached sweeps, in a throwaway cache.
+
+    The default cache is swapped for a fresh temporary directory so the
+    benchmark neither reads from nor pollutes the user's real cache;
+    between the cold and warm runs only the *in-memory* layers are
+    cleared, so the warm run measures the persistent-artifact path.
+    """
+    cycles = 2_000 if quick else 15_000
+    previous = get_default_cache()
+    results: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        set_default_cache(TraceCache(tmp))
+        try:
+            clear_caches()
+
+            def sweep_robust() -> None:
+                robust_savings_sweep(
+                    "register",
+                    lambda n: TransitionCoder(32),
+                    (8,),
+                    names=SWEEP_WORKLOADS,
+                    cycles=cycles,
+                    jobs=jobs,
+                )
+
+            def sweep_table3() -> None:
+                crossover_table(
+                    TECHNOLOGIES, (8, 16), cycles=cycles, jobs=jobs
+                )
+
+            for name, fn in (
+                ("robust_savings_sweep", sweep_robust),
+                ("crossover_table", sweep_table3),
+            ):
+                t0 = time.perf_counter()
+                fn()
+                cold_s = time.perf_counter() - t0
+                clear_caches()  # drop in-memory layers; keep the disk artifacts
+                t0 = time.perf_counter()
+                fn()
+                warm_s = time.perf_counter() - t0
+                results.append(
+                    {
+                        "name": name,
+                        "cycles": cycles,
+                        "cold_s": cold_s,
+                        "warm_s": warm_s,
+                        "speedup": cold_s / max(warm_s, 1e-9),
+                    }
+                )
+        finally:
+            set_default_cache(previous)
+            clear_caches()
+    return results
+
+
+def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
+    """Run every benchmark and return the report dictionary."""
+    kernels = [_time_kernel(*case) for case in _kernel_cases(quick)]
+    sweeps = _time_sweeps(quick, jobs)
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(quick),
+        "jobs": jobs if jobs is None else int(jobs),
+        "numpy": np.__version__,
+        "kernels": kernels,
+        "sweeps": sweeps,
+    }
+    validate_bench_report(report)
+    return report
+
+
+_KERNEL_KEYS = {
+    "coder": str,
+    "cycles": int,
+    "scalar_s": float,
+    "fast_s": float,
+    "speedup": float,
+    "fast_mcycles_per_s": float,
+    "identical": bool,
+}
+_SWEEP_KEYS = {
+    "name": str,
+    "cycles": int,
+    "cold_s": float,
+    "warm_s": float,
+    "speedup": float,
+}
+
+
+def _check_record(record: Any, keys: Dict[str, type], where: str) -> None:
+    if not isinstance(record, dict):
+        raise BenchSchemaError(f"{where}: expected an object, got {type(record).__name__}")
+    for key, kind in keys.items():
+        if key not in record:
+            raise BenchSchemaError(f"{where}: missing key {key!r}")
+        value = record[key]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif kind is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind)
+        if not ok:
+            raise BenchSchemaError(
+                f"{where}: key {key!r} should be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    extra = set(record) - set(keys)
+    if extra:
+        raise BenchSchemaError(f"{where}: unexpected keys {sorted(extra)}")
+
+
+def validate_bench_report(report: Any) -> None:
+    """Raise :class:`BenchSchemaError` unless ``report`` matches
+    :data:`BENCH_SCHEMA` exactly (top-level keys, record keys, types)."""
+    if not isinstance(report, dict):
+        raise BenchSchemaError(f"report must be an object, got {type(report).__name__}")
+    if report.get("schema") != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"schema tag {report.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    required = {"schema", "created", "quick", "jobs", "numpy", "kernels", "sweeps"}
+    missing = required - set(report)
+    if missing:
+        raise BenchSchemaError(f"missing top-level keys {sorted(missing)}")
+    extra = set(report) - required
+    if extra:
+        raise BenchSchemaError(f"unexpected top-level keys {sorted(extra)}")
+    if not isinstance(report["created"], str):
+        raise BenchSchemaError("'created' must be an ISO timestamp string")
+    if not isinstance(report["quick"], bool):
+        raise BenchSchemaError("'quick' must be a bool")
+    if report["jobs"] is not None and not isinstance(report["jobs"], int):
+        raise BenchSchemaError("'jobs' must be an int or null")
+    if not isinstance(report["numpy"], str):
+        raise BenchSchemaError("'numpy' must be a version string")
+    for field, keys in (("kernels", _KERNEL_KEYS), ("sweeps", _SWEEP_KEYS)):
+        records = report[field]
+        if not isinstance(records, list) or not records:
+            raise BenchSchemaError(f"'{field}' must be a non-empty list")
+        for i, record in enumerate(records):
+            _check_record(record, keys, f"{field}[{i}]")
+
+
+def default_report_path(directory: str = ".") -> str:
+    """``BENCH_<UTC timestamp>.json`` in ``directory``."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    return os.path.join(directory, f"BENCH_{stamp}.json")
+
+
+def write_report(report: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Serialise ``report`` to ``path`` (default :func:`default_report_path`),
+    re-validating the *serialised* form so drift cannot slip through the
+    JSON round-trip (e.g. a non-finite float becoming ``Infinity``)."""
+    target = path or default_report_path()
+    text = json.dumps(report, indent=2, sort_keys=True)
+    validate_bench_report(json.loads(text))
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return target

@@ -26,8 +26,8 @@ behaviour of :mod:`repro.analysis.experiments`.
 
 from __future__ import annotations
 
+import hashlib
 import math
-import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,7 +38,8 @@ from ..faults.policies import RecoveryPolicy, resolve_policy
 from ..faults.resilient import ResilientRun, ResilientTranscoder
 from ..traces.trace import BusTrace
 from ..workloads.suite import DEFAULT_CYCLES
-from .experiments import SweepFailure, isolated_suite_traces
+from .experiments import SweepFailure, _reraise_strict, isolated_suite_traces
+from .parallel import parallel_map_cells
 from .reporting import format_table
 
 __all__ = [
@@ -85,8 +86,17 @@ class FaultSweepResult:
 
 
 def _seed_for(workload: str, policy: str, ber: float, seed: int) -> int:
-    """A stable per-cell RNG seed so cells are independently reproducible."""
-    return abs(hash((workload, policy, repr(ber)))) % (1 << 31) ^ seed
+    """A stable per-cell RNG seed so cells are independently reproducible.
+
+    Hashed with :mod:`hashlib` rather than the built-in ``hash`` so the
+    seed survives interpreter restarts and ``PYTHONHASHSEED`` — a
+    prerequisite for ``--jobs N`` runs matching serial runs cell for
+    cell.
+    """
+    digest = hashlib.sha256(
+        f"{workload}|{policy}|{ber!r}".encode("utf-8")
+    ).digest()
+    return (int.from_bytes(digest[:4], "big") % (1 << 31)) ^ seed
 
 
 def faults_sweep(
@@ -100,6 +110,7 @@ def faults_sweep(
     seed: int = 0,
     keep_going: bool = True,
     traces: Optional[Dict[str, BusTrace]] = None,
+    jobs: Optional[int] = 1,
 ) -> FaultSweepResult:
     """Run the savings-vs-BER matrix for one coder across the suite.
 
@@ -120,49 +131,70 @@ def faults_sweep(
         When True (default), a failing cell is recorded as a
         :class:`SweepFailure` and the sweep continues; when False the
         first failure propagates.
+    jobs:
+        Worker processes for the (workload, policy, BER) cells;
+        ``1`` (default) runs serially and byte-identically to the
+        pre-parallel implementation.
     """
     result = FaultSweepResult()
     if traces is None:
         traces, trace_failures = isolated_suite_traces(
-            bus, names, cycles, keep_going=keep_going
+            bus, names, cycles, keep_going=keep_going, jobs=jobs
         )
         result.failures.extend(trace_failures)
     resolved = [resolve_policy(p) for p in policies]
-    for workload, trace in traces.items():
-        for policy in resolved:
-            for ber in bers:
-                try:
-                    coder = ResilientTranscoder(coder_factory(), policy)
-                    channel = FaultyChannel(
-                        BitFlips(ber, seed=_seed_for(workload, policy.name, ber, seed))
-                    )
-                    run: ResilientRun = coder.run(trace, channel)
-                    savings = normalized_energy_removed(trace, run.physical, lam)
-                    result.cells.append(
-                        FaultCell(
-                            workload=workload,
-                            policy=policy.name,
-                            ber=float(ber),
-                            savings_pct=savings,
-                            correct_fraction=run.correct_fraction,
-                            injected_cycles=run.injected_cycles,
-                            detections=len(run.detections),
-                            recoveries=len(run.recoveries),
-                            mean_cycles_to_recovery=run.mean_cycles_to_recovery,
-                        )
-                    )
-                except Exception as exc:  # noqa: BLE001 - isolation boundary
-                    if not keep_going:
-                        raise
-                    result.failures.append(
-                        SweepFailure(
-                            workload=workload,
-                            stage=f"faults[{policy.name}, ber={ber:g}]",
-                            kind=type(exc).__name__,
-                            message=str(exc),
-                            detail=traceback.format_exc(limit=3),
-                        )
-                    )
+    # Cell keys are indices: RecoveryPolicy instances need not pickle,
+    # and the co-simulated traces stay on the fork-inherited side.
+    cell_keys = [
+        (workload, pi, bi)
+        for workload in traces
+        for pi in range(len(resolved))
+        for bi in range(len(bers))
+    ]
+
+    def _cell(key: Tuple[str, int, int]) -> FaultCell:
+        workload, pi, bi = key
+        policy = resolved[pi]
+        ber = bers[bi]
+        coder = ResilientTranscoder(coder_factory(), policy)
+        channel = FaultyChannel(
+            BitFlips(ber, seed=_seed_for(workload, policy.name, ber, seed))
+        )
+        run: ResilientRun = coder.run(traces[workload], channel)
+        savings = normalized_energy_removed(traces[workload], run.physical, lam)
+        return FaultCell(
+            workload=workload,
+            policy=policy.name,
+            ber=float(ber),
+            savings_pct=savings,
+            correct_fraction=run.correct_fraction,
+            injected_cycles=run.injected_cycles,
+            detections=len(run.detections),
+            recoveries=len(run.recoveries),
+            mean_cycles_to_recovery=run.mean_cycles_to_recovery,
+        )
+
+    for outcome in parallel_map_cells(_cell, cell_keys, jobs):
+        if outcome.ok:
+            result.cells.append(outcome.value)
+            continue
+        if not keep_going:
+            # Strict mode: re-run in-process so the *original* exception
+            # type/args propagate, exactly as the serial path raised.
+            result.cells.append(_reraise_strict(_cell, outcome))
+            continue
+        workload, pi, bi = outcome.cell
+        policy = resolved[pi]
+        assert outcome.error is not None
+        result.failures.append(
+            SweepFailure(
+                workload=workload,
+                stage=f"faults[{policy.name}, ber={bers[bi]:g}]",
+                kind=outcome.error.kind,
+                message=outcome.error.message,
+                detail=outcome.error.detail,
+            )
+        )
     return result
 
 

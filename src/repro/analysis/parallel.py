@@ -1,0 +1,155 @@
+"""Process-parallel fan-out for sweep cells.
+
+The paper's headline results are *sweep matrices* — per-benchmark
+savings across dictionary sizes, technologies and wire lengths — whose
+cells are independent pure functions.  :func:`parallel_map_cells` fans
+any such cell list across a ``ProcessPoolExecutor`` and merges the
+results **deterministically**: the returned list is always in input
+order, and every cell's outcome is either a value or a structured
+:class:`CellError`, so ``--jobs 4`` output is byte-identical to
+``--jobs 1``.
+
+Two design points keep arbitrary experiment closures usable:
+
+* **fork inheritance** — cell functions routinely close over transcoder
+  factories (lambdas) and pre-simulated trace dictionaries, none of
+  which pickle.  The pool therefore uses the ``fork`` start method and
+  stashes the function in a module global *before* the workers fork, so
+  they inherit it by memory copy; only the (index, cell) payloads and
+  the results cross the pipe.  Platforms without ``fork`` degrade to
+  the serial path — same results, no parallelism.
+* **per-cell isolation** — a worker never lets an exception escape; it
+  returns a :class:`CellError` carrying the class name, message and a
+  short traceback, mirroring PR 1's ``SweepFailure`` records.  Callers
+  that need strict (fail-fast) semantics run serially, where the
+  original exception object is preserved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["CellError", "CellOutcome", "parallel_map_cells", "resolve_jobs"]
+
+
+@dataclass(frozen=True)
+class CellError:
+    """What a failing cell propagates back to the parent process."""
+
+    kind: str  #: exception class name
+    message: str  #: ``str(exception)``, one line
+    detail: str = ""  #: short traceback excerpt
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One cell's result: exactly one of ``value`` / ``error`` is set."""
+
+    cell: Any
+    value: Any = None
+    error: Optional[CellError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0 means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _describe(exc: BaseException) -> CellError:
+    return CellError(
+        kind=type(exc).__name__,
+        message=str(exc),
+        detail=traceback.format_exc(limit=3),
+    )
+
+
+# The cell function for the *current* parallel_map_cells call.  Workers
+# fork after it is set and inherit it; it never crosses a pipe.
+_WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+
+def _invoke(payload: Tuple[int, Any]) -> Tuple[int, Any, Optional[CellError]]:
+    index, cell = payload
+    assert _WORKER_FN is not None, "worker forked before the cell fn was staged"
+    try:
+        return index, _WORKER_FN(cell), None
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        return index, None, _describe(exc)
+
+
+def _serial_map(fn: Callable[[Any], Any], cells: Sequence[Any]) -> List[CellOutcome]:
+    outcomes: List[CellOutcome] = []
+    for cell in cells:
+        try:
+            outcomes.append(CellOutcome(cell=cell, value=fn(cell)))
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            outcomes.append(CellOutcome(cell=cell, error=_describe(exc)))
+    return outcomes
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def parallel_map_cells(
+    fn: Callable[[Any], Any],
+    cells: Iterable[Any],
+    jobs: Optional[int] = 1,
+) -> List[CellOutcome]:
+    """Apply ``fn`` to every cell, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        The per-cell function.  May close over anything (traces,
+        factories); with ``jobs > 1`` it must be *pure enough* that
+        running cells out of order cannot change their values.  Cell
+        payloads and return values must pickle.
+    cells:
+        The cell keys, in the order results should come back.
+    jobs:
+        Worker count; ``1`` (default) runs serially in-process, ``None``
+        or ``0`` means one worker per CPU.
+
+    Returns
+    -------
+    One :class:`CellOutcome` per cell, in input order, independent of
+    worker scheduling — the deterministic-merge guarantee the
+    ``--jobs N`` equivalence tests rely on.
+    """
+    cell_list = list(cells)
+    workers = min(resolve_jobs(jobs), max(len(cell_list), 1))
+    ctx = _fork_context()
+    if workers <= 1 or len(cell_list) <= 1 or ctx is None:
+        return _serial_map(fn, cell_list)
+    global _WORKER_FN
+    previous = _WORKER_FN
+    _WORKER_FN = fn
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            indexed = pool.map(_invoke, enumerate(cell_list), chunksize=1)
+            results: List[Tuple[int, Any, Optional[CellError]]] = list(indexed)
+    except (OSError, RuntimeError):
+        # Pools can be unavailable in restricted environments (no /dev/shm,
+        # forbidden fork).  Fall back to identical-but-serial execution.
+        return _serial_map(fn, cell_list)
+    finally:
+        _WORKER_FN = previous
+    results.sort(key=lambda item: item[0])
+    return [
+        CellOutcome(cell=cell_list[index], value=value, error=error)
+        for index, value, error in results
+    ]

@@ -9,7 +9,13 @@ Gives shell access to the library's main entry points:
 * ``compare``      — all coding schemes side by side on one trace;
 * ``crossover``    — break-even wire length for the window transcoder;
 * ``faults-sweep`` — net savings vs bit-error rate per recovery policy;
-* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables.
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
+* ``bench``        — time the vectorized kernels against their scalar
+  oracles and the trace cache cold vs warm, emitting ``BENCH_*.json``.
+
+Sweep commands (``table3``, ``faults-sweep``, ``bench``) accept
+``--jobs N`` to fan independent cells across worker processes; results
+are merged deterministically, so the output is identical to ``--jobs 1``.
 
 Trace-consuming commands accept ``--trace PATH`` to analyse a saved
 ``.npz`` trace instead of simulating a workload.
@@ -34,7 +40,9 @@ from .analysis import (
     faults_sweep,
     format_faults_report,
     format_table,
+    run_bench,
     savings_for,
+    write_report,
 )
 from .coding import (
     AdaptiveCodebookTranscoder,
@@ -244,9 +252,54 @@ def _cmd_figures(args: argparse.Namespace) -> None:
 
 
 def _cmd_table3(args: argparse.Namespace) -> None:
-    cells = crossover_table(TECHNOLOGIES, (8, 16), cycles=args.cycles)
+    cells = crossover_table(TECHNOLOGIES, (8, 16), cycles=args.cycles, jobs=args.jobs)
     rows = [(c.technology, c.entries, c.suite, round(c.median_mm, 1)) for c in cells]
     print(format_table(["Technology", "Entries", "Suite", "Median mm"], rows))
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    report = run_bench(quick=args.quick, jobs=args.jobs)
+    kernel_rows = [
+        (
+            k["coder"],
+            k["cycles"],
+            f"{k['scalar_s'] * 1e3:.1f}",
+            f"{k['fast_s'] * 1e3:.1f}",
+            f"{k['speedup']:.1f}x",
+            f"{k['fast_mcycles_per_s']:.1f}",
+            "yes" if k["identical"] else "NO",
+        )
+        for k in report["kernels"]
+    ]
+    print(
+        format_table(
+            ["kernel", "cycles", "scalar ms", "fast ms", "speedup", "Mcyc/s", "identical"],
+            kernel_rows,
+            title="vectorized kernels vs scalar oracle",
+        )
+    )
+    sweep_rows = [
+        (
+            s["name"],
+            s["cycles"],
+            f"{s['cold_s']:.3f}",
+            f"{s['warm_s']:.3f}",
+            f"{s['speedup']:.1f}x",
+        )
+        for s in report["sweeps"]
+    ]
+    print(
+        format_table(
+            ["sweep", "cycles", "cold s", "warm s", "speedup"],
+            sweep_rows,
+            title="trace-cache cold vs warm",
+        )
+    )
+    # write_report re-validates the *serialised* JSON; schema drift
+    # raises BenchSchemaError (a ValueError), which main() turns into
+    # exit code 1 — the --quick smoke-check contract.
+    path = write_report(report, args.output)
+    print(f"report written to {path}")
 
 
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
@@ -275,6 +328,7 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
         lam=args.lam,
         seed=args.seed,
         keep_going=not args.strict,
+        jobs=args.jobs,
     )
     title = f"{args.coder} on {args.bus} bus ({', '.join(workloads)})"
     print(format_faults_report(result, title=title))
@@ -334,6 +388,35 @@ def build_parser() -> argparse.ArgumentParser:
     table3 = sub.add_parser("table3", help="median crossover lengths")
     table3.set_defaults(func=_cmd_table3)
     table3.add_argument("--cycles", type=int, default=15_000)
+    table3.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep cells (0 = one per CPU, default 1)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the vectorized kernels and the trace cache, emit BENCH_*.json",
+    )
+    bench.set_defaults(func=_cmd_bench)
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small traces/sweeps; still validates the report schema "
+        "(exits 1 on drift)",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        help="report path (default BENCH_<timestamp>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep benchmarks (0 = one per CPU)",
+    )
 
     figures = sub.add_parser("figures", help="export figure datasets as CSV")
     figures.set_defaults(func=_cmd_figures)
@@ -369,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--cycles", type=int, default=20_000)
     faults.add_argument("--lam", type=float, default=1.0)
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep cells (0 = one per CPU, default 1)",
+    )
     strictness = faults.add_mutually_exclusive_group()
     strictness.add_argument(
         "--strict",

@@ -53,38 +53,77 @@ class Transcoder(ABC):
         """Decode one physical wire state; returns the recovered value."""
 
     # -- trace-level API ------------------------------------------------
+    #
+    # ``encode_trace``/``decode_trace`` are what experiments call;
+    # subclasses with a vectorized kernel override them.  The
+    # ``*_scalar`` variants always run the per-cycle FSM loop and act
+    # as the differential-testing oracle for every fast path (see
+    # tests/test_vectorized_kernels.py).
 
-    def encode_trace(self, trace: BusTrace) -> BusTrace:
-        """Encode a whole trace; returns the physical wire-state trace.
+    def _check_encode_width(self, trace: BusTrace) -> None:
+        if trace.width != self.input_width:
+            raise ValueError(
+                f"trace width {trace.width} != transcoder input width {self.input_width}"
+            )
+
+    def _check_decode_width(self, phys: BusTrace) -> None:
+        if phys.width != self.output_width:
+            raise ValueError(
+                f"trace width {phys.width} != transcoder output width {self.output_width}"
+            )
+
+    def _encoded_name(self, trace: BusTrace) -> str:
+        """``"logical|CoderName"`` label for the physical trace."""
+        return f"{trace.name}|{type(self).__name__}" if trace.name else type(self).__name__
+
+    def _decoded_name(self, phys: BusTrace) -> str:
+        """Restore the logical trace name by stripping our own suffix.
+
+        ``encode_trace`` labels the physical trace ``"name|CoderName"``;
+        decoding recovers the value stream, so the decoded trace gets
+        the logical ``"name"`` back.  Foreign names pass through as-is.
+        """
+        suffix = f"|{type(self).__name__}"
+        if phys.name.endswith(suffix):
+            return phys.name[: -len(suffix)]
+        return phys.name
+
+    def encode_trace_scalar(self, trace: BusTrace) -> BusTrace:
+        """Encode a whole trace through the per-cycle FSM loop.
 
         The encoder is reset first, so the result is a pure function of
         the input trace.  The output trace's ``initial`` is 0: the bus
         powers on quiescent, matching the accounting of the input side.
         """
-        if trace.width != self.input_width:
-            raise ValueError(
-                f"trace width {trace.width} != transcoder input width {self.input_width}"
-            )
+        self._check_encode_width(trace)
         self.reset()
         out = np.empty(len(trace), dtype=np.uint64)
         encode = self.encode_value
         for i, value in enumerate(trace.values):
             out[i] = encode(int(value))
-        name = f"{trace.name}|{type(self).__name__}" if trace.name else type(self).__name__
-        return BusTrace(out, self.output_width, name)
+        return BusTrace(out, self.output_width, self._encoded_name(trace))
 
-    def decode_trace(self, phys: BusTrace) -> BusTrace:
-        """Decode a physical wire-state trace back to the value stream."""
-        if phys.width != self.output_width:
-            raise ValueError(
-                f"trace width {phys.width} != transcoder output width {self.output_width}"
-            )
+    def decode_trace_scalar(self, phys: BusTrace) -> BusTrace:
+        """Decode a physical trace through the per-cycle FSM loop."""
+        self._check_decode_width(phys)
         self.reset()
         out = np.empty(len(phys), dtype=np.uint64)
         decode = self.decode_state
         for i, state in enumerate(phys.values):
             out[i] = decode(int(state))
-        return BusTrace(out, self.input_width, phys.name)
+        return BusTrace(out, self.input_width, self._decoded_name(phys))
+
+    def encode_trace(self, trace: BusTrace) -> BusTrace:
+        """Encode a whole trace; returns the physical wire-state trace.
+
+        Subclasses with vectorized kernels override this; the default
+        is the scalar per-cycle loop.
+        """
+        return self.encode_trace_scalar(trace)
+
+    def decode_trace(self, phys: BusTrace) -> BusTrace:
+        """Decode a physical wire-state trace back to the value stream."""
+        return self.decode_trace_scalar(phys)
 
     def roundtrip(self, trace: BusTrace) -> BusTrace:
         """``decode_trace(encode_trace(trace))`` — must equal ``trace``."""

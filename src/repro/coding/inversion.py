@@ -26,9 +26,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from .._bitops import pair_coupling_counts, popcount
+from ..traces.trace import BusTrace
 from .base import Transcoder
 
 __all__ = ["InversionTranscoder", "default_patterns"]
+
+#: Cycles per block of the vectorized kernel: bounds the temporary
+#: (block, P, P) cost tensors to a few MB even on million-cycle traces.
+_BLOCK = 1 << 15
 
 
 def default_patterns(num_control_bits: int, width: int) -> List[int]:
@@ -159,3 +167,80 @@ class InversionTranscoder(Transcoder):
         data = state & self._mask
         self._state = state
         return data ^ self.patterns[index]
+
+    # -- vectorized trace kernels -----------------------------------------
+    #
+    # The encoder is a greedy chain: the pattern picked at cycle t
+    # depends on the physical state left by cycle t-1, which is itself
+    # one of the P candidate states of cycle t-1.  So the kernel
+    # precomputes, fully vectorized, the (P, P) step-cost matrix of
+    # every consecutive cycle pair — tau via popcount, kappa via the
+    # bitwise pair-coupling identity — and then walks the chain with a
+    # trivial argmin per cycle.  Ties break toward the lowest pattern
+    # index, exactly like the scalar loop's strict ``<`` comparison, and
+    # the costs are the same float64 expression, so decisions are
+    # bit-identical.
+
+    def _candidate_states(self, values: np.ndarray) -> np.ndarray:
+        """(cycles, P) physical candidate states for each input value."""
+        shift = np.uint64(self.input_width)
+        pats = np.array(self.patterns, dtype=np.uint64)
+        indices = np.arange(len(pats), dtype=np.uint64) << shift
+        return (values[:, None] ^ pats[None, :]) | indices[None, :]
+
+    def _step_costs(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        """Vectorized ``tau + assumed_lambda * kappa`` (matches _step_cost)."""
+        tau = popcount(old ^ new)
+        if self.assumed_lambda == 0.0:
+            return tau.astype(np.float64)
+        kappa = pair_coupling_counts(old, new, self.output_width)
+        return tau + self.assumed_lambda * kappa
+
+    def encode_trace(self, trace: BusTrace) -> BusTrace:
+        self._check_encode_width(trace)
+        self.reset()
+        values = trace.values
+        cycles = len(values)
+        if cycles == 0:
+            return BusTrace(
+                np.empty(0, dtype=np.uint64), self.output_width, self._encoded_name(trace)
+            )
+        cand = self._candidate_states(values)
+        choices = np.empty(cycles, dtype=np.intp)
+        # First cycle: costs from the quiescent bus (state 0).
+        first = self._step_costs(np.uint64(0), cand[0])
+        prev_choice = int(np.argmin(first))
+        choices[0] = prev_choice
+        # Remaining cycles, blockwise: costs[t, i, j] is the cost of
+        # moving from candidate i of cycle t-1 to candidate j of cycle t.
+        for start in range(1, cycles, _BLOCK):
+            stop = min(start + _BLOCK, cycles)
+            costs = self._step_costs(
+                cand[start - 1 : stop - 1, :, None], cand[start:stop, None, :]
+            ).tolist()
+            block_choices = []
+            for row in costs:
+                options = row[prev_choice]
+                best = 0
+                best_cost = options[0]
+                for j in range(1, len(options)):
+                    if options[j] < best_cost:
+                        best_cost = options[j]
+                        best = j
+                block_choices.append(best)
+                prev_choice = best
+            choices[start:stop] = block_choices
+        out = cand[np.arange(cycles), choices]
+        self._state = int(out[-1])  # leave the FSM as the loop would
+        return BusTrace(out, self.output_width, self._encoded_name(trace))
+
+    def decode_trace(self, phys: BusTrace) -> BusTrace:
+        self._check_decode_width(phys)
+        self.reset()
+        states = phys.values
+        pats = np.array(self.patterns, dtype=np.uint64)
+        indices = (states >> np.uint64(self.input_width)).astype(np.intp)
+        out = (states & np.uint64(self._mask)) ^ pats[indices]
+        if len(states):
+            self._state = int(states[-1])
+        return BusTrace(out, self.input_width, self._decoded_name(phys))

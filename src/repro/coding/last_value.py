@@ -12,7 +12,17 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .predictive import Predictor, PredictiveTranscoder
+import numpy as np
+
+from .._bitops import popcount
+from ..traces.trace import BusTrace
+from .predictive import (
+    CTRL_CODE,
+    CTRL_RAW,
+    CTRL_RAW_INVERTED,
+    Predictor,
+    PredictiveTranscoder,
+)
 
 __all__ = ["LastValuePredictor", "LastValueTranscoder"]
 
@@ -40,8 +50,139 @@ class LastValuePredictor(Predictor):
         self.last = value
 
 
+def _forward_fill(values: np.ndarray, present: np.ndarray) -> np.ndarray:
+    """Carry each present element forward over the absent positions.
+
+    ``values[t]`` is used where ``present[t]``; other positions repeat
+    the most recent present value, or 0 before the first one.
+    """
+    cycles = len(values)
+    positions = np.where(present, np.arange(cycles), -1)
+    np.maximum.accumulate(positions, out=positions)
+    filled = np.where(
+        positions >= 0, values[np.maximum(positions, 0)], np.uint64(0)
+    )
+    return filled.astype(np.uint64, copy=False)
+
+
 class LastValueTranscoder(PredictiveTranscoder):
-    """Standalone LAST-value transcoder over a ``width``-bit bus."""
+    """Standalone LAST-value transcoder over a ``width``-bit bus.
+
+    Trace-level calls use a vectorized kernel.  LAST has a single code
+    slot whose codeword is 0, so every cycle is either *silent* (the
+    value repeats and the bus does not move) or a *raw* cycle whose
+    polarity (raw vs. inverted) is a greedy choice against the previous
+    raw cycle's state — a two-state chain the kernel precomputes with
+    popcounts and then walks in O(misses).  The per-cycle methods
+    remain the scalar differential-testing oracle.
+    """
 
     def __init__(self, width: int = 32):
         super().__init__(LastValuePredictor(), width)
+
+    # -- vectorized trace kernels -----------------------------------------
+
+    def _fast_path_ok(self) -> bool:
+        # The kernel models the default configuration; ablation modes
+        # fall back to the scalar loop.
+        return self.silent_last and not self.edge_control
+
+    def encode_trace(self, trace: BusTrace) -> BusTrace:
+        if not self._fast_path_ok():
+            return self.encode_trace_scalar(trace)
+        self._check_encode_width(trace)
+        self.reset()
+        values = trace.values
+        cycles = len(values)
+        if cycles == 0:
+            return BusTrace(
+                np.empty(0, dtype=np.uint64), self.output_width, self._encoded_name(trace)
+            )
+        width = self.input_width
+        mask = np.uint64(self._mask)
+        shift = np.uint64(width)
+        # A cycle is a LAST hit when its value repeats the previous one
+        # (the predictor powers on holding 0).
+        hits = np.empty(cycles, dtype=bool)
+        hits[0] = values[0] == np.uint64(0)
+        hits[1:] = values[1:] == values[:-1]
+        miss_idx = np.flatnonzero(~hits)
+        out_states = np.empty(len(miss_idx), dtype=np.uint64)
+        if len(miss_idx):
+            mv = values[miss_idx]
+            # Chain state after each miss: 0 = raw (data=value, RAW),
+            # 1 = inverted (data=~value, RAW_INVERTED).  Between misses
+            # the bus is silent, so the previous miss's value *is* the
+            # predictor's LAST value, and a miss means mv[m] != mv[m-1];
+            # hence the scalar loop's same-state collision rewrite can
+            # never trigger and the choice depends only on
+            # a = popcount(prev_value ^ value):
+            #   from raw:      cost_raw = a,       cost_inv = (W - a) + 1
+            #   from inverted: cost_raw = (W-a)+1, cost_inv = a
+            # (the +1 is the single Gray-coded control-wire toggle).
+            a = popcount(mv[1:] ^ mv[:-1])
+            inv_from_raw = ((width - a) + 1 < a).tolist()
+            inv_from_inv = (a < (width - a) + 1).tolist()
+            # First miss: previous state is the quiescent bus (0, CTRL_CODE).
+            first = int(mv[0])
+            cost_raw = bin(first).count("1") + bin(CTRL_CODE ^ CTRL_RAW).count("1")
+            cost_inv = bin(~first & self._mask).count("1") + bin(
+                CTRL_CODE ^ CTRL_RAW_INVERTED
+            ).count("1")
+            state = 1 if cost_inv < cost_raw else 0
+            chain = np.empty(len(miss_idx), dtype=bool)
+            chain[0] = bool(state)
+            for m in range(1, len(miss_idx)):
+                state = inv_from_inv[m - 1] if state else inv_from_raw[m - 1]
+                chain[m] = bool(state)
+            data = np.where(chain, ~mv & mask, mv)
+            ctrl = np.where(
+                chain, np.uint64(CTRL_RAW_INVERTED), np.uint64(CTRL_RAW)
+            )
+            out_states = (ctrl << shift) | data
+        out = np.zeros(cycles, dtype=np.uint64)
+        out[miss_idx] = out_states
+        out = _forward_fill(out, ~hits)
+        # Leave the FSM exactly as the scalar loop would.
+        self.predictor.last = int(values[-1])
+        if len(miss_idx):
+            final = int(out[-1])
+            self._data_state = final & self._mask
+            self._ctrl_state = final >> width
+        return BusTrace(out, self.output_width, self._encoded_name(trace))
+
+    def decode_trace(self, phys: BusTrace) -> BusTrace:
+        if not self._fast_path_ok():
+            return self.decode_trace_scalar(phys)
+        self._check_decode_width(phys)
+        states = phys.values
+        cycles = len(states)
+        if cycles == 0:
+            self.reset()
+            return BusTrace(
+                np.empty(0, dtype=np.uint64), self.input_width, self._decoded_name(phys)
+            )
+        mask = np.uint64(self._mask)
+        shift = np.uint64(self.input_width)
+        prev = np.empty_like(states)
+        prev[0] = np.uint64(0)  # reset state: data 0, CTRL_CODE
+        prev[1:] = states[:-1]
+        silent = states == prev
+        ctrl = states >> shift
+        # Well-formed LAST streams only ever show RAW/RAW_INVERTED on
+        # non-silent cycles; anything else desyncs — replay the scalar
+        # loop so the error (message, cycle annotation) is identical.
+        loud_ctrl = ctrl[~silent]
+        if len(loud_ctrl) and not np.all(
+            (loud_ctrl == np.uint64(CTRL_RAW)) | (loud_ctrl == np.uint64(CTRL_RAW_INVERTED))
+        ):
+            return self.decode_trace_scalar(phys)
+        self.reset()
+        data = states & mask
+        decoded = np.where(ctrl == np.uint64(CTRL_RAW), data, ~data & mask)
+        out = _forward_fill(decoded, ~silent)
+        self.predictor.last = int(out[-1])
+        self._data_state = int(data[-1])
+        self._ctrl_state = int(ctrl[-1])
+        self._decode_cycle = cycles
+        return BusTrace(out, self.input_width, self._decoded_name(phys))

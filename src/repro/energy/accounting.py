@@ -28,27 +28,18 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .._bitops import popcount
 from ..traces.trace import BusTrace
 
 __all__ = [
     "ActivityCounts",
     "count_activity",
+    "popcount",
     "transition_counts",
     "coupling_counts",
     "weighted_activity",
     "normalized_energy_removed",
 ]
-
-_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.int64)
-
-
-def popcount(values: np.ndarray) -> np.ndarray:
-    """Per-element population count of a uint64 array."""
-    v = np.asarray(values, dtype=np.uint64)
-    total = np.zeros(v.shape, dtype=np.int64)
-    for shift in (0, 16, 32, 48):
-        total += _POPCOUNT_TABLE[((v >> np.uint64(shift)) & np.uint64(0xFFFF)).astype(np.int64)]
-    return total
 
 
 @dataclass(frozen=True)

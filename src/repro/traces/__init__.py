@@ -10,10 +10,22 @@ from .stats import (
     window_unique_fraction,
 )
 from .io import TraceFormatError, load_trace, load_traces, save_trace, save_traces
+from .cache import (
+    TraceCache,
+    cache_enabled_by_env,
+    default_cache_dir,
+    get_default_cache,
+    set_default_cache,
+)
 
 __all__ = [
     "TraceFormatError",
     "BusTrace",
+    "TraceCache",
+    "cache_enabled_by_env",
+    "default_cache_dir",
+    "get_default_cache",
+    "set_default_cache",
     "coverage_at",
     "toggle_rate",
     "unique_value_cdf",

@@ -1,0 +1,243 @@
+"""Persistent on-disk cache for simulated workload traces.
+
+Running the CPU substrate is the expensive step of every sweep, and its
+output is a pure function of ``(workload program, bus, cycle budget)``.
+This module memoises that function **across processes**: traces are
+stored as validated ``.npz`` archives (the same format as
+:mod:`repro.traces.io`, so loading reuses :func:`load_trace`'s
+:class:`TraceFormatError` checking) under a content-addressed file name
+derived from ``(workload, bus, cycles, program-hash)``.  A second
+``repro table3`` run, a re-executed figure suite, or the workers of a
+parallel sweep therefore skip CPU re-simulation entirely.
+
+Derived *artifacts* — small JSON blobs such as the hardware operation
+counts of a crossover analysis — share the same keyed store via
+:meth:`TraceCache.load_json`/:meth:`TraceCache.store_json`.
+
+Corruption is never fatal: a cache file that fails validation is
+evicted and the caller re-simulates, so a truncated write or a tampered
+archive costs one cache miss, not a crashed sweep.
+
+Configuration (also see the README "Performance" section):
+
+* ``REPRO_TRACE_CACHE_DIR`` — cache directory (default
+  ``$XDG_CACHE_HOME/repro/traces`` or ``~/.cache/repro/traces``);
+* ``REPRO_TRACE_CACHE=0`` — disable the persistent layer entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .io import TraceFormatError, load_trace, save_trace
+from .trace import BusTrace
+
+__all__ = [
+    "TraceCache",
+    "default_cache_dir",
+    "cache_enabled_by_env",
+    "get_default_cache",
+    "set_default_cache",
+    "CACHE_DIR_ENV",
+    "CACHE_ENABLE_ENV",
+]
+
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
+CACHE_ENABLE_ENV = "REPRO_TRACE_CACHE"
+
+#: Bump to invalidate every existing cache entry on a format change.
+_CACHE_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_TRACE_CACHE_DIR``, else the XDG cache location."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return configured
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "traces")
+
+
+def cache_enabled_by_env() -> bool:
+    """False when ``REPRO_TRACE_CACHE`` is set to 0/false/off/no."""
+    return os.environ.get(CACHE_ENABLE_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+class TraceCache:
+    """Two-layer (in-process dict + on-disk ``.npz``/JSON) trace cache.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; defaults to :func:`default_cache_dir`.
+    enabled:
+        When False every lookup misses and nothing is written — the
+        null cache used when ``REPRO_TRACE_CACHE=0``.
+    """
+
+    def __init__(self, directory: Optional[str] = None, enabled: bool = True):
+        self.directory = directory or default_cache_dir()
+        self.enabled = enabled
+        self._memory: Dict[str, BusTrace] = {}
+        self._memory_json: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_evictions = 0
+
+    # -- keys ---------------------------------------------------------
+
+    @staticmethod
+    def key(*parts: Any) -> str:
+        """Stable content key for any tuple of primitive parts."""
+        text = f"v{_CACHE_VERSION}|" + "|".join(str(p) for p in parts)
+        return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+    def trace_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.npz")
+
+    def json_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- traces -------------------------------------------------------
+
+    def load(self, key: str) -> Optional[BusTrace]:
+        """The cached trace for ``key``, or None on a miss.
+
+        A file that exists but fails :func:`load_trace` validation
+        (truncated, tampered, wrong shape/width) is deleted and treated
+        as a miss — the caller re-simulates instead of crashing.
+        """
+        if not self.enabled:
+            return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        path = self.trace_path(key)
+        try:
+            trace = load_trace(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except TraceFormatError:
+            self.corrupt_evictions += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        self._memory[key] = trace
+        return trace
+
+    def store(self, key: str, trace: BusTrace) -> None:
+        """Persist ``trace`` under ``key`` (atomic rename, best effort)."""
+        if not self.enabled:
+            return
+        self._memory[key] = trace
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".npz", dir=self.directory
+            )
+            os.close(fd)
+            save_trace(trace, tmp)
+            os.replace(tmp, self.trace_path(key))
+        except OSError:
+            # A read-only or full cache directory degrades to in-memory
+            # caching; it must never fail the experiment.
+            pass
+
+    # -- derived JSON artifacts ---------------------------------------
+
+    def load_json(self, key: str) -> Optional[Any]:
+        """The cached JSON artifact for ``key``, or None.
+
+        Unreadable or undecodable files are evicted like corrupt traces.
+        """
+        if not self.enabled:
+            return None
+        if key in self._memory_json:
+            self.hits += 1
+            return self._memory_json[key]
+        path = self.json_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.corrupt_evictions += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        self._memory_json[key] = value
+        return value
+
+    def store_json(self, key: str, value: Any) -> None:
+        """Persist a small JSON-serialisable artifact under ``key``."""
+        if not self.enabled:
+            return
+        self._memory_json[key] = value
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=self.directory
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(value, handle)
+            os.replace(tmp, self.json_path(key))
+        except (OSError, TypeError):
+            pass
+
+    # -- maintenance --------------------------------------------------
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (the disk layer stays)."""
+        self._memory.clear()
+        self._memory_json.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_evictions": self.corrupt_evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "enabled" if self.enabled else "disabled"
+        return f"TraceCache({self.directory!r}, {state})"
+
+
+_default_cache: Optional[TraceCache] = None
+
+
+def get_default_cache() -> TraceCache:
+    """The process-wide cache, configured from the environment once."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = TraceCache(enabled=cache_enabled_by_env())
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[TraceCache]) -> None:
+    """Replace the process-wide cache (tests point it at a tmp dir)."""
+    global _default_cache
+    _default_cache = cache

@@ -8,9 +8,12 @@ from .programs import (
     workload_names,
 )
 from .suite import (
+    BUS_NAMES,
     DEFAULT_CYCLES,
     address_trace,
+    clear_caches,
     memory_trace,
+    program_hash,
     register_trace,
     result_trace,
     run_workload,
@@ -26,8 +29,11 @@ __all__ = [
     "EXTENDED_WORKLOADS",
     "Workload",
     "workload_names",
+    "BUS_NAMES",
     "DEFAULT_CYCLES",
     "address_trace",
+    "clear_caches",
+    "program_hash",
     "memory_trace",
     "result_trace",
     "register_trace",

@@ -1,13 +1,38 @@
 """Shared fixtures: small deterministic traces and suite samples."""
 
+import tempfile
+
 import numpy as np
 import pytest
 
-from repro.traces import BusTrace
-from repro.workloads import locality_trace, random_trace, register_trace, memory_trace
+from repro.traces import BusTrace, TraceCache, set_default_cache
+from repro.workloads import (
+    clear_caches,
+    locality_trace,
+    memory_trace,
+    random_trace,
+    register_trace,
+)
 
 #: Short cycle budget so CPU-substrate fixtures stay fast.
 FAST_CYCLES = 6000
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache():
+    """Point the persistent trace cache at a throwaway directory.
+
+    Tests must neither read stale artifacts from a developer's real
+    ``~/.cache/repro`` (which could mask bugs) nor pollute it; the
+    session still exercises the full disk-cache code paths, just
+    against a temporary directory.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-test-cache-") as tmp:
+        set_default_cache(TraceCache(tmp))
+        clear_caches()
+        yield
+    set_default_cache(None)
+    clear_caches()
 
 
 @pytest.fixture(scope="session")

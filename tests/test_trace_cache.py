@@ -1,0 +1,186 @@
+"""The persistent trace cache: round-trips, key invalidation, corruption.
+
+Three contracts:
+
+* a stored trace/artifact comes back bit-identical, across processes
+  (simulated here by clearing the in-memory layer);
+* the key covers everything the trace depends on — workload *program*,
+  bus, cycle budget — so edits and different budgets miss instead of
+  serving stale data;
+* a corrupt or truncated cache file is evicted and re-simulated, never
+  fatal.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    BusTrace,
+    TraceCache,
+    cache_enabled_by_env,
+    default_cache_dir,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.traces.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
+from repro.workloads import clear_caches, program_hash, register_trace
+from repro.workloads.suite import _trace_cache_key
+
+
+@pytest.fixture
+def tmp_cache(tmp_path):
+    """A fresh default cache in a throwaway directory (restored after)."""
+    previous = get_default_cache()
+    cache = TraceCache(str(tmp_path / "cache"))
+    set_default_cache(cache)
+    clear_caches()
+    yield cache
+    set_default_cache(previous)
+    clear_caches()
+
+
+def _trace(seed=0, n=50, width=16, name="t"):
+    rng = np.random.default_rng(seed)
+    return BusTrace(
+        rng.integers(0, 1 << width, size=n, dtype=np.uint64), width, name
+    )
+
+
+# -- round trips ----------------------------------------------------------
+
+
+def test_trace_round_trip_through_disk(tmp_cache):
+    trace = _trace(seed=1, name="roundtrip")
+    key = tmp_cache.key("test", "roundtrip")
+    tmp_cache.store(key, trace)
+    tmp_cache.clear_memory()  # force the disk layer
+    loaded = tmp_cache.load(key)
+    assert loaded is not None
+    assert np.array_equal(loaded.values, trace.values)
+    assert loaded.width == trace.width
+    assert loaded.name == trace.name
+    assert os.path.exists(tmp_cache.trace_path(key))
+
+
+def test_json_round_trip_through_disk(tmp_cache):
+    key = tmp_cache.key("test", "artifact")
+    payload = {"ops": {"match": 12, "shift": 3}, "width": 34}
+    tmp_cache.store_json(key, payload)
+    tmp_cache.clear_memory()
+    assert tmp_cache.load_json(key) == payload
+
+
+def test_miss_on_unknown_key(tmp_cache):
+    assert tmp_cache.load(tmp_cache.key("nope")) is None
+    assert tmp_cache.load_json(tmp_cache.key("nope", "json")) is None
+    assert tmp_cache.stats()["misses"] == 2
+    assert tmp_cache.stats()["hits"] == 0
+
+
+def test_disabled_cache_never_stores(tmp_path):
+    cache = TraceCache(str(tmp_path / "off"), enabled=False)
+    key = cache.key("k")
+    cache.store(key, _trace())
+    cache.store_json(key, {"a": 1})
+    assert cache.load(key) is None
+    assert cache.load_json(key) is None
+    assert not os.path.exists(str(tmp_path / "off"))
+
+
+# -- key invalidation -----------------------------------------------------
+
+
+def test_key_is_stable_and_sensitive():
+    a = TraceCache.key("trace", "gcc", "register", 5000, "abc")
+    assert a == TraceCache.key("trace", "gcc", "register", 5000, "abc")
+    assert a != TraceCache.key("trace", "gcc", "register", 5001, "abc")
+    assert a != TraceCache.key("trace", "gcc", "memory", 5000, "abc")
+    assert a != TraceCache.key("trace", "gcc", "register", 5000, "abd")
+    assert a != TraceCache.key("trace", "swim", "register", 5000, "abc")
+
+
+def test_program_hash_distinguishes_workloads():
+    assert program_hash("gcc") != program_hash("swim")
+    assert program_hash("gcc") == program_hash("gcc")
+
+
+def test_suite_key_changes_with_cycles_and_program(tmp_cache):
+    k1 = _trace_cache_key("gcc", "register", 1000)
+    k2 = _trace_cache_key("gcc", "register", 2000)
+    k3 = _trace_cache_key("swim", "register", 1000)
+    assert len({k1, k2, k3}) == 3
+
+
+def test_suite_traces_persist_and_reload(tmp_cache):
+    cold = register_trace("gcc", 1200)
+    key = _trace_cache_key("gcc", "register", 1200)
+    assert os.path.exists(tmp_cache.trace_path(key))
+    clear_caches()  # drop lru + memory; the next call must hit the disk
+    warm = register_trace("gcc", 1200)
+    assert tmp_cache.stats()["hits"] >= 1
+    assert np.array_equal(cold.values, warm.values)
+    # A different cycle budget is a different key: re-simulates.
+    other = register_trace("gcc", 600)
+    assert len(other) != len(cold)
+
+
+# -- corruption recovery --------------------------------------------------
+
+
+def test_corrupt_trace_file_is_evicted_and_resimulated(tmp_cache):
+    cold = register_trace("gcc", 1200)
+    key = _trace_cache_key("gcc", "register", 1200)
+    path = tmp_cache.trace_path(key)
+    with open(path, "wb") as handle:
+        handle.write(b"this is not an npz archive")
+    clear_caches()
+    recovered = register_trace("gcc", 1200)  # must not raise
+    assert np.array_equal(recovered.values, cold.values)
+    assert tmp_cache.stats()["corrupt_evictions"] >= 1
+
+
+def test_corrupt_json_artifact_is_evicted(tmp_cache):
+    key = tmp_cache.key("artifact")
+    tmp_cache.store_json(key, {"x": 1})
+    with open(tmp_cache.json_path(key), "w") as handle:
+        handle.write("{truncated")
+    tmp_cache.clear_memory()
+    assert tmp_cache.load_json(key) is None
+    assert tmp_cache.stats()["corrupt_evictions"] == 1
+    assert not os.path.exists(tmp_cache.json_path(key))
+
+
+def test_readonly_directory_degrades_to_memory(tmp_path):
+    target = tmp_path / "ro"
+    target.mkdir()
+    os.chmod(target, 0o500)
+    try:
+        cache = TraceCache(str(target))
+        key = cache.key("k")
+        cache.store(key, _trace())  # must not raise
+        assert cache.load(key) is not None  # memory layer still serves it
+    finally:
+        os.chmod(target, 0o700)
+
+
+# -- environment configuration --------------------------------------------
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+    assert default_cache_dir() == str(tmp_path / "custom")
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == str(tmp_path / "xdg" / "repro" / "traces")
+
+
+def test_cache_enabled_by_env(monkeypatch):
+    for off in ("0", "false", "OFF", "no"):
+        monkeypatch.setenv(CACHE_ENABLE_ENV, off)
+        assert not cache_enabled_by_env()
+    monkeypatch.setenv(CACHE_ENABLE_ENV, "1")
+    assert cache_enabled_by_env()
+    monkeypatch.delenv(CACHE_ENABLE_ENV)
+    assert cache_enabled_by_env()

@@ -25,6 +25,9 @@ Quick start::
     print(savings_for(trace, coder), "% energy removed")
 """
 
+import logging as _logging
+
+from . import obs
 from .traces import BusTrace
 from .wires import TECH_007, TECH_010, TECH_013, TECHNOLOGIES, Technology, WireModel
 from .coding import (
@@ -58,8 +61,15 @@ from .analysis import (
 
 __version__ = "1.0.0"
 
+# Library-logging etiquette: everything under the "repro" namespace is
+# silent unless an application (or the CLI via repro.obs.setup_logging)
+# installs a real handler.  Nothing in the library writes to stdout —
+# progress and diagnostics go through logging / repro.obs only.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 __all__ = [
     "BusTrace",
+    "obs",
     "Technology",
     "TECHNOLOGIES",
     "TECH_013",

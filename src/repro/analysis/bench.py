@@ -16,10 +16,20 @@ report so perf regressions are diffable across commits:
   (persistent cache populated, in-memory layers cleared), quantifying
   what the ``.npz``/JSON artifact cache buys a second invocation.
 
+Timings are sourced from :mod:`repro.obs` spans — each measured region
+runs under a ``bench.*`` span and the reported seconds are the span's
+own duration, so ``BENCH_*.json`` and an exported ``--obs-dir`` /
+``--trace-out`` agree to the clock tick.  The spans additionally roll
+up into an optional ``phases`` key (one record per distinct
+phase/coder/mode) giving the per-phase breakdown; with ``REPRO_OBS=0``
+a plain ``perf_counter`` fallback keeps the core report identical and
+``phases`` is simply absent.
+
 The report carries a ``schema`` tag (:data:`BENCH_SCHEMA`);
 :func:`validate_bench_report` rejects drifted reports, which is what
 ``repro bench --quick`` (and the ``bench_smoke`` tests) use to keep the
-emitted JSON stable for downstream tooling.
+emitted JSON stable for downstream tooling.  ``phases`` is optional and
+validated only when present, so pre-existing reports stay valid.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..coding.inversion import InversionTranscoder
 from ..coding.last_value import LastValueTranscoder
 from ..coding.transition import TransitionCoder
@@ -90,16 +101,51 @@ def _kernel_cases(quick: bool) -> List[Tuple[str, Any, BusTrace]]:
     ]
 
 
-def _time_kernel(name: str, coder: Any, trace: BusTrace) -> Dict[str, Any]:
-    t0 = time.perf_counter()
-    coder.reset()
-    scalar = coder.encode_trace_scalar(trace)
-    scalar_s = time.perf_counter() - t0
+class _phase_timer:
+    """Time one bench phase through a span, with a clock fallback.
 
-    t0 = time.perf_counter()
+    When observability is on, the reported seconds are the ``bench.*``
+    span's own measured duration (:attr:`~repro.obs.ActiveSpan.dur`),
+    so the JSON report and any ``--obs-dir`` / ``--trace-out`` export
+    agree exactly.  With ``REPRO_OBS=0`` the span is the shared no-op
+    and a ``perf_counter`` pair supplies the timing instead — the core
+    report keeps working, only the span-derived ``phases`` rollup
+    disappears.
+    """
+
+    __slots__ = ("_span", "_start", "seconds")
+
+    def __init__(self, name: str, **attrs: Any):
+        self._span = obs.span(name, **attrs)
+        self._start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_phase_timer":
+        self._start = time.perf_counter()
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span.__exit__(*exc_info)
+        dur = getattr(self._span, "dur", 0.0)
+        self.seconds = dur if dur > 0.0 else time.perf_counter() - self._start
+        return None
+
+
+def _time_kernel(name: str, coder: Any, trace: BusTrace) -> Dict[str, Any]:
     coder.reset()
-    fast = coder.encode_trace(trace)
-    fast_s = time.perf_counter() - t0
+    with _phase_timer(
+        "bench.kernel", coder=name, mode="scalar", cycles=len(trace)
+    ) as timer:
+        scalar = coder.encode_trace_scalar(trace)
+    scalar_s = timer.seconds
+
+    coder.reset()
+    with _phase_timer(
+        "bench.kernel", coder=name, mode="fast", cycles=len(trace)
+    ) as timer:
+        fast = coder.encode_trace(trace)
+    fast_s = timer.seconds
 
     identical = bool(np.array_equal(scalar.values, fast.values))
     fast_s_safe = max(fast_s, 1e-9)  # keep the report finite (valid JSON)
@@ -149,13 +195,17 @@ def _time_sweeps(quick: bool, jobs: Optional[int]) -> List[Dict[str, Any]]:
                 ("robust_savings_sweep", sweep_robust),
                 ("crossover_table", sweep_table3),
             ):
-                t0 = time.perf_counter()
-                fn()
-                cold_s = time.perf_counter() - t0
+                with _phase_timer(
+                    "bench.sweep", sweep=name, mode="cold", cycles=cycles
+                ) as timer:
+                    fn()
+                cold_s = timer.seconds
                 clear_caches()  # drop in-memory layers; keep the disk artifacts
-                t0 = time.perf_counter()
-                fn()
-                warm_s = time.perf_counter() - t0
+                with _phase_timer(
+                    "bench.sweep", sweep=name, mode="warm", cycles=cycles
+                ) as timer:
+                    fn()
+                warm_s = timer.seconds
                 results.append(
                     {
                         "name": name,
@@ -171,8 +221,40 @@ def _time_sweeps(quick: bool, jobs: Optional[int]) -> List[Dict[str, Any]]:
     return results
 
 
+def _phase_breakdown(spans: List[Any]) -> List[Dict[str, Any]]:
+    """Roll ``bench.*`` spans up into ``phases`` records.
+
+    One record per distinct (span name, coder/sweep, mode) triple, e.g.
+    ``bench.kernel/transition/fast`` — execution order preserved so the
+    breakdown reads like the run.
+    """
+    groups: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        if not record.name.startswith("bench."):
+            continue
+        sub = record.attrs.get("coder") or record.attrs.get("sweep")
+        mode = record.attrs.get("mode")
+        phase = "/".join(
+            str(part) for part in (record.name, sub, mode) if part is not None
+        )
+        group = groups.get(phase)
+        if group is None:
+            group = groups[phase] = {"phase": phase, "count": 0, "total_s": 0.0}
+        group["count"] += 1
+        group["total_s"] += float(record.dur)
+    return list(groups.values())
+
+
 def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
-    """Run every benchmark and return the report dictionary."""
+    """Run every benchmark and return the report dictionary.
+
+    When observability is enabled, the returned report carries the
+    optional ``phases`` key — the span-derived per-phase breakdown (see
+    :func:`_phase_breakdown`).  With ``REPRO_OBS=0`` the key is absent
+    and the rest of the report is produced identically.
+    """
+    tracer = obs.get_tracer()
+    span_mark = tracer.mark()
     kernels = [_time_kernel(*case) for case in _kernel_cases(quick)]
     sweeps = _time_sweeps(quick, jobs)
     report: Dict[str, Any] = {
@@ -184,6 +266,9 @@ def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
         "kernels": kernels,
         "sweeps": sweeps,
     }
+    phases = _phase_breakdown(tracer.take_since(span_mark))
+    if phases:
+        report["phases"] = phases
     validate_bench_report(report)
     return report
 
@@ -203,6 +288,11 @@ _SWEEP_KEYS = {
     "cold_s": float,
     "warm_s": float,
     "speedup": float,
+}
+_PHASE_KEYS = {
+    "phase": str,
+    "count": int,
+    "total_s": float,
 }
 
 
@@ -231,7 +321,12 @@ def _check_record(record: Any, keys: Dict[str, type], where: str) -> None:
 
 def validate_bench_report(report: Any) -> None:
     """Raise :class:`BenchSchemaError` unless ``report`` matches
-    :data:`BENCH_SCHEMA` exactly (top-level keys, record keys, types)."""
+    :data:`BENCH_SCHEMA` exactly (top-level keys, record keys, types).
+
+    The span-derived ``phases`` key is *optional* — validated when
+    present, never required — so reports written before it existed (and
+    ``REPRO_OBS=0`` runs, which cannot source span timings) stay valid.
+    """
     if not isinstance(report, dict):
         raise BenchSchemaError(f"report must be an object, got {type(report).__name__}")
     if report.get("schema") != BENCH_SCHEMA:
@@ -239,10 +334,11 @@ def validate_bench_report(report: Any) -> None:
             f"schema tag {report.get('schema')!r} != {BENCH_SCHEMA!r}"
         )
     required = {"schema", "created", "quick", "jobs", "numpy", "kernels", "sweeps"}
+    optional = {"phases"}
     missing = required - set(report)
     if missing:
         raise BenchSchemaError(f"missing top-level keys {sorted(missing)}")
-    extra = set(report) - required
+    extra = set(report) - required - optional
     if extra:
         raise BenchSchemaError(f"unexpected top-level keys {sorted(extra)}")
     if not isinstance(report["created"], str):
@@ -259,6 +355,12 @@ def validate_bench_report(report: Any) -> None:
             raise BenchSchemaError(f"'{field}' must be a non-empty list")
         for i, record in enumerate(records):
             _check_record(record, keys, f"{field}[{i}]")
+    if "phases" in report:
+        records = report["phases"]
+        if not isinstance(records, list) or not records:
+            raise BenchSchemaError("'phases', when present, must be a non-empty list")
+        for i, record in enumerate(records):
+            _check_record(record, _PHASE_KEYS, f"phases[{i}]")
 
 
 def default_report_path(directory: str = ".") -> str:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..coding.base import Transcoder
 from ..energy.accounting import normalized_energy_removed
 from ..hardware.cam import LOW_BITS
@@ -160,7 +161,8 @@ def isolated_suite_traces(
         names = tuple(sorted(WORKLOADS))
 
     def _simulate(name: str) -> BusTrace:
-        return suite_traces(bus, (name,), cycles)[name]
+        with obs.span("sweep.simulate", workload=name, bus=bus, cycles=cycles):
+            return suite_traces(bus, (name,), cycles)[name]
 
     traces: Dict[str, BusTrace] = {}
     failures: List[SweepFailure] = []
@@ -171,6 +173,7 @@ def isolated_suite_traces(
         if not keep_going:
             traces[outcome.cell] = _reraise_strict(_simulate, outcome)
             continue
+        obs.inc("sweep.cells_failed", stage="trace")
         failures.append(
             SweepFailure(
                 workload=outcome.cell,
@@ -206,18 +209,21 @@ def savings_sweep(
     cells across worker processes; the curves are identical to the
     serial run and failures propagate as the original exception.
     """
-    traces = _suite_traces_strict(bus, names, cycles, jobs)
+    with obs.span("sweep.simulate_phase", bus=bus, cycles=cycles):
+        traces = _suite_traces_strict(bus, names, cycles, jobs)
 
     def _cell(cell: Tuple[str, int]) -> float:
         name, value = cell
-        return savings_for(traces[name], coder_factory(value), lam)
+        with obs.span("sweep.cell", workload=name, param=value, bus=bus):
+            return savings_for(traces[name], coder_factory(value), lam)
 
     cells = [(name, value) for name in traces for value in parameter_values]
     results: Dict[Tuple[str, int], float] = {}
-    for outcome in parallel_map_cells(_cell, cells, jobs):
-        results[outcome.cell] = (
-            outcome.value if outcome.ok else _reraise_strict(_cell, outcome)
-        )
+    with obs.span("sweep.encode_phase", cells=len(cells)):
+        for outcome in parallel_map_cells(_cell, cells, jobs):
+            results[outcome.cell] = (
+                outcome.value if outcome.ok else _reraise_strict(_cell, outcome)
+            )
     return {
         name: [results[(name, value)] for value in parameter_values]
         for name in traces
@@ -261,19 +267,22 @@ def robust_savings_sweep(
     parallelises both the simulations and the encode cells with a
     deterministic merge.
     """
-    traces, failures = isolated_suite_traces(bus, names, cycles, keep_going, jobs)
+    with obs.span("sweep.simulate_phase", bus=bus, cycles=cycles):
+        traces, failures = isolated_suite_traces(bus, names, cycles, keep_going, jobs)
     outcome = SweepOutcome(failures=failures)
 
     def _cell(cell: Tuple[str, int]) -> float:
         name, value = cell
-        return savings_for(traces[name], coder_factory(value), lam)
+        with obs.span("sweep.cell", workload=name, param=value, bus=bus):
+            return savings_for(traces[name], coder_factory(value), lam)
 
     cells = [(name, value) for name in traces for value in parameter_values]
     results: Dict[Tuple[str, int], CellOutcome] = {}
-    for cell_outcome in parallel_map_cells(_cell, cells, jobs):
-        if not cell_outcome.ok and not keep_going:
-            _reraise_strict(_cell, cell_outcome)
-        results[cell_outcome.cell] = cell_outcome
+    with obs.span("sweep.encode_phase", cells=len(cells)):
+        for cell_outcome in parallel_map_cells(_cell, cells, jobs):
+            if not cell_outcome.ok and not keep_going:
+                _reraise_strict(_cell, cell_outcome)
+            results[cell_outcome.cell] = cell_outcome
     for name in traces:
         per_param = [results[(name, value)] for value in parameter_values]
         failed = next((r for r in per_param if not r.ok), None)
@@ -282,6 +291,7 @@ def robust_savings_sweep(
         else:
             # Matches the serial contract: the whole curve is dropped
             # and the first failing parameter's error is recorded.
+            obs.inc("sweep.cells_failed", stage="encode")
             outcome.failures.append(
                 SweepFailure(
                     workload=name,
@@ -355,39 +365,45 @@ def crossover_table(
     int_names = tuple(INT_WORKLOADS)
     fp_names = tuple(FP_WORKLOADS)
     all_names = int_names + fp_names
-    traces = _suite_traces_strict(bus, all_names, cycles, jobs)
+    with obs.span("table3.simulate", bus=bus, cycles=cycles, workloads=len(all_names)):
+        traces = _suite_traces_strict(bus, all_names, cycles, jobs)
 
     def _artifact(cell: Tuple[str, int]) -> Tuple[OperationCounts, BusTrace]:
         name, size = cell
-        return _cached_window_artifacts(traces[name], name, bus, cycles, size)
+        with obs.span("table3.cell", workload=name, entries=size, bus=bus):
+            return _cached_window_artifacts(traces[name], name, bus, cycles, size)
 
     artifact_cells = [(name, size) for name in all_names for size in entry_sizes]
     artifacts: Dict[Tuple[str, int], Tuple[OperationCounts, BusTrace]] = {}
-    for outcome in parallel_map_cells(_artifact, artifact_cells, jobs):
-        artifacts[outcome.cell] = (
-            outcome.value if outcome.ok else _reraise_strict(_artifact, outcome)
-        )
+    with obs.span("table3.artifacts", cells=len(artifact_cells)):
+        for outcome in parallel_map_cells(_artifact, artifact_cells, jobs):
+            artifacts[outcome.cell] = (
+                outcome.value if outcome.ok else _reraise_strict(_artifact, outcome)
+            )
 
     cells: List[CrossoverCell] = []
-    for tech in technologies:
-        for size in entry_sizes:
-            analyses = {
-                name: CrossoverAnalysis(
-                    traces[name],
-                    tech,
-                    size,
-                    ops=artifacts[(name, size)][0],
-                    coded=artifacts[(name, size)][1],
-                )
-                for name in all_names
-            }
-            groups = {
-                "SPECint": [analyses[name] for name in int_names],
-                "SPECfp": [analyses[name] for name in fp_names],
-                "ALL": [analyses[name] for name in all_names],
-            }
-            for suite_name, group in groups.items():
-                cells.append(
-                    CrossoverCell(tech.name, size, suite_name, median_crossover(group))
-                )
+    with obs.span("table3.assemble", technologies=len(list(technologies))):
+        for tech in technologies:
+            for size in entry_sizes:
+                analyses = {
+                    name: CrossoverAnalysis(
+                        traces[name],
+                        tech,
+                        size,
+                        ops=artifacts[(name, size)][0],
+                        coded=artifacts[(name, size)][1],
+                    )
+                    for name in all_names
+                }
+                groups = {
+                    "SPECint": [analyses[name] for name in int_names],
+                    "SPECfp": [analyses[name] for name in fp_names],
+                    "ALL": [analyses[name] for name in all_names],
+                }
+                for suite_name, group in groups.items():
+                    cells.append(
+                        CrossoverCell(
+                            tech.name, size, suite_name, median_crossover(group)
+                        )
+                    )
     return cells

@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..coding.base import Transcoder
 from ..energy.accounting import normalized_energy_removed
 from ..faults.models import BitFlips, FaultyChannel
@@ -156,12 +157,15 @@ def faults_sweep(
         workload, pi, bi = key
         policy = resolved[pi]
         ber = bers[bi]
-        coder = ResilientTranscoder(coder_factory(), policy)
-        channel = FaultyChannel(
-            BitFlips(ber, seed=_seed_for(workload, policy.name, ber, seed))
-        )
-        run: ResilientRun = coder.run(traces[workload], channel)
-        savings = normalized_energy_removed(traces[workload], run.physical, lam)
+        with obs.span(
+            "faults.cell", workload=workload, policy=policy.name, ber=float(ber)
+        ):
+            coder = ResilientTranscoder(coder_factory(), policy)
+            channel = FaultyChannel(
+                BitFlips(ber, seed=_seed_for(workload, policy.name, ber, seed))
+            )
+            run: ResilientRun = coder.run(traces[workload], channel)
+            savings = normalized_energy_removed(traces[workload], run.physical, lam)
         return FaultCell(
             workload=workload,
             policy=policy.name,
@@ -174,27 +178,29 @@ def faults_sweep(
             mean_cycles_to_recovery=run.mean_cycles_to_recovery,
         )
 
-    for outcome in parallel_map_cells(_cell, cell_keys, jobs):
-        if outcome.ok:
-            result.cells.append(outcome.value)
-            continue
-        if not keep_going:
-            # Strict mode: re-run in-process so the *original* exception
-            # type/args propagate, exactly as the serial path raised.
-            result.cells.append(_reraise_strict(_cell, outcome))
-            continue
-        workload, pi, bi = outcome.cell
-        policy = resolved[pi]
-        assert outcome.error is not None
-        result.failures.append(
-            SweepFailure(
-                workload=workload,
-                stage=f"faults[{policy.name}, ber={bers[bi]:g}]",
-                kind=outcome.error.kind,
-                message=outcome.error.message,
-                detail=outcome.error.detail,
+    with obs.span("faults.sweep_phase", cells=len(cell_keys)):
+        for outcome in parallel_map_cells(_cell, cell_keys, jobs):
+            if outcome.ok:
+                result.cells.append(outcome.value)
+                continue
+            if not keep_going:
+                # Strict mode: re-run in-process so the *original* exception
+                # type/args propagate, exactly as the serial path raised.
+                result.cells.append(_reraise_strict(_cell, outcome))
+                continue
+            workload, pi, bi = outcome.cell
+            policy = resolved[pi]
+            assert outcome.error is not None
+            obs.inc("sweep.cells_failed", stage="faults")
+            result.failures.append(
+                SweepFailure(
+                    workload=workload,
+                    stage=f"faults[{policy.name}, ber={bers[bi]:g}]",
+                    kind=outcome.error.kind,
+                    message=outcome.error.message,
+                    detail=outcome.error.detail,
+                )
             )
-        )
     return result
 
 

@@ -19,20 +19,35 @@ Two design points keep arbitrary experiment closures usable:
   the results cross the pipe.  Platforms without ``fork`` degrade to
   the serial path — same results, no parallelism.
 * **per-cell isolation** — a worker never lets an exception escape; it
-  returns a :class:`CellError` carrying the class name, message and a
-  short traceback, mirroring PR 1's ``SweepFailure`` records.  Callers
-  that need strict (fail-fast) semantics run serially, where the
-  original exception object is preserved.
+  returns a :class:`CellError` carrying the class name, message, a
+  short traceback, the worker's **pid** and the cell's **elapsed wall
+  time**, mirroring PR 1's ``SweepFailure`` records.  Callers that need
+  strict (fail-fast) semantics run serially, where the original
+  exception object is preserved.
+
+Observability (:mod:`repro.obs`): each worker snapshots its inherited
+telemetry before running a cell and ships the **delta** — new counter
+increments, histogram samples and finished spans — back alongside the
+result; the parent merges every delta in input order, so a ``--jobs N``
+run reports the same ``machine.*`` / ``trace_cache.*`` / ``coder.*``
+totals as a serial run.  The engine itself contributes the
+``parallel.cells`` / ``parallel.cells_failed`` / ``parallel.pool_fallbacks``
+counters, a ``parallel.cell_s`` latency histogram, and one
+``parallel.cell`` span per cell (rendered as per-worker rows in the
+Chrome trace export).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .. import obs
 
 __all__ = ["CellError", "CellOutcome", "parallel_map_cells", "resolve_jobs"]
 
@@ -44,6 +59,8 @@ class CellError:
     kind: str  #: exception class name
     message: str  #: ``str(exception)``, one line
     detail: str = ""  #: short traceback excerpt
+    pid: int = 0  #: process id of the worker the cell ran in
+    elapsed_s: float = 0.0  #: wall time the cell burned before failing
 
 
 @dataclass(frozen=True)
@@ -66,11 +83,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, int(jobs))
 
 
-def _describe(exc: BaseException) -> CellError:
+def _describe(exc: BaseException, elapsed_s: float) -> CellError:
     return CellError(
         kind=type(exc).__name__,
         message=str(exc),
         detail=traceback.format_exc(limit=3),
+        pid=os.getpid(),
+        elapsed_s=elapsed_s,
     )
 
 
@@ -78,23 +97,54 @@ def _describe(exc: BaseException) -> CellError:
 # fork after it is set and inherit it; it never crosses a pipe.
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
 
+#: A worker result: (index, value, error, telemetry delta).  The delta
+#: is ``obs.fork_delta``'s picklable (registry diff, span records) pair,
+#: or None when observability is disabled.
+_WorkerResult = Tuple[int, Any, Optional[CellError], Optional[Tuple[Any, Any]]]
 
-def _invoke(payload: Tuple[int, Any]) -> Tuple[int, Any, Optional[CellError]]:
+
+def _invoke(payload: Tuple[int, Any]) -> _WorkerResult:
     index, cell = payload
     assert _WORKER_FN is not None, "worker forked before the cell fn was staged"
+    collecting = obs.is_enabled()
+    baseline = obs.fork_snapshot() if collecting else None
+    t0 = time.perf_counter()
     try:
-        return index, _WORKER_FN(cell), None
+        with obs.span("parallel.cell", index=index):
+            value = _WORKER_FN(cell)
+        error = None
     except Exception as exc:  # noqa: BLE001 - isolation boundary
-        return index, None, _describe(exc)
+        value = None
+        error = _describe(exc, time.perf_counter() - t0)
+    if collecting:
+        obs.observe("parallel.cell_s", time.perf_counter() - t0)
+        delta = obs.fork_delta(baseline)
+    else:
+        delta = None
+    return index, value, error, delta
+
+
+def _record_cells(outcomes: Sequence[CellOutcome]) -> None:
+    """Parent-side accounting: totals and the failure counter."""
+    obs.inc("parallel.cells", len(outcomes))
+    failed = sum(1 for o in outcomes if not o.ok)
+    if failed:
+        obs.inc("parallel.cells_failed", failed)
 
 
 def _serial_map(fn: Callable[[Any], Any], cells: Sequence[Any]) -> List[CellOutcome]:
     outcomes: List[CellOutcome] = []
-    for cell in cells:
+    for index, cell in enumerate(cells):
+        t0 = time.perf_counter()
         try:
-            outcomes.append(CellOutcome(cell=cell, value=fn(cell)))
+            with obs.span("parallel.cell", index=index):
+                outcomes.append(CellOutcome(cell=cell, value=fn(cell)))
         except Exception as exc:  # noqa: BLE001 - isolation boundary
-            outcomes.append(CellOutcome(cell=cell, error=_describe(exc)))
+            outcomes.append(
+                CellOutcome(cell=cell, error=_describe(exc, time.perf_counter() - t0))
+            )
+        obs.observe("parallel.cell_s", time.perf_counter() - t0)
+    _record_cells(outcomes)
     return outcomes
 
 
@@ -128,7 +178,9 @@ def parallel_map_cells(
     -------
     One :class:`CellOutcome` per cell, in input order, independent of
     worker scheduling — the deterministic-merge guarantee the
-    ``--jobs N`` equivalence tests rely on.
+    ``--jobs N`` equivalence tests rely on.  Telemetry collected inside
+    workers (metrics *and* spans) is merged into the parent's
+    :mod:`repro.obs` sinks, also in input order.
     """
     cell_list = list(cells)
     workers = min(resolve_jobs(jobs), max(len(cell_list), 1))
@@ -140,16 +192,22 @@ def parallel_map_cells(
     _WORKER_FN = fn
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            obs.set_gauge("parallel.workers", workers)
             indexed = pool.map(_invoke, enumerate(cell_list), chunksize=1)
-            results: List[Tuple[int, Any, Optional[CellError]]] = list(indexed)
+            results: List[_WorkerResult] = list(indexed)
     except (OSError, RuntimeError):
         # Pools can be unavailable in restricted environments (no /dev/shm,
         # forbidden fork).  Fall back to identical-but-serial execution.
+        obs.inc("parallel.pool_fallbacks")
         return _serial_map(fn, cell_list)
     finally:
         _WORKER_FN = previous
     results.sort(key=lambda item: item[0])
-    return [
+    for _, _, _, delta in results:
+        obs.merge_child(delta)
+    outcomes = [
         CellOutcome(cell=cell_list[index], value=value, error=error)
-        for index, value, error in results
+        for index, value, error, _ in results
     ]
+    _record_cells(outcomes)
+    return outcomes

@@ -11,7 +11,9 @@ Gives shell access to the library's main entry points:
 * ``faults-sweep`` — net savings vs bit-error rate per recovery policy;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``bench``        — time the vectorized kernels against their scalar
-  oracles and the trace cache cold vs warm, emitting ``BENCH_*.json``.
+  oracles and the trace cache cold vs warm, emitting ``BENCH_*.json``;
+* ``report``       — render the metrics/timing summary of a previous
+  run's ``--obs-dir`` telemetry.
 
 Sweep commands (``table3``, ``faults-sweep``, ``bench``) accept
 ``--jobs N`` to fan independent cells across worker processes; results
@@ -20,18 +22,34 @@ are merged deterministically, so the output is identical to ``--jobs 1``.
 Trace-consuming commands accept ``--trace PATH`` to analyse a saved
 ``.npz`` trace instead of simulating a workload.
 
+Observability (global flags, usable before or after the subcommand):
+
+* ``--obs-dir DIR``    — export the run's telemetry as ``spans.jsonl``
+  + ``metrics.jsonl`` (the input of ``repro report``);
+* ``--trace-out PATH`` — export the run's spans as a Chrome
+  ``trace_event`` file (``chrome://tracing`` / Perfetto loadable);
+* ``-v`` / ``-q``      — debug-level logging / silence info chatter.
+  All logging goes to **stderr** through :mod:`repro.obs.logs`; the
+  stdout table/CSV output is unchanged by either flag.
+* ``REPRO_OBS=0``      — environment kill switch: disables telemetry
+  collection entirely (outputs are byte-identical either way; the
+  exports just come out empty).
+
 User errors (unknown coder or workload, unreadable or tampered trace
 files, a tripped cycle watchdog) exit with code 1 and a one-line
-``repro: error: ...`` message instead of a traceback.
+``repro: error: ...`` message on stderr instead of a traceback — that
+line is a stable contract, everything else on stderr is logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 from typing import List, Optional
 
+from . import obs
 from .analysis import (
     CrossoverAnalysis,
     DEFAULT_POLICIES,
@@ -63,6 +81,8 @@ from .wires import TECHNOLOGIES, WireModel, technology_by_name
 from .workloads import EXTENDED_WORKLOADS, WORKLOADS, run_workload, suite_traces
 
 __all__ = ["main"]
+
+log = obs.get_logger("cli")
 
 BUSES = ("register", "memory", "address", "result")
 
@@ -299,7 +319,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     # raises BenchSchemaError (a ValueError), which main() turns into
     # exit code 1 — the --quick smoke-check contract.
     path = write_report(report, args.output)
-    print(f"report written to {path}")
+    log.info("bench report written", extra=obs.fields(path=path))
 
 
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
@@ -333,12 +353,59 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     title = f"{args.coder} on {args.bus} bus ({', '.join(workloads)})"
     print(format_faults_report(result, title=title))
     if result.failures:
-        print(
-            f"repro: {len(result.failures)} cell(s) failed; see table above",
-            file=sys.stderr,
+        log.warning(
+            "sweep finished with failing cells; see table above",
+            extra=obs.fields(failed=len(result.failures)),
         )
         return 1
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .obs.report import load_run, render_report
+
+    spans, metrics = load_run(args.path)
+    print(render_report(spans, metrics))
+
+
+def _add_global_flags(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
+    """The observability/verbosity flags, on the top-level parser and —
+    with ``SUPPRESS`` defaults, so they never clobber values already
+    parsed — on every subparser (usable before *or* after the command).
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=default(None),
+        help="export this run's telemetry (spans.jsonl + metrics.jsonl) "
+        "to DIR; read it back with `repro report DIR`",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=default(None),
+        help="export this run's spans as a Chrome trace_event file "
+        "(chrome://tracing / Perfetto loadable)",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=default(0),
+        help="debug-level logging on stderr",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        default=default(False),
+        help="silence info-level logging (stdout tables are unaffected)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bus transcoding reproduction: run workloads, encode traces, "
         "regenerate the paper's tables.",
     )
+    _add_global_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name, func, help_text, workload=True, bus=True):
@@ -472,7 +540,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(strict=False)
 
+    report = sub.add_parser(
+        "report",
+        help="render the metrics/timing summary of a run's --obs-dir telemetry",
+    )
+    report.set_defaults(func=_cmd_report)
+    report.add_argument(
+        "path",
+        help="an --obs-dir directory, or a single spans/metrics .jsonl file",
+    )
+
+    # Accept the global flags after the subcommand as well.
+    for subparser in sub.choices.values():
+        _add_global_flags(subparser, suppress=True)
+
     return parser
+
+
+def _export_telemetry(args: argparse.Namespace) -> None:
+    """Write ``--obs-dir`` / ``--trace-out`` exports, logging each path."""
+    obs_dir = getattr(args, "obs_dir", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not obs_dir and not trace_out:
+        return
+    try:
+        written = obs.export_run(obs_dir=obs_dir, trace_out=trace_out)
+    except OSError as exc:
+        log.error("telemetry export failed", extra=obs.fields(error=str(exc)))
+        return
+    for kind, path in sorted(written.items()):
+        log.info("telemetry written", extra=obs.fields(kind=kind, path=path))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -481,12 +578,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     Argparse-level errors (unknown command, bad choices) keep raising
     ``SystemExit`` as before; runtime user errors — unknown workload or
     coder reaching the library, unreadable or tampered trace files, a
-    tripped cycle watchdog — are reported as a one-line message on
-    stderr with exit code 1 instead of a traceback.
+    tripped cycle watchdog — are reported as a one-line
+    ``repro: error: ...`` message on stderr with exit code 1 instead of
+    a traceback (pass ``-v`` for the traceback, via debug logging).
+
+    Every invocation opens one root ``cli.<command>`` span covering the
+    command's full wall time, and telemetry from the whole run —
+    including anything fork workers collected — is exported at the end
+    when ``--obs-dir`` / ``--trace-out`` were given.
     """
     args = build_parser().parse_args(argv)
+    verbosity = -1 if getattr(args, "quiet", False) else int(getattr(args, "verbose", 0) or 0)
+    obs.setup_logging(verbosity)
+    # Each CLI invocation reports its own run: start from clean sinks
+    # (main() is re-entered in-process by the test-suite and by
+    # embedding tools).
+    obs.reset()
+    code: object = 1
     try:
-        code = args.func(args)
+        with obs.span(f"cli.{args.command}", command=args.command):
+            code = args.func(args)
     except (
         FileNotFoundError,
         NotADirectoryError,
@@ -498,8 +609,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         ValueError,
     ) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        # The one-line format below is a stable contract (tests and
+        # scripts match on it), so it bypasses the logging formatter.
         print(f"repro: error: {message}", file=sys.stderr)
+        log.debug("command failed", exc_info=True)
+        _export_telemetry(args)
         return 1
+    except BrokenPipeError:
+        # Downstream closed stdout early (``repro report ... | head``):
+        # exit quietly, Unix style.  Point the fd at devnull first so
+        # the interpreter's exit-time flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    _export_telemetry(args)
     return int(code) if code else 0
 
 

@@ -17,11 +17,13 @@ plus :meth:`Transcoder.reset`.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import List
 
 import numpy as np
 
+from .. import obs
 from ..traces.trace import BusTrace
 
 __all__ = ["Transcoder", "IdentityTranscoder"]
@@ -113,17 +115,51 @@ class Transcoder(ABC):
             out[i] = decode(int(state))
         return BusTrace(out, self.input_width, self._decoded_name(phys))
 
+    # Override points for vectorized kernels.  ``encode_trace`` /
+    # ``decode_trace`` stay the public entry points (and carry the
+    # ``repro.obs`` instrumentation); subclasses with fast kernels
+    # override ``_encode_trace_fast`` / ``_decode_trace_fast`` instead,
+    # so every coder — scalar or vectorized — reports the same
+    # ``coder.*`` metrics from one place.
+
+    def _encode_trace_fast(self, trace: BusTrace) -> BusTrace:
+        return self.encode_trace_scalar(trace)
+
+    def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
+        return self.decode_trace_scalar(phys)
+
     def encode_trace(self, trace: BusTrace) -> BusTrace:
         """Encode a whole trace; returns the physical wire-state trace.
 
-        Subclasses with vectorized kernels override this; the default
-        is the scalar per-cycle loop.
+        Dispatches to the subclass's vectorized kernel when it has one
+        (``_encode_trace_fast``), else the scalar per-cycle loop.  When
+        observability is enabled, records per-coder encode counts,
+        cycle throughput and latency (``coder.encodes``,
+        ``coder.encoded_cycles``, ``coder.encode_s``).
         """
-        return self.encode_trace_scalar(trace)
+        if not obs.is_enabled():
+            return self._encode_trace_fast(trace)
+        t0 = time.perf_counter()
+        result = self._encode_trace_fast(trace)
+        seconds = time.perf_counter() - t0
+        name = type(self).__name__
+        obs.inc("coder.encodes", coder=name)
+        obs.inc("coder.encoded_cycles", len(trace), coder=name)
+        obs.observe("coder.encode_s", seconds, coder=name)
+        return result
 
     def decode_trace(self, phys: BusTrace) -> BusTrace:
         """Decode a physical wire-state trace back to the value stream."""
-        return self.decode_trace_scalar(phys)
+        if not obs.is_enabled():
+            return self._decode_trace_fast(phys)
+        t0 = time.perf_counter()
+        result = self._decode_trace_fast(phys)
+        seconds = time.perf_counter() - t0
+        name = type(self).__name__
+        obs.inc("coder.decodes", coder=name)
+        obs.inc("coder.decoded_cycles", len(phys), coder=name)
+        obs.observe("coder.decode_s", seconds, coder=name)
+        return result
 
     def roundtrip(self, trace: BusTrace) -> BusTrace:
         """``decode_trace(encode_trace(trace))`` — must equal ``trace``."""

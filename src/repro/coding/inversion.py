@@ -196,7 +196,7 @@ class InversionTranscoder(Transcoder):
         kappa = pair_coupling_counts(old, new, self.output_width)
         return tau + self.assumed_lambda * kappa
 
-    def encode_trace(self, trace: BusTrace) -> BusTrace:
+    def _encode_trace_fast(self, trace: BusTrace) -> BusTrace:
         self._check_encode_width(trace)
         self.reset()
         values = trace.values
@@ -234,7 +234,7 @@ class InversionTranscoder(Transcoder):
         self._state = int(out[-1])  # leave the FSM as the loop would
         return BusTrace(out, self.output_width, self._encoded_name(trace))
 
-    def decode_trace(self, phys: BusTrace) -> BusTrace:
+    def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
         self._check_decode_width(phys)
         self.reset()
         states = phys.values

@@ -87,7 +87,7 @@ class LastValueTranscoder(PredictiveTranscoder):
         # fall back to the scalar loop.
         return self.silent_last and not self.edge_control
 
-    def encode_trace(self, trace: BusTrace) -> BusTrace:
+    def _encode_trace_fast(self, trace: BusTrace) -> BusTrace:
         if not self._fast_path_ok():
             return self.encode_trace_scalar(trace)
         self._check_encode_width(trace)
@@ -151,7 +151,7 @@ class LastValueTranscoder(PredictiveTranscoder):
             self._ctrl_state = final >> width
         return BusTrace(out, self.output_width, self._encoded_name(trace))
 
-    def decode_trace(self, phys: BusTrace) -> BusTrace:
+    def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
         if not self._fast_path_ok():
             return self.decode_trace_scalar(phys)
         self._check_decode_width(phys)

@@ -53,7 +53,7 @@ class TransitionCoder(Transcoder):
 
     # -- vectorized trace kernels ------------------------------------
 
-    def encode_trace(self, trace: BusTrace) -> BusTrace:
+    def _encode_trace_fast(self, trace: BusTrace) -> BusTrace:
         """Whole-trace XOR accumulation (bit-identical to the scalar loop)."""
         self._check_encode_width(trace)
         self.reset()
@@ -62,7 +62,7 @@ class TransitionCoder(Transcoder):
             self._enc_state = int(out[-1])  # leave the FSM as the loop would
         return BusTrace(out, self.output_width, self._encoded_name(trace))
 
-    def decode_trace(self, phys: BusTrace) -> BusTrace:
+    def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
         """Whole-trace shifted XOR (bit-identical to the scalar loop)."""
         self._check_decode_width(phys)
         self.reset()

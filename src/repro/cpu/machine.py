@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
+from .. import obs
 from ..traces.trace import BusTrace
 from .assembler import assemble
 from .isa import Instruction
@@ -99,12 +100,17 @@ class Machine:
                 raise ValueError(f"watchdog_cycles must be >= 1, got {watchdog_cycles}")
             config = replace(config, max_cycles=min(config.max_cycles, watchdog_cycles))
         pipeline = Pipeline(self.program, self.memory, config)
-        stats = pipeline.run()
+        with obs.span("machine.run", workload=self.name or "anonymous"):
+            stats = pipeline.run()
+        obs.inc("machine.cycles", stats.cycles)
+        obs.inc("machine.instructions", stats.instructions)
+        obs.inc("machine.runs")
         if (
             watchdog_cycles is not None
             and not stats.halted
             and stats.cycles >= watchdog_cycles
         ):
+            obs.inc("machine.watchdog_trips")
             raise CycleBudgetExceeded(watchdog_cycles, stats, self.name)
         cycles = max(stats.cycles, 1)
         traces = {

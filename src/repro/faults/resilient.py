@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import copy
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..coding.base import IdentityTranscoder, Transcoder
 from ..coding.errors import DesyncError
 from ..coding.inversion import InversionTranscoder
@@ -231,6 +233,7 @@ class ResilientTranscoder(Transcoder):
         decoded = np.empty(n, dtype=np.uint64)
         physical = np.empty(n, dtype=np.uint64)
 
+        _cosim_start = time.perf_counter()
         for t in range(n):
             truth = int(trace.values[t])
 
@@ -305,6 +308,40 @@ class ResilientTranscoder(Transcoder):
                 value_errors += 1
                 if not detected:
                     silent_errors += 1
+
+        # Telemetry: the fault co-simulation's health counters (see the
+        # DESIGN.md observability mapping — these are the §fault-co-sim
+        # quantities the sweeps aggregate).
+        base_name = type(self.base).__name__
+        obs.observe(
+            "coder.cosim_s",
+            time.perf_counter() - _cosim_start,
+            coder=base_name,
+            policy=policy.name,
+        )
+        obs.inc("coder.cosim_runs", coder=base_name, policy=policy.name)
+        obs.inc("coder.cosim_cycles", n, coder=base_name, policy=policy.name)
+        if detections:
+            obs.inc(
+                "coder.desync_events",
+                len(detections),
+                coder=base_name,
+                policy=policy.name,
+            )
+        if recoveries:
+            obs.inc(
+                "coder.desync_recoveries",
+                len(recoveries),
+                coder=base_name,
+                policy=policy.name,
+            )
+        if silent_errors:
+            obs.inc(
+                "coder.silent_errors",
+                silent_errors,
+                coder=base_name,
+                policy=policy.name,
+            )
 
         name = trace.name or ""
         suffix = f"resilient[{type(self.base).__name__}|{policy.name}]"

@@ -1,0 +1,98 @@
+"""Structured logging for the ``repro`` CLI and library.
+
+The library follows standard library-logging etiquette: it logs under
+the ``"repro"`` namespace and installs a ``NullHandler`` at import
+(:mod:`repro.__init__`), so embedding applications hear nothing unless
+they opt in.  The CLI opts in via :func:`setup_logging`, which installs
+one stderr handler with :class:`StructuredFormatter`:
+
+    ``12:03:55 INFO  repro.cli: sweep finished cells=54 failed=0``
+
+Key/value fields ride on the standard ``extra=`` mechanism under a
+single ``fields`` dict so call sites stay one-liners::
+
+    log.info("sweep finished", extra=fields(cells=54, failed=0))
+
+Verbosity mapping (the CLI's ``-v`` / ``-q`` flags):
+
+* ``-q``  → WARNING and up only (info chatter silenced; stdout
+  table/CSV contracts are unaffected — those never go through logging);
+* default → INFO;
+* ``-v``  → DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["LOGGER_NAME", "StructuredFormatter", "fields", "get_logger", "setup_logging"]
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro`` itself by default)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def fields(**kv: Any) -> Dict[str, Any]:
+    """Build the ``extra=`` payload for structured key/value fields."""
+    return {"fields": kv}
+
+
+class StructuredFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL name: message key=value ...`` on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        message = record.getMessage()
+        extra = getattr(record, "fields", None)
+        if extra:
+            kv = " ".join(f"{k}={self._render(v)}" for k, v in extra.items())
+            message = f"{message} {kv}" if message else kv
+        line = f"{stamp} {record.levelname:<7} {record.name}: {message}"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+    @staticmethod
+    def _render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        text = str(value)
+        return repr(text) if " " in text else text
+
+
+def setup_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install the CLI's stderr handler; idempotent across invocations.
+
+    ``verbosity``: negative → WARNING (``-q``), 0 → INFO, positive →
+    DEBUG (``-v``).  Re-invoking replaces the previously installed
+    handler rather than stacking a second one (``main()`` is called
+    repeatedly in-process by the test-suite).
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    handler.set_name("repro-cli")
+    for existing in list(logger.handlers):
+        if existing.get_name() == "repro-cli":
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,253 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the accumulation half of :mod:`repro.obs`.  Every
+metric is identified by a **name plus labels** (``trace_cache.hits``,
+``coder.desync_events{coder=WindowTranscoder, policy=reset-both}``);
+internally the pair is flattened to a stable string key so snapshots
+are plain JSON-serialisable dictionaries that
+
+* cross process boundaries (a fork worker ships the *delta* it
+  produced back to the parent, which :meth:`MetricsRegistry.merge`\\ s
+  it — the mechanism :mod:`repro.analysis.parallel` uses);
+* land directly in the ``metrics.jsonl`` export without a second
+  encoding step.
+
+Thread safety: all mutation happens under one lock.  Fork safety: the
+module registers an ``os.register_at_fork`` hook that re-initialises
+the global registry's lock in the child, so forking mid-``inc`` from
+another thread can never deadlock a worker.
+
+Merge semantics (the contract ``tests/test_obs_registry.py`` pins):
+
+* counters **add**;
+* gauges **last-write-wins** (the merged snapshot overwrites);
+* histograms merge component-wise: counts and sums add, min/max widen,
+  per-bucket counts add.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HIST_BOUNDS",
+    "MetricsRegistry",
+    "format_key",
+    "parse_key",
+]
+
+#: Histogram bucket upper bounds (seconds-flavoured log2 ladder from
+#: ~1 microsecond to ~17 minutes; values above fall into +Inf).
+HIST_BOUNDS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 11))
+
+
+def format_key(name: str, labels: Mapping[str, Any]) -> str:
+    """``name{a=1, b=x}`` — stable, human-readable, JSON-safe key."""
+    if not labels:
+        return name
+    inner = ", ".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`format_key` (label values come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(", "):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _new_hist() -> Dict[str, Any]:
+    return {
+        "count": 0,
+        "sum": 0.0,
+        "min": math.inf,
+        "max": -math.inf,
+        "buckets": [0] * (len(HIST_BOUNDS) + 1),  # last bucket = +Inf
+    }
+
+
+def _bucket_index(value: float) -> int:
+    for i, bound in enumerate(HIST_BOUNDS):
+        if value <= bound:
+            return i
+    return len(HIST_BOUNDS)
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges and histograms with snapshot/diff/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, Dict[str, Any]] = {}
+
+    # -- fork safety --------------------------------------------------
+
+    def reinit_lock(self) -> None:
+        """Replace the lock (called in fork children; see module doc)."""
+        self._lock = threading.Lock()
+
+    # -- mutation -----------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to a counter (created at 0 on first touch)."""
+        key = format_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to its latest observed value."""
+        key = format_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one sample into a histogram."""
+        key = format_key(name, labels)
+        value = float(value)
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = self._hists[key] = _new_hist()
+            hist["count"] += 1
+            hist["sum"] += value
+            hist["min"] = min(hist["min"], value)
+            hist["max"] = max(hist["max"], value)
+            hist["buckets"][_bucket_index(value)] += 1
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    # -- read side ----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of one counter (0 when never touched)."""
+        return self._counters.get(format_key(name, labels), 0)
+
+    def gauge(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get(format_key(name, labels))
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Dict[str, Any]]:
+        hist = self._hists.get(format_key(name, labels))
+        return dict(hist, buckets=list(hist["buckets"])) if hist else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict copy of everything: picklable, JSON-serialisable."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {
+                    k: dict(h, buckets=list(h["buckets"]))
+                    for k, h in self._hists.items()
+                },
+            }
+
+    # -- delta shipping (fork workers -> parent) ----------------------
+
+    def diff(self, baseline: Mapping[str, Any]) -> Dict[str, Any]:
+        """What changed since ``baseline`` (an earlier :meth:`snapshot`).
+
+        The result is itself snapshot-shaped, so it feeds straight into
+        :meth:`merge` on the receiving side.  Counters and histogram
+        components subtract; gauges are included whenever their latest
+        value differs from the baseline.
+        """
+        now = self.snapshot()
+        base_counters = baseline.get("counters", {})
+        counters = {
+            k: v - base_counters.get(k, 0)
+            for k, v in now["counters"].items()
+            if v != base_counters.get(k, 0)
+        }
+        base_gauges = baseline.get("gauges", {})
+        gauges = {
+            k: v for k, v in now["gauges"].items() if base_gauges.get(k) != v
+        }
+        base_hists = baseline.get("hists", {})
+        hists: Dict[str, Any] = {}
+        for key, hist in now["hists"].items():
+            base = base_hists.get(key)
+            if base is None:
+                hists[key] = hist
+                continue
+            if hist["count"] == base["count"]:
+                continue
+            hists[key] = {
+                "count": hist["count"] - base["count"],
+                "sum": hist["sum"] - base["sum"],
+                # min/max cannot be un-merged; the widened values are a
+                # sound over-approximation for the parent's merge.
+                "min": hist["min"],
+                "max": hist["max"],
+                "buckets": [
+                    a - b for a, b in zip(hist["buckets"], base["buckets"])
+                ],
+            }
+        return {"counters": counters, "gauges": gauges, "hists": hists}
+
+    def merge(self, delta: Mapping[str, Any]) -> None:
+        """Fold a snapshot/diff (e.g. from a fork worker) into this registry."""
+        with self._lock:
+            for key, value in delta.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in delta.get("gauges", {}).items():
+                self._gauges[key] = value
+            for key, incoming in delta.get("hists", {}).items():
+                hist = self._hists.get(key)
+                if hist is None:
+                    hist = self._hists[key] = _new_hist()
+                hist["count"] += incoming["count"]
+                hist["sum"] += incoming["sum"]
+                hist["min"] = min(hist["min"], incoming["min"])
+                hist["max"] = max(hist["max"], incoming["max"])
+                buckets = incoming.get("buckets") or []
+                for i, n in enumerate(buckets[: len(hist["buckets"])]):
+                    hist["buckets"][i] += n
+
+    # -- export -------------------------------------------------------
+
+    def records(self) -> Iterable[Dict[str, Any]]:
+        """One JSONL-ready record per metric (see :mod:`repro.obs.export`)."""
+        snap = self.snapshot()
+        out: List[Dict[str, Any]] = []
+        for key, value in sorted(snap["counters"].items()):
+            name, labels = parse_key(key)
+            out.append(
+                {"type": "counter", "name": name, "labels": labels, "value": value}
+            )
+        for key, value in sorted(snap["gauges"].items()):
+            name, labels = parse_key(key)
+            out.append(
+                {"type": "gauge", "name": name, "labels": labels, "value": value}
+            )
+        for key, hist in sorted(snap["hists"].items()):
+            name, labels = parse_key(key)
+            record = {"type": "histogram", "name": name, "labels": labels}
+            record.update(
+                count=hist["count"],
+                sum=hist["sum"],
+                min=hist["min"] if hist["count"] else None,
+                max=hist["max"] if hist["count"] else None,
+            )
+            out.append(record)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, hists={len(self._hists)})"
+        )

@@ -1,0 +1,210 @@
+"""Render a run's exported telemetry as the ``repro report`` tables.
+
+Input: the ``--obs-dir`` a previous command wrote (``spans.jsonl`` +
+``metrics.jsonl``), or either file individually.  Output: plain-text
+tables —
+
+* **phase timing** — spans aggregated by name: call count, total /
+  mean / max seconds, and each phase's share of the root span's wall
+  time (the "where did the sweep go" view);
+* **counters** — every counter, with derived rates where the pair is
+  meaningful (``trace_cache`` hit rate, ``parallel`` failure rate);
+* **gauges / histograms** — latest values and summary stats.
+
+Everything here is pure text rendering over the JSONL records, so it is
+trivially testable and never touches live telemetry state.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import format_table
+from .export import METRICS_FILENAME, SPANS_FILENAME, read_jsonl
+
+__all__ = ["load_run", "render_report", "summarize_spans"]
+
+
+def load_run(path: str) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Load (spans, metrics) records from an obs dir or a single file.
+
+    A directory is expected to contain ``spans.jsonl`` and/or
+    ``metrics.jsonl``; a file is classified by each record's ``type``
+    field.  Raises ``FileNotFoundError`` when nothing is found.
+    """
+    spans: List[Dict[str, Any]] = []
+    metrics: List[Dict[str, Any]] = []
+    if os.path.isdir(path):
+        found = False
+        span_path = os.path.join(path, SPANS_FILENAME)
+        metric_path = os.path.join(path, METRICS_FILENAME)
+        if os.path.exists(span_path):
+            spans = read_jsonl(span_path)
+            found = True
+        if os.path.exists(metric_path):
+            metrics = read_jsonl(metric_path)
+            found = True
+        if not found:
+            raise FileNotFoundError(
+                f"no {SPANS_FILENAME} or {METRICS_FILENAME} in {path!r} "
+                f"(was the run started with --obs-dir?)"
+            )
+        return spans, metrics
+    records = read_jsonl(path)
+    for record in records:
+        if record.get("type") == "span":
+            spans.append(record)
+        else:
+            metrics.append(record)
+    return spans, metrics
+
+
+def summarize_spans(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate spans by name: count, total/mean/max, % of root time.
+
+    The *root* reference is the sum of depth-0 span durations — for a
+    CLI run that is the single ``cli.<command>`` span, i.e. the
+    command's wall time — so the percentages answer "what fraction of
+    the run was this phase" (nested phases legitimately sum past 100%).
+    """
+    groups: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    root_total = sum(
+        float(s.get("dur", 0.0)) for s in spans if s.get("depth", 0) == 0
+    )
+    for span in spans:
+        name = str(span.get("name", "?"))
+        dur = float(span.get("dur", 0.0))
+        group = groups.get(name)
+        if group is None:
+            group = groups[name] = {
+                "name": name,
+                "count": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+            }
+        group["count"] += 1
+        group["total_s"] += dur
+        group["max_s"] = max(group["max_s"], dur)
+    rows = []
+    for group in groups.values():
+        group["mean_s"] = group["total_s"] / max(group["count"], 1)
+        group["share_pct"] = (
+            100.0 * group["total_s"] / root_total if root_total > 0 else 0.0
+        )
+        rows.append(group)
+    rows.sort(key=lambda g: -g["total_s"])
+    return rows
+
+
+def _counter_rows(metrics: Sequence[Dict[str, Any]]) -> List[Tuple[str, Any]]:
+    rows: List[Tuple[str, Any]] = []
+    for record in metrics:
+        if record.get("type") != "counter":
+            continue
+        labels = record.get("labels") or {}
+        suffix = (
+            "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        value = record.get("value", 0)
+        value = int(value) if float(value).is_integer() else round(float(value), 4)
+        rows.append((f"{record.get('name')}{suffix}", value))
+    return sorted(rows)
+
+
+def _counter_total(metrics: Sequence[Dict[str, Any]], name: str) -> float:
+    return sum(
+        float(r.get("value", 0))
+        for r in metrics
+        if r.get("type") == "counter" and r.get("name") == name
+    )
+
+
+def _derived_rows(metrics: Sequence[Dict[str, Any]]) -> List[Tuple[str, str]]:
+    """Human-level ratios computed from counter pairs."""
+    rows: List[Tuple[str, str]] = []
+    hits = _counter_total(metrics, "trace_cache.hits")
+    misses = _counter_total(metrics, "trace_cache.misses")
+    if hits + misses > 0:
+        rows.append(
+            ("trace cache hit rate", f"{100.0 * hits / (hits + misses):.1f} %")
+        )
+    cells = _counter_total(metrics, "parallel.cells")
+    failed = _counter_total(metrics, "parallel.cells_failed")
+    if cells > 0:
+        rows.append(("sweep cells failed", f"{int(failed)} / {int(cells)}"))
+    desync = _counter_total(metrics, "coder.desync_events")
+    recovered = _counter_total(metrics, "coder.desync_recoveries")
+    if desync > 0:
+        rows.append(("desync events (recovered)", f"{int(desync)} ({int(recovered)})"))
+    return rows
+
+
+def render_report(
+    spans: Sequence[Dict[str, Any]],
+    metrics: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+) -> str:
+    """The full ``repro report`` text: phase table + metric tables."""
+    sections: List[str] = []
+    if spans:
+        phase_rows = [
+            (
+                g["name"],
+                g["count"],
+                f"{g['total_s']:.4f}",
+                f"{g['mean_s']:.4f}",
+                f"{g['max_s']:.4f}",
+                f"{g['share_pct']:.1f}",
+            )
+            for g in summarize_spans(spans)
+        ]
+        sections.append(
+            format_table(
+                ["phase", "count", "total s", "mean s", "max s", "% of run"],
+                phase_rows,
+                title=title or "per-phase timing (from spans)",
+            )
+        )
+    derived = _derived_rows(metrics)
+    if derived:
+        sections.append(
+            format_table(["quantity", "value"], derived, title="derived rates")
+        )
+    counters = _counter_rows(metrics)
+    if counters:
+        sections.append(
+            format_table(["counter", "value"], counters, title="counters")
+        )
+    gauge_rows = sorted(
+        (r.get("name"), r.get("value"))
+        for r in metrics
+        if r.get("type") == "gauge"
+    )
+    if gauge_rows:
+        sections.append(format_table(["gauge", "value"], gauge_rows, title="gauges"))
+    hist_rows = [
+        (
+            r.get("name"),
+            r.get("count"),
+            f"{float(r.get('sum', 0.0)):.4f}",
+            "-" if r.get("min") is None else f"{float(r['min']):.6f}",
+            "-" if r.get("max") is None else f"{float(r['max']):.6f}",
+        )
+        for r in metrics
+        if r.get("type") == "histogram"
+    ]
+    if hist_rows:
+        sections.append(
+            format_table(
+                ["histogram", "count", "sum s", "min", "max"],
+                sorted(hist_rows),
+                title="histograms",
+            )
+        )
+    if not sections:
+        return "no telemetry records found"
+    return "\n\n".join(sections)

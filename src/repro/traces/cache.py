@@ -18,6 +18,11 @@ Corruption is never fatal: a cache file that fails validation is
 evicted and the caller re-simulates, so a truncated write or a tampered
 archive costs one cache miss, not a crashed sweep.
 
+Every hit/miss/store/eviction is mirrored into :mod:`repro.obs` as the
+``trace_cache.*`` counters (hits are labelled by layer —
+``memory``/``disk``), so ``repro report`` can derive a run's cache hit
+rate and a miss storm shows up in the telemetry, not just in wall time.
+
 Configuration (also see the README "Performance" section):
 
 * ``REPRO_TRACE_CACHE_DIR`` — cache directory (default
@@ -33,6 +38,7 @@ import os
 import tempfile
 from typing import Any, Dict, Optional
 
+from .. import obs
 from .io import TraceFormatError, load_trace, save_trace
 from .trace import BusTrace
 
@@ -123,19 +129,24 @@ class TraceCache:
         cached = self._memory.get(key)
         if cached is not None:
             self.hits += 1
+            obs.inc("trace_cache.hits", layer="memory")
             return cached
         path = self.trace_path(key)
         try:
             trace = load_trace(path)
         except FileNotFoundError:
             self.misses += 1
+            obs.inc("trace_cache.misses")
             return None
         except TraceFormatError:
             self.corrupt_evictions += 1
             self.misses += 1
+            obs.inc("trace_cache.corrupt_evictions")
+            obs.inc("trace_cache.misses")
             self._evict(path)
             return None
         self.hits += 1
+        obs.inc("trace_cache.hits", layer="disk")
         self._memory[key] = trace
         return trace
 
@@ -144,6 +155,7 @@ class TraceCache:
         if not self.enabled:
             return
         self._memory[key] = trace
+        obs.inc("trace_cache.stores")
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -168,6 +180,7 @@ class TraceCache:
             return None
         if key in self._memory_json:
             self.hits += 1
+            obs.inc("trace_cache.hits", layer="memory")
             return self._memory_json[key]
         path = self.json_path(key)
         try:
@@ -175,13 +188,17 @@ class TraceCache:
                 value = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            obs.inc("trace_cache.misses")
             return None
         except (OSError, ValueError):
             self.corrupt_evictions += 1
             self.misses += 1
+            obs.inc("trace_cache.corrupt_evictions")
+            obs.inc("trace_cache.misses")
             self._evict(path)
             return None
         self.hits += 1
+        obs.inc("trace_cache.hits", layer="disk")
         self._memory_json[key] = value
         return value
 
@@ -190,6 +207,7 @@ class TraceCache:
         if not self.enabled:
             return
         self._memory_json[key] = value
+        obs.inc("trace_cache.stores")
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(

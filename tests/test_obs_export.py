@@ -1,0 +1,145 @@
+"""Exporters: JSONL round-trip and the Chrome ``trace_event`` schema.
+
+Pins the on-disk contracts: every trace event carries exactly the keys
+``name, ph, ts, dur, pid, tid, cat, args`` with ``ph == "X"`` and
+integer microsecond timestamps rebased to the earliest span; the top
+level is ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — the
+object form both ``chrome://tracing`` and Perfetto load as-is.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_jsonl_records,
+    read_jsonl,
+    span_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecord, SpanTracer
+
+#: The exact per-event key set the trace_event exporter emits.
+EVENT_KEYS = {"name", "ph", "ts", "dur", "pid", "tid", "cat", "args"}
+
+
+def _record(name, ts, dur, pid=100, tid=1, span_id=1, parent_id=0, depth=0, **attrs):
+    return SpanRecord(
+        name=name,
+        ts=ts,
+        dur=dur,
+        pid=pid,
+        tid=tid,
+        span_id=span_id,
+        parent_id=parent_id,
+        depth=depth,
+        attrs=attrs,
+    )
+
+
+# -- Chrome trace_event ---------------------------------------------------
+
+
+def test_chrome_trace_top_level_shape():
+    trace = chrome_trace([_record("table3.cell", 10.0, 0.5)])
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    assert trace["displayTimeUnit"] == "ms"
+    assert isinstance(trace["traceEvents"], list)
+
+
+def test_chrome_trace_event_schema():
+    trace = chrome_trace(
+        [_record("table3.cell", 10.0, 0.5, workload="gcc", entries=8)]
+    )
+    (event,) = trace["traceEvents"]
+    assert set(event) == EVENT_KEYS
+    assert event["ph"] == "X"
+    assert event["name"] == "table3.cell"
+    assert event["cat"] == "table3"  # prefix before the first dot
+    assert isinstance(event["ts"], int) and isinstance(event["dur"], int)
+    assert event["args"]["workload"] == "gcc"
+    assert event["args"]["depth"] == 0
+
+
+def test_chrome_trace_rebases_to_earliest_span():
+    trace = chrome_trace(
+        [
+            _record("late", 12.0, 0.25, span_id=2),
+            _record("early", 10.0, 1.0, span_id=1),
+        ]
+    )
+    events = {e["name"]: e for e in trace["traceEvents"]}
+    assert events["early"]["ts"] == 0
+    assert events["late"]["ts"] == 2_000_000  # 2 s later, in microseconds
+    assert events["early"]["dur"] == 1_000_000
+
+
+def test_chrome_trace_preserves_pid_tid_rows():
+    trace = chrome_trace(
+        [
+            _record("parent", 0.0, 1.0, pid=100),
+            _record("worker", 0.5, 0.2, pid=200, tid=7),
+        ]
+    )
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    assert pids == {100, 200}  # one Perfetto row per worker process
+
+
+def test_chrome_trace_events_sorted_and_empty_ok():
+    assert chrome_trace([])["traceEvents"] == []
+    trace = chrome_trace(
+        [
+            _record("b", 2.0, 0.1, pid=2),
+            _record("a", 1.0, 0.1, pid=1),
+            _record("c", 0.5, 0.1, pid=1),
+        ]
+    )
+    order = [(e["pid"], e["ts"]) for e in trace["traceEvents"]]
+    assert order == sorted(order)
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    tracer = SpanTracer()
+    with tracer.span("cli.table3", {"command": "table3"}):
+        with tracer.span("table3.cell", {"workload": "gcc"}):
+            pass
+    path = write_chrome_trace(tracer.records(), str(tmp_path / "deep" / "t.json"))
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert len(loaded["traceEvents"]) == 2
+    for event in loaded["traceEvents"]:
+        assert set(event) == EVENT_KEYS
+
+
+# -- JSONL ----------------------------------------------------------------
+
+
+def test_span_jsonl_records_are_self_describing():
+    (record,) = span_jsonl_records([_record("x.y", 1.0, 0.5, workload="gcc")])
+    assert record["type"] == "span"
+    assert record["name"] == "x.y"
+    assert record["attrs"] == {"workload": "gcc"}
+
+
+def test_jsonl_round_trip(tmp_path):
+    registry = MetricsRegistry()
+    registry.inc("trace_cache.hits", 3, layer="disk")
+    registry.observe("cell_s", 0.25)
+    path = write_jsonl(metrics_jsonl_records(registry), str(tmp_path / "m.jsonl"))
+    records = read_jsonl(path)
+    by_name = {(r["type"], r["name"]): r for r in records}
+    assert by_name[("counter", "trace_cache.hits")]["value"] == 3
+    assert by_name[("histogram", "cell_s")]["count"] == 1
+
+
+def test_read_jsonl_skips_blanks_and_names_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\n\n{"ok": 2}\nnot json\n', encoding="utf-8")
+    good = tmp_path / "good.jsonl"
+    good.write_text('{"ok": 1}\n\n{"ok": 2}\n', encoding="utf-8")
+    assert read_jsonl(str(good)) == [{"ok": 1}, {"ok": 2}]
+    with pytest.raises(ValueError, match=r"bad\.jsonl:4"):
+        read_jsonl(str(path))

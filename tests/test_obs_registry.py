@@ -1,0 +1,221 @@
+"""MetricsRegistry: labels, merge semantics, and fork-delta shipping.
+
+Pins the contract :mod:`repro.obs.registry` documents:
+
+* counters **add** on merge;
+* gauges are **last-write-wins**;
+* histograms merge component-wise (count/sum add, min/max widen,
+  buckets add);
+* a fork worker's :func:`repro.obs.fork_delta` folded back through
+  :func:`repro.obs.merge_child` makes ``--jobs N`` totals equal serial
+  totals — exercised here through the real ``fork`` pool in
+  :func:`repro.analysis.parallel.parallel_map_cells`.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.analysis.parallel import parallel_map_cells
+from repro.obs.registry import HIST_BOUNDS, MetricsRegistry, format_key, parse_key
+
+
+@pytest.fixture()
+def clean_obs():
+    """Fresh global sinks, collection forced on; restored afterwards."""
+    previous = obs.set_enabled(True)
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_enabled(previous)
+
+
+# -- key flattening -------------------------------------------------------
+
+
+def test_format_key_plain_and_labelled():
+    assert format_key("trace_cache.hits", {}) == "trace_cache.hits"
+    key = format_key("coder.encodes", {"coder": "WindowTranscoder", "bus": "register"})
+    assert key == "coder.encodes{bus=register, coder=WindowTranscoder}"
+
+
+def test_format_key_label_order_is_stable():
+    a = format_key("m", {"b": 2, "a": 1})
+    b = format_key("m", {"a": 1, "b": 2})
+    assert a == b == "m{a=1, b=2}"
+
+
+def test_parse_key_round_trips():
+    name, labels = parse_key(format_key("coder.encodes", {"coder": "X", "n": 8}))
+    assert name == "coder.encodes"
+    assert labels == {"coder": "X", "n": "8"}  # values come back as strings
+    assert parse_key("plain.counter") == ("plain.counter", {})
+
+
+# -- accumulation ---------------------------------------------------------
+
+
+def test_counters_add_and_default_to_zero():
+    reg = MetricsRegistry()
+    assert reg.counter("never.touched") == 0
+    reg.inc("hits")
+    reg.inc("hits", 4)
+    reg.inc("hits", layer="disk")
+    assert reg.counter("hits") == 5
+    assert reg.counter("hits", layer="disk") == 1
+
+
+def test_gauges_keep_latest_value():
+    reg = MetricsRegistry()
+    assert reg.gauge("workers") is None
+    reg.set_gauge("workers", 2)
+    reg.set_gauge("workers", 8)
+    assert reg.gauge("workers") == 8
+
+
+def test_histogram_tracks_count_sum_min_max_buckets():
+    reg = MetricsRegistry()
+    for value in (0.25, 0.5, 4.0):
+        reg.observe("cell_s", value)
+    hist = reg.histogram("cell_s")
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(4.75)
+    assert hist["min"] == 0.25 and hist["max"] == 4.0
+    assert sum(hist["buckets"]) == 3
+    assert len(hist["buckets"]) == len(HIST_BOUNDS) + 1
+    # A sample beyond the top bound lands in the +Inf bucket.
+    reg.observe("cell_s", 10.0 * HIST_BOUNDS[-1])
+    assert reg.histogram("cell_s")["buckets"][-1] == 1
+
+
+# -- snapshot / diff / merge ---------------------------------------------
+
+
+def test_snapshot_is_a_plain_copy():
+    reg = MetricsRegistry()
+    reg.inc("c", 2)
+    snap = reg.snapshot()
+    reg.inc("c", 3)
+    assert snap["counters"]["c"] == 2  # unaffected by later mutation
+
+
+def test_diff_reports_only_changes():
+    reg = MetricsRegistry()
+    reg.inc("before", 7)
+    reg.observe("h", 1.0)
+    baseline = reg.snapshot()
+    reg.inc("before", 3)
+    reg.inc("after")
+    reg.set_gauge("g", 4)
+    reg.observe("h", 2.0)
+    delta = reg.diff(baseline)
+    assert delta["counters"] == {"before": 3, "after": 1}
+    assert delta["gauges"] == {"g": 4}
+    assert delta["hists"]["h"]["count"] == 1
+    assert delta["hists"]["h"]["sum"] == pytest.approx(2.0)
+
+
+def test_merge_semantics_counters_add_gauges_overwrite_hists_widen():
+    parent = MetricsRegistry()
+    parent.inc("c", 10)
+    parent.set_gauge("g", 1)
+    parent.observe("h", 1.0)
+    child = MetricsRegistry()
+    child.inc("c", 5)
+    child.set_gauge("g", 2)
+    child.observe("h", 0.125)
+    child.observe("h", 8.0)
+    parent.merge(child.snapshot())
+    assert parent.counter("c") == 15
+    assert parent.gauge("g") == 2  # last write wins
+    hist = parent.histogram("h")
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(9.125)
+    assert hist["min"] == 0.125 and hist["max"] == 8.0
+    assert sum(hist["buckets"]) == 3
+
+
+def test_records_are_jsonl_shaped():
+    reg = MetricsRegistry()
+    reg.inc("hits", 2, layer="disk")
+    reg.set_gauge("workers", 4)
+    reg.observe("h", 0.5)
+    records = {(r["type"], r["name"]): r for r in reg.records()}
+    counter = records[("counter", "hits")]
+    assert counter["labels"] == {"layer": "disk"} and counter["value"] == 2
+    assert records[("gauge", "workers")]["value"] == 4
+    hist = records[("histogram", "h")]
+    assert hist["count"] == 1 and hist["min"] == 0.5 and hist["max"] == 0.5
+
+
+def test_empty_histogram_record_has_null_extremes():
+    reg = MetricsRegistry()
+    merged = MetricsRegistry()
+    merged.merge(reg.snapshot())  # no-op, just must not raise
+    assert list(reg.records()) == []
+
+
+# -- the fork contract ----------------------------------------------------
+
+
+def _count_cell(cell):
+    """Runs inside a fork worker: bumps telemetry, returns its input."""
+    obs.inc("forktest.cells")
+    obs.inc("forktest.weighted", cell)
+    obs.observe("forktest.cell_s", 0.001 * (cell + 1))
+    return cell * cell
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method",
+)
+def test_worker_metrics_merge_into_parent_under_fork(clean_obs):
+    cells = list(range(6))
+    outcomes = parallel_map_cells(_count_cell, cells, jobs=2)
+    assert [o.value for o in outcomes] == [c * c for c in cells]
+    reg = obs.get_registry()
+    # Worker-side counters arrive via the shipped deltas.
+    assert reg.counter("forktest.cells") == len(cells)
+    assert reg.counter("forktest.weighted") == sum(cells)
+    assert reg.histogram("forktest.cell_s")["count"] == len(cells)
+    # Engine-side accounting happens in the parent.
+    assert reg.counter("parallel.cells") == len(cells)
+    assert reg.counter("parallel.cells_failed") == 0
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method",
+)
+def test_fork_totals_match_serial_totals(clean_obs):
+    cells = list(range(5))
+    parallel_map_cells(_count_cell, cells, jobs=2)
+    forked = {
+        "cells": obs.get_registry().counter("forktest.cells"),
+        "weighted": obs.get_registry().counter("forktest.weighted"),
+    }
+    obs.reset()
+    parallel_map_cells(_count_cell, cells, jobs=1)
+    assert forked == {
+        "cells": obs.get_registry().counter("forktest.cells"),
+        "weighted": obs.get_registry().counter("forktest.weighted"),
+    }
+
+
+def _fail_odd(cell):
+    if cell % 2:
+        raise ValueError(f"cell {cell} is odd")
+    return cell
+
+
+def test_cell_errors_carry_pid_and_elapsed(clean_obs):
+    outcomes = parallel_map_cells(_fail_odd, [0, 1, 2, 3], jobs=1)
+    errors = [o.error for o in outcomes if not o.ok]
+    assert len(errors) == 2
+    for error in errors:
+        assert error.kind == "ValueError"
+        assert error.pid > 0
+        assert error.elapsed_s >= 0.0
+    assert obs.get_registry().counter("parallel.cells_failed") == 2

@@ -1,0 +1,201 @@
+"""Span tracing: nesting, attributes, the no-op fast path, adoption.
+
+Covers the :mod:`repro.obs.spans` contract the instrumentation relies
+on: parent/child linkage through the per-thread stack, attribute
+capture (including the automatic ``error`` attribute), the disabled
+path returning one shared allocation-free singleton, the bounded
+buffer, and :meth:`~repro.obs.SpanTracer.adopt` for fork workers.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NO_SPAN, SpanRecord, SpanTracer
+
+
+@pytest.fixture()
+def clean_obs():
+    previous = obs.set_enabled(True)
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_enabled(previous)
+
+
+# -- nesting and attributes ----------------------------------------------
+
+
+def test_nested_spans_link_parent_and_depth():
+    tracer = SpanTracer()
+    with tracer.span("outer", {"workload": "gcc"}):
+        with tracer.span("inner", {}):
+            pass
+    records = {r.name: r for r in tracer.records()}
+    outer, inner = records["outer"], records["inner"]
+    assert outer.parent_id == 0 and outer.depth == 0
+    assert inner.parent_id == outer.span_id and inner.depth == 1
+    # Completion order: inner closes first.
+    assert [r.name for r in tracer.records()] == ["inner", "outer"]
+
+
+def test_attrs_captured_and_settable_mid_span():
+    tracer = SpanTracer()
+    with tracer.span("cell", {"workload": "gcc"}) as span:
+        span.set(size=8, bus="register")
+    (record,) = tracer.records()
+    assert record.attrs == {"workload": "gcc", "size": 8, "bus": "register"}
+
+
+def test_duration_measured_and_exposed():
+    tracer = SpanTracer()
+    with tracer.span("timed", {}) as span:
+        pass
+    (record,) = tracer.records()
+    assert record.dur >= 0.0
+    assert span.dur == record.dur  # bench reads the span's own duration
+
+
+def test_exception_recorded_without_suppression():
+    tracer = SpanTracer()
+    with pytest.raises(KeyError):
+        with tracer.span("failing", {}):
+            raise KeyError("boom")
+    (record,) = tracer.records()
+    assert record.attrs["error"] == "KeyError"
+
+
+def test_sibling_threads_do_not_nest_into_each_other():
+    tracer = SpanTracer()
+
+    def work():
+        with tracer.span("thread-root", {}):
+            pass
+
+    with tracer.span("main-root", {}):
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+    for record in tracer.records():
+        assert record.depth == 0
+        assert record.parent_id == 0
+
+
+def test_records_pickle():
+    tracer = SpanTracer()
+    with tracer.span("cell", {"workload": "gcc"}):
+        pass
+    clone = pickle.loads(pickle.dumps(tracer.records()))
+    assert clone[0].name == "cell"
+    assert isinstance(clone[0], SpanRecord)
+
+
+# -- bounded buffer -------------------------------------------------------
+
+
+def test_buffer_bounds_and_counts_drops():
+    tracer = SpanTracer(max_spans=3)
+    for i in range(5):
+        with tracer.span(f"s{i}", {}):
+            pass
+    assert len(tracer.records()) == 3
+    assert tracer.dropped == 2
+
+
+def test_adopt_merges_and_respects_bound():
+    parent = SpanTracer(max_spans=4)
+    with parent.span("local", {}):
+        pass
+    worker = SpanTracer()
+    for i in range(5):
+        with worker.span(f"remote{i}", {}):
+            pass
+    parent.adopt(worker.records())
+    assert len(parent.records()) == 4
+    assert parent.dropped == 2
+
+
+def test_mark_take_since_ships_only_new_spans():
+    tracer = SpanTracer()
+    with tracer.span("before", {}):
+        pass
+    mark = tracer.mark()
+    with tracer.span("after", {}):
+        pass
+    shipped = tracer.take_since(mark)
+    assert [r.name for r in shipped] == ["after"]
+
+
+# -- the facade and the no-op fast path ----------------------------------
+
+
+def test_disabled_span_is_the_shared_singleton():
+    previous = obs.set_enabled(False)
+    try:
+        first = obs.span("anything", workload="gcc")
+        second = obs.span("else")
+        assert first is NO_SPAN and second is NO_SPAN
+        with first as span:
+            assert span.set(x=1) is NO_SPAN  # still no allocation
+    finally:
+        obs.set_enabled(previous)
+
+
+def test_noop_span_has_no_per_use_state():
+    # __slots__ = () ⇒ the singleton cannot accumulate state, which is
+    # what makes sharing one instance across all disabled call sites safe.
+    assert NO_SPAN.__slots__ == ()
+    with pytest.raises(AttributeError):
+        NO_SPAN.anything = 1
+
+
+def test_disabled_counters_record_nothing():
+    previous = obs.set_enabled(False)
+    obs.reset()
+    try:
+        obs.inc("ghost")
+        obs.set_gauge("ghost.g", 1)
+        obs.observe("ghost.h", 1.0)
+        with obs.span("ghost.span"):
+            pass
+        assert obs.get_registry().counter("ghost") == 0
+        assert obs.get_registry().gauge("ghost.g") is None
+        assert obs.get_tracer().records() == []
+    finally:
+        obs.set_enabled(previous)
+        obs.reset()
+
+
+def test_enabled_facade_feeds_global_sinks(clean_obs):
+    with obs.span("table3.cell", workload="gcc", entries=8):
+        obs.inc("trace_cache.hits", layer="memory")
+    (record,) = obs.get_tracer().records()
+    assert record.name == "table3.cell"
+    assert record.attrs == {"workload": "gcc", "entries": 8}
+    assert obs.get_registry().counter("trace_cache.hits", layer="memory") == 1
+
+
+def test_env_kill_switch_parsing(monkeypatch):
+    for value in ("0", "false", "OFF", "no"):
+        monkeypatch.setenv(obs.OBS_ENV, value)
+        assert obs.enabled_by_env() is False
+    for value in ("1", "true", "on", ""):
+        monkeypatch.setenv(obs.OBS_ENV, value)
+        assert obs.enabled_by_env() is True
+    monkeypatch.delenv(obs.OBS_ENV)
+    assert obs.enabled_by_env() is True
+
+
+def test_timed_always_exposes_seconds(clean_obs):
+    with obs.timed("block_s", stage="test") as timer:
+        pass
+    assert timer.seconds >= 0.0
+    assert obs.get_registry().histogram("block_s", stage="test")["count"] == 1
+    obs.set_enabled(False)
+    with obs.timed("block_s", stage="off") as timer:
+        pass
+    assert timer.seconds >= 0.0  # timing works even when recording is off
+    obs.set_enabled(True)
+    assert obs.get_registry().histogram("block_s", stage="off") is None

@@ -13,11 +13,19 @@ Gives shell access to the library's main entry points:
 * ``bench``        — time the vectorized kernels against their scalar
   oracles and the trace cache cold vs warm, emitting ``BENCH_*.json``;
 * ``report``       — render the metrics/timing summary of a previous
-  run's ``--obs-dir`` telemetry.
+  run's ``--obs-dir`` telemetry;
+* ``serve``        — run the streaming trace-serving frontend
+  (:mod:`repro.serve`): newline-JSON over TCP, per-connection
+  streaming-transcoder sessions, bounded queue with backpressure;
+* ``client``       — talk to a running server: ``ping`` (capabilities),
+  ``encode`` (stream a workload trace through a session, verifying it
+  against the local one-shot encode), ``sweep`` (server-side cell).
 
 Sweep commands (``table3``, ``faults-sweep``, ``bench``) accept
 ``--jobs N`` to fan independent cells across worker processes; results
 are merged deterministically, so the output is identical to ``--jobs 1``.
+``--jobs`` must be >= 1 everywhere; 0 or negative counts exit with the
+one-line error contract instead of a silent fallback.
 
 Trace-consuming commands accept ``--trace PATH`` to analyse a saved
 ``.npz`` trace instead of simulating a workload.
@@ -45,7 +53,6 @@ from __future__ import annotations
 
 import argparse
 import os
-import re
 import sys
 from typing import List, Optional
 
@@ -72,6 +79,8 @@ from .coding import (
     StrideTranscoder,
     Transcoder,
     WindowTranscoder,
+    build_coder,
+    parse_coder_spec,
 )
 from .cpu import CycleBudgetExceeded
 from .energy import count_activity
@@ -91,38 +100,17 @@ FAULT_SWEEP_WORKLOADS = ("gcc", "ijpeg", "swim")
 
 
 def _build_coder(name: str, size: int, width: int = 32) -> Transcoder:
-    factories = {
-        "window": lambda: WindowTranscoder(size, width),
-        "context": lambda: ContextTranscoder(max(size * 3, 4), size, width=width),
-        "stride": lambda: StrideTranscoder(size, width),
-        "last": lambda: LastValueTranscoder(width),
-        "invert": lambda: InversionTranscoder(width, 1),
-        "businvert": lambda: BusInvertTranscoder(width, max(1, size // 8)),
-        "codebook": lambda: AdaptiveCodebookTranscoder(width, max(2, size)),
-        "fcm": lambda: FCMTranscoder(2, 4, width),
-    }
+    """:func:`repro.coding.build_coder`, with the historical ``encode``
+    behaviour of exiting directly on an unknown family name."""
     try:
-        return factories[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown coder {name!r}; choose from {', '.join(sorted(factories))}"
-        ) from None
+        return build_coder(name, size, width)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _parse_coder_spec(spec: str, width: int = 32) -> Transcoder:
-    """Build a coder from a compact spec like ``window8`` or ``stride4``.
-
-    A trailing integer is the size parameter (default 8); the leading
-    word is the coder family passed to :func:`_build_coder`.
-    """
-    match = re.fullmatch(r"([a-z]+)(\d+)?", spec.strip().lower())
-    if not match:
-        raise ValueError(
-            f"bad coder spec {spec!r}; expected a name with an optional "
-            f"size suffix, e.g. window8"
-        )
-    name, size = match.group(1), int(match.group(2) or 8)
-    return _build_coder(name, size, width)
+#: Compact spec parsing is shared verbatim with the serving protocol —
+#: a ``--coder`` value that works here works in an ``open`` request.
+_parse_coder_spec = parse_coder_spec
 
 
 def _parse_float_list(spec: str, flag: str) -> List[float]:
@@ -368,6 +356,139 @@ def _cmd_report(args: argparse.Namespace) -> None:
     print(render_report(spans, metrics))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import TraceServer
+
+    async def run() -> None:
+        server = TraceServer(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            batch_limit=args.batch_limit,
+            request_timeout_s=args.timeout if args.timeout > 0 else None,
+            sweep_workers=args.jobs,
+        )
+        await server.start()
+        # One stable stdout line so scripts (and humans) learn the
+        # bound port even with --port 0.
+        print(f"repro serve: listening on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            log.info("draining", extra=obs.fields(timeout_s=args.drain_timeout))
+            await server.stop(drain_timeout_s=args.drain_timeout)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log.info("interrupted; server stopped")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from .serve.client import TraceClient
+    from .traces.streaming import iter_chunks
+    from .traces.trace import BusTrace
+
+    if args.op != "ping" and not args.workload:
+        raise ValueError(f"client {args.op} needs a workload name")
+    if args.chunk < 1:
+        raise ValueError(f"--chunk must be >= 1, got {args.chunk}")
+
+    async def run() -> None:
+        try:
+            client = await TraceClient.connect(args.host, args.port)
+        except OSError as exc:
+            raise ValueError(
+                f"cannot connect to {args.host}:{args.port} ({exc}); "
+                f"is `repro serve` running?"
+            ) from None
+        try:
+            if args.op == "ping":
+                hello = await client.hello()
+                rows = [
+                    ("server", hello["server"]),
+                    ("protocol", hello["protocol"]),
+                    ("coders", ", ".join(hello["coders"])),
+                    ("policies", ", ".join(hello["policies"])),
+                    ("queue limit", hello["queue_limit"]),
+                    ("batch limit", hello["batch_limit"]),
+                ]
+                print(format_table(["server", "value"], rows, title=f"{args.host}:{args.port}"))
+            elif args.op == "sweep":
+                cell = await client.sweep(
+                    args.workload,
+                    coder=args.coder,
+                    bus=args.bus,
+                    cycles=args.cycles,
+                )
+                rows = [
+                    ("workload", cell["workload"]),
+                    ("cycles", cell["cycles"]),
+                    ("transitions", f"{cell['transitions_before']} -> {cell['transitions_after']}"),
+                    ("energy removed (lambda=1)", f"{cell['savings_pct']:.2f} %"),
+                ]
+                print(
+                    format_table(
+                        ["quantity", "value"],
+                        rows,
+                        title=f"{cell['workload']} | {cell['coder']} (served)",
+                    )
+                )
+            else:  # encode: stream a workload trace chunk by chunk
+                result = run_workload(args.workload, args.cycles)
+                trace = getattr(result, f"{args.bus}_trace")
+                stream = await client.open_stream(
+                    args.coder, width=trace.width, policy=args.policy
+                )
+                states: List[int] = []
+                chunks = 0
+                for chunk in iter_chunks(trace, args.chunk):
+                    states.extend(await stream.feed(chunk.values.tolist()))
+                    chunks += 1
+                coded = BusTrace(
+                    np.asarray(states, dtype=np.uint64),
+                    stream.output_width,
+                    f"{trace.name}|{args.coder}@serve",
+                )
+                await stream.close()
+                before = count_activity(trace)
+                after = count_activity(coded)
+                local = _parse_coder_spec(args.coder, trace.width).encode_trace(trace)
+                identical = bool(np.array_equal(local.values, coded.values))
+                rows = [
+                    ("cycles streamed", len(coded)),
+                    ("chunks", chunks),
+                    ("physical wires", f"{trace.width} -> {stream.output_width}"),
+                    ("transitions", f"{before.total_transitions} -> {after.total_transitions}"),
+                    ("matches one-shot encode", "yes" if identical else "NO"),
+                ]
+                print(
+                    format_table(
+                        ["quantity", "value"],
+                        rows,
+                        title=f"{trace.name} | {args.coder} (streamed)",
+                    )
+                )
+                if not identical:
+                    raise ValueError(
+                        "served stream disagrees with the local one-shot encode"
+                    )
+        finally:
+            await client.close()
+
+    asyncio.run(run())
+    return 0
+
+
 def _add_global_flags(parser: argparse.ArgumentParser, suppress: bool = False) -> None:
     """The observability/verbosity flags, on the top-level parser and —
     with ``SUPPRESS`` defaults, so they never clobber values already
@@ -460,7 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the sweep cells (0 = one per CPU, default 1)",
+        help="worker processes for the sweep cells (must be >= 1; default 1)",
     )
 
     bench = sub.add_parser(
@@ -483,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the sweep benchmarks (0 = one per CPU)",
+        help="worker processes for the sweep benchmarks (must be >= 1)",
     )
 
     figures = sub.add_parser("figures", help="export figure datasets as CSV")
@@ -524,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the sweep cells (0 = one per CPU, default 1)",
+        help="worker processes for the sweep cells (must be >= 1; default 1)",
     )
     strictness = faults.add_mutually_exclusive_group()
     strictness.add_argument(
@@ -548,6 +669,79 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "path",
         help="an --obs-dir directory, or a single spans/metrics .jsonl file",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming trace-serving frontend (newline-JSON over TCP)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7453,
+        help="bind port (0 = ephemeral; the bound port is printed on stdout)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded request queue; overflow is rejected with the `busy` error",
+    )
+    serve.add_argument(
+        "--batch-limit",
+        type=int,
+        default=16,
+        help="max requests drained per micro-batch",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds, queue wait included (0 = none)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="grace period for queued requests at shutdown",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool workers for offloaded sweep requests (>= 1)",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve` instance",
+    )
+    client.set_defaults(func=_cmd_client)
+    client.add_argument(
+        "op",
+        choices=("ping", "encode", "sweep"),
+        help="ping: server capabilities; encode: stream a workload trace "
+        "through a session; sweep: run a savings cell server-side",
+    )
+    client.add_argument("workload", nargs="?", choices=sorted(WORKLOADS))
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7453)
+    client.add_argument("--coder", default="window8", help="coder spec, e.g. window8")
+    client.add_argument("--bus", choices=BUSES, default="register")
+    client.add_argument("--cycles", type=int, default=20_000)
+    client.add_argument(
+        "--chunk",
+        type=int,
+        default=4096,
+        help="cycles per streamed chunk (encode op)",
+    )
+    client.add_argument(
+        "--policy",
+        choices=sorted(DEFAULT_POLICIES),
+        default=None,
+        help="open a resilient session with this desync-recovery policy",
     )
 
     # Accept the global flags after the subcommand as well.
@@ -596,6 +790,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.reset()
     code: object = 1
     try:
+        # ``--jobs`` is a worker count everywhere it appears; 0 and
+        # negatives used to fall back silently — now they are refused
+        # up front with the standard one-line error contract.
+        jobs = getattr(args, "jobs", None)
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"--jobs must be a positive worker count, got {jobs}")
         with obs.span(f"cli.{args.command}", command=args.command):
             code = args.func(args)
     except (

@@ -36,6 +36,7 @@ from .related import (
 )
 from .variable import VariableLengthReport, VariableLengthTranscoder
 from .fcm import FCMPredictor, FCMTranscoder
+from .specs import CODER_FAMILIES, build_coder, parse_coder_spec
 
 __all__ = [
     "Transcoder",
@@ -70,6 +71,9 @@ __all__ = [
     "VariableLengthReport",
     "FCMPredictor",
     "FCMTranscoder",
+    "CODER_FAMILIES",
+    "build_coder",
+    "parse_coder_spec",
     "codeword_table",
     "iter_codewords",
     "hamming_weight",

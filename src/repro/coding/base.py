@@ -17,9 +17,10 @@ plus :meth:`Transcoder.reset`.
 
 from __future__ import annotations
 
+import copy
 import time
 from abc import ABC, abstractmethod
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -159,6 +160,84 @@ class Transcoder(ABC):
         obs.inc("coder.decodes", coder=name)
         obs.inc("coder.decoded_cycles", len(phys), coder=name)
         obs.observe("coder.decode_s", seconds, coder=name)
+        return result
+
+    # -- incremental (streaming) API ----------------------------------
+    #
+    # The trace-level methods above are *one-shot*: they reset the FSM
+    # and consume a whole trace.  The chunk-level methods below do NOT
+    # reset — they advance the live FSM by one chunk of values, which
+    # is what :mod:`repro.traces.streaming` and the ``repro.serve``
+    # sessions build on.  The contract (asserted property-style in
+    # tests/test_streaming_properties.py): after ``reset()``, feeding a
+    # trace through ``encode_chunk`` in any chunking is bit-identical
+    # to one ``encode_trace`` call, and likewise for decode.
+
+    def save_state(self) -> Dict[str, Any]:
+        """Checkpoint the FSM: an opaque deep copy of all mutable state.
+
+        The default covers every coder in this library (their state
+        lives entirely in instance attributes).  Pair with
+        :meth:`restore_state`; the copy is independent of the live
+        instance, so a checkpoint taken mid-stream stays valid however
+        far the stream advances.
+        """
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore a checkpoint taken by :meth:`save_state`."""
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
+
+    def _encode_chunk_fast(self, values: np.ndarray) -> np.ndarray:
+        """Override point for vectorized *stateful* chunk kernels."""
+        out = np.empty(len(values), dtype=np.uint64)
+        encode = self.encode_value
+        for i, value in enumerate(values):
+            out[i] = encode(int(value))
+        return out
+
+    def _decode_chunk_fast(self, states: np.ndarray) -> np.ndarray:
+        """Override point for vectorized *stateful* chunk kernels."""
+        out = np.empty(len(states), dtype=np.uint64)
+        decode = self.decode_state
+        for i, state in enumerate(states):
+            out[i] = decode(int(state))
+        return out
+
+    def encode_chunk(self, values: Any) -> np.ndarray:
+        """Encode one chunk of values *without* resetting the FSM.
+
+        Accepts anything convertible to a 1-D uint64 array; returns the
+        encoded wire states.  Unlike :meth:`encode_trace` this advances
+        the live encoder state, so successive calls continue the same
+        stream.  Call :meth:`reset` (or use a fresh coder) to start a
+        new stream.
+        """
+        arr = np.ascontiguousarray(np.asarray(values, dtype=np.uint64))
+        if arr.ndim != 1:
+            raise ValueError(f"chunk values must be 1-D, got shape {arr.shape}")
+        arr = arr & np.uint64((1 << self.input_width) - 1)
+        result = self._encode_chunk_fast(arr)
+        if obs.is_enabled():
+            obs.inc("coder.stream_chunks", coder=type(self).__name__, dir="encode")
+            obs.inc(
+                "coder.stream_cycles", len(arr), coder=type(self).__name__, dir="encode"
+            )
+        return result
+
+    def decode_chunk(self, states: Any) -> np.ndarray:
+        """Decode one chunk of wire states *without* resetting the FSM."""
+        arr = np.ascontiguousarray(np.asarray(states, dtype=np.uint64))
+        if arr.ndim != 1:
+            raise ValueError(f"chunk states must be 1-D, got shape {arr.shape}")
+        arr = arr & np.uint64((1 << self.output_width) - 1)
+        result = self._decode_chunk_fast(arr)
+        if obs.is_enabled():
+            obs.inc("coder.stream_chunks", coder=type(self).__name__, dir="decode")
+            obs.inc(
+                "coder.stream_cycles", len(arr), coder=type(self).__name__, dir="decode"
+            )
         return result
 
     def roundtrip(self, trace: BusTrace) -> BusTrace:

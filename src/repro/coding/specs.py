@@ -1,0 +1,77 @@
+"""Compact coder specs — the ``"window8"`` strings shared by CLI and server.
+
+A *spec* is a coder family name with an optional trailing size
+parameter: ``window8``, ``stride4``, ``invert``, ``fcm2``.  The CLI has
+always accepted these on ``--coder``; the ``repro.serve`` protocol
+reuses exactly the same grammar in its ``open`` / ``encode_trace`` /
+``sweep`` requests, so a spec that works on the command line works over
+the wire.
+
+All errors are ``ValueError`` with a self-contained one-line message —
+the CLI maps them onto its ``repro: error:`` contract, the server onto
+a ``bad-request`` protocol error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Tuple
+
+from .base import Transcoder
+from .context import ContextTranscoder
+from .fcm import FCMTranscoder
+from .inversion import InversionTranscoder
+from .last_value import LastValueTranscoder
+from .related import AdaptiveCodebookTranscoder, BusInvertTranscoder
+from .stride import StrideTranscoder
+from .transition import TransitionCoder
+from .window import WindowTranscoder
+
+__all__ = ["CODER_FAMILIES", "build_coder", "parse_coder_spec"]
+
+#: size is the family's dictionary/pattern parameter; width the bus width.
+_FACTORIES: Dict[str, Callable[[int, int], Transcoder]] = {
+    "window": lambda size, width: WindowTranscoder(size, width),
+    "context": lambda size, width: ContextTranscoder(max(size * 3, 4), size, width=width),
+    "stride": lambda size, width: StrideTranscoder(size, width),
+    "last": lambda size, width: LastValueTranscoder(width),
+    "invert": lambda size, width: InversionTranscoder(width, 1),
+    "businvert": lambda size, width: BusInvertTranscoder(width, max(1, size // 8)),
+    "codebook": lambda size, width: AdaptiveCodebookTranscoder(width, max(2, size)),
+    "fcm": lambda size, width: FCMTranscoder(2, 4, width),
+    "transition": lambda size, width: TransitionCoder(width),
+}
+
+#: The registered coder family names, sorted (for error messages and docs).
+CODER_FAMILIES: Tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+
+def build_coder(name: str, size: int, width: int = 32) -> Transcoder:
+    """Instantiate a coder family with a size parameter.
+
+    Raises ``ValueError`` naming the known families when ``name`` is
+    not registered.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown coder {name!r}; choose from {', '.join(CODER_FAMILIES)}"
+        ) from None
+    return factory(size, width)
+
+
+def parse_coder_spec(spec: str, width: int = 32) -> Transcoder:
+    """Build a coder from a compact spec like ``window8`` or ``stride4``.
+
+    A trailing integer is the size parameter (default 8); the leading
+    word is the coder family passed to :func:`build_coder`.
+    """
+    match = re.fullmatch(r"([a-z]+)(\d+)?", spec.strip().lower())
+    if not match:
+        raise ValueError(
+            f"bad coder spec {spec!r}; expected a name with an optional "
+            f"size suffix, e.g. window8"
+        )
+    name, size = match.group(1), int(match.group(2) or 8)
+    return build_coder(name, size, width)

@@ -62,6 +62,31 @@ class TransitionCoder(Transcoder):
             self._enc_state = int(out[-1])  # leave the FSM as the loop would
         return BusTrace(out, self.output_width, self._encoded_name(trace))
 
+    def _encode_chunk_fast(self, values: np.ndarray) -> np.ndarray:
+        """Streaming chunk kernel: XOR accumulation from the live state.
+
+        ``state_t = enc_state ^ (v_0 ^ ... ^ v_t)``, so a chunk encodes
+        as one accumulate XORed with the carried-in encoder state —
+        bit-identical to calling :meth:`encode_value` per cycle, and
+        what makes ``repro.serve`` streaming sessions fast for this
+        coder.
+        """
+        if not len(values):
+            return values
+        out = np.bitwise_xor.accumulate(values) ^ np.uint64(self._enc_state)
+        self._enc_state = int(out[-1])
+        return out
+
+    def _decode_chunk_fast(self, states: np.ndarray) -> np.ndarray:
+        """Streaming chunk kernel: shifted XOR seeded by the live state."""
+        if not len(states):
+            return states
+        prev = np.empty_like(states)
+        prev[0] = np.uint64(self._dec_state)
+        prev[1:] = states[:-1]
+        self._dec_state = int(states[-1])
+        return states ^ prev
+
     def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
         """Whole-trace shifted XOR (bit-identical to the scalar loop)."""
         self._check_decode_width(phys)

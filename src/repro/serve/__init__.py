@@ -1,0 +1,46 @@
+"""``repro.serve`` — the streaming trace-serving subsystem.
+
+The batch CLI materialises whole traces; this package serves the same
+transcoders as *online* components, the paper's per-cycle FSM view
+(Figure 1) lifted to a network service:
+
+* :mod:`~repro.serve.protocol` — versioned newline-JSON frames, typed
+  error codes (``busy`` backpressure, ``desync`` detection, ...);
+* :mod:`~repro.serve.engine` — per-connection sessions holding live
+  transcoder FSM state, a bounded request queue with 429-style
+  rejection, micro-batching of concurrent one-shot encodes into the
+  vectorized kernels, per-request deadlines, and a process-pool offload
+  path for CPU-bound sweeps;
+* :mod:`~repro.serve.server` — the asyncio TCP frontend
+  (``repro serve``);
+* :mod:`~repro.serve.client` — the asyncio client and the
+  ``repro client`` CLI's backend.
+
+Everything is instrumented through :mod:`repro.obs` (``serve.*``
+request counters, latency histograms, queue-depth gauges) and rendered
+by ``repro report``.
+"""
+
+from .client import EncodeStream, TraceClient
+from .engine import ServeEngine, Session
+from .protocol import (
+    ERROR_CODES,
+    KNOWN_OPS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from .server import TraceServer
+
+__all__ = [
+    "ERROR_CODES",
+    "EncodeStream",
+    "KNOWN_OPS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeEngine",
+    "Session",
+    "TraceClient",
+    "TraceServer",
+]

@@ -1,0 +1,246 @@
+"""Asyncio client for the trace-serving protocol (``repro client``).
+
+:class:`TraceClient` is a thin, fully-typed wrapper over the newline-
+JSON protocol: one TCP connection, monotonically increasing request
+ids, responses matched back to their requests by id (so requests may be
+pipelined), and protocol errors surfaced as
+:class:`~repro.serve.protocol.ProtocolError` — a ``ValueError``
+subclass, which the CLI's error funnel renders as the one-line
+``repro: error:`` contract.
+
+:class:`EncodeStream` is the client-side view of one streaming session:
+``feed`` chunks, take/restore server-side checkpoints, and close.  The
+session's FSM lives on the *server*; the stream object only remembers
+ids and cycle counts.
+
+Retry discipline for ``busy`` (backpressure) rejections is the
+caller's: :meth:`TraceClient.call` raises immediately, while
+:meth:`TraceClient.call_with_retry` applies bounded exponential backoff
+for idempotent requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from . import protocol
+from .protocol import ProtocolError
+
+__all__ = ["EncodeStream", "TraceClient"]
+
+log = obs.get_logger("serve.client")
+
+
+class TraceClient:
+    """One protocol connection to a :class:`~repro.serve.server.TraceServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 1
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._receiver = asyncio.get_running_loop().create_task(self._receive_loop())
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "TraceClient":
+        """Open a connection; raises ``OSError`` when nothing listens."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection (server drops this connection's sessions)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._receiver.cancel()
+        try:
+            await self._receiver
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._fail_pending(ConnectionResetError("connection closed"))
+
+    async def __aenter__(self) -> "TraceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- request plumbing ---------------------------------------------
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(
+                        ConnectionResetError("server closed the connection")
+                    )
+                    return
+                try:
+                    message = protocol.decode_frame(line)
+                except ProtocolError as exc:
+                    log.warning("bad frame from server", extra=obs.fields(error=str(exc)))
+                    continue
+                request_id = message.get("id")
+                future = self._pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+                elif request_id is None:
+                    # Unsolicited server error (e.g. undecodable frame).
+                    log.warning(
+                        "server error", extra=obs.fields(error=str(message.get("error")))
+                    )
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._fail_pending(exc)
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; returns the raw response message."""
+        if self._closed:
+            raise ConnectionResetError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write(protocol.encode_frame(protocol.request(op, request_id, **fields)))
+        await self._writer.drain()
+        return await future
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; raises :class:`ProtocolError` on ``ok: false``."""
+        response = await self.request(op, **fields)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ProtocolError(
+                error.get("code", protocol.ERR_INTERNAL),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    async def call_with_retry(
+        self,
+        op: str,
+        retries: int = 5,
+        backoff_s: float = 0.05,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """:meth:`call`, retrying ``busy`` rejections with backoff.
+
+        Only for idempotent requests (``hello``, ``encode_trace``,
+        ``sweep``): a ``busy`` answer means the server never admitted
+        the request, so resending cannot double-apply, but a *session*
+        chunk that timed out mid-flight may have advanced the FSM.
+        """
+        delay = backoff_s
+        for _ in range(retries):
+            try:
+                return await self.call(op, **fields)
+            except ProtocolError as exc:
+                if exc.code != protocol.ERR_BUSY:
+                    raise
+                obs.inc("serve.client_backoffs")
+                await asyncio.sleep(delay)
+                delay *= 2
+        return await self.call(op, **fields)
+
+    # -- typed convenience wrappers ------------------------------------
+
+    async def hello(self) -> Dict[str, Any]:
+        """Server identification, capabilities and limits."""
+        return await self.call("hello")
+
+    async def open_stream(
+        self, coder: str, width: int = 32, policy: Optional[str] = None
+    ) -> "EncodeStream":
+        """Open a streaming session (optionally resilient, see ``policy``)."""
+        fields: Dict[str, Any] = {"coder": coder, "width": width}
+        if policy is not None:
+            fields["policy"] = policy
+        response = await self.call("open", **fields)
+        return EncodeStream(self, response)
+
+    async def encode_trace(
+        self, coder: str, values: Sequence[int], width: int = 32
+    ) -> List[int]:
+        """One-shot stateless encode (micro-batched server-side)."""
+        response = await self.call(
+            "encode_trace", coder=coder, width=width, values=[int(v) for v in values]
+        )
+        return response["states"]
+
+    async def sweep(
+        self,
+        workload: str,
+        coder: str = "window8",
+        bus: str = "register",
+        cycles: int = 20_000,
+        lam: float = 1.0,
+    ) -> Dict[str, Any]:
+        """Run one savings sweep cell server-side (process-pool offloaded)."""
+        return await self.call(
+            "sweep", workload=workload, coder=coder, bus=bus, cycles=cycles, lam=lam
+        )
+
+
+class EncodeStream:
+    """Client-side handle on one server-held streaming session."""
+
+    def __init__(self, client: TraceClient, opened: Dict[str, Any]):
+        self._client = client
+        self.session_id: int = opened["session"]
+        self.input_width: int = opened["input_width"]
+        self.output_width: int = opened["output_width"]
+        self.resilient: bool = bool(opened.get("resilient"))
+        self.cycles = 0  #: encode cycles acknowledged by the server
+        self.desyncs: List[int] = []  #: decode cycles where desync was detected
+
+    async def feed(self, values: Sequence[int]) -> List[int]:
+        """Stream-encode one chunk; returns its wire states."""
+        response = await self._client.call(
+            "encode", session=self.session_id, values=[int(v) for v in values]
+        )
+        self.cycles = response["cycles"]
+        return response["states"]
+
+    async def decode(self, states: Sequence[int]) -> List[int]:
+        """Stream-decode one chunk; desync detections land in :attr:`desyncs`."""
+        response = await self._client.call(
+            "decode", session=self.session_id, states=[int(s) for s in states]
+        )
+        self.desyncs.extend(response.get("desyncs", ()))
+        return response["values"]
+
+    async def checkpoint(self) -> int:
+        """Snapshot the server-side FSM state; returns the checkpoint id."""
+        response = await self._client.call("checkpoint", session=self.session_id)
+        return response["checkpoint"]
+
+    async def restore(self, checkpoint_id: int) -> None:
+        """Rewind the server-side FSM to a checkpoint."""
+        response = await self._client.call(
+            "restore", session=self.session_id, checkpoint=checkpoint_id
+        )
+        self.cycles = response["cycles"]
+
+    async def close(self) -> None:
+        """Release the session server-side."""
+        await self._client.call("close", session=self.session_id)

@@ -1,0 +1,695 @@
+"""The serving engine: sessions, micro-batching, backpressure, offload.
+
+This is the request-execution core behind :mod:`repro.serve.server`,
+deliberately transport-free (the unit tests drive it without a socket).
+Its shape is the classic inference-serving stack, instantiated for bus
+transcoding:
+
+* **per-connection sessions** — an ``open`` request creates a
+  :class:`Session` holding *live* transcoder FSM state (independent
+  encoder and decoder twins, exactly the two bus ends of the paper's
+  Figure 1); subsequent ``encode``/``decode`` chunks advance those FSMs
+  across requests, and server-side ``checkpoint``/``restore`` rewinds
+  them.  Sessions die with their connection.
+* **bounded queue + backpressure** — every request passes through one
+  bounded :class:`asyncio.Queue`; when it is full the request is
+  rejected immediately with the ``busy`` protocol error (the HTTP-429
+  analogue) instead of queueing unboundedly.  Load-shedding at the
+  front door is what keeps tail latency bounded under overload.
+* **micro-batching** — the single consumer drains up to
+  ``batch_limit`` already-queued requests per wake-up and groups the
+  stateless ``encode_trace`` one-shots by coder spec, so concurrent
+  requests share one transcoder instance and run back-to-back through
+  the vectorized kernels; the ``serve.batch_size`` histogram shows the
+  effective batch under load.
+* **per-request deadlines** — each request carries
+  ``enqueue time + request_timeout``; a request whose deadline passed
+  while it sat in the queue is answered ``timeout`` without burning
+  CPU on work nobody is waiting for.  Sweeps are additionally bounded
+  by ``asyncio.wait_for`` while running.
+* **process-pool offload** — ``sweep`` requests (whole-workload
+  simulation + encode, seconds of CPU) would starve the event loop, so
+  they run in a ``ProcessPoolExecutor`` and only their *await* occupies
+  the engine; chunk encodes stay inline because they are
+  microseconds-to-milliseconds through the vectorized kernels.
+* **graceful drain** — :meth:`ServeEngine.stop` stops admitting,
+  finishes (or times out) what is queued, then tears down the worker
+  and the pool.
+
+Resilient sessions (``open`` with a ``policy`` field) wrap the coder in
+:class:`repro.faults.ResilientTranscoder`: every streamed wire state
+carries the parity wire, a corrupted chunk is *detected* at the cycle
+granularity, answered with the ``desyncs`` cycle list, and recovered
+reset-both style — both FSM twins return to power-on so the next chunk
+starts clean (the response's ``reset`` field tells the client its
+encoder must do the same, which is exactly the NACK round of the fault
+subsystem, lifted to the wire protocol).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..coding.base import Transcoder
+from ..coding.errors import DesyncError
+from ..coding.specs import CODER_FAMILIES, parse_coder_spec
+from ..faults.policies import POLICIES
+from ..traces.streaming import StreamingDecoder, StreamingEncoder
+from ..traces.trace import BusTrace
+from . import protocol
+from .protocol import ProtocolError
+
+__all__ = ["ServeEngine", "Session", "sweep_cell"]
+
+log = obs.get_logger("serve.engine")
+
+#: Default bound on the request queue; small enough that overload turns
+#: into fast ``busy`` rejections rather than multi-second queueing.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Requests drained per worker wake-up (the micro-batch ceiling).
+DEFAULT_BATCH_LIMIT = 16
+
+#: Per-request deadline, queue wait included.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: Ceiling on values/states per chunk request (memory bound per frame).
+MAX_CHUNK_CYCLES = 1 << 16
+
+
+def sweep_cell(
+    spec: str, workload: str, bus: str, cycles: int, lam: float
+) -> Dict[str, Any]:
+    """One CPU-bound sweep cell: simulate a workload, encode, account.
+
+    Runs inside a pool worker (must stay module-level picklable); the
+    imports are deferred so forked workers pay them lazily.
+    """
+    from ..analysis.experiments import savings_for
+    from ..energy.accounting import count_activity
+    from ..workloads.suite import run_workload
+
+    result = run_workload(workload, cycles)
+    trace = getattr(result, f"{bus}_trace")
+    coder = parse_coder_spec(spec, trace.width)
+    coded = coder.encode_trace(trace)
+    before = count_activity(trace)
+    after = count_activity(coded)
+    return {
+        "workload": workload,
+        "bus": bus,
+        "cycles": len(trace),
+        "coder": spec,
+        "savings_pct": savings_for(trace, coder, lam),
+        "transitions_before": before.total_transitions,
+        "transitions_after": after.total_transitions,
+    }
+
+
+@dataclass
+class _Checkpoint:
+    encoder: Any
+    decoder: Any
+
+
+@dataclass
+class Session:
+    """One live streaming session: encoder + decoder FSM twins.
+
+    The twins are independent instances of the same coder (built twice
+    from the spec), mirroring the two physical ends of the bus — a
+    session can stream-encode and stream-decode concurrently without
+    the directions contaminating each other's FSM state.
+    """
+
+    session_id: int
+    spec: str
+    width: int
+    policy: Optional[str]
+    encoder: StreamingEncoder
+    decoder: StreamingDecoder
+    checkpoints: Dict[int, _Checkpoint] = field(default_factory=dict)
+    desyncs: int = 0
+    _next_checkpoint: int = 1
+
+    @property
+    def resilient(self) -> bool:
+        return self.policy is not None
+
+    def take_checkpoint(self) -> int:
+        checkpoint_id = self._next_checkpoint
+        self._next_checkpoint += 1
+        self.checkpoints[checkpoint_id] = _Checkpoint(
+            encoder=self.encoder.checkpoint(), decoder=self.decoder.checkpoint()
+        )
+        return checkpoint_id
+
+    def restore_checkpoint(self, checkpoint_id: int) -> None:
+        try:
+            cp = self.checkpoints[checkpoint_id]
+        except KeyError:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unknown checkpoint {checkpoint_id} on session {self.session_id}",
+            ) from None
+        self.encoder.restore(cp.encoder)
+        self.decoder.restore(cp.decoder)
+
+    def decode_states(self, states: List[int]) -> Tuple[np.ndarray, List[int]]:
+        """Decode one chunk; returns ``(values, desync cycle list)``.
+
+        Plain sessions take the vectorized/chunked path (a corrupted
+        state would fail loudly as an unrecoverable error — there is no
+        parity wire to detect it with).  Resilient sessions decode per
+        cycle so a :class:`DesyncError` is pinpointed to its cycle,
+        answered best-effort with the raw data bits, and recovered by
+        resetting both twins (reset-both over the wire).
+        """
+        if not self.resilient:
+            return self.decoder.feed(states), []
+        coder = self.decoder.coder  # the ResilientTranscoder twin
+        in_mask = (1 << coder.input_width) - 1
+        out_mask = (1 << coder.output_width) - 1
+        out = np.empty(len(states), dtype=np.uint64)
+        desyncs: List[int] = []
+        base_cycle = self.decoder.cycles
+        for i, state in enumerate(states):
+            state = int(state) & out_mask
+            try:
+                value = coder.decode_state(state)
+            except DesyncError:
+                desyncs.append(base_cycle + i)
+                value = state & in_mask  # best-effort: raw data bits
+                # reset-both recovery, lifted to the wire: both twins
+                # return to power-on; the response tells the client.
+                self.encoder.coder.reset()
+                coder.reset()
+            out[i] = value
+        self.decoder.cycles += len(states)
+        if desyncs:
+            self.desyncs += len(desyncs)
+            obs.inc("serve.desyncs", len(desyncs), coder=self.spec)
+        return out, desyncs
+
+
+@dataclass
+class _Job:
+    """One admitted request, queued for the batch worker."""
+
+    connection_id: int
+    message: Dict[str, Any]
+    op: str
+    request_id: int
+    future: "asyncio.Future[Dict[str, Any]]"
+    enqueued: float
+    deadline: Optional[float]
+
+
+class ServeEngine:
+    """Transport-free request executor (see the module docstring)."""
+
+    def __init__(
+        self,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+        request_timeout_s: Optional[float] = DEFAULT_REQUEST_TIMEOUT_S,
+        sweep_workers: int = 1,
+    ):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if batch_limit < 1:
+            raise ValueError(f"batch_limit must be >= 1, got {batch_limit}")
+        self.queue_limit = queue_limit
+        self.batch_limit = batch_limit
+        self.request_timeout_s = request_timeout_s
+        self.sweep_workers = max(1, int(sweep_workers))
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(maxsize=queue_limit)
+        self._connections: Dict[int, Dict[int, Session]] = {}
+        self._next_session = 1
+        self._worker: Optional["asyncio.Task[None]"] = None
+        self._sweep_tasks: "set[asyncio.Task[None]]" = set()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._admitting = False
+        self._running = asyncio.Event()  # cleared = worker paused
+        self._running.set()
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batch worker; idempotent."""
+        if self._worker is None or self._worker.done():
+            self._worker = asyncio.get_running_loop().create_task(
+                self._worker_loop(), name="repro-serve-worker"
+            )
+        self._admitting = True
+
+    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: stop admitting, drain, tear down.
+
+        Queued requests get up to ``drain_timeout_s`` to finish; what
+        remains after that is answered ``timeout``.  In-flight sweeps
+        are awaited, then the process pool is shut down.
+        """
+        self._admitting = False
+        deadline = time.monotonic() + drain_timeout_s
+        while not self._queue.empty() and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        while not self._queue.empty():  # whatever the drain left behind
+            job = self._queue.get_nowait()
+            self._finish(
+                job,
+                protocol.error_response(
+                    job.request_id, protocol.ERR_TIMEOUT, "server shutting down"
+                ),
+            )
+        if self._sweep_tasks:
+            await asyncio.gather(*self._sweep_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        for connection_id in list(self._connections):
+            self.drop_connection(connection_id)
+
+    def pause(self) -> None:
+        """Suspend the batch worker (tests/operational load shedding)."""
+        self._running.clear()
+
+    def resume(self) -> None:
+        """Resume a paused batch worker."""
+        self._running.set()
+
+    def drop_connection(self, connection_id: int) -> None:
+        """Forget a connection's sessions (connection closed)."""
+        sessions = self._connections.pop(connection_id, None)
+        if sessions:
+            log.debug(
+                "dropped sessions with connection",
+                extra=obs.fields(connection=connection_id, sessions=len(sessions)),
+            )
+        self._gauge_sessions()
+
+    # -- admission ----------------------------------------------------
+
+    async def handle(
+        self, connection_id: int, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Admit one decoded request; returns the response message.
+
+        This is the *only* entry point the transport calls.  Envelope
+        violations and backpressure are answered here without touching
+        the queue; everything else waits for the batch worker.
+        """
+        try:
+            op, request_id = protocol.validate_request(message)
+        except ProtocolError as exc:
+            return protocol.error_response(message.get("id"), exc.code, exc.args[0])
+        obs.inc("serve.requests", op=op)
+        if not self._admitting:
+            obs.inc("serve.rejected", reason="not-admitting")
+            return protocol.error_response(
+                request_id, protocol.ERR_BUSY, "server is not accepting requests"
+            )
+        now = time.monotonic()
+        deadline = (
+            now + self.request_timeout_s if self.request_timeout_s is not None else None
+        )
+        job = _Job(
+            connection_id=connection_id,
+            message=message,
+            op=op,
+            request_id=request_id,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=now,
+            deadline=deadline,
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            obs.inc("serve.rejected", reason="queue-full")
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_BUSY,
+                f"request queue full ({self.queue_limit}); back off and retry",
+            )
+        obs.set_gauge("serve.queue_depth", self._queue.qsize())
+        return await job.future
+
+    # -- the batch worker ---------------------------------------------
+
+    def _finish(self, job: _Job, response: Dict[str, Any]) -> None:
+        if not job.future.done():
+            job.future.set_result(response)
+        obs.observe("serve.request_s", time.monotonic() - job.enqueued, op=job.op)
+
+    async def _worker_loop(self) -> None:
+        while True:
+            await self._running.wait()
+            job = await self._queue.get()
+            batch = [job]
+            while len(batch) < self.batch_limit:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            obs.observe("serve.batch_size", len(batch))
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+            self._execute_batch(batch)
+            for _ in batch:
+                self._queue.task_done()
+            # Yield so responses flush even under a saturated queue.
+            await asyncio.sleep(0)
+
+    def _execute_batch(self, batch: List[_Job]) -> None:
+        """Run one micro-batch: shared coders for grouped one-shots."""
+        now = time.monotonic()
+        live: List[_Job] = []
+        for job in batch:
+            if job.deadline is not None and now > job.deadline:
+                obs.inc("serve.timeouts", op=job.op)
+                self._finish(
+                    job,
+                    protocol.error_response(
+                        job.request_id,
+                        protocol.ERR_TIMEOUT,
+                        f"deadline exceeded after {now - job.enqueued:.3f}s in queue",
+                    ),
+                )
+            else:
+                live.append(job)
+        # Group the stateless one-shots by coder spec: one transcoder
+        # instance per (spec, width) serves every request in the batch
+        # back-to-back through its vectorized kernel.
+        coders: Dict[Tuple[str, int], Transcoder] = {}
+        for job in live:
+            try:
+                if job.op == "sweep":
+                    self._launch_sweep(job)
+                    continue
+                response = self._dispatch(job, coders)
+            except ProtocolError as exc:
+                response = protocol.error_response(job.request_id, exc.code, exc.args[0])
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                log.error(
+                    "request failed",
+                    extra=obs.fields(op=job.op, error=f"{type(exc).__name__}: {exc}"),
+                )
+                obs.inc("serve.internal_errors", op=job.op)
+                response = protocol.error_response(
+                    job.request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            self._finish(job, response)
+
+    # -- op handlers ---------------------------------------------------
+
+    def _dispatch(
+        self, job: _Job, coders: Dict[Tuple[str, int], Transcoder]
+    ) -> Dict[str, Any]:
+        message, request_id = job.message, job.request_id
+        if job.op == "hello":
+            return protocol.ok_response(
+                request_id,
+                server="repro.serve",
+                protocol=protocol.PROTOCOL_VERSION,
+                coders=list(CODER_FAMILIES),
+                policies=sorted(POLICIES),
+                queue_limit=self.queue_limit,
+                batch_limit=self.batch_limit,
+                max_chunk_cycles=MAX_CHUNK_CYCLES,
+            )
+        if job.op == "open":
+            return self._op_open(job)
+        if job.op == "encode_trace":
+            return self._op_encode_trace(job, coders)
+        # Remaining ops address an existing session.
+        session = self._session_for(job)
+        if job.op == "encode":
+            values = self._chunk_field(message, "values")
+            states = session.encoder.feed(values)
+            return protocol.ok_response(
+                request_id,
+                states=[int(s) for s in states],
+                cycles=session.encoder.cycles,
+            )
+        if job.op == "decode":
+            states = self._chunk_field(message, "states")
+            values, desyncs = session.decode_states(states)
+            response = protocol.ok_response(
+                request_id,
+                values=[int(v) for v in values],
+                cycles=session.decoder.cycles,
+            )
+            if desyncs:
+                response["desyncs"] = desyncs
+                response["recovered"] = True
+                response["reset"] = True  # both twins back at power-on
+            return response
+        if job.op == "checkpoint":
+            return protocol.ok_response(
+                request_id,
+                checkpoint=session.take_checkpoint(),
+                cycles=session.encoder.cycles,
+            )
+        if job.op == "restore":
+            checkpoint_id = message.get("checkpoint")
+            if not isinstance(checkpoint_id, int) or isinstance(checkpoint_id, bool):
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST, "'checkpoint' must be an int id"
+                )
+            session.restore_checkpoint(checkpoint_id)
+            return protocol.ok_response(
+                request_id, checkpoint=checkpoint_id, cycles=session.encoder.cycles
+            )
+        if job.op == "close":
+            sessions = self._connections.get(job.connection_id, {})
+            sessions.pop(session.session_id, None)
+            self._gauge_sessions()
+            return protocol.ok_response(request_id, closed=session.session_id)
+        raise ProtocolError(protocol.ERR_UNKNOWN_OP, f"unhandled op {job.op!r}")
+
+    def _op_open(self, job: _Job) -> Dict[str, Any]:
+        message = job.message
+        spec = message.get("coder")
+        if not isinstance(spec, str):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST, "'coder' must be a spec string")
+        width = message.get("width", 32)
+        if not isinstance(width, int) or isinstance(width, bool) or not 1 <= width <= 64:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST, f"'width' must be an int in 1..64, got {width!r}"
+            )
+        policy = message.get("policy")
+        if policy is not None and policy not in POLICIES:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unknown policy {policy!r}; choose from {', '.join(sorted(POLICIES))}",
+            )
+        try:
+            encoder_coder = self._build(spec, width, policy)
+            decoder_coder = self._build(spec, width, policy)
+        except ValueError as exc:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc)) from None
+        session = Session(
+            session_id=self._next_session,
+            spec=spec,
+            width=width,
+            policy=policy,
+            encoder=StreamingEncoder(encoder_coder),
+            decoder=StreamingDecoder(decoder_coder),
+        )
+        self._next_session += 1
+        self._connections.setdefault(job.connection_id, {})[session.session_id] = session
+        self._gauge_sessions()
+        obs.inc("serve.sessions_opened", coder=spec)
+        return protocol.ok_response(
+            job.request_id,
+            session=session.session_id,
+            input_width=session.encoder.coder.input_width,
+            output_width=session.encoder.coder.output_width,
+            resilient=session.resilient,
+        )
+
+    @staticmethod
+    def _build(spec: str, width: int, policy: Optional[str]) -> Transcoder:
+        coder = parse_coder_spec(spec, width)
+        if policy is not None:
+            from ..faults.resilient import ResilientTranscoder
+
+            coder = ResilientTranscoder(coder, policy)
+        return coder
+
+    def _op_encode_trace(
+        self, job: _Job, coders: Dict[Tuple[str, int], Transcoder]
+    ) -> Dict[str, Any]:
+        message = job.message
+        spec = message.get("coder")
+        if not isinstance(spec, str):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST, "'coder' must be a spec string")
+        width = message.get("width", 32)
+        if not isinstance(width, int) or isinstance(width, bool) or not 1 <= width <= 64:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST, f"'width' must be an int in 1..64, got {width!r}"
+            )
+        values = self._chunk_field(message, "values")
+        key = (spec, width)
+        if key not in coders:
+            try:
+                coders[key] = parse_coder_spec(spec, width)
+            except ValueError as exc:
+                raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc)) from None
+        else:
+            obs.inc("serve.batch_shared_coders")
+        coder = coders[key]
+        trace = BusTrace(np.asarray(values, dtype=np.uint64), width)
+        coded = coder.encode_trace(trace)
+        return protocol.ok_response(
+            job.request_id,
+            states=[int(s) for s in coded.values],
+            output_width=coder.output_width,
+        )
+
+    def _session_for(self, job: _Job) -> Session:
+        session_id = job.message.get("session")
+        sessions = self._connections.get(job.connection_id, {})
+        if not isinstance(session_id, int) or session_id not in sessions:
+            raise ProtocolError(
+                protocol.ERR_NO_SESSION,
+                f"no session {session_id!r} on this connection (open one first)",
+            )
+        return sessions[session_id]
+
+    @staticmethod
+    def _chunk_field(message: Dict[str, Any], key: str) -> List[int]:
+        values = protocol.int_list_field(message, key)
+        if len(values) > MAX_CHUNK_CYCLES:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"chunk of {len(values)} cycles exceeds the {MAX_CHUNK_CYCLES} ceiling; "
+                f"split the stream",
+            )
+        return values
+
+    def _gauge_sessions(self) -> None:
+        obs.set_gauge(
+            "serve.sessions", sum(len(s) for s in self._connections.values())
+        )
+
+    # -- sweep offload -------------------------------------------------
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None:
+            try:
+                context = (
+                    multiprocessing.get_context("fork")
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.sweep_workers, mp_context=context
+                )
+            except (OSError, RuntimeError):
+                # Restricted environments (no /dev/shm, forbidden fork):
+                # compute in-process instead — slower, never wrong.
+                obs.inc("serve.pool_fallbacks")
+                return None
+        return self._pool
+
+    def _launch_sweep(self, job: _Job) -> None:
+        """Validate then run one sweep cell off the event loop."""
+        message = job.message
+        spec = message.get("coder", "window8")
+        workload = message.get("workload")
+        bus = message.get("bus", "register")
+        cycles = message.get("cycles", 20_000)
+        lam = message.get("lam", 1.0)
+        try:
+            if not isinstance(workload, str):
+                raise ProtocolError(protocol.ERR_BAD_REQUEST, "'workload' must be a string")
+            from ..workloads import EXTENDED_WORKLOADS, WORKLOADS
+
+            if workload not in WORKLOADS and workload not in EXTENDED_WORKLOADS:
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST, f"unknown workload {workload!r}"
+                )
+            if not isinstance(spec, str):
+                raise ProtocolError(protocol.ERR_BAD_REQUEST, "'coder' must be a spec string")
+            try:
+                parse_coder_spec(spec)  # fail fast, before forking work
+            except ValueError as exc:
+                raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc)) from None
+            if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 1:
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST, f"'cycles' must be a positive int, got {cycles!r}"
+                )
+        except ProtocolError as exc:
+            self._finish(
+                job, protocol.error_response(job.request_id, exc.code, exc.args[0])
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_sweep(job, spec, workload, bus, int(cycles), float(lam)),
+            name=f"repro-serve-sweep-{job.request_id}",
+        )
+        self._sweep_tasks.add(task)
+        task.add_done_callback(self._sweep_tasks.discard)
+
+    async def _run_sweep(
+        self, job: _Job, spec: str, workload: str, bus: str, cycles: int, lam: float
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        pool = self._ensure_pool()
+        timeout = None
+        if job.deadline is not None:
+            timeout = max(job.deadline - time.monotonic(), 0.001)
+        t0 = time.monotonic()
+        try:
+            if pool is not None:
+                result = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        pool, sweep_cell, spec, workload, bus, cycles, lam
+                    ),
+                    timeout,
+                )
+            else:
+                result = await asyncio.wait_for(
+                    asyncio.to_thread(sweep_cell, spec, workload, bus, cycles, lam),
+                    timeout,
+                )
+        except asyncio.TimeoutError:
+            obs.inc("serve.timeouts", op="sweep")
+            self._finish(
+                job,
+                protocol.error_response(
+                    job.request_id, protocol.ERR_TIMEOUT, "sweep exceeded its deadline"
+                ),
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            log.error("sweep failed", extra=obs.fields(error=f"{type(exc).__name__}: {exc}"))
+            self._finish(
+                job,
+                protocol.error_response(
+                    job.request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+            )
+            return
+        obs.inc("serve.sweeps", coder=spec)
+        obs.observe("serve.sweep_s", time.monotonic() - t0, coder=spec)
+        self._finish(job, protocol.ok_response(job.request_id, **result))

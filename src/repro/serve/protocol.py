@@ -1,0 +1,223 @@
+"""The wire protocol of the trace-serving frontend.
+
+Newline-delimited JSON, version-tagged, symmetric request/response:
+
+* every **request** is one JSON object on one line:
+  ``{"v": 1, "id": 7, "op": "encode", ...op fields...}``;
+* every **response** echoes the request id:
+  ``{"v": 1, "id": 7, "ok": true, ...result fields...}`` or
+  ``{"v": 1, "id": 7, "ok": false,
+  "error": {"code": "busy", "message": "..."}}``.
+
+Why JSON-per-line: the payloads are integer vectors (bus words), which
+JSON carries exactly at any width up to the library's 64-bit ceiling,
+and a line-oriented framing keeps the protocol inspectable with
+``nc``/``socat`` and trivially implementable from any language.  The
+protocol is versioned from day one: a request whose ``v`` is missing or
+unknown is rejected with ``unsupported-version`` *before* the op is
+interpreted, so the frame format can evolve without silent
+misdecoding.
+
+Error codes (the ``error.code`` field) are a closed, stable set — see
+:data:`ERROR_CODES`.  ``busy`` is the backpressure signal (the HTTP-429
+analogue): the server's bounded request queue was full, the client
+should back off and retry.  ``desync`` reports a detected
+encoder/decoder divergence on a resilient session; whether the session
+recovered is carried in the response's ``recovered`` field.
+
+This module is pure data-plane: framing, validation and typed errors.
+It owns no sockets and no sessions, which keeps it unit-testable and
+shared verbatim by server and client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_DESYNC",
+    "ERR_INTERNAL",
+    "ERR_NO_SESSION",
+    "ERR_TIMEOUT",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNSUPPORTED_VERSION",
+    "KNOWN_OPS",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "int_list_field",
+    "ok_response",
+    "request",
+    "validate_request",
+]
+
+#: Bump on any incompatible change to the frame format or op semantics.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame ceiling (also the server's StreamReader limit): a
+#: 64 Ki-cycle chunk of 20-digit words is ~1.4 MB, so 8 MB leaves
+#: comfortable headroom while bounding a malicious/buggy client.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+# -- error codes (closed set; part of the protocol contract) ----------
+
+ERR_BAD_REQUEST = "bad-request"  #: malformed frame or op fields
+ERR_UNSUPPORTED_VERSION = "unsupported-version"  #: bad/missing ``v``
+ERR_UNKNOWN_OP = "unknown-op"  #: ``op`` not in :data:`KNOWN_OPS`
+ERR_NO_SESSION = "no-session"  #: session id unknown to this connection
+ERR_BUSY = "busy"  #: bounded queue full — back off and retry (HTTP 429)
+ERR_TIMEOUT = "timeout"  #: request exceeded the server's deadline
+ERR_DESYNC = "desync"  #: resilient session detected FSM divergence
+ERR_INTERNAL = "internal"  #: unexpected server-side failure
+
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_UNSUPPORTED_VERSION,
+    ERR_UNKNOWN_OP,
+    ERR_NO_SESSION,
+    ERR_BUSY,
+    ERR_TIMEOUT,
+    ERR_DESYNC,
+    ERR_INTERNAL,
+)
+
+#: The operations of protocol version 1.
+KNOWN_OPS = (
+    "hello",  # server identification + capabilities
+    "open",  # create a per-connection streaming session
+    "encode",  # advance a session's encoder FSM by one chunk
+    "decode",  # advance a session's decoder FSM by one chunk
+    "checkpoint",  # snapshot a session's FSM state server-side
+    "restore",  # rewind a session to a named checkpoint
+    "close",  # drop a session (and its checkpoints)
+    "encode_trace",  # one-shot stateless encode (micro-batched)
+    "sweep",  # CPU-bound savings sweep (process-pool offloaded)
+)
+
+
+class ProtocolError(ValueError):
+    """A typed protocol violation; carries the wire ``error.code``.
+
+    Subclasses ``ValueError`` so the CLI's existing error funnel turns
+    client-side protocol failures into the one-line ``repro: error:``
+    contract without new plumbing.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.args[0]}"
+
+
+# -- framing ----------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialise one message as a compact JSON line (trailing ``\\n``)."""
+    return (
+        json.dumps(message, separators=(",", ":"), ensure_ascii=True) + "\n"
+    ).encode("ascii")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict.
+
+    Raises :class:`ProtocolError` (``bad-request``) on anything that is
+    not a single JSON object.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(ERR_BAD_REQUEST, f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- message constructors ---------------------------------------------
+
+
+def request(op: str, request_id: int, **fields: Any) -> Dict[str, Any]:
+    """Build a version-tagged request message."""
+    message = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+    message.update(fields)
+    return message
+
+
+def ok_response(request_id: Optional[int], **fields: Any) -> Dict[str, Any]:
+    """Build a success response echoing ``request_id``."""
+    message: Dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True}
+    message.update(fields)
+    return message
+
+
+def error_response(
+    request_id: Optional[int], code: str, message: str, **fields: Any
+) -> Dict[str, Any]:
+    """Build an error response; ``code`` must be one of :data:`ERROR_CODES`."""
+    assert code in ERROR_CODES, f"unregistered error code {code!r}"
+    body: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    body.update(fields)
+    return body
+
+
+# -- validation -------------------------------------------------------
+
+
+def validate_request(message: Dict[str, Any]) -> Tuple[str, int]:
+    """Check version/id/op envelope; returns ``(op, request_id)``.
+
+    Raises :class:`ProtocolError` with the precise error code, version
+    first (an incompatible peer must learn that before anything else).
+    """
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_UNSUPPORTED_VERSION,
+            f"protocol version {version!r} not supported; this end speaks "
+            f"{PROTOCOL_VERSION}",
+        )
+    request_id = message.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(ERR_BAD_REQUEST, f"request id must be an int, got {request_id!r}")
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(ERR_BAD_REQUEST, "request has no 'op' field")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            ERR_UNKNOWN_OP, f"unknown op {op!r}; this server speaks {', '.join(KNOWN_OPS)}"
+        )
+    return op, request_id
+
+
+def int_list_field(message: Dict[str, Any], key: str) -> List[int]:
+    """Extract a required list-of-ints field (bus words / wire states)."""
+    values = message.get(key)
+    if not isinstance(values, list):
+        raise ProtocolError(ERR_BAD_REQUEST, f"{key!r} must be a list of integers")
+    for v in values:
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, f"{key!r} must contain non-negative integers, got {v!r}"
+            )
+    return values

@@ -1,0 +1,178 @@
+"""Asyncio TCP frontend over the :class:`~repro.serve.engine.ServeEngine`.
+
+One :class:`TraceServer` owns one engine and one listening socket.  The
+transport layer is deliberately thin: read a line, decode the frame,
+hand it to the engine, write the response line.  Everything
+interesting — sessions, batching, backpressure, deadlines — lives in
+the engine, which is what makes the serving behaviour unit-testable
+without sockets.
+
+Connection model: each accepted connection gets a process-unique id;
+sessions opened over it are keyed under that id and die with it
+(:meth:`ServeEngine.drop_connection`), so an abandoned client can never
+leak FSM state server-side.  Responses to one connection are written
+in completion order; request ids (chosen by the client) are what
+correlates them — a client may pipeline requests freely.
+
+Shutdown: :meth:`TraceServer.stop` closes the listener (no new
+connections), then drains the engine.  In-flight requests get
+``drain_timeout_s`` to complete; stragglers are answered ``timeout``
+and connections observe EOF.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .. import obs
+from . import protocol
+from .engine import ServeEngine
+from .protocol import ProtocolError
+
+__all__ = ["TraceServer"]
+
+log = obs.get_logger("serve.server")
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class TraceServer:
+    """The asyncio trace-serving frontend (``repro serve``).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port (tests);
+        read it back from :attr:`port` after :meth:`start`.
+    engine:
+        A pre-configured :class:`ServeEngine`, or None to build one
+        from ``engine_kwargs`` (``queue_limit``, ``batch_limit``,
+        ``request_timeout_s``, ``sweep_workers``).
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        engine: Optional[ServeEngine] = None,
+        **engine_kwargs,
+    ):
+        self.host = host
+        self._requested_port = port
+        self.engine = engine if engine is not None else ServeEngine(**engine_kwargs)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._next_connection = 1
+        self._open_connections = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and start the engine."""
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        log.info(
+            "serving",
+            extra=obs.fields(host=self.host, port=self.port),
+        )
+
+    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Stop accepting, drain the engine, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.stop(drain_timeout_s)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "TraceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection loop ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection_id = self._next_connection
+        self._next_connection += 1
+        self._open_connections += 1
+        obs.inc("serve.connections")
+        obs.set_gauge("serve.open_connections", self._open_connections)
+        write_lock = asyncio.Lock()  # responses interleave task-safely
+        pending: "set[asyncio.Task[None]]" = set()
+
+        async def respond(response) -> None:
+            async with write_lock:
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+
+        async def process(message) -> None:
+            response = await self.engine.handle(connection_id, message)
+            await respond(response)
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ):
+                    await respond(
+                        protocol.error_response(
+                            None, protocol.ERR_BAD_REQUEST, "oversized or truncated frame"
+                        )
+                    )
+                    break
+                if not line:
+                    break  # EOF: client is done
+                if not line.strip():
+                    continue  # tolerate keep-alive blank lines
+                try:
+                    message = protocol.decode_frame(line)
+                except ProtocolError as exc:
+                    await respond(protocol.error_response(None, exc.code, exc.args[0]))
+                    continue
+                # Pipelining: admit the request now, let the response
+                # land whenever the engine finishes it.
+                task = asyncio.ensure_future(process(message))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-write; sessions are dropped below
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-read; fall through to cleanup
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self.engine.drop_connection(connection_id)
+            self._open_connections -= 1
+            obs.set_gauge("serve.open_connections", self._open_connections)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

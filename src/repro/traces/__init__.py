@@ -10,6 +10,16 @@ from .stats import (
     window_unique_fraction,
 )
 from .io import TraceFormatError, load_trace, load_traces, save_trace, save_traces
+from .streaming import (
+    DEFAULT_CHUNK_CYCLES,
+    StreamCheckpoint,
+    StreamingDecoder,
+    StreamingEncoder,
+    chunk_spans,
+    decode_trace_chunked,
+    encode_trace_chunked,
+    iter_chunks,
+)
 from .cache import (
     TraceCache,
     cache_enabled_by_env,
@@ -21,6 +31,14 @@ from .cache import (
 __all__ = [
     "TraceFormatError",
     "BusTrace",
+    "DEFAULT_CHUNK_CYCLES",
+    "StreamCheckpoint",
+    "StreamingDecoder",
+    "StreamingEncoder",
+    "chunk_spans",
+    "decode_trace_chunked",
+    "encode_trace_chunked",
+    "iter_chunks",
     "TraceCache",
     "cache_enabled_by_env",
     "default_cache_dir",

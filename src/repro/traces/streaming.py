@@ -1,0 +1,234 @@
+"""Bounded-memory streaming over bus traces (the online-FSM view).
+
+The paper's transcoders are *per-cycle* FSMs: Wen's window transcoder
+encodes one bus word every cycle, carrying its dictionary state
+forward.  The batch API (:meth:`~repro.coding.base.Transcoder.encode_trace`)
+hides that by materialising whole traces; this module exposes the
+online view without giving up the vectorized kernels:
+
+* :func:`chunk_spans` / :func:`iter_chunks` — walk a trace in bounded
+  chunks (each chunk a :class:`~repro.traces.trace.BusTrace` slice
+  whose ``initial`` is the previous chunk's last value, so per-chunk
+  activity accounting sums exactly);
+* :class:`StreamingEncoder` / :class:`StreamingDecoder` — feed chunks
+  through a live transcoder FSM, with explicit
+  :meth:`~StreamingEncoder.checkpoint` / :meth:`~StreamingEncoder.restore`
+  of the FSM state mid-stream;
+* :func:`encode_trace_chunked` / :func:`decode_trace_chunked` — the
+  whole-trace convenience wrappers, proven bit- and cost-identical to
+  the one-shot calls for every registered coder (including across
+  chunk boundaries for stateful coders: window, FCM, stride, LAST,
+  inversion) by ``tests/test_streaming.py`` and the hypothesis
+  properties in ``tests/test_streaming_properties.py``.
+
+The streaming contract in one line: *resetting the coder and feeding a
+trace through* :meth:`~repro.coding.base.Transcoder.encode_chunk` *in
+any chunking whatsoever produces exactly the one-shot encoding*.  That
+holds because the one-shot fast kernels are bit-identical to the scalar
+per-cycle loop **and** leave the FSM in the same state the loop would
+(asserted by the differential suites), so chunk boundaries are
+invisible to the FSM.
+
+This module deliberately imports nothing from :mod:`repro.coding` at
+module scope (coding sits *above* traces in the layering); coders are
+duck-typed against the small surface ``reset`` / ``encode_chunk`` /
+``decode_chunk`` / ``save_state`` / ``restore_state`` that
+:class:`repro.coding.base.Transcoder` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .trace import BusTrace
+
+__all__ = [
+    "DEFAULT_CHUNK_CYCLES",
+    "StreamCheckpoint",
+    "StreamingDecoder",
+    "StreamingEncoder",
+    "chunk_spans",
+    "decode_trace_chunked",
+    "encode_trace_chunked",
+    "iter_chunks",
+]
+
+#: Default chunk size: large enough to amortize the vectorized kernels,
+#: small enough that a streaming session holds a few hundred KB at once.
+DEFAULT_CHUNK_CYCLES = 1 << 14
+
+
+def chunk_spans(cycles: int, chunk_cycles: int) -> Iterator[Tuple[int, int]]:
+    """Half-open ``(start, stop)`` spans covering ``range(cycles)``.
+
+    The last span may be short; a zero-length trace yields no spans.
+    """
+    if chunk_cycles < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_cycles}")
+    for start in range(0, cycles, chunk_cycles):
+        yield start, min(start + chunk_cycles, cycles)
+
+
+def iter_chunks(
+    trace: BusTrace, chunk_cycles: int = DEFAULT_CHUNK_CYCLES
+) -> Iterator[BusTrace]:
+    """Iterate a trace as bounded-size :class:`BusTrace` chunks.
+
+    Each chunk's ``initial`` is the bus state entering it, so
+    ``count_activity`` over the chunks sums exactly to the whole
+    trace's activity, and ``BusTrace.concat(*iter_chunks(t, n))``
+    equals ``t``.  Chunks are views (no copy of the value array).
+    """
+    for start, stop in chunk_spans(len(trace), chunk_cycles):
+        yield trace.slice(start, stop)
+
+
+@dataclass(frozen=True)
+class StreamCheckpoint:
+    """An opaque mid-stream FSM checkpoint.
+
+    Carries the coder's type name (restore refuses a mismatched coder —
+    restoring a window-8 checkpoint into an FCM decoder would silently
+    desync) and the cycle count at capture, so a restored stream knows
+    its logical position.
+    """
+
+    coder_type: str
+    cycles: int
+    payload: Dict[str, Any]
+
+
+def _capture(coder: Any, cycles: int, last: int) -> StreamCheckpoint:
+    payload = dict(coder.save_state(), _stream_last=last)
+    return StreamCheckpoint(
+        coder_type=type(coder).__name__, cycles=cycles, payload=payload
+    )
+
+
+def _restore(coder: Any, checkpoint: StreamCheckpoint) -> Tuple[int, int]:
+    if checkpoint.coder_type != type(coder).__name__:
+        raise ValueError(
+            f"checkpoint was taken from {checkpoint.coder_type}, "
+            f"cannot restore into {type(coder).__name__}"
+        )
+    payload = dict(checkpoint.payload)
+    last = int(payload.pop("_stream_last", 0))
+    coder.restore_state(payload)
+    return checkpoint.cycles, last
+
+
+class StreamingEncoder:
+    """Incremental encoder: a live FSM fed one chunk at a time.
+
+    Construction resets the coder, so the stream starts from power-on —
+    the same origin as a one-shot ``encode_trace`` call — and
+    :meth:`feed` advances the FSM chunk by chunk.  The concatenation of
+    all fed chunks' outputs is bit-identical to the one-shot encoding
+    of the concatenated inputs.
+
+    The wrapped coder must not be shared with another stream (the FSM
+    state *is* the stream position).
+    """
+
+    def __init__(self, coder: Any):
+        self.coder = coder
+        coder.reset()
+        self.cycles = 0  # input cycles consumed so far
+        self._last_state = 0  # wire state after the most recent fed chunk
+
+    def feed(self, values: Any) -> np.ndarray:
+        """Encode the next chunk of values; returns the wire states."""
+        out = self.coder.encode_chunk(values)
+        self.cycles += len(out)
+        if len(out):
+            self._last_state = int(out[-1])
+        return out
+
+    def feed_trace(self, chunk: BusTrace) -> BusTrace:
+        """Encode a :class:`BusTrace` chunk, preserving trace metadata.
+
+        The output chunk's ``initial`` is the wire state entering it
+        (0 for the first chunk — a quiescent bus — matching
+        ``encode_trace``), so per-chunk activity accounting of the
+        encoded stream sums exactly as well.
+        """
+        prev = self._last_state if self.cycles else 0
+        out = self.feed(chunk.values)
+        name = self.coder._encoded_name(chunk)
+        return BusTrace(out, self.coder.output_width, name, prev)
+
+    def checkpoint(self) -> StreamCheckpoint:
+        """Snapshot the FSM; the stream may continue and later rewind."""
+        return _capture(self.coder, self.cycles, self._last_state)
+
+    def restore(self, checkpoint: StreamCheckpoint) -> None:
+        """Rewind the FSM to a checkpoint taken on this coder type."""
+        self.cycles, self._last_state = _restore(self.coder, checkpoint)
+
+
+class StreamingDecoder:
+    """Incremental decoder: the receive-side twin of :class:`StreamingEncoder`."""
+
+    def __init__(self, coder: Any):
+        self.coder = coder
+        coder.reset()
+        self.cycles = 0
+        self._last_value = 0
+
+    def feed(self, states: Any) -> np.ndarray:
+        """Decode the next chunk of wire states; returns the values."""
+        out = self.coder.decode_chunk(states)
+        self.cycles += len(out)
+        if len(out):
+            self._last_value = int(out[-1])
+        return out
+
+    def feed_trace(self, chunk: BusTrace) -> BusTrace:
+        """Decode a :class:`BusTrace` chunk, preserving trace metadata."""
+        prev = self._last_value if self.cycles else 0
+        out = self.feed(chunk.values)
+        name = self.coder._decoded_name(chunk)
+        return BusTrace(out, self.coder.input_width, name, prev)
+
+    def checkpoint(self) -> StreamCheckpoint:
+        return _capture(self.coder, self.cycles, self._last_value)
+
+    def restore(self, checkpoint: StreamCheckpoint) -> None:
+        self.cycles, self._last_value = _restore(self.coder, checkpoint)
+
+
+def encode_trace_chunked(
+    coder: Any, trace: BusTrace, chunk_cycles: int = DEFAULT_CHUNK_CYCLES
+) -> BusTrace:
+    """Encode a whole trace through the streaming path.
+
+    Bit- and name-identical to ``coder.encode_trace(trace)``; peak
+    memory is one chunk of output at a time plus the assembled result.
+    Mostly useful as the equivalence oracle and for callers that
+    already hold the trace but want the streaming code path exercised.
+    """
+    coder._check_encode_width(trace)
+    stream = StreamingEncoder(coder)
+    parts: List[BusTrace] = [stream.feed_trace(c) for c in iter_chunks(trace, chunk_cycles)]
+    if not parts:
+        return BusTrace(
+            np.empty(0, dtype=np.uint64), coder.output_width, coder._encoded_name(trace)
+        )
+    return BusTrace.concat(*parts).with_name(coder._encoded_name(trace))
+
+
+def decode_trace_chunked(
+    coder: Any, phys: BusTrace, chunk_cycles: int = DEFAULT_CHUNK_CYCLES
+) -> BusTrace:
+    """Decode a whole physical trace through the streaming path."""
+    coder._check_decode_width(phys)
+    stream = StreamingDecoder(coder)
+    parts: List[BusTrace] = [stream.feed_trace(c) for c in iter_chunks(phys, chunk_cycles)]
+    if not parts:
+        return BusTrace(
+            np.empty(0, dtype=np.uint64), coder.input_width, coder._decoded_name(phys)
+        )
+    return BusTrace.concat(*parts).with_name(coder._decoded_name(phys))

@@ -101,6 +101,46 @@ class BusTrace:
         """The first ``n`` values as a new trace (same initial state)."""
         return BusTrace(self.values[:n], self.width, self.name, self.initial)
 
+    def slice(self, start: int, stop: Optional[int] = None) -> "BusTrace":
+        """The half-open cycle range ``[start, stop)`` as a new trace.
+
+        The slice's ``initial`` is the bus state in the cycle *before*
+        ``start`` (``self.initial`` when ``start == 0``), so activity
+        accounting over consecutive slices sums exactly to the whole
+        trace's — the invariant the chunked streaming layer
+        (:mod:`repro.traces.streaming`) is built on.  Negative indices
+        follow Python slice semantics; the name is propagated.
+        """
+        start, stop, _ = slice(start, stop).indices(len(self))
+        stop = max(stop, start)
+        prev = self.initial if start == 0 else int(self.values[start - 1])
+        return BusTrace(self.values[start:stop], self.width, self.name, prev)
+
+    @classmethod
+    def concat(cls, *traces: "BusTrace") -> "BusTrace":
+        """Concatenate traces in time order into one trace.
+
+        All parts must share one bus width (values are already masked
+        to it, and the result keeps it).  The result's ``initial`` is
+        the first part's, and the name is the first non-empty part name
+        — so ``BusTrace.concat(*[t.slice(a, b) for a, b in spans])``
+        round-trips a trace split by :meth:`slice`.  The parts'
+        *interior* ``initial`` states are intentionally ignored: in a
+        chunked stream they merely record the previous chunk's last
+        value.
+        """
+        if not traces:
+            raise ValueError("concat needs at least one trace")
+        width = traces[0].width
+        for t in traces:
+            if t.width != width:
+                raise ValueError(
+                    f"cannot concat traces of widths {width} and {t.width}"
+                )
+        name = next((t.name for t in traces if t.name), "")
+        values = np.concatenate([t.values for t in traces]) if len(traces) > 1 else traces[0].values
+        return cls(values, width, name, traces[0].initial)
+
     def with_name(self, name: str) -> "BusTrace":
         """A copy of this trace relabelled as ``name``."""
         return BusTrace(self.values, self.width, name, self.initial)

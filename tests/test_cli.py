@@ -181,3 +181,113 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestJobsValidation:
+    """``--jobs`` is a worker count everywhere: 0/negative must be a
+    one-line ``repro: error:`` with exit code 1 — no traceback, and no
+    silent fallback to a default."""
+
+    @pytest.mark.parametrize("jobs", ["0", "-2"])
+    def test_table3_rejects_nonpositive_jobs(self, capsys, jobs):
+        err = run_cli_error(capsys, "table3", "--jobs", jobs)
+        assert err.startswith("repro: error:")
+        assert "--jobs must be a positive worker count" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("jobs", ["0", "-1"])
+    def test_faults_sweep_rejects_nonpositive_jobs(self, capsys, jobs):
+        err = run_cli_error(
+            capsys, "faults-sweep", "--coder", "window8", "--jobs", jobs
+        )
+        assert err.startswith("repro: error:")
+        assert f"got {jobs}" in err
+
+    def test_bench_rejects_nonpositive_jobs(self, capsys):
+        err = run_cli_error(capsys, "bench", "--quick", "--jobs", "0")
+        assert err.startswith("repro: error:")
+        assert "--jobs must be a positive worker count" in err
+
+    def test_serve_rejects_nonpositive_jobs(self, capsys):
+        err = run_cli_error(capsys, "serve", "--port", "0", "--jobs", "0")
+        assert err.startswith("repro: error:")
+
+    def test_validation_happens_before_any_work(self, capsys):
+        # The error must fire fast, before simulation: the message names
+        # the flag, not some downstream pool failure.
+        err = run_cli_error(capsys, "table3", "--jobs", "-7")
+        assert "--jobs" in err and "-7" in err
+
+
+class TestServeClientCommands:
+    def test_client_connect_refused_is_one_line_error(self, capsys):
+        # Port 1 is never listening; the OSError is funnelled into the
+        # repro: error: contract instead of a traceback.
+        err = run_cli_error(capsys, "client", "ping", "--port", "1")
+        assert err.startswith("repro: error:")
+        assert "cannot connect" in err
+        assert "Traceback" not in err
+
+    def test_client_requires_workload_for_encode(self, capsys):
+        err = run_cli_error(capsys, "client", "encode", "--port", "1")
+        assert err.startswith("repro: error:")
+
+    def test_client_rejects_bad_chunk(self, capsys):
+        err = run_cli_error(
+            capsys, "client", "encode", "gcc", "--port", "1", "--chunk", "0"
+        )
+        assert err.startswith("repro: error:")
+
+    def test_parser_knows_serve_and_client(self):
+        args = build_parser().parse_args(["serve", "--port", "0", "--queue-limit", "9"])
+        assert args.command == "serve" and args.queue_limit == 9
+        args = build_parser().parse_args(["client", "ping"])
+        assert args.command == "client" and args.op == "ping"
+
+    def test_client_round_trip_against_live_server(self, capsys):
+        """CLI client streaming against an in-process server: the
+        printed table pins byte-equality with the one-shot encode."""
+        import asyncio
+        import threading
+
+        from repro.serve import TraceServer
+
+        started = threading.Event()
+        box = {}
+
+        def serve():
+            async def run():
+                async with TraceServer(port=0) as server:
+                    box["port"] = server.port
+                    started.set()
+                    await box["stop"].wait()
+
+            loop = asyncio.new_event_loop()
+            box["loop"] = loop
+            box["stop"] = asyncio.Event()
+            loop.run_until_complete(run())
+            loop.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            out = run_cli(
+                capsys,
+                "client",
+                "encode",
+                "gcc",
+                "--port",
+                str(box["port"]),
+                "--coder",
+                "window8",
+                "--cycles",
+                "3000",
+                "--chunk",
+                "512",
+            )
+            assert "matches one-shot encode" in out
+            assert "yes" in out
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(10)

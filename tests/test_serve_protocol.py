@@ -1,0 +1,126 @@
+"""Unit tests for the trace-serving wire protocol (pure data plane)."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_encode_frame_is_one_ascii_json_line(self):
+        frame = protocol.encode_frame(protocol.request("hello", 1))
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+        frame.decode("ascii")  # must not raise
+        assert json.loads(frame) == {"v": 1, "id": 1, "op": "hello"}
+
+    def test_round_trip(self):
+        message = protocol.request("encode", 42, session=3, values=[1, 2, 3])
+        assert protocol.decode_frame(protocol.encode_frame(message)) == message
+
+    def test_decode_rejects_oversized_frames(self):
+        blob = b"x" * (protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_frame(blob)
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_frame(b"not json at all\n")
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_decode_rejects_undecodable_bytes(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"\xff\xfe{}\n")
+
+
+class TestConstructors:
+    def test_ok_response_shape(self):
+        message = protocol.ok_response(7, states=[1])
+        assert message == {"v": 1, "id": 7, "ok": True, "states": [1]}
+
+    def test_error_response_shape(self):
+        message = protocol.error_response(9, protocol.ERR_BUSY, "queue full")
+        assert message["ok"] is False
+        assert message["id"] == 9
+        assert message["error"] == {"code": "busy", "message": "queue full"}
+
+    def test_error_response_refuses_unregistered_codes(self):
+        with pytest.raises(AssertionError):
+            protocol.error_response(1, "not-a-code", "nope")
+
+    def test_error_codes_are_a_closed_registered_set(self):
+        assert len(set(protocol.ERROR_CODES)) == len(protocol.ERROR_CODES)
+        for code in (
+            protocol.ERR_BAD_REQUEST,
+            protocol.ERR_BUSY,
+            protocol.ERR_DESYNC,
+            protocol.ERR_INTERNAL,
+            protocol.ERR_NO_SESSION,
+            protocol.ERR_TIMEOUT,
+            protocol.ERR_UNKNOWN_OP,
+            protocol.ERR_UNSUPPORTED_VERSION,
+        ):
+            assert code in protocol.ERROR_CODES
+
+
+class TestValidateRequest:
+    def test_accepts_well_formed_requests(self):
+        for op in protocol.KNOWN_OPS:
+            assert protocol.validate_request(protocol.request(op, 5)) == (op, 5)
+
+    def test_version_is_checked_before_everything_else(self):
+        # Even a frame with no id and a junk op must fail on version.
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"op": "launch-missiles"})
+        assert excinfo.value.code == protocol.ERR_UNSUPPORTED_VERSION
+
+    def test_rejects_future_versions(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 2, "id": 1, "op": "hello"})
+        assert excinfo.value.code == protocol.ERR_UNSUPPORTED_VERSION
+
+    @pytest.mark.parametrize("bad_id", [None, "7", 1.5, True])
+    def test_rejects_non_int_request_ids(self, bad_id):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "id": bad_id, "op": "hello"})
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "id": 1})
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "id": 1, "op": "transmogrify"})
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_OP
+
+
+class TestIntListField:
+    def test_extracts_valid_lists(self):
+        message = {"values": [0, 1, 2**63]}
+        assert protocol.int_list_field(message, "values") == [0, 1, 2**63]
+
+    @pytest.mark.parametrize(
+        "bad", [None, "123", 7, [1, -2], [1, 1.5], [True], [1, None]]
+    )
+    def test_rejects_non_int_payloads(self, bad):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.int_list_field({"values": bad}, "values")
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+
+class TestProtocolError:
+    def test_is_a_value_error_with_code(self):
+        exc = ProtocolError(protocol.ERR_BUSY, "try later")
+        assert isinstance(exc, ValueError)
+        assert exc.code == "busy"
+        assert "try later" in str(exc)

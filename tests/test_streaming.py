@@ -1,0 +1,234 @@
+"""Chunked streaming encode/decode: equivalence with the one-shot path.
+
+The contract under test (the tentpole invariant of
+``repro.traces.streaming``): resetting a coder and feeding a trace
+through ``encode_chunk`` in *any* chunking produces exactly the
+one-shot ``encode_trace`` result — bit-identical states, identical
+activity cost, identical trace name — for every registered coder
+family, including the stateful dictionary coders (window, FCM, stride,
+LAST, inversion) whose FSM state crosses chunk boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import CODER_FAMILIES, TransitionCoder, WindowTranscoder, build_coder
+from repro.energy import count_activity
+from repro.traces import (
+    BusTrace,
+    StreamCheckpoint,
+    StreamingDecoder,
+    StreamingEncoder,
+    chunk_spans,
+    decode_trace_chunked,
+    encode_trace_chunked,
+    iter_chunks,
+)
+
+WIDTH = 16
+
+#: Chunk sizes straddling the interesting boundaries: single-cycle,
+#: prime-sized, exact divisor of the trace length, and longer-than-trace.
+CHUNKINGS = [1, 7, 64, 250, 1000, 5000]
+
+
+def make_trace(cycles=1000, seed=3):
+    """A locality-heavy trace so dictionary coders actually hit."""
+    rng = np.random.default_rng(seed)
+    pool = rng.integers(0, 1 << WIDTH, size=12, dtype=np.uint64)
+    picks = rng.integers(0, len(pool), size=cycles)
+    values = pool[picks]
+    # Sprinkle in strided and repeated runs for stride/LAST coders.
+    values[100:200] = (np.arange(100, dtype=np.uint64) * 4 + 32) & 0xFFFF
+    values[300:340] = values[299]
+    return BusTrace(values, WIDTH, name="streamtest")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace()
+
+
+class TestChunkSpans:
+    def test_covers_range_exactly(self):
+        spans = list(chunk_spans(10, 3))
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_zero_cycles_yields_nothing(self):
+        assert list(chunk_spans(0, 4)) == []
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            list(chunk_spans(10, 0))
+        with pytest.raises(ValueError):
+            list(chunk_spans(10, -2))
+
+
+class TestIterChunks:
+    def test_concat_round_trips(self, trace):
+        chunks = list(iter_chunks(trace, 64))
+        rebuilt = BusTrace.concat(*chunks)
+        assert np.array_equal(rebuilt.values, trace.values)
+        assert rebuilt.initial == trace.initial
+
+    def test_chunk_initials_chain(self, trace):
+        chunks = list(iter_chunks(trace, 100))
+        assert chunks[0].initial == trace.initial
+        for prev, nxt in zip(chunks, chunks[1:]):
+            assert nxt.initial == int(prev.values[-1])
+
+    def test_activity_sums_exactly(self, trace):
+        whole = count_activity(trace)
+        parts = [count_activity(c) for c in iter_chunks(trace, 77)]
+        total = parts[0]
+        for p in parts[1:]:
+            total = total + p
+        assert total.total_transitions == whole.total_transitions
+        assert total.total_coupling == whole.total_coupling
+
+
+class TestChunkedEqualsOneShot:
+    @pytest.mark.parametrize("family", CODER_FAMILIES)
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_encode_bit_identical(self, trace, family, chunk):
+        oneshot = build_coder(family, 8, WIDTH).encode_trace(trace)
+        chunked = encode_trace_chunked(build_coder(family, 8, WIDTH), trace, chunk)
+        assert np.array_equal(chunked.values, oneshot.values)
+        assert chunked.width == oneshot.width
+        assert chunked.initial == oneshot.initial
+        assert chunked.name == oneshot.name
+
+    @pytest.mark.parametrize("family", CODER_FAMILIES)
+    @pytest.mark.parametrize("chunk", [1, 64, 250])
+    def test_cost_identical(self, trace, family, chunk):
+        oneshot = build_coder(family, 8, WIDTH).encode_trace(trace)
+        chunked = encode_trace_chunked(build_coder(family, 8, WIDTH), trace, chunk)
+        a, b = count_activity(oneshot), count_activity(chunked)
+        assert a.total_transitions == b.total_transitions
+        assert a.total_coupling == b.total_coupling
+
+    @pytest.mark.parametrize("family", CODER_FAMILIES)
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_decode_round_trips(self, trace, family, chunk):
+        coder = build_coder(family, 8, WIDTH)
+        phys = coder.encode_trace(trace)
+        decoded = decode_trace_chunked(build_coder(family, 8, WIDTH), phys, chunk)
+        assert np.array_equal(decoded.values, trace.values)
+        assert decoded.name == coder.decode_trace(phys).name
+
+    @pytest.mark.parametrize("family", CODER_FAMILIES)
+    def test_irregular_chunking(self, trace, family):
+        """Hand-fed irregular chunk sizes, not just fixed strides."""
+        coder = build_coder(family, 8, WIDTH)
+        oneshot = build_coder(family, 8, WIDTH).encode_trace(trace).values
+        stream = StreamingEncoder(coder)
+        parts, pos = [], 0
+        for size in [1, 2, 3, 499, 5, 490]:
+            parts.append(stream.feed(trace.values[pos : pos + size]))
+            pos += size
+        parts.append(stream.feed(trace.values[pos:]))
+        assert np.array_equal(np.concatenate(parts), oneshot)
+
+    def test_empty_trace(self):
+        empty = BusTrace.from_values([], width=WIDTH, name="empty")
+        coder = WindowTranscoder(8, WIDTH)
+        out = encode_trace_chunked(coder, empty, 16)
+        assert len(out) == 0
+        assert out.width == coder.output_width
+        back = decode_trace_chunked(WindowTranscoder(8, WIDTH), out, 16)
+        assert len(back) == 0
+
+
+class TestCheckpointRestore:
+    def test_restore_replays_identically(self, trace):
+        coder = build_coder("window", 8, WIDTH)
+        stream = StreamingEncoder(coder)
+        stream.feed(trace.values[:400])
+        ckpt = stream.checkpoint()
+        assert isinstance(ckpt, StreamCheckpoint)
+        assert ckpt.cycles == 400
+        first = stream.feed(trace.values[400:700])
+        stream.restore(ckpt)
+        assert stream.cycles == 400
+        again = stream.feed(trace.values[400:700])
+        assert np.array_equal(first, again)
+
+    def test_checkpoint_isolated_from_later_mutation(self, trace):
+        """The snapshot must be a deep copy, not a live alias."""
+        coder = build_coder("fcm", 8, WIDTH)
+        stream = StreamingEncoder(coder)
+        stream.feed(trace.values[:300])
+        ckpt = stream.checkpoint()
+        stream.feed(trace.values[300:900])  # mutate the FSM a lot
+        stream.restore(ckpt)
+        replay = stream.feed(trace.values[300:900])
+        fresh = StreamingEncoder(build_coder("fcm", 8, WIDTH))
+        fresh.feed(trace.values[:300])
+        assert np.array_equal(replay, fresh.feed(trace.values[300:900]))
+
+    def test_restore_rejects_mismatched_coder_type(self, trace):
+        enc = StreamingEncoder(build_coder("window", 8, WIDTH))
+        enc.feed(trace.values[:10])
+        other = StreamingEncoder(build_coder("fcm", 8, WIDTH))
+        with pytest.raises(ValueError):
+            other.restore(enc.checkpoint())
+
+    def test_decoder_checkpoint_round_trip(self, trace):
+        coder = build_coder("stride", 8, WIDTH)
+        phys = coder.encode_trace(trace)
+        dec = StreamingDecoder(build_coder("stride", 8, WIDTH))
+        dec.feed(phys.values[:500])
+        ckpt = dec.checkpoint()
+        first = dec.feed(phys.values[500:800])
+        dec.restore(ckpt)
+        assert np.array_equal(first, dec.feed(phys.values[500:800]))
+
+    def test_feed_trace_preserves_activity_additivity(self, trace):
+        coder = build_coder("window", 8, WIDTH)
+        oneshot = build_coder("window", 8, WIDTH).encode_trace(trace)
+        stream = StreamingEncoder(coder)
+        parts = [stream.feed_trace(c) for c in iter_chunks(trace, 123)]
+        whole = count_activity(oneshot)
+        total = count_activity(parts[0])
+        for p in parts[1:]:
+            total = total + count_activity(p)
+        assert total.total_transitions == whole.total_transitions
+        assert total.total_coupling == whole.total_coupling
+
+
+class TestTransitionChunkKernels:
+    """The transition coder has dedicated vectorized chunk kernels."""
+
+    def test_encode_chunks_match_scalar_per_cycle(self, trace):
+        fast = TransitionCoder(WIDTH)
+        slow = TransitionCoder(WIDTH)
+        slow_out = [slow.encode_value(int(v)) for v in trace.values]
+        fast_parts = []
+        for chunk in iter_chunks(trace, 97):
+            fast_parts.append(fast.encode_chunk(chunk.values))
+        assert np.array_equal(np.concatenate(fast_parts), np.array(slow_out, dtype=np.uint64))
+
+    def test_decode_chunks_match_scalar_per_cycle(self, trace):
+        enc = TransitionCoder(WIDTH)
+        states = enc.encode_chunk(trace.values)
+        fast = TransitionCoder(WIDTH)
+        slow = TransitionCoder(WIDTH)
+        slow_out = [slow.decode_state(int(s)) for s in states]
+        fast_parts = []
+        for start, stop in chunk_spans(len(states), 61):
+            fast_parts.append(fast.decode_chunk(states[start:stop]))
+        assert np.array_equal(np.concatenate(fast_parts), np.array(slow_out, dtype=np.uint64))
+
+    def test_empty_chunk_is_identity(self):
+        coder = TransitionCoder(WIDTH)
+        coder.encode_chunk(np.array([5, 6], dtype=np.uint64))
+        before = coder.save_state()
+        out = coder.encode_chunk(np.empty(0, dtype=np.uint64))
+        assert len(out) == 0
+        assert coder.save_state() == before
+
+    def test_chunk_masks_inputs_to_width(self):
+        coder = TransitionCoder(8)
+        out = coder.encode_chunk([0x1FF])
+        ref = TransitionCoder(8)
+        assert int(out[0]) == ref.encode_value(0xFF)

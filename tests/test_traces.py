@@ -90,3 +90,84 @@ class TestDerivedViews:
 
     def test_mask(self):
         assert BusTrace.from_values([0], width=12).mask == 0xFFF
+
+
+class TestSliceMethod:
+    def test_matches_getitem_slicing(self, tiny_trace):
+        part = tiny_trace.slice(2, 5)
+        assert list(part) == list(tiny_trace)[2:5]
+        assert part.width == tiny_trace.width
+
+    def test_initial_is_previous_cycle_value(self, tiny_trace):
+        assert tiny_trace.slice(3, 6).initial == list(tiny_trace)[2]
+
+    def test_start_zero_keeps_trace_initial(self):
+        trace = BusTrace.from_values([1, 2, 3], width=8, initial=0x55)
+        assert trace.slice(0, 2).initial == 0x55
+
+    def test_none_stop_runs_to_end(self, tiny_trace):
+        assert list(tiny_trace.slice(5)) == list(tiny_trace)[5:]
+
+    def test_negative_indices_follow_python_semantics(self, tiny_trace):
+        assert list(tiny_trace.slice(-3, -1)) == list(tiny_trace)[-3:-1]
+
+    def test_empty_and_inverted_ranges_yield_empty_trace(self, tiny_trace):
+        assert len(tiny_trace.slice(4, 4)) == 0
+        assert len(tiny_trace.slice(6, 2)) == 0
+
+    def test_propagates_name(self, tiny_trace):
+        assert tiny_trace.slice(1, 4).name == tiny_trace.name
+
+    def test_activity_sums_across_adjacent_slices(self, tiny_trace):
+        from repro.energy import count_activity
+
+        whole = count_activity(tiny_trace)
+        cut = 3
+        split = count_activity(tiny_trace.slice(0, cut)) + count_activity(
+            tiny_trace.slice(cut, len(tiny_trace))
+        )
+        assert whole.total_transitions == split.total_transitions
+        assert whole.total_coupling == split.total_coupling
+
+
+class TestConcat:
+    def test_round_trips_a_sliced_trace(self, tiny_trace):
+        parts = [tiny_trace.slice(0, 3), tiny_trace.slice(3, 5), tiny_trace.slice(5, 8)]
+        whole = BusTrace.concat(*parts)
+        assert np.array_equal(whole.values, tiny_trace.values)
+        assert whole.initial == tiny_trace.initial
+        assert whole.width == tiny_trace.width
+        assert whole.name == tiny_trace.name
+
+    def test_requires_at_least_one_trace(self):
+        with pytest.raises(ValueError):
+            BusTrace.concat()
+
+    def test_rejects_mismatched_widths(self):
+        a = BusTrace.from_values([1], width=8)
+        b = BusTrace.from_values([1], width=16)
+        with pytest.raises(ValueError):
+            BusTrace.concat(a, b)
+
+    def test_values_stay_masked_to_shared_width(self):
+        a = BusTrace.from_values([0x1FF], width=8)
+        b = BusTrace.from_values([0x2AA], width=8)
+        joined = BusTrace.concat(a, b)
+        assert list(joined) == [0xFF, 0xAA]
+        assert joined.mask == 0xFF
+
+    def test_name_is_first_nonempty(self):
+        a = BusTrace.from_values([1], width=8, name="")
+        b = BusTrace.from_values([2], width=8, name="second")
+        c = BusTrace.from_values([3], width=8, name="third")
+        assert BusTrace.concat(a, b, c).name == "second"
+
+    def test_initial_is_first_parts(self):
+        a = BusTrace.from_values([1], width=8, initial=0x7)
+        b = BusTrace.from_values([2], width=8, initial=0x9)
+        assert BusTrace.concat(a, b).initial == 0x7
+
+    def test_single_part_identity(self, tiny_trace):
+        joined = BusTrace.concat(tiny_trace)
+        assert np.array_equal(joined.values, tiny_trace.values)
+        assert joined.initial == tiny_trace.initial

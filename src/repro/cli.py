@@ -19,7 +19,13 @@ Gives shell access to the library's main entry points:
   streaming-transcoder sessions, bounded queue with backpressure;
 * ``client``       — talk to a running server: ``ping`` (capabilities),
   ``encode`` (stream a workload trace through a session, verifying it
-  against the local one-shot encode), ``sweep`` (server-side cell).
+  against the local one-shot encode), ``sweep`` (server-side cell);
+* ``chaos-soak``   — the serving layer's acceptance harness: N
+  concurrent auto-resuming clients through a seeded chaos proxy
+  (connection drops, frame corruption, stalls, reordering), verified
+  byte-identical against the fault-free encode; exits non-zero unless
+  every stream verifies, a resume and a shed were observed, and the
+  server drains cleanly.
 
 Sweep commands (``table3``, ``faults-sweep``, ``bench``) accept
 ``--jobs N`` to fan independent cells across worker processes; results
@@ -368,6 +374,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             batch_limit=args.batch_limit,
             request_timeout_s=args.timeout if args.timeout > 0 else None,
+            session_idle_timeout_s=(
+                args.session_idle_timeout if args.session_idle_timeout > 0 else None
+            ),
             sweep_workers=args.jobs,
         )
         await server.start()
@@ -486,6 +495,71 @@ def _cmd_client(args: argparse.Namespace) -> int:
             await client.close()
 
     asyncio.run(run())
+    return 0
+
+
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.soak import SoakConfig, run_soak
+
+    if args.clients < 1:
+        raise ValueError(f"--clients must be >= 1, got {args.clients}")
+    if args.quick:
+        config = SoakConfig.quick(seed=args.seed, clients=args.clients)
+        if args.cycles is not None or args.chunk is not None:
+            config = SoakConfig(
+                clients=config.clients,
+                cycles=args.cycles if args.cycles is not None else config.cycles,
+                chunk=args.chunk if args.chunk is not None else config.chunk,
+                seed=config.seed,
+            )
+    else:
+        config = SoakConfig(
+            clients=args.clients,
+            cycles=args.cycles if args.cycles is not None else 600,
+            chunk=args.chunk if args.chunk is not None else 60,
+            seed=args.seed,
+        )
+    if config.cycles < config.chunk:
+        raise ValueError(
+            f"--cycles ({config.cycles}) must be >= --chunk ({config.chunk})"
+        )
+
+    report = asyncio.run(run_soak(config))
+    chaos = report.chaos
+    rows = [
+        ("verdict", "PASS" if report.ok else "FAIL"),
+        ("streams verified", f"{report.streams_verified}/{report.clients}"),
+        ("session resumes", report.resumes),
+        ("reconnects", report.reconnects),
+        ("shed/busy rejections", report.sheds),
+        (
+            "server drain",
+            "clean"
+            if report.drain.get("drained") and not report.drain.get("outstanding")
+            else str(report.drain),
+        ),
+        (
+            "chaos injected",
+            f"{chaos.get('cuts', 0)} cuts, {chaos.get('corrupted', 0)} corruptions, "
+            f"{chaos.get('stalled', 0)} stalls, {chaos.get('held', 0)} reorders, "
+            f"{chaos.get('split', 0)} splits, {chaos.get('truncated', 0)} truncations",
+        ),
+        ("frames proxied", chaos.get("frames", 0)),
+        ("elapsed", f"{report.elapsed_s:.2f} s"),
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"chaos soak | seed {config.seed} | {config.clients} clients",
+        )
+    )
+    if report.failures:
+        for failure in report.failures:
+            print(f"chaos-soak: FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -708,6 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="grace period for queued requests at shutdown",
     )
     serve.add_argument(
+        "--session-idle-timeout",
+        type=float,
+        default=300.0,
+        help="reap sessions idle for this many seconds (0 = never)",
+    )
+    serve.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -742,6 +822,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(DEFAULT_POLICIES),
         default=None,
         help="open a resilient session with this desync-recovery policy",
+    )
+
+    soak = sub.add_parser(
+        "chaos-soak",
+        help="resilient clients vs a seeded chaos proxy; non-zero exit unless "
+        "every stream verifies byte-identical and the server drains cleanly",
+    )
+    soak.set_defaults(func=_cmd_chaos_soak)
+    soak.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent resilient streams (default 8)",
+    )
+    soak.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        help="trace length per stream (default 600, or 360 with --quick)",
+    )
+    soak.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="values per streamed chunk (default 60, or 40 with --quick)",
+    )
+    soak.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed for traces and fault schedules (the verdict is "
+        "a deterministic function of it)",
+    )
+    soak.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI profile: shorter traces, same fault coverage",
     )
 
     # Accept the global flags after the subcommand as well.

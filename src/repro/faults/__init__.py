@@ -17,7 +17,11 @@ This package quantifies that fragility and prices the cure:
 * :mod:`repro.faults.resilient` — the :class:`ResilientTranscoder`
   wrapper adding a parity wire (charged by the energy model), desync
   detection, and policy-driven recovery, plus the honest two-FSM
-  co-simulation in :meth:`ResilientTranscoder.run`.
+  co-simulation in :meth:`ResilientTranscoder.run`;
+* :mod:`repro.faults.transport` — the same discipline lifted to the
+  serving layer: seeded connection-level fault models (drops, stalls,
+  partial writes, frame corruption, reordering) consumed by the chaos
+  proxy in :mod:`repro.serve.chaos`.
 
 The net-savings-vs-BER experiment lives in
 :mod:`repro.analysis.faults_experiments` and is exposed as
@@ -44,6 +48,18 @@ from .policies import (
     resolve_policy,
 )
 from .resilient import RecoveryEvent, ResilientRun, ResilientTranscoder
+from .transport import (
+    ComposeTransport,
+    ConnectionDrop,
+    CorruptFrame,
+    FrameDecision,
+    NoTransportFaults,
+    PartialWrite,
+    ReorderFrames,
+    ScriptedTransport,
+    StallFrames,
+    TransportFault,
+)
 
 __all__ = [
     "FaultModel",
@@ -64,4 +80,14 @@ __all__ = [
     "ResilientTranscoder",
     "ResilientRun",
     "RecoveryEvent",
+    "FrameDecision",
+    "TransportFault",
+    "NoTransportFaults",
+    "ConnectionDrop",
+    "StallFrames",
+    "PartialWrite",
+    "CorruptFrame",
+    "ReorderFrames",
+    "ScriptedTransport",
+    "ComposeTransport",
 ]

@@ -1,0 +1,307 @@
+"""Deterministic, seeded fault models for the serving transport.
+
+:mod:`repro.faults.models` perturbs *wire states* — the W_C-bit words
+the paper's bus carries each cycle.  This module lifts the same
+discipline one layer up, to the byte *frames* the serving protocol
+(:mod:`repro.serve.protocol`) exchanges over TCP.  Where ``BitFlips``
+answers "what does the decoder sample when the bus glitches?", a
+:class:`TransportFault` answers "what does the peer read when the
+*network* glitches?".
+
+Each model is a pure FSM of ``(seed, frame_index)``: after
+:meth:`TransportFault.reset` the same model renders the same verdicts
+for the same frame sequence, so every chaos experiment — including the
+``repro chaos-soak`` acceptance run — is exactly reproducible.
+
+The taxonomy mirrors the wire-fault taxonomy of PR 1 (see DESIGN.md
+for the mapping):
+
+* :class:`ConnectionDrop` — the TCP analogue of a hard fault: the
+  connection is severed before or after a chosen frame, destroying any
+  state the peer did not checkpoint.
+* :class:`StallFrames` — frames delayed in flight: the timing-error /
+  droop analogue, exercising per-attempt timeouts and deadlines.
+* :class:`PartialWrite` — a frame split across two writes (or cut
+  short entirely when the connection dies mid-write): the transport
+  equivalent of a burst that truncates a transfer.
+* :class:`CorruptFrame` — bytes of a frame overwritten in flight with
+  ``0xFF`` (never valid UTF-8, hence never silently decodable): the
+  ``BitFlips`` analogue for the framing layer.
+* :class:`ReorderFrames` — a frame held back and released after its
+  successor: legal for id-matched responses, chaos for anything that
+  assumes FIFO delivery.
+* :class:`ScriptedTransport` — exact decisions at exact frame indices,
+  for tests.
+* :class:`ComposeTransport` — stacks any of the above.
+
+Models only *decide*; they never touch sockets.  The enforcement point
+is :class:`repro.serve.chaos.ChaosTransport`, which applies a
+:class:`FrameDecision` to each frame it forwards and accounts what it
+did, so soak reports can print injected-fault statistics next to the
+resume/retry counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FrameDecision",
+    "TransportFault",
+    "NoTransportFaults",
+    "ConnectionDrop",
+    "StallFrames",
+    "PartialWrite",
+    "CorruptFrame",
+    "ReorderFrames",
+    "ScriptedTransport",
+    "ComposeTransport",
+]
+
+
+@dataclass(frozen=True)
+class FrameDecision:
+    """What the chaos layer should do with one frame.
+
+    The default-constructed decision is "forward untouched".  Fields
+    compose (a frame can be both stalled and corrupted); the enforcement
+    order in :class:`repro.serve.chaos.ChaosTransport` is::
+
+        cut_before -> stall -> corrupt -> hold/release -> split/truncate
+        -> cut_after
+    """
+
+    #: Seconds to sleep before forwarding the frame.
+    stall_s: float = 0.0
+    #: Byte offsets (within the frame, excluding the trailing newline)
+    #: to overwrite with ``0xFF``.
+    corrupt_at: Tuple[int, ...] = ()
+    #: Forward ``frame[:split_at]``, flush, then forward the rest.
+    split_at: Optional[int] = None
+    #: With ``split_at``: drop the tail instead of sending it (the
+    #: connection dies mid-write).  Implies the peer sees a truncated,
+    #: unterminated frame when combined with ``cut_after``.
+    truncate: bool = False
+    #: Sever the connection *instead of* forwarding this frame.
+    cut_before: bool = False
+    #: Forward this frame (as modified), then sever the connection.
+    cut_after: bool = False
+    #: Buffer this frame and release it after the next frame passes
+    #: (reorder-within-pipeline).
+    hold: bool = False
+
+    def merge(self, other: "FrameDecision") -> "FrameDecision":
+        """Combine two verdicts on the same frame (used by Compose)."""
+        split = self.split_at
+        if other.split_at is not None:
+            split = other.split_at if split is None else min(split, other.split_at)
+        return FrameDecision(
+            stall_s=self.stall_s + other.stall_s,
+            corrupt_at=tuple(sorted(set(self.corrupt_at) | set(other.corrupt_at))),
+            split_at=split,
+            truncate=self.truncate or other.truncate,
+            cut_before=self.cut_before or other.cut_before,
+            cut_after=self.cut_after or other.cut_after,
+            hold=self.hold or other.hold,
+        )
+
+    @property
+    def benign(self) -> bool:
+        """True when the frame is forwarded exactly as sent."""
+        return self == _FORWARD
+
+
+#: The shared "forward untouched" verdict.
+_FORWARD = FrameDecision()
+
+
+class TransportFault(ABC):
+    """A deterministic perturbation of a framed byte stream."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to the power-on state (reseeds any RNG)."""
+
+    @abstractmethod
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        """The verdict for frame number ``index`` (0-based, per
+        connection and direction).  ``index`` must advance
+        monotonically between resets."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NoTransportFaults(TransportFault):
+    """The ideal network: every frame arrives untouched, in order."""
+
+    def reset(self) -> None:
+        pass
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        return _FORWARD
+
+
+class _SeededFault(TransportFault):
+    """Shared RNG plumbing for the probabilistic models."""
+
+    def __init__(self, rate: float, seed: int):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _hit(self) -> bool:
+        # Draw exactly one variate per frame so the decision sequence
+        # is a pure function of (seed, frame order), independent of
+        # frame *content* and of other faults in a Compose stack.
+        return bool(self._rng.random() < self.rate)
+
+
+class ConnectionDrop(_SeededFault):
+    """Sever the connection around chosen frames.
+
+    ``at_frames`` lists exact frame indices at which the connection is
+    cut *after* the frame is forwarded (so the peer's last sight of the
+    stream is a complete frame — the common TCP failure mode, and the
+    one that leaves a resumable checkpoint behind).  ``rate`` adds
+    random cuts on top, never before ``min_index`` (give the session a
+    chance to establish first).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        seed: int = 0,
+        at_frames: Sequence[int] = (),
+        min_index: int = 0,
+    ):
+        self.at_frames = frozenset(int(i) for i in at_frames)
+        self.min_index = int(min_index)
+        super().__init__(rate, seed)
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        scripted = index in self.at_frames
+        random_cut = index >= self.min_index and self._hit()
+        if scripted or random_cut:
+            return FrameDecision(cut_after=True)
+        return _FORWARD
+
+
+class StallFrames(_SeededFault):
+    """Delay a fraction of frames by ``delay_s`` seconds."""
+
+    def __init__(self, rate: float, delay_s: float, seed: int = 0):
+        if delay_s < 0.0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.delay_s = float(delay_s)
+        super().__init__(rate, seed)
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        if self._hit():
+            return FrameDecision(stall_s=self.delay_s)
+        return _FORWARD
+
+
+class PartialWrite(_SeededFault):
+    """Split a fraction of frames across two writes.
+
+    With ``truncate=True`` the tail is dropped and the connection cut —
+    the peer reads an unterminated prefix followed by EOF, the classic
+    died-mid-write failure.  With ``truncate=False`` (default) the
+    frame arrives whole but in two TCP pushes, which a correct framing
+    layer must reassemble transparently.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, truncate: bool = False):
+        self.truncate = bool(truncate)
+        super().__init__(rate, seed)
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        if not self._hit() or len(frame) < 2:
+            return _FORWARD
+        split = 1 + int(self._rng.integers(0, max(1, len(frame) - 1)))
+        return FrameDecision(
+            split_at=split, truncate=self.truncate, cut_after=self.truncate
+        )
+
+
+class CorruptFrame(_SeededFault):
+    """Overwrite bytes of a fraction of frames with ``0xFF``.
+
+    ``0xFF`` is never valid UTF-8, so a corrupted frame is *guaranteed*
+    undecodable — detection is deterministic, never a silent
+    valid-but-different JSON document.  The trailing newline is never
+    touched, so framing survives and exactly one frame is poisoned.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, nbytes: int = 1):
+        if nbytes < 1:
+            raise ValueError(f"nbytes must be >= 1, got {nbytes}")
+        self.nbytes = int(nbytes)
+        super().__init__(rate, seed)
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        if not self._hit():
+            return _FORWARD
+        # Corruptable span excludes the trailing newline (if present).
+        body = len(frame) - 1 if frame.endswith(b"\n") else len(frame)
+        if body < 1:
+            return _FORWARD
+        count = min(self.nbytes, body)
+        positions = self._rng.choice(body, size=count, replace=False)
+        return FrameDecision(corrupt_at=tuple(sorted(int(p) for p in positions)))
+
+
+class ReorderFrames(_SeededFault):
+    """Hold back a fraction of frames, releasing each after its
+    successor passes — adjacent-pair reordering within the pipeline."""
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        if self._hit():
+            return FrameDecision(hold=True)
+        return _FORWARD
+
+
+class ScriptedTransport(TransportFault):
+    """Exact decisions at exact frame indices, for tests."""
+
+    def __init__(self, decisions: Dict[int, FrameDecision]):
+        self.decisions = {int(k): v for k, v in decisions.items()}
+        self.reset()
+
+    def reset(self) -> None:
+        pass
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        return self.decisions.get(index, _FORWARD)
+
+
+class ComposeTransport(TransportFault):
+    """Apply several transport faults to the same stream."""
+
+    def __init__(self, *faults: TransportFault):
+        self.faults = tuple(faults)
+        self.reset()
+
+    def reset(self) -> None:
+        for fault in self.faults:
+            fault.reset()
+
+    def decide(self, index: int, frame: bytes) -> FrameDecision:
+        verdict = _FORWARD
+        for fault in self.faults:
+            verdict = verdict.merge(fault.decide(index, frame))
+        return verdict
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(f) for f in self.faults)
+        return f"ComposeTransport({inner})"

@@ -14,31 +14,61 @@ transcoders as *online* components, the paper's per-cycle FSM view
 * :mod:`~repro.serve.server` — the asyncio TCP frontend
   (``repro serve``);
 * :mod:`~repro.serve.client` — the asyncio client and the
-  ``repro client`` CLI's backend.
+  ``repro client`` CLI's backend;
+* :mod:`~repro.serve.retry` — the unified retry discipline
+  (:class:`RetryPolicy` with an overall deadline budget,
+  :class:`CircuitBreaker` fail-fast);
+* :mod:`~repro.serve.recovery` — :class:`ResilientTraceClient`, the
+  auto-resuming client (reconnect → ``resume`` from an exported
+  checkpoint → bit-exact tail replay);
+* :mod:`~repro.serve.chaos` — the seeded chaos proxy enforcing
+  :mod:`repro.faults.transport` fault models on live connections;
+* :mod:`~repro.serve.soak` — the ``repro chaos-soak`` acceptance
+  harness: N resilient clients through the chaos proxy, byte-equality
+  against the fault-free library path, clean-drain check.
 
 Everything is instrumented through :mod:`repro.obs` (``serve.*``
-request counters, latency histograms, queue-depth gauges) and rendered
-by ``repro report``.
+request counters, latency histograms, queue-depth gauges, ``chaos.*``
+injection counters) and rendered by ``repro report``.
 """
 
-from .client import EncodeStream, TraceClient
+from .chaos import ChaosProxy, ChaosStats, ChaosTransport
+from .client import EncodeStream, FrameCorruptionError, TraceClient
 from .engine import ServeEngine, Session
 from .protocol import (
     ERROR_CODES,
+    IDEMPOTENT_OPS,
     KNOWN_OPS,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
 )
+from .recovery import ResilientTraceClient
+from .retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
 from .server import TraceServer
 
 __all__ = [
+    "ChaosProxy",
+    "ChaosStats",
+    "ChaosTransport",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ERROR_CODES",
     "EncodeStream",
+    "FrameCorruptionError",
+    "IDEMPOTENT_OPS",
     "KNOWN_OPS",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ResilientTraceClient",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
     "ServeEngine",
     "Session",
     "TraceClient",

@@ -1,0 +1,336 @@
+"""Chaos proxy: run the real server and client under seeded network faults.
+
+:mod:`repro.faults.transport` *decides* what happens to each frame;
+this module *enforces* those decisions on live asyncio streams.  A
+:class:`ChaosProxy` sits between a real :class:`~repro.serve.client.TraceClient`
+and a real :class:`~repro.serve.server.TraceServer` — neither side is
+mocked, neither side knows the proxy exists — and each direction of
+each proxied connection gets its own :class:`~repro.faults.transport.TransportFault`
+instance from a per-connection factory, so a soak run is a pure
+function of its seed.
+
+Enforcement order for one frame (see
+:class:`~repro.faults.transport.FrameDecision`)::
+
+    cut_before -> stall -> corrupt -> hold/release -> split/truncate
+    -> cut_after
+
+``hold`` buffers the frame and releases it immediately after the next
+frame passes — reordering adjacent frames within the pipeline, which
+is legal for id-matched responses and hostile for anything assuming
+FIFO delivery.  Reordering *delays* frames, it never captures them: a
+held frame with no successor is released after
+:data:`HOLD_RELEASE_S` (otherwise the last response of a quiet
+connection would be withheld forever — a deadlock, not a reorder).  A
+held frame still pending when the connection cuts is dropped (it was
+"in flight" when the wire died).
+
+All injected events are counted in :class:`ChaosStats` and mirrored to
+``chaos.*`` obs counters so ``repro report`` can print what the soak
+actually injected next to what the clients survived.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .. import obs
+from ..faults.transport import NoTransportFaults, TransportFault
+from . import protocol
+
+__all__ = ["ChaosStats", "ChaosTransport", "ChaosProxy"]
+
+log = obs.get_logger("serve.chaos")
+
+#: Build one fault instance per (connection, direction).  Receives the
+#: 0-based connection index so scripted scenarios can target "the third
+#: connection" deterministically.
+FaultFactory = Callable[[int], TransportFault]
+
+#: How long a held (reordered) frame waits for a successor before it is
+#: released anyway.  Bounds the reorder fault's worst case at "delayed
+#: by HOLD_RELEASE_S", keeping it distinguishable from a drop.
+HOLD_RELEASE_S = 0.05
+
+
+@dataclass
+class ChaosStats:
+    """What the chaos layer actually did, for soak reports."""
+
+    connections: int = 0
+    frames: int = 0
+    forwarded: int = 0
+    stalled: int = 0
+    corrupted: int = 0
+    split: int = 0
+    truncated: int = 0
+    held: int = 0
+    cuts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ConnectionCut(Exception):
+    """Raised by :meth:`ChaosTransport.forward` when the fault model
+    severed the connection (the frame may or may not have been sent)."""
+
+
+class ChaosTransport:
+    """Apply a :class:`TransportFault`'s verdicts to an asyncio writer.
+
+    One instance per (connection, direction).  :meth:`forward` either
+    delivers the frame (possibly stalled / corrupted / split / held)
+    and returns, or closes the writer and raises :class:`ConnectionCut`.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        fault: Optional[TransportFault] = None,
+        stats: Optional[ChaosStats] = None,
+    ):
+        self.writer = writer
+        self.fault = fault if fault is not None else NoTransportFaults()
+        self.stats = stats if stats is not None else ChaosStats()
+        self._index = 0
+        self._held: Optional[bytes] = None
+        self._hold_timer: Optional["asyncio.Task[None]"] = None
+
+    def _cancel_hold_timer(self) -> None:
+        timer, self._hold_timer = self._hold_timer, None
+        if timer is not None and timer is not asyncio.current_task():
+            timer.cancel()
+
+    async def _cut(self) -> None:
+        self.stats.cuts += 1
+        obs.inc("chaos.cuts")
+        self._held = None  # in flight when the wire died
+        self._cancel_hold_timer()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        raise ConnectionCut()
+
+    async def _emit(self, frame: bytes, split_at: Optional[int], truncate: bool) -> None:
+        if split_at is not None and 0 < split_at < len(frame):
+            self.stats.split += 1
+            obs.inc("chaos.split")
+            self.writer.write(frame[:split_at])
+            await self.writer.drain()
+            if truncate:
+                self.stats.truncated += 1
+                obs.inc("chaos.truncated")
+                return  # the tail dies with the connection (cut_after)
+            self.writer.write(frame[split_at:])
+        else:
+            self.writer.write(frame)
+        await self.writer.drain()
+
+    async def forward(self, frame: bytes) -> None:
+        """Forward one frame under the fault model's verdict."""
+        decision = self.fault.decide(self._index, frame)
+        self._index += 1
+        self.stats.frames += 1
+        if decision.cut_before:
+            await self._cut()
+        if decision.stall_s > 0.0:
+            self.stats.stalled += 1
+            obs.inc("chaos.stalled")
+            await asyncio.sleep(decision.stall_s)
+        if decision.corrupt_at:
+            mutable = bytearray(frame)
+            limit = len(mutable) - 1 if mutable.endswith(b"\n") else len(mutable)
+            for position in decision.corrupt_at:
+                if 0 <= position < limit:
+                    mutable[position] = 0xFF
+            frame = bytes(mutable)
+            self.stats.corrupted += 1
+            obs.inc("chaos.corrupted")
+        if decision.hold and self._held is None:
+            self.stats.held += 1
+            obs.inc("chaos.held")
+            self._held = frame
+            # Reordering delays, it never captures: if no successor
+            # shows up, a watchdog releases the frame anyway — without
+            # it, holding the last response of a quiet connection
+            # deadlocks the peer (it waits for the response, the other
+            # side waits for the next request, EOF never comes).
+            self._hold_timer = asyncio.ensure_future(self._release_later())
+            return
+        await self._emit(frame, decision.split_at, decision.truncate)
+        self.stats.forwarded += 1
+        if self._held is not None:
+            released, self._held = self._held, None
+            self._cancel_hold_timer()
+            await self._emit(released, None, False)
+            self.stats.forwarded += 1
+        if decision.cut_after:
+            await self._cut()
+
+    async def _release_later(self) -> None:
+        try:
+            await asyncio.sleep(HOLD_RELEASE_S)
+            await self.flush_held()
+        except (ConnectionCut, ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the connection died while we were waiting
+
+    async def flush_held(self) -> None:
+        """Release a still-held frame (stream ended without a successor)."""
+        if self._held is not None:
+            released, self._held = self._held, None
+            await self._emit(released, None, False)
+            self.stats.forwarded += 1
+
+
+class ChaosProxy:
+    """A TCP proxy injecting seeded faults between client and server.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        The real server to forward to.
+    host, port:
+        Bind address for clients; ``port=0`` picks an ephemeral port.
+    client_faults, server_faults:
+        Factories building the fault model for the client->server and
+        server->client direction of each proxied connection.  ``None``
+        means that direction is clean.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client_faults: Optional[FaultFactory] = None,
+        server_faults: Optional[FaultFactory] = None,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self._requested_port = port
+        self._client_faults = client_faults
+        self._server_faults = server_faults
+        self.stats = ChaosStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._next_connection = 0
+        self._tasks: "set[asyncio.Task[None]]" = set()
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("proxy is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        log.info(
+            "chaos proxy up",
+            extra=obs.fields(
+                host=self.host,
+                port=self.port,
+                upstream=f"{self.upstream_host}:{self.upstream_port}",
+            ),
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection pumps -----------------------------------------
+
+    def _build(self, factory: Optional[FaultFactory], index: int) -> TransportFault:
+        if factory is None:
+            return NoTransportFaults()
+        return factory(index)
+
+    async def _handle_connection(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        index = self._next_connection
+        self._next_connection += 1
+        self.stats.connections += 1
+        obs.inc("chaos.connections")
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port, limit=protocol.MAX_FRAME_BYTES
+            )
+        except OSError:
+            client_writer.close()
+            return
+
+        c2s = ChaosTransport(
+            upstream_writer, self._build(self._client_faults, index), self.stats
+        )
+        s2c = ChaosTransport(
+            client_writer, self._build(self._server_faults, index), self.stats
+        )
+
+        async def close_both() -> None:
+            for writer in (upstream_writer, client_writer):
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+        async def pump(reader: asyncio.StreamReader, transport: ChaosTransport) -> None:
+            try:
+                while True:
+                    try:
+                        line = await reader.readline()
+                    except (
+                        asyncio.LimitOverrunError,
+                        asyncio.IncompleteReadError,
+                        ValueError,
+                    ):
+                        break
+                    if not line:
+                        await transport.flush_held()
+                        break
+                    await transport.forward(line)
+            except (ConnectionCut, ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            finally:
+                # Either direction dying kills the proxied connection:
+                # half-open TCP is a different failure mode than the
+                # fault taxonomy models, and resumption does not need it.
+                await close_both()
+
+        task_up = asyncio.ensure_future(pump(client_reader, c2s))
+        task_down = asyncio.ensure_future(pump(upstream_reader, s2c))
+        for task in (task_up, task_down):
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(task_up, task_down, return_exceptions=True)
+        finally:
+            await close_both()

@@ -13,24 +13,47 @@ subclass, which the CLI's error funnel renders as the one-line
 session's FSM lives on the *server*; the stream object only remembers
 ids and cycle counts.
 
-Retry discipline for ``busy`` (backpressure) rejections is the
-caller's: :meth:`TraceClient.call` raises immediately, while
-:meth:`TraceClient.call_with_retry` applies bounded exponential backoff
-for idempotent requests.
+Retry discipline: :meth:`TraceClient.call` raises immediately, while
+:meth:`TraceClient.call_with_retry` applies a
+:class:`~repro.serve.retry.RetryPolicy` — jittered exponential
+backoff, a per-attempt timeout, and an *overall deadline budget* that
+backoff sleeps can never overshoot.  Which failures are retryable is
+the protocol's idempotency contract (see the table in
+:mod:`repro.serve.protocol`): ``busy`` rejections are retryable for
+every op (the server never admitted the request), but ambiguous
+failures — transport errors, attempt timeouts — are only retried for
+the idempotent ops.  Session ops recover by reconnect → ``resume`` →
+replay instead (:class:`~repro.serve.recovery.ResilientTraceClient`).
+
+A server frame that cannot be decoded is a *connection-fatal* event:
+the client cannot know which pending request the frame answered, so
+every pending future fails with :class:`FrameCorruptionError` and the
+connection is marked broken, rather than silently leaving callers to
+hang on futures nobody will ever complete.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from . import protocol
 from .protocol import ProtocolError
+from .retry import RetryPolicy
 
-__all__ = ["EncodeStream", "TraceClient"]
+__all__ = ["EncodeStream", "FrameCorruptionError", "TraceClient"]
 
 log = obs.get_logger("serve.client")
+
+
+class FrameCorruptionError(ConnectionError):
+    """The server sent an undecodable frame; the connection is dead.
+
+    Subclasses :class:`ConnectionError`, so retry/resume machinery
+    treats it exactly like a dropped connection — which is what the
+    client must do, because response/request correlation is lost.
+    """
 
 
 class TraceClient:
@@ -43,6 +66,7 @@ class TraceClient:
         self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
         self._receiver = asyncio.get_running_loop().create_task(self._receive_loop())
         self._closed = False
+        self._broken = False  # set when the server stream is unusable
 
     # -- lifecycle ----------------------------------------------------
 
@@ -97,8 +121,24 @@ class TraceClient:
                 try:
                     message = protocol.decode_frame(line)
                 except ProtocolError as exc:
-                    log.warning("bad frame from server", extra=obs.fields(error=str(exc)))
-                    continue
+                    # An undecodable frame severs request/response
+                    # correlation: *some* pending request was probably
+                    # answered by it, and skipping the frame would
+                    # leave that caller hanging forever.  Fail fast:
+                    # every pending future dies with a ConnectionError
+                    # subclass and the connection is declared broken.
+                    log.warning(
+                        "undecodable frame from server; failing connection",
+                        extra=obs.fields(error=str(exc)),
+                    )
+                    obs.inc("serve.client_corrupt_frames")
+                    self._broken = True
+                    self._fail_pending(
+                        FrameCorruptionError(
+                            f"undecodable frame from server: {exc}"
+                        )
+                    )
+                    return
                 request_id = message.get("id")
                 future = self._pending.pop(request_id, None)
                 if future is not None and not future.done():
@@ -115,15 +155,27 @@ class TraceClient:
         """Send one request; returns the raw response message."""
         if self._closed:
             raise ConnectionResetError("client is closed")
+        if self._broken:
+            raise FrameCorruptionError(
+                "connection failed on an undecodable server frame"
+            )
         request_id = self._next_id
         self._next_id += 1
         future: "asyncio.Future[Dict[str, Any]]" = (
             asyncio.get_running_loop().create_future()
         )
         self._pending[request_id] = future
-        self._writer.write(protocol.encode_frame(protocol.request(op, request_id, **fields)))
-        await self._writer.drain()
-        return await future
+        try:
+            self._writer.write(
+                protocol.encode_frame(protocol.request(op, request_id, **fields))
+            )
+            await self._writer.drain()
+            return await future
+        finally:
+            # A caller-side cancellation (e.g. wait_for timing the
+            # attempt out) must not leak the pending entry: a late
+            # response to a forgotten id is dropped, not delivered.
+            self._pending.pop(request_id, None)
 
     async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one request; raises :class:`ProtocolError` on ``ok: false``."""
@@ -141,26 +193,62 @@ class TraceClient:
         op: str,
         retries: int = 5,
         backoff_s: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
         **fields: Any,
     ) -> Dict[str, Any]:
-        """:meth:`call`, retrying ``busy`` rejections with backoff.
+        """:meth:`call` under the unified retry discipline.
 
-        Only for idempotent requests (``hello``, ``encode_trace``,
-        ``sweep``): a ``busy`` answer means the server never admitted
-        the request, so resending cannot double-apply, but a *session*
-        chunk that timed out mid-flight may have advanced the FSM.
+        What is retried follows the protocol's idempotency table
+        (:data:`~repro.serve.protocol.IDEMPOTENT_OPS`):
+
+        * ``busy`` rejections — retried for **every** op: the server
+          rejected the request *before admitting it*, so a resend can
+          never double-apply;
+        * ambiguous failures (transport errors, attempt timeouts) —
+          retried only for the idempotent ops; a *session* chunk that
+          died mid-flight may have advanced the FSM, so those are
+          re-raised for the caller to recover via reconnect/``resume``
+          (see :class:`~repro.serve.recovery.ResilientTraceClient`).
+
+        Pass ``retry`` for full control (attempt timeouts, an overall
+        ``deadline_s`` budget that backoff sleeps never overshoot,
+        jitter); the legacy ``retries``/``backoff_s`` pair builds an
+        equivalent jitter-free policy and stays supported.
         """
-        delay = backoff_s
-        for _ in range(retries):
+        if retry is None:
+            retry = RetryPolicy(
+                attempts=max(1, retries + 1),
+                base_backoff_s=backoff_s,
+                multiplier=2.0,
+                max_backoff_s=max(backoff_s * 64, backoff_s),
+                jitter=0.0,
+            )
+        state = retry.start(key=self._next_id)
+        idempotent = op in protocol.IDEMPOTENT_OPS
+        while True:
+            state.begin_attempt()
+            # RetryBudgetExceeded propagates from here: the overall
+            # deadline budget is spent, no further attempt is made.
+            timeout = state.attempt_timeout()
             try:
-                return await self.call(op, **fields)
+                if timeout is None:
+                    return await self.call(op, **fields)
+                return await asyncio.wait_for(self.call(op, **fields), timeout)
             except ProtocolError as exc:
                 if exc.code != protocol.ERR_BUSY:
                     raise
                 obs.inc("serve.client_backoffs")
-                await asyncio.sleep(delay)
-                delay *= 2
-        return await self.call(op, **fields)
+                last_error: BaseException = exc
+            except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+                if not idempotent:
+                    raise
+                obs.inc("serve.client_retries", op=op)
+                last_error = exc
+            if not state.more_attempts():
+                raise last_error
+            # The sleep is clipped to the remaining deadline budget —
+            # backoff can never overshoot the caller's deadline.
+            await asyncio.sleep(state.next_backoff())
 
     # -- typed convenience wrappers ------------------------------------
 
@@ -176,6 +264,18 @@ class TraceClient:
         if policy is not None:
             fields["policy"] = policy
         response = await self.call("open", **fields)
+        return EncodeStream(self, response)
+
+    async def resume_stream(
+        self, state: Dict[str, Any], **pins: Any
+    ) -> "EncodeStream":
+        """Materialise a new session from an exported checkpoint blob.
+
+        ``pins`` may carry ``coder``/``width``/``policy`` the caller
+        *expects* the blob to hold; a disagreement is answered
+        ``resume_mismatch`` before any FSM state is touched.
+        """
+        response = await self.call("resume", state=state, **pins)
         return EncodeStream(self, response)
 
     async def encode_trace(
@@ -210,7 +310,10 @@ class EncodeStream:
         self.input_width: int = opened["input_width"]
         self.output_width: int = opened["output_width"]
         self.resilient: bool = bool(opened.get("resilient"))
-        self.cycles = 0  #: encode cycles acknowledged by the server
+        #: Encode cycles acknowledged by the server (non-zero straight
+        #: away when the stream was materialised by ``resume``).
+        self.cycles: int = int(opened.get("cycles", 0))
+        self.resumed: bool = bool(opened.get("resumed"))
         self.desyncs: List[int] = []  #: decode cycles where desync was detected
 
     async def feed(self, values: Sequence[int]) -> List[int]:
@@ -229,9 +332,19 @@ class EncodeStream:
         self.desyncs.extend(response.get("desyncs", ()))
         return response["values"]
 
-    async def checkpoint(self) -> int:
-        """Snapshot the server-side FSM state; returns the checkpoint id."""
-        response = await self._client.call("checkpoint", session=self.session_id)
+    async def checkpoint(self, export: bool = False) -> Any:
+        """Snapshot the server-side FSM state.
+
+        Plain form returns the server-side checkpoint id (an int).
+        With ``export=True`` returns ``(checkpoint_id, state)`` where
+        ``state`` is the portable, digest-sealed blob a later
+        ``resume`` (on *any* connection) restores bit-exactly.
+        """
+        response = await self._client.call(
+            "checkpoint", session=self.session_id, export=bool(export)
+        )
+        if export:
+            return response["checkpoint"], response["state"]
         return response["checkpoint"]
 
     async def restore(self, checkpoint_id: int) -> None:

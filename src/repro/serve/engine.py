@@ -12,10 +12,12 @@ transcoding:
   across requests, and server-side ``checkpoint``/``restore`` rewinds
   them.  Sessions die with their connection.
 * **bounded queue + backpressure** — every request passes through one
-  bounded :class:`asyncio.Queue`; when it is full the request is
-  rejected immediately with the ``busy`` protocol error (the HTTP-429
-  analogue) instead of queueing unboundedly.  Load-shedding at the
-  front door is what keeps tail latency bounded under overload.
+  bounded queue; when it is full, the engine sheds
+  *oldest-deadline-first*: the admitted-or-incoming request whose
+  deadline expires soonest is answered ``busy`` (the HTTP-429
+  analogue) and counted under ``serve.shed``, instead of queueing
+  unboundedly.  Shedding the request least likely to be served in time
+  is what keeps tail latency bounded under overload.
 * **micro-batching** — the single consumer drains up to
   ``batch_limit`` already-queued requests per wake-up and groups the
   stateless ``encode_trace`` one-shots by coder spec, so concurrent
@@ -32,9 +34,27 @@ transcoding:
   they run in a ``ProcessPoolExecutor`` and only their *await* occupies
   the engine; chunk encodes stay inline because they are
   microseconds-to-milliseconds through the vectorized kernels.
-* **graceful drain** — :meth:`ServeEngine.stop` stops admitting,
-  finishes (or times out) what is queued, then tears down the worker
-  and the pool.
+* **graceful drain** — :meth:`ServeEngine.stop` stops admitting, then
+  *waits on a drain event* (no polling): the event fires when the last
+  outstanding request finishes.  Whatever the drain timeout leaves
+  behind — queued jobs and in-flight sweeps alike — is answered with
+  the ``shutdown`` error code (the client knows the server abandoned
+  it, as opposed to ``timeout`` which blames the deadline), and
+  :meth:`stop` returns a drain report the soak harness asserts on.
+* **overload-graceful sessions** — an idle reaper closes sessions
+  untouched for ``session_idle_timeout_s`` (an abandoned client cannot
+  pin FSM state forever), and a request that blows up inside the
+  worker *quarantines its session*: the session is fenced (every
+  subsequent op but ``close`` answers ``internal``) while the engine
+  and every other session keep serving.
+* **session resumption** — ``checkpoint`` with ``export: true``
+  returns the session's FSM state as a digest-sealed, JSON-safe blob
+  (:func:`repro.traces.streaming.checkpoint_to_wire`); the ``resume``
+  op materialises a *new* session from such a blob after a connection
+  loss destroyed the old one, restoring both FSM twins bit-exactly.
+  A blob that fails its integrity digest (or speaks the wrong format)
+  is ``stale_checkpoint``; a well-formed blob that disagrees with the
+  requested coder identity is ``resume_mismatch``.
 
 Resilient sessions (``open`` with a ``policy`` field) wrap the coder in
 :class:`repro.faults.ResilientTranscoder`: every streamed wire state
@@ -51,9 +71,10 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,7 +83,12 @@ from ..coding.base import Transcoder
 from ..coding.errors import DesyncError
 from ..coding.specs import CODER_FAMILIES, parse_coder_spec
 from ..faults.policies import POLICIES
-from ..traces.streaming import StreamingDecoder, StreamingEncoder
+from ..traces.streaming import (
+    StreamingDecoder,
+    StreamingEncoder,
+    checkpoint_from_wire,
+    checkpoint_to_wire,
+)
 from ..traces.trace import BusTrace
 from . import protocol
 from .protocol import ProtocolError
@@ -138,11 +164,21 @@ class Session:
     decoder: StreamingDecoder
     checkpoints: Dict[int, _Checkpoint] = field(default_factory=dict)
     desyncs: int = 0
+    #: Fenced after an internal error killed one of its requests: every
+    #: subsequent op except ``close`` is answered ``internal`` (poison
+    #: quarantine — the blast radius is the session, not the engine).
+    poisoned: bool = False
+    #: Monotonic timestamp of the last op that touched this session;
+    #: the idle reaper closes sessions past ``session_idle_timeout_s``.
+    last_used: float = field(default_factory=time.monotonic)
     _next_checkpoint: int = 1
 
     @property
     def resilient(self) -> bool:
         return self.policy is not None
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
 
     def take_checkpoint(self) -> int:
         checkpoint_id = self._next_checkpoint
@@ -211,6 +247,13 @@ class _Job:
     future: "asyncio.Future[Dict[str, Any]]"
     enqueued: float
     deadline: Optional[float]
+    finished: bool = False
+
+    @property
+    def shed_key(self) -> float:
+        """Shedding order: earliest deadline first (no deadline means
+        "as old as its enqueue time" — both are monotonic seconds)."""
+        return self.deadline if self.deadline is not None else self.enqueued
 
 
 class ServeEngine:
@@ -222,19 +265,30 @@ class ServeEngine:
         batch_limit: int = DEFAULT_BATCH_LIMIT,
         request_timeout_s: Optional[float] = DEFAULT_REQUEST_TIMEOUT_S,
         sweep_workers: int = 1,
+        session_idle_timeout_s: Optional[float] = None,
     ):
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if batch_limit < 1:
             raise ValueError(f"batch_limit must be >= 1, got {batch_limit}")
+        if session_idle_timeout_s is not None and session_idle_timeout_s <= 0:
+            raise ValueError(
+                f"session_idle_timeout_s must be > 0, got {session_idle_timeout_s}"
+            )
         self.queue_limit = queue_limit
         self.batch_limit = batch_limit
         self.request_timeout_s = request_timeout_s
         self.sweep_workers = max(1, int(sweep_workers))
-        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(maxsize=queue_limit)
+        self.session_idle_timeout_s = session_idle_timeout_s
+        self._queue: Deque[_Job] = deque()
+        self._wakeup = asyncio.Event()  # set = the queue has work
+        self._outstanding = 0  # admitted but not yet finished
+        self._drained = asyncio.Event()  # set = outstanding == 0
+        self._drained.set()
         self._connections: Dict[int, Dict[int, Session]] = {}
         self._next_session = 1
         self._worker: Optional["asyncio.Task[None]"] = None
+        self._reaper: Optional["asyncio.Task[None]"] = None
         self._sweep_tasks: "set[asyncio.Task[None]]" = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._admitting = False
@@ -244,46 +298,88 @@ class ServeEngine:
     # -- lifecycle ----------------------------------------------------
 
     async def start(self) -> None:
-        """Start the batch worker; idempotent."""
+        """Start the batch worker (and idle reaper); idempotent."""
+        loop = asyncio.get_running_loop()
         if self._worker is None or self._worker.done():
-            self._worker = asyncio.get_running_loop().create_task(
+            self._worker = loop.create_task(
                 self._worker_loop(), name="repro-serve-worker"
+            )
+        if self.session_idle_timeout_s is not None and (
+            self._reaper is None or self._reaper.done()
+        ):
+            self._reaper = loop.create_task(
+                self._reaper_loop(), name="repro-serve-reaper"
             )
         self._admitting = True
 
-    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+    async def stop(self, drain_timeout_s: float = 5.0) -> Dict[str, Any]:
         """Graceful shutdown: stop admitting, drain, tear down.
 
-        Queued requests get up to ``drain_timeout_s`` to finish; what
-        remains after that is answered ``timeout``.  In-flight sweeps
-        are awaited, then the process pool is shut down.
+        The drain is event-driven: :meth:`stop` waits (up to
+        ``drain_timeout_s``) on an event the last outstanding request
+        sets, instead of polling the queue.  Whatever the drain leaves
+        behind — queued jobs and in-flight sweeps alike — is answered
+        with the ``shutdown`` error code: the request was abandoned by
+        the server, which is a different promise to the client than
+        ``timeout`` (the request overran its own deadline).
+
+        Returns a drain report::
+
+            {"drained": bool,        # everything finished in time
+             "abandoned": int,       # queued jobs answered `shutdown`
+             "cancelled_sweeps": int,
+             "outstanding": int}     # should be 0 on a clean drain
+
+        The chaos soak asserts ``drained`` and ``outstanding == 0`` as
+        its clean-shutdown criterion.
         """
         self._admitting = False
-        deadline = time.monotonic() + drain_timeout_s
-        while not self._queue.empty() and time.monotonic() < deadline:
-            await asyncio.sleep(0.01)
-        if self._worker is not None:
-            self._worker.cancel()
+        report: Dict[str, Any] = {
+            "drained": True,
+            "abandoned": 0,
+            "cancelled_sweeps": 0,
+        }
+        if self._outstanding > 0:
             try:
-                await self._worker
-            except asyncio.CancelledError:
-                pass
-            self._worker = None
-        while not self._queue.empty():  # whatever the drain left behind
-            job = self._queue.get_nowait()
+                await asyncio.wait_for(self._drained.wait(), drain_timeout_s)
+            except asyncio.TimeoutError:
+                report["drained"] = False
+        for attr in ("_reaper", "_worker"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
+        # In-flight sweeps: cancellation is answered `shutdown` by
+        # _run_sweep itself, so the client hears the truth.
+        sweeps = [t for t in self._sweep_tasks if not t.done()]
+        for task in sweeps:
+            task.cancel()
+        report["cancelled_sweeps"] = len(sweeps)
+        if self._sweep_tasks:
+            await asyncio.gather(*self._sweep_tasks, return_exceptions=True)
+        while self._queue:  # whatever the drain left behind
+            job = self._queue.popleft()
+            obs.inc("serve.shutdown_answered", op=job.op)
             self._finish(
                 job,
                 protocol.error_response(
-                    job.request_id, protocol.ERR_TIMEOUT, "server shutting down"
+                    job.request_id,
+                    protocol.ERR_SHUTDOWN,
+                    "server shutting down; request abandoned in drain",
                 ),
             )
-        if self._sweep_tasks:
-            await asyncio.gather(*self._sweep_tasks, return_exceptions=True)
+            report["abandoned"] += 1
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         for connection_id in list(self._connections):
             self.drop_connection(connection_id)
+        report["outstanding"] = self._outstanding
+        return report
 
     def pause(self) -> None:
         """Suspend the batch worker (tests/operational load shedding)."""
@@ -337,42 +433,119 @@ class ServeEngine:
             enqueued=now,
             deadline=deadline,
         )
-        try:
-            self._queue.put_nowait(job)
-        except asyncio.QueueFull:
+        if len(self._queue) >= self.queue_limit:
+            # Overload: shed oldest-deadline-first.  The victim is the
+            # queued-or-incoming request whose deadline expires soonest
+            # (it is the least likely to be served in time); everyone
+            # else keeps their place.
+            victim = min([*self._queue, job], key=lambda j: j.shed_key)
             obs.inc("serve.rejected", reason="queue-full")
-            return protocol.error_response(
-                request_id,
+            obs.inc("serve.shed", op=victim.op)
+            shed_response = protocol.error_response(
+                victim.request_id,
                 protocol.ERR_BUSY,
-                f"request queue full ({self.queue_limit}); back off and retry",
+                f"request queue full ({self.queue_limit}); shed "
+                f"oldest-deadline-first — back off and retry",
             )
-        obs.set_gauge("serve.queue_depth", self._queue.qsize())
+            if victim is job:
+                return shed_response
+            self._queue.remove(victim)
+            self._finish(victim, shed_response)
+        self._queue.append(job)
+        self._outstanding += 1
+        self._drained.clear()
+        self._wakeup.set()
+        obs.set_gauge("serve.queue_depth", len(self._queue))
         return await job.future
 
     # -- the batch worker ---------------------------------------------
 
     def _finish(self, job: _Job, response: Dict[str, Any]) -> None:
+        if job.finished:
+            return  # answered exactly once (shed vs. late worker, ...)
+        job.finished = True
         if not job.future.done():
             job.future.set_result(response)
         obs.observe("serve.request_s", time.monotonic() - job.enqueued, op=job.op)
+        self._outstanding -= 1
+        if self._outstanding <= 0:
+            self._drained.set()
 
     async def _worker_loop(self) -> None:
         while True:
             await self._running.wait()
-            job = await self._queue.get()
-            batch = [job]
-            while len(batch) < self.batch_limit:
-                try:
-                    batch.append(self._queue.get_nowait())
-                except asyncio.QueueEmpty:
-                    break
+            if not self._queue:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue  # re-check pause before draining the queue
+            batch: List[_Job] = []
+            while self._queue and len(batch) < self.batch_limit:
+                batch.append(self._queue.popleft())
             obs.observe("serve.batch_size", len(batch))
-            obs.set_gauge("serve.queue_depth", self._queue.qsize())
-            self._execute_batch(batch)
-            for _ in batch:
-                self._queue.task_done()
+            obs.set_gauge("serve.queue_depth", len(self._queue))
+            try:
+                self._execute_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - the engine survives
+                # A batch-level failure (bookkeeping bug, not a per-job
+                # error — those are handled inside _execute_batch) must
+                # not kill the worker: answer what is unfinished,
+                # quarantine the sessions involved, keep serving.
+                log.error(
+                    "batch execution failed; quarantining",
+                    extra=obs.fields(
+                        batch=len(batch), error=f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+                obs.inc("serve.poison_batches")
+                for job in batch:
+                    self._quarantine(job)
+                    self._finish(
+                        job,
+                        protocol.error_response(
+                            job.request_id,
+                            protocol.ERR_INTERNAL,
+                            f"batch failed: {type(exc).__name__}: {exc}",
+                        ),
+                    )
             # Yield so responses flush even under a saturated queue.
             await asyncio.sleep(0)
+
+    async def _reaper_loop(self) -> None:
+        """Close sessions idle past ``session_idle_timeout_s``."""
+        assert self.session_idle_timeout_s is not None
+        interval = max(0.05, self.session_idle_timeout_s / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            reaped = 0
+            for sessions in self._connections.values():
+                for session_id, session in list(sessions.items()):
+                    idle = now - session.last_used
+                    if idle >= self.session_idle_timeout_s:
+                        sessions.pop(session_id, None)
+                        reaped += 1
+                        obs.inc("serve.sessions_reaped", coder=session.spec)
+                        log.info(
+                            "reaped idle session",
+                            extra=obs.fields(
+                                session=session_id, idle_s=round(idle, 3)
+                            ),
+                        )
+            if reaped:
+                self._gauge_sessions()
+
+    def _quarantine(self, job: _Job) -> None:
+        """Fence the session a failing request was addressing (if any)."""
+        session_id = job.message.get("session")
+        sessions = self._connections.get(job.connection_id, {})
+        session = sessions.get(session_id) if isinstance(session_id, int) else None
+        if session is not None and not session.poisoned:
+            session.poisoned = True
+            obs.inc("serve.sessions_quarantined", coder=session.spec)
+            log.warning(
+                "session quarantined after internal error",
+                extra=obs.fields(session=session.session_id, op=job.op),
+            )
 
     def _execute_batch(self, batch: List[_Job]) -> None:
         """Run one micro-batch: shared coders for grouped one-shots."""
@@ -409,6 +582,9 @@ class ServeEngine:
                     extra=obs.fields(op=job.op, error=f"{type(exc).__name__}: {exc}"),
                 )
                 obs.inc("serve.internal_errors", op=job.op)
+                # Poison quarantine: the request dies with `internal`
+                # and its session is fenced; the engine keeps serving.
+                self._quarantine(job)
                 response = protocol.error_response(
                     job.request_id,
                     protocol.ERR_INTERNAL,
@@ -427,14 +603,18 @@ class ServeEngine:
                 request_id,
                 server="repro.serve",
                 protocol=protocol.PROTOCOL_VERSION,
+                ops=list(protocol.KNOWN_OPS),
                 coders=list(CODER_FAMILIES),
                 policies=sorted(POLICIES),
                 queue_limit=self.queue_limit,
                 batch_limit=self.batch_limit,
                 max_chunk_cycles=MAX_CHUNK_CYCLES,
+                session_idle_timeout_s=self.session_idle_timeout_s,
             )
         if job.op == "open":
             return self._op_open(job)
+        if job.op == "resume":
+            return self._op_resume(job)
         if job.op == "encode_trace":
             return self._op_encode_trace(job, coders)
         # Remaining ops address an existing session.
@@ -461,11 +641,16 @@ class ServeEngine:
                 response["reset"] = True  # both twins back at power-on
             return response
         if job.op == "checkpoint":
-            return protocol.ok_response(
+            response = protocol.ok_response(
                 request_id,
                 checkpoint=session.take_checkpoint(),
                 cycles=session.encoder.cycles,
             )
+            if message.get("export"):
+                # The portable, digest-sealed form: the client can hold
+                # it across a dropped connection and `resume` from it.
+                response["state"] = self._export_state(session)
+            return response
         if job.op == "restore":
             checkpoint_id = message.get("checkpoint")
             if not isinstance(checkpoint_id, int) or isinstance(checkpoint_id, bool):
@@ -533,6 +718,139 @@ class ServeEngine:
             coder = ResilientTranscoder(coder, policy)
         return coder
 
+    # -- session resumption -------------------------------------------
+
+    def _export_state(self, session: Session) -> Dict[str, Any]:
+        """The session's FSMs as a portable, digest-sealed JSON blob."""
+        state: Dict[str, Any] = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "spec": session.spec,
+            "width": session.width,
+            "policy": session.policy,
+            "desyncs": session.desyncs,
+            "encoder": checkpoint_to_wire(session.encoder.checkpoint()),
+            "decoder": checkpoint_to_wire(session.decoder.checkpoint()),
+        }
+        state["digest"] = protocol.state_digest(state)
+        obs.inc("serve.checkpoints_exported", coder=session.spec)
+        return state
+
+    def _op_resume(self, job: _Job) -> Dict[str, Any]:
+        """Materialise a new session from an exported checkpoint blob.
+
+        Error discipline (the closed codes of protocol v2):
+
+        * ``stale_checkpoint`` — the blob is *unusable*: bad integrity
+          digest, wrong wire format / protocol, undecodable payload;
+        * ``resume_mismatch`` — the blob is well-formed but *disagrees*
+          with the request (client asked for a different coder / width
+          / policy) or with itself (payload restores into a different
+          coder type than it claims).
+        """
+        message = job.message
+        state = message.get("state")
+        if not isinstance(state, dict):
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                "'state' must be the exported checkpoint object",
+            )
+        digest = state.get("digest")
+        if not isinstance(digest, str) or protocol.state_digest(state) != digest:
+            obs.inc("serve.resume_rejected", reason="digest")
+            raise ProtocolError(
+                protocol.ERR_STALE_CHECKPOINT,
+                "exported state failed its integrity digest "
+                "(truncated or corrupted in flight)",
+            )
+        if state.get("protocol") != protocol.PROTOCOL_VERSION:
+            obs.inc("serve.resume_rejected", reason="protocol")
+            raise ProtocolError(
+                protocol.ERR_STALE_CHECKPOINT,
+                f"exported state speaks protocol {state.get('protocol')!r}; "
+                f"this server speaks {protocol.PROTOCOL_VERSION}",
+            )
+        spec = state.get("spec")
+        width = state.get("width")
+        policy = state.get("policy")
+        if not isinstance(spec, str) or not isinstance(width, int) or isinstance(
+            width, bool
+        ):
+            obs.inc("serve.resume_rejected", reason="identity")
+            raise ProtocolError(
+                protocol.ERR_STALE_CHECKPOINT,
+                "exported state is missing its coder identity",
+            )
+        # The client may pin what it *expects* to resume; a pinned field
+        # that disagrees with the sealed state is a mismatch, caught
+        # before any FSM is touched.
+        for name, key, expected in (
+            ("coder", "coder", spec),
+            ("width", "width", width),
+            ("policy", "policy", policy),
+        ):
+            if key in message and message[key] != expected:
+                obs.inc("serve.resume_rejected", reason="pin")
+                raise ProtocolError(
+                    protocol.ERR_RESUME_MISMATCH,
+                    f"checkpoint was taken with {name}={expected!r}, "
+                    f"request pins {message[key]!r}",
+                )
+        if policy is not None and policy not in POLICIES:
+            obs.inc("serve.resume_rejected", reason="policy")
+            raise ProtocolError(
+                protocol.ERR_STALE_CHECKPOINT,
+                f"exported state names unknown policy {policy!r}",
+            )
+        try:
+            encoder = StreamingEncoder(self._build(spec, width, policy))
+            decoder = StreamingDecoder(self._build(spec, width, policy))
+        except ValueError as exc:
+            obs.inc("serve.resume_rejected", reason="spec")
+            raise ProtocolError(protocol.ERR_STALE_CHECKPOINT, str(exc)) from None
+        try:
+            encoder_cp = checkpoint_from_wire(state.get("encoder"))
+            decoder_cp = checkpoint_from_wire(state.get("decoder"))
+        except ValueError as exc:
+            obs.inc("serve.resume_rejected", reason="payload")
+            raise ProtocolError(protocol.ERR_STALE_CHECKPOINT, str(exc)) from None
+        try:
+            encoder.restore(encoder_cp)
+            decoder.restore(decoder_cp)
+        except ValueError as exc:
+            # Well-formed blob, but its payload belongs to a different
+            # coder type than the identity it claims.
+            obs.inc("serve.resume_rejected", reason="coder-type")
+            raise ProtocolError(protocol.ERR_RESUME_MISMATCH, str(exc)) from None
+        session = Session(
+            session_id=self._next_session,
+            spec=spec,
+            width=width,
+            policy=policy,
+            encoder=encoder,
+            decoder=decoder,
+            desyncs=int(state.get("desyncs", 0) or 0),
+        )
+        self._next_session += 1
+        self._connections.setdefault(job.connection_id, {})[session.session_id] = session
+        self._gauge_sessions()
+        obs.inc("serve.sessions_resumed", coder=spec)
+        log.info(
+            "session resumed from exported checkpoint",
+            extra=obs.fields(
+                session=session.session_id, coder=spec, cycles=encoder.cycles
+            ),
+        )
+        return protocol.ok_response(
+            job.request_id,
+            session=session.session_id,
+            cycles=encoder.cycles,
+            decoder_cycles=decoder.cycles,
+            input_width=encoder.coder.input_width,
+            output_width=encoder.coder.output_width,
+            resilient=session.resilient,
+            resumed=True,
+        )
+
     def _op_encode_trace(
         self, job: _Job, coders: Dict[Tuple[str, int], Transcoder]
     ) -> Dict[str, Any]:
@@ -571,7 +889,15 @@ class ServeEngine:
                 protocol.ERR_NO_SESSION,
                 f"no session {session_id!r} on this connection (open one first)",
             )
-        return sessions[session_id]
+        session = sessions[session_id]
+        if session.poisoned and job.op != "close":
+            raise ProtocolError(
+                protocol.ERR_INTERNAL,
+                f"session {session_id} is quarantined after an internal error; "
+                f"close it and reopen (or resume from an exported checkpoint)",
+            )
+        session.touch()
+        return session
 
     @staticmethod
     def _chunk_field(message: Dict[str, Any], key: str) -> List[int]:
@@ -676,6 +1002,20 @@ class ServeEngine:
                 job,
                 protocol.error_response(
                     job.request_id, protocol.ERR_TIMEOUT, "sweep exceeded its deadline"
+                ),
+            )
+            return
+        except asyncio.CancelledError:
+            # Shutdown cancelled the in-flight sweep: the server is
+            # abandoning the request, which is `shutdown`, not
+            # `timeout` — the client's deadline may be perfectly fine.
+            obs.inc("serve.shutdown_answered", op="sweep")
+            self._finish(
+                job,
+                protocol.error_response(
+                    job.request_id,
+                    protocol.ERR_SHUTDOWN,
+                    "server shutting down; sweep cancelled mid-flight",
                 ),
             )
             return

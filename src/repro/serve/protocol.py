@@ -20,10 +20,51 @@ misdecoding.
 
 Error codes (the ``error.code`` field) are a closed, stable set — see
 :data:`ERROR_CODES`.  ``busy`` is the backpressure signal (the HTTP-429
-analogue): the server's bounded request queue was full, the client
-should back off and retry.  ``desync`` reports a detected
-encoder/decoder divergence on a resilient session; whether the session
-recovered is carried in the response's ``recovered`` field.
+analogue): the server's bounded request queue was full (or the request
+was shed under overload), the client should back off and retry.
+``desync`` reports a detected encoder/decoder divergence on a resilient
+session; whether the session recovered is carried in the response's
+``recovered`` field.  ``shutdown`` answers requests the server had
+admitted but abandoned while draining; ``stale_checkpoint`` and
+``resume_mismatch`` are the session-resumption failure modes (see the
+idempotency table below).
+
+Idempotency and delivery semantics (the retry contract)
+-------------------------------------------------------
+
+A client that loses a connection (or times out an attempt) cannot know
+whether the server executed the request.  Whether *resending* is safe
+depends on the op — the table below is the contract
+:meth:`repro.serve.client.TraceClient.call_with_retry` enforces and the
+README's "Failure semantics" section documents:
+
+===============  ===========  ==============================================
+op               idempotent   why / what a blind resend does
+===============  ===========  ==============================================
+``hello``        yes          pure read of server capabilities
+``encode_trace`` yes          stateless pure function of the request body
+``sweep``        yes          pure function (workload sim is deterministic)
+``open``         no           each call creates a fresh session (leaks state)
+``encode``       no           advances the session encoder FSM (double-apply)
+``decode``       no           advances the session decoder FSM (double-apply)
+``checkpoint``   no           allocates a new checkpoint id per call
+``restore``      no           rewinds the live FSM (racing resends reorder)
+``resume``       no           each call materialises a new session
+``close``        no           a resend can close a successor session's id
+===============  ===========  ==============================================
+
+Two consequences:
+
+* **at-least-once** delivery is only offered for the idempotent ops —
+  retrying them on transport errors or attempt timeouts is always safe;
+* every other op is **at-most-once** per connection.  The recovery path
+  for session ops is *not* resending: it is reconnect → ``resume`` from
+  the last exported checkpoint → replay the tail, which turns the whole
+  non-idempotent stream into an idempotent replay (the FSMs are
+  deterministic, so the replayed states are bit-identical).  A ``busy``
+  answer is special: the server rejected the request *before admitting
+  it*, so resending after ``busy`` can never double-apply — ``busy`` is
+  retryable for every op.
 
 This module is pure data-plane: framing, validation and typed errors.
 It owns no sockets and no sessions, which keeps it unit-testable and
@@ -32,6 +73,7 @@ shared verbatim by server and client.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -44,9 +86,13 @@ __all__ = [
     "ERR_DESYNC",
     "ERR_INTERNAL",
     "ERR_NO_SESSION",
+    "ERR_RESUME_MISMATCH",
+    "ERR_SHUTDOWN",
+    "ERR_STALE_CHECKPOINT",
     "ERR_TIMEOUT",
     "ERR_UNKNOWN_OP",
     "ERR_UNSUPPORTED_VERSION",
+    "IDEMPOTENT_OPS",
     "KNOWN_OPS",
     "ProtocolError",
     "decode_frame",
@@ -55,11 +101,15 @@ __all__ = [
     "int_list_field",
     "ok_response",
     "request",
+    "state_digest",
     "validate_request",
 ]
 
 #: Bump on any incompatible change to the frame format or op semantics.
-PROTOCOL_VERSION = 1
+#: v2 added session resumption (the ``resume`` op, ``checkpoint`` with
+#: ``export``) and the ``stale_checkpoint`` / ``resume_mismatch`` /
+#: ``shutdown`` error codes.
+PROTOCOL_VERSION = 2
 
 #: Hard per-frame ceiling (also the server's StreamReader limit): a
 #: 64 Ki-cycle chunk of 20-digit words is ~1.4 MB, so 8 MB leaves
@@ -76,6 +126,11 @@ ERR_BUSY = "busy"  #: bounded queue full — back off and retry (HTTP 429)
 ERR_TIMEOUT = "timeout"  #: request exceeded the server's deadline
 ERR_DESYNC = "desync"  #: resilient session detected FSM divergence
 ERR_INTERNAL = "internal"  #: unexpected server-side failure
+ERR_SHUTDOWN = "shutdown"  #: admitted but abandoned — server is draining
+ERR_STALE_CHECKPOINT = "stale_checkpoint"  #: exported state unusable
+#: (wrong format/protocol, or the integrity digest does not verify)
+ERR_RESUME_MISMATCH = "resume_mismatch"  #: well-formed state disagrees
+#: with the requested coder spec / width / policy (or the FSM refuses it)
 
 ERROR_CODES = (
     ERR_BAD_REQUEST,
@@ -86,20 +141,34 @@ ERROR_CODES = (
     ERR_TIMEOUT,
     ERR_DESYNC,
     ERR_INTERNAL,
+    ERR_SHUTDOWN,
+    ERR_STALE_CHECKPOINT,
+    ERR_RESUME_MISMATCH,
 )
 
-#: The operations of protocol version 1.
+#: The operations of protocol version 2.
 KNOWN_OPS = (
     "hello",  # server identification + capabilities
     "open",  # create a per-connection streaming session
     "encode",  # advance a session's encoder FSM by one chunk
     "decode",  # advance a session's decoder FSM by one chunk
     "checkpoint",  # snapshot a session's FSM state server-side
+    #                (``export: true`` additionally returns the state
+    #                 as a portable, digest-sealed wire blob)
     "restore",  # rewind a session to a named checkpoint
+    "resume",  # materialise a NEW session from an exported checkpoint
+    #            blob (the reconnect path: connection loss killed the
+    #            old session; resume restores its FSMs bit-exactly)
     "close",  # drop a session (and its checkpoints)
     "encode_trace",  # one-shot stateless encode (micro-batched)
     "sweep",  # CPU-bound savings sweep (process-pool offloaded)
 )
+
+#: Ops that are safe to blindly resend after an *ambiguous* failure
+#: (transport error or attempt timeout) — see the idempotency table in
+#: the module docstring.  ``busy`` rejections are retryable for every
+#: op regardless, because the server never admitted the request.
+IDEMPOTENT_OPS = frozenset({"hello", "encode_trace", "sweep"})
 
 
 class ProtocolError(ValueError):
@@ -208,6 +277,21 @@ def validate_request(message: Dict[str, Any]) -> Tuple[str, int]:
             ERR_UNKNOWN_OP, f"unknown op {op!r}; this server speaks {', '.join(KNOWN_OPS)}"
         )
     return op, request_id
+
+
+def state_digest(state: Dict[str, Any]) -> str:
+    """Integrity digest over an exported-checkpoint body.
+
+    SHA-256 over the canonical (sorted-key, compact) JSON of ``state``
+    with any existing ``digest`` field removed.  Both ends compute it
+    the same way: the server seals exported checkpoints with it, and a
+    ``resume`` whose blob does not verify is answered
+    ``stale_checkpoint`` — a truncated or bit-flipped checkpoint must
+    never be restored into live FSMs.
+    """
+    body = {k: v for k, v in state.items() if k != "digest"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def int_list_field(message: Dict[str, Any], key: str) -> List[int]:

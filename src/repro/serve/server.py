@@ -16,8 +16,10 @@ correlates them — a client may pipeline requests freely.
 
 Shutdown: :meth:`TraceServer.stop` closes the listener (no new
 connections), then drains the engine.  In-flight requests get
-``drain_timeout_s`` to complete; stragglers are answered ``timeout``
-and connections observe EOF.
+``drain_timeout_s`` to complete; stragglers are answered ``shutdown``
+(the server abandoned them — a different promise than ``timeout``)
+and connections observe EOF.  :meth:`stop` returns the engine's drain
+report.
 """
 
 from __future__ import annotations
@@ -88,13 +90,18 @@ class TraceServer:
             extra=obs.fields(host=self.host, port=self.port),
         )
 
-    async def stop(self, drain_timeout_s: float = 5.0) -> None:
-        """Stop accepting, drain the engine, release the socket."""
+    async def stop(self, drain_timeout_s: float = 5.0) -> dict:
+        """Stop accepting, drain the engine, release the socket.
+
+        Returns the engine's drain report (see
+        :meth:`ServeEngine.stop`); the chaos soak asserts ``drained``
+        and ``outstanding == 0`` as its clean-shutdown criterion.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.engine.stop(drain_timeout_s)
+        return await self.engine.stop(drain_timeout_s)
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI's foreground mode)."""

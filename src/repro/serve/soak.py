@@ -1,0 +1,341 @@
+"""The chaos soak: resilient clients vs. a hostile network, end to end.
+
+``repro chaos-soak`` is the serving layer's acceptance harness, the
+analogue of PR 1's savings-vs-BER sweep for the transport layer: a
+*real* :class:`~repro.serve.server.TraceServer` behind a seeded
+:class:`~repro.serve.chaos.ChaosProxy` (scheduled connection drops,
+frame corruption, stalls, partial writes, response reordering), with N
+concurrent :class:`~repro.serve.recovery.ResilientTraceClient` streams
+driving it.  The run passes only if:
+
+* **every** completed stream's wire states are byte-identical to the
+  fault-free library encode of the same trace (the chaos layer may
+  delay or destroy *connections*, never *data*);
+* at least one session **resume** was observed (the fault schedule
+  guarantees cuts, so zero resumes means resumption silently did not
+  engage);
+* at least one **shed/busy** rejection was observed (the overload
+  phase floods a paused engine past its queue bound);
+* the server **drains cleanly** (``drained`` and ``outstanding == 0``
+  in the stop report).
+
+Determinism: every fault model is a pure FSM of ``(seed, frame
+index)``, connection cuts are *scheduled* at fixed frame indices (late
+enough that a checkpoint export has always happened), and the overload
+phase floods a deliberately paused engine — so the pass/fail verdict
+is a function of the seed, not of scheduler luck.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..coding.specs import parse_coder_spec
+from ..faults.transport import (
+    ComposeTransport,
+    ConnectionDrop,
+    CorruptFrame,
+    PartialWrite,
+    ReorderFrames,
+    StallFrames,
+    TransportFault,
+)
+from ..workloads import locality_trace
+from . import protocol
+from .chaos import ChaosProxy
+from .client import TraceClient
+from .recovery import ResilientTraceClient
+from .retry import CircuitBreaker, RetryPolicy
+from .server import TraceServer
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+
+log = obs.get_logger("serve.soak")
+
+#: Coder specs cycled across the soak streams — the stateful families
+#: included, so resumption genuinely restores non-trivial FSM state.
+SOAK_SPECS = ("window8", "fcm", "stride4", "transition", "invert", "last")
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak scenario; every field participates in determinism."""
+
+    clients: int = 8  #: concurrent resilient streams (acceptance: >= 8)
+    cycles: int = 600  #: trace length per stream
+    chunk: int = 60  #: values per streamed chunk
+    width: int = 16  #: bus width
+    seed: int = 0  #: master seed for traces and fault models
+    checkpoint_every: int = 3  #: client checkpoint-export cadence
+    queue_limit: int = 16  #: server queue bound (shed threshold)
+    batch_limit: int = 8
+    request_timeout_s: float = 30.0
+    session_idle_timeout_s: float = 30.0
+    attempt_timeout_s: float = 2.0  #: client per-attempt timeout
+    deadline_s: float = 60.0  #: client per-chunk overall budget
+    drain_timeout_s: float = 10.0
+    #: Scheduled c2s connection cut: frame ``cut_at + (index % cut_spread)``
+    #: of every proxied connection.  Late enough that the first exported
+    #: checkpoint (open + 3 chunks + export = 5 frames) already exists.
+    cut_at: int = 9
+    cut_spread: int = 4
+    stall_rate: float = 0.05
+    stall_s: float = 0.02
+    corrupt_rate: float = 0.03  #: s2c frame corruption probability
+    partial_rate: float = 0.04  #: c2s split-frame probability
+    truncate_rate: float = 0.02  #: s2c died-mid-write probability
+    reorder_rate: float = 0.03  #: s2c adjacent-reorder probability
+
+    @classmethod
+    def quick(cls, seed: int = 0, clients: int = 8) -> "SoakConfig":
+        """The CI profile: small traces, same fault coverage."""
+        return cls(clients=clients, cycles=360, chunk=40, seed=seed)
+
+
+@dataclass
+class SoakReport:
+    """What the soak observed; :attr:`ok` is the pass/fail verdict."""
+
+    ok: bool = False
+    clients: int = 0
+    streams_verified: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    resumes: int = 0
+    reconnects: int = 0
+    replayed_ok: bool = True
+    sheds: int = 0
+    drain: Dict[str, Any] = field(default_factory=dict)
+    chaos: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "clients": self.clients,
+            "streams_verified": self.streams_verified,
+            "mismatches": list(self.mismatches),
+            "resumes": self.resumes,
+            "reconnects": self.reconnects,
+            "sheds": self.sheds,
+            "drain": dict(self.drain),
+            "chaos": dict(self.chaos),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "failures": list(self.failures),
+        }
+
+
+def _client_faults(config: SoakConfig) -> Any:
+    """c2s fault factory: scheduled cuts + stalls + benign splits."""
+
+    def factory(index: int) -> TransportFault:
+        return ComposeTransport(
+            ConnectionDrop(
+                at_frames=(config.cut_at + (index % config.cut_spread),)
+            ),
+            StallFrames(
+                rate=config.stall_rate,
+                delay_s=config.stall_s,
+                seed=config.seed * 7919 + index * 2 + 1,
+            ),
+            PartialWrite(
+                rate=config.partial_rate,
+                seed=config.seed * 6101 + index * 2 + 1,
+                truncate=False,
+            ),
+        )
+
+    return factory
+
+
+def _server_faults(config: SoakConfig) -> Any:
+    """s2c fault factory: corruption + truncation + stalls + reorder.
+
+    Corruption lives on the *response* path only: a corrupted response
+    is detected immediately by the client's receive loop (undecodable
+    frame → connection declared broken → resume), whereas a corrupted
+    *request* would be answered with a null id the client cannot
+    correlate — a hang, not a fault model.
+    """
+
+    def factory(index: int) -> TransportFault:
+        return ComposeTransport(
+            CorruptFrame(
+                rate=config.corrupt_rate,
+                seed=config.seed * 7907 + index * 2,
+                nbytes=2,
+            ),
+            PartialWrite(
+                rate=config.truncate_rate,
+                seed=config.seed * 6311 + index * 2,
+                truncate=True,
+            ),
+            StallFrames(
+                rate=config.stall_rate,
+                delay_s=config.stall_s,
+                seed=config.seed * 7919 + index * 2,
+            ),
+            ReorderFrames(
+                rate=config.reorder_rate, seed=config.seed * 5987 + index * 2
+            ),
+        )
+
+    return factory
+
+
+async def _stream_one(
+    config: SoakConfig, host: str, port: int, index: int, report: SoakReport
+) -> None:
+    """One resilient stream: feed chunks through chaos, verify bytes."""
+    spec = SOAK_SPECS[index % len(SOAK_SPECS)]
+    trace = locality_trace(
+        config.cycles, width=config.width, seed=config.seed * 1000 + 17 * index + 5
+    )
+    values = [int(v) for v in trace.values]
+    client = ResilientTraceClient(
+        host,
+        port,
+        coder=spec,
+        width=config.width,
+        retry=RetryPolicy(
+            attempts=16,
+            base_backoff_s=0.02,
+            max_backoff_s=0.5,
+            attempt_timeout_s=config.attempt_timeout_s,
+            deadline_s=config.deadline_s,
+            seed=config.seed * 31 + index,
+        ),
+        breaker=CircuitBreaker(failure_threshold=12, reset_timeout_s=0.1),
+        checkpoint_every=config.checkpoint_every,
+    )
+    states: List[int] = []
+    try:
+        for start in range(0, len(values), config.chunk):
+            states.extend(await client.feed(values[start : start + config.chunk]))
+    finally:
+        await client.close()
+        report.resumes += client.resumes
+        report.reconnects += client.reconnects
+    expected = parse_coder_spec(spec, config.width).encode_trace(trace)
+    if np.array_equal(np.asarray(states, dtype=np.uint64), expected.values):
+        report.streams_verified += 1
+    else:
+        report.mismatches.append(
+            f"stream {index} ({spec}): {len(states)} streamed cycles diverged "
+            f"from the fault-free encode"
+        )
+
+
+async def _provoke_shed(
+    config: SoakConfig, server: TraceServer, report: SoakReport
+) -> None:
+    """Deterministically overload the bounded queue; count sheds.
+
+    The engine is paused first, so admission outruns service by
+    construction — flooding ``2 * queue_limit + 4`` requests *must*
+    shed at least ``queue_limit + 4`` of them, independent of timing.
+    The flood talks to the server directly (not through the proxy):
+    overload is a server property, not a network one.
+    """
+    engine = server.engine
+    engine.pause()
+    client = await TraceClient.connect(server.host, server.port)
+    try:
+        flood = [
+            asyncio.ensure_future(client.request("hello"))
+            for _ in range(2 * engine.queue_limit + 4)
+        ]
+        await asyncio.sleep(0.1)  # let rejections land
+        engine.resume()
+        responses = await asyncio.gather(*flood)
+        report.sheds += sum(
+            1
+            for r in responses
+            if not r.get("ok") and r["error"]["code"] == protocol.ERR_BUSY
+        )
+    finally:
+        await client.close()
+
+
+async def run_soak(config: SoakConfig) -> SoakReport:
+    """Run one soak scenario; returns its :class:`SoakReport`."""
+    report = SoakReport(clients=config.clients)
+    t0 = time.monotonic()
+    server = TraceServer(
+        port=0,
+        queue_limit=config.queue_limit,
+        batch_limit=config.batch_limit,
+        request_timeout_s=config.request_timeout_s,
+        session_idle_timeout_s=config.session_idle_timeout_s,
+    )
+    await server.start()
+    proxy = ChaosProxy(
+        server.host,
+        server.port,
+        client_faults=_client_faults(config),
+        server_faults=_server_faults(config),
+    )
+    await proxy.start()
+    try:
+        # Phase 1: N concurrent resilient streams through the chaos.
+        outcomes = await asyncio.gather(
+            *(
+                _stream_one(config, proxy.host, proxy.port, i, report)
+                for i in range(config.clients)
+            ),
+            return_exceptions=True,
+        )
+        for i, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                report.failures.append(
+                    f"stream {i}: {type(outcome).__name__}: {outcome}"
+                )
+        # Phase 2: deterministic overload against the server itself.
+        try:
+            await _provoke_shed(config, server, report)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            report.failures.append(f"shed phase: {type(exc).__name__}: {exc}")
+    finally:
+        await proxy.stop()
+        # Phase 3: the server must drain cleanly under a bounded budget.
+        report.drain = await server.stop(config.drain_timeout_s)
+    report.chaos = proxy.stats.as_dict()
+    report.elapsed_s = time.monotonic() - t0
+    obs.inc("soak.runs")
+    obs.inc("soak.resumes_observed", report.resumes)
+    obs.inc("soak.sheds_observed", report.sheds)
+
+    # -- the verdict ---------------------------------------------------
+    if report.streams_verified != config.clients:
+        report.failures.append(
+            f"only {report.streams_verified}/{config.clients} streams verified "
+            f"byte-identical"
+        )
+    report.failures.extend(report.mismatches)
+    if report.resumes < 1:
+        report.failures.append(
+            "no session resume observed (cuts are scheduled; resumption "
+            "did not engage)"
+        )
+    if report.sheds < 1:
+        report.failures.append("no shed/busy rejection observed under overload")
+    if not report.drain.get("drained") or report.drain.get("outstanding"):
+        report.failures.append(f"server did not drain cleanly: {report.drain}")
+    report.ok = not report.failures
+    log.info(
+        "soak finished",
+        extra=obs.fields(
+            ok=report.ok,
+            verified=report.streams_verified,
+            resumes=report.resumes,
+            sheds=report.sheds,
+            elapsed_s=round(report.elapsed_s, 2),
+        ),
+    )
+    return report

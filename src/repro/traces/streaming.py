@@ -46,10 +46,13 @@ import numpy as np
 from .trace import BusTrace
 
 __all__ = [
+    "CHECKPOINT_WIRE_FORMAT",
     "DEFAULT_CHUNK_CYCLES",
     "StreamCheckpoint",
     "StreamingDecoder",
     "StreamingEncoder",
+    "checkpoint_from_wire",
+    "checkpoint_to_wire",
     "chunk_spans",
     "decode_trace_chunked",
     "encode_trace_chunked",
@@ -232,3 +235,169 @@ def decode_trace_chunked(
             np.empty(0, dtype=np.uint64), coder.input_width, coder._decoded_name(phys)
         )
     return BusTrace.concat(*parts).with_name(coder._decoded_name(phys))
+
+
+# -- checkpoint wire serialisation ------------------------------------
+#
+# A :class:`StreamCheckpoint` is an *in-memory* deep copy of the FSM
+# state; session resumption (``repro.serve``'s ``resume`` op) needs the
+# same state as a *portable* blob a client can hold across a dropped
+# connection and present back over newline-JSON.  The codec below turns
+# the checkpoint payload into pure JSON-safe data and back, exactly —
+# bus words are arbitrary uint64s, so arrays go through Python ints
+# (lossless at any width), never through floats.
+#
+# Every container the codec emits is a ``{"t": ...}``-tagged object, so
+# the encoding is unambiguous: any plain JSON object seen by the
+# decoder was produced by the codec itself.  Reconstructing *objects*
+# (the resilient wrapper holds its base coder and policy as instance
+# attributes) is allowlisted to the library's own transcoder/policy
+# classes — an exported checkpoint can never smuggle an arbitrary
+# class name into the server (that restriction is what keeps ``resume``
+# safe against hostile blobs; a class outside the allowlist raises).
+
+#: Bump on any incompatible change to the checkpoint wire encoding.
+CHECKPOINT_WIRE_FORMAT = 1
+
+
+def _wire_classes() -> Dict[str, type]:
+    """The allowlist of reconstructable classes (built lazily — this
+    module sits *below* :mod:`repro.coding` in the layering, so the
+    imports stay function-scoped, mirroring the module-docstring rule).
+    """
+    from ..coding.base import Transcoder
+    from ..coding.context import _Entry
+    from ..coding.predictive import Predictor
+    from ..faults.policies import RecoveryPolicy
+
+    registry: Dict[str, type] = {}
+
+    def walk(cls: type) -> None:
+        for sub in cls.__subclasses__():
+            registry[sub.__name__] = sub
+            walk(sub)
+
+    registry[Transcoder.__name__] = Transcoder
+    walk(Transcoder)
+    walk(Predictor)  # predictive transcoders hold their predictor twins
+    walk(RecoveryPolicy)
+    # State-helper dataclasses held inside FSM payloads (still a closed,
+    # hand-audited set — never derived from the blob itself).
+    registry[_Entry.__name__] = _Entry
+    return registry
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Encode one value as tagged, JSON-safe data (see block comment)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return {"t": "nd", "dtype": str(obj.dtype), "v": obj.tolist()}
+    if isinstance(obj, np.bool_):
+        return {"t": "np", "dtype": "bool", "v": bool(obj)}
+    if isinstance(obj, np.integer):
+        return {"t": "np", "dtype": str(obj.dtype), "v": int(obj)}
+    if isinstance(obj, np.floating):
+        return {"t": "np", "dtype": str(obj.dtype), "v": float(obj)}
+    if isinstance(obj, list):
+        return [_to_jsonable(item) for item in obj]
+    if isinstance(obj, tuple):
+        return {"t": "tuple", "v": [_to_jsonable(item) for item in obj]}
+    if isinstance(obj, (set, frozenset)):
+        kind = "set" if isinstance(obj, set) else "frozenset"
+        return {"t": kind, "v": sorted(_to_jsonable(item) for item in obj)}
+    if isinstance(obj, bytes):
+        return {"t": "bytes", "v": obj.hex()}
+    if isinstance(obj, dict):
+        return {
+            "t": "dict",
+            "v": [[_to_jsonable(k), _to_jsonable(v)] for k, v in obj.items()],
+        }
+    cls = type(obj)
+    if cls.__name__ in _wire_classes() and _wire_classes()[cls.__name__] is cls:
+        return {"t": "obj", "cls": cls.__name__, "v": _to_jsonable(vars(obj))}
+    raise ValueError(
+        f"checkpoint payload contains a non-serialisable {cls.__name__!r} value"
+    )
+
+
+def _from_jsonable(data: Any) -> Any:
+    """Invert :func:`_to_jsonable`; raises ``ValueError`` on bad data."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [_from_jsonable(item) for item in data]
+    if not isinstance(data, dict):
+        raise ValueError(f"undecodable checkpoint node of type {type(data).__name__}")
+    tag = data.get("t")
+    if tag == "nd":
+        return np.asarray(data["v"], dtype=np.dtype(data["dtype"]))
+    if tag == "np":
+        return np.dtype(data["dtype"]).type(data["v"])
+    if tag == "tuple":
+        return tuple(_from_jsonable(item) for item in data["v"])
+    if tag == "set":
+        return {_from_jsonable(item) for item in data["v"]}
+    if tag == "frozenset":
+        return frozenset(_from_jsonable(item) for item in data["v"])
+    if tag == "bytes":
+        return bytes.fromhex(data["v"])
+    if tag == "dict":
+        return {_from_jsonable(k): _from_jsonable(v) for k, v in data["v"]}
+    if tag == "obj":
+        registry = _wire_classes()
+        name = data.get("cls")
+        if name not in registry:
+            raise ValueError(
+                f"checkpoint names class {name!r} outside the reconstruction allowlist"
+            )
+        cls = registry[name]
+        instance = cls.__new__(cls)
+        state = _from_jsonable(data["v"])
+        if not isinstance(state, dict):
+            raise ValueError(f"object state for {name!r} is not a mapping")
+        instance.__dict__.update(state)
+        return instance
+    raise ValueError(f"unknown checkpoint node tag {tag!r}")
+
+
+def checkpoint_to_wire(checkpoint: StreamCheckpoint) -> Dict[str, Any]:
+    """Serialise a :class:`StreamCheckpoint` as pure JSON-safe data.
+
+    The result survives ``json.dumps``/``loads`` byte-exactly and
+    restores through :func:`checkpoint_from_wire` into an FSM state
+    bit-identical to the original (pinned by the hypothesis resume
+    property in ``tests/test_streaming_properties.py``).
+    """
+    return {
+        "format": CHECKPOINT_WIRE_FORMAT,
+        "coder_type": checkpoint.coder_type,
+        "cycles": checkpoint.cycles,
+        "payload": _to_jsonable(checkpoint.payload),
+    }
+
+
+def checkpoint_from_wire(data: Any) -> StreamCheckpoint:
+    """Rebuild a :class:`StreamCheckpoint` from its wire encoding.
+
+    Raises ``ValueError`` on any malformed, unknown-format, or
+    allowlist-violating blob — the serving layer maps that onto its
+    ``stale_checkpoint`` / ``resume_mismatch`` protocol errors.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("checkpoint blob must be a JSON object")
+    if data.get("format") != CHECKPOINT_WIRE_FORMAT:
+        raise ValueError(
+            f"unsupported checkpoint wire format {data.get('format')!r}; "
+            f"this library speaks {CHECKPOINT_WIRE_FORMAT}"
+        )
+    coder_type = data.get("coder_type")
+    cycles = data.get("cycles")
+    if not isinstance(coder_type, str):
+        raise ValueError("checkpoint blob has no 'coder_type'")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 0:
+        raise ValueError(f"checkpoint 'cycles' must be a non-negative int, got {cycles!r}")
+    payload = _from_jsonable(data.get("payload"))
+    if not isinstance(payload, dict):
+        raise ValueError("checkpoint payload did not decode to a mapping")
+    return StreamCheckpoint(coder_type=coder_type, cycles=cycles, payload=payload)

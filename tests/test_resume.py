@@ -1,0 +1,238 @@
+"""Session resumption over exported checkpoints (engine level, no sockets).
+
+The contract under test: ``checkpoint {"export": true}`` seals the
+session's FSM state into a portable JSON blob; ``resume`` on *any*
+later connection materialises a new session whose subsequent stream is
+byte-identical to the uninterrupted one.  The closed error codes:
+``stale_checkpoint`` for unusable blobs (bad digest / protocol /
+payload), ``resume_mismatch`` for well-formed blobs that disagree with
+the request's pins or their own claimed identity.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.coding import parse_coder_spec
+from repro.serve import ServeEngine, protocol
+from repro.workloads import locality_trace
+
+
+def req(op, request_id=1, **fields):
+    return protocol.request(op, request_id, **fields)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_engine(**kwargs):
+    engine = ServeEngine(**kwargs)
+    await engine.start()
+    return engine
+
+
+async def exported_session(
+    engine, coder="window8", width=16, cycles=120, seed=2, values=None
+):
+    """Open a session, feed values, export its checkpoint.
+
+    Returns ``(values, states, blob)``; the session lives on connection 1.
+    """
+    if values is None:
+        trace = locality_trace(cycles, width=width, seed=seed)
+        values = [int(v) for v in trace.values]
+    opened = await engine.handle(1, req("open", 1, coder=coder, width=width))
+    assert opened["ok"], opened
+    fed = await engine.handle(
+        1, req("encode", 2, session=opened["session"], values=values)
+    )
+    assert fed["ok"], fed
+    exported = await engine.handle(
+        1, req("checkpoint", 3, session=opened["session"], export=True)
+    )
+    assert exported["ok"], exported
+    return values, list(fed["states"]), exported["state"]
+
+
+class TestExport:
+    def test_checkpoint_without_export_has_no_state(self):
+        async def scenario():
+            engine = await started_engine()
+            try:
+                opened = await engine.handle(1, req("open", 1, coder="last", width=16))
+                plain = await engine.handle(
+                    1, req("checkpoint", 2, session=opened["session"])
+                )
+                return plain
+            finally:
+                await engine.stop(0.1)
+
+        plain = run(scenario())
+        assert plain["ok"]
+        assert "state" not in plain
+
+    def test_exported_state_is_json_safe_and_sealed(self):
+        async def scenario():
+            engine = await started_engine()
+            try:
+                _, _, blob = await exported_session(engine)
+                return blob
+            finally:
+                await engine.stop(0.1)
+
+        blob = run(scenario())
+        # Pure JSON: survives a dumps/loads round trip unchanged.
+        assert json.loads(json.dumps(blob)) == blob
+        assert blob["digest"] == protocol.state_digest(blob)
+        assert blob["protocol"] == protocol.PROTOCOL_VERSION
+        assert blob["spec"] == "window8" and blob["width"] == 16
+
+
+class TestResume:
+    @pytest.mark.parametrize("coder", ["window8", "fcm", "stride4", "context"])
+    def test_resumed_stream_is_byte_identical(self, coder):
+        trace = locality_trace(240, width=16, seed=5)
+        values = [int(v) for v in trace.values]
+
+        async def scenario():
+            engine = await started_engine()
+            try:
+                _, head, blob = await exported_session(
+                    engine, coder=coder, values=values[:120]
+                )
+                # The original connection dies with everything on it.
+                engine.drop_connection(1)
+                wire_blob = json.loads(json.dumps(blob))
+                resumed = await engine.handle(
+                    9, req("resume", 10, state=wire_blob, coder=coder, width=16)
+                )
+                assert resumed["ok"], resumed
+                assert resumed["resumed"] is True
+                assert resumed["cycles"] == 120
+                tail = await engine.handle(
+                    9,
+                    req("encode", 11, session=resumed["session"], values=values[120:]),
+                )
+                assert tail["ok"], tail
+                return head + list(tail["states"])
+            finally:
+                await engine.stop(0.1)
+
+        states = run(scenario())
+        oneshot = parse_coder_spec(coder, 16).encode_trace(trace)
+        assert np.array_equal(np.asarray(states, dtype=np.uint64), oneshot.values)
+
+    def test_resume_is_connection_scoped_like_open(self):
+        async def scenario():
+            engine = await started_engine()
+            try:
+                _, _, blob = await exported_session(engine)
+                resumed = await engine.handle(5, req("resume", 1, state=blob))
+                stolen = await engine.handle(
+                    6, req("encode", 2, session=resumed["session"], values=[1])
+                )
+                return stolen
+            finally:
+                await engine.stop(0.1)
+
+        stolen = run(scenario())
+        assert stolen["error"]["code"] == protocol.ERR_NO_SESSION
+
+
+class TestRejections:
+    def run_resume(self, mutate=None, **pins):
+        async def scenario():
+            engine = await started_engine()
+            try:
+                _, _, blob = await exported_session(engine)
+                if mutate is not None:
+                    blob = mutate(blob)
+                return await engine.handle(2, req("resume", 1, state=blob, **pins))
+            finally:
+                await engine.stop(0.1)
+
+        return run(scenario())
+
+    def test_missing_state_is_bad_request(self):
+        async def scenario():
+            engine = await started_engine()
+            try:
+                return await engine.handle(1, req("resume", 1))
+            finally:
+                await engine.stop(0.1)
+
+        assert run(scenario())["error"]["code"] == protocol.ERR_BAD_REQUEST
+
+    def test_tampered_blob_is_stale(self):
+        def mutate(blob):
+            tampered = dict(blob)
+            tampered["width"] = 32  # digest no longer matches
+            return tampered
+
+        response = self.run_resume(mutate)
+        assert response["error"]["code"] == protocol.ERR_STALE_CHECKPOINT
+
+    def test_wrong_protocol_is_stale(self):
+        def mutate(blob):
+            stale = dict(blob, protocol=1)
+            stale["digest"] = protocol.state_digest(stale)  # reseal
+            return stale
+
+        response = self.run_resume(mutate)
+        assert response["error"]["code"] == protocol.ERR_STALE_CHECKPOINT
+
+    def test_pinned_coder_disagreeing_is_mismatch(self):
+        response = self.run_resume(coder="fcm")
+        assert response["error"]["code"] == protocol.ERR_RESUME_MISMATCH
+
+    def test_pinned_width_disagreeing_is_mismatch(self):
+        response = self.run_resume(width=64)
+        assert response["error"]["code"] == protocol.ERR_RESUME_MISMATCH
+
+    def test_class_outside_allowlist_is_stale_even_resealed(self):
+        # A hostile blob naming an arbitrary class cannot reach
+        # instantiation: even with a *valid* digest, the codec refuses
+        # anything outside the hand-audited allowlist.
+        def mutate(blob):
+            hostile = json.loads(json.dumps(blob))
+
+            def poison(node):
+                if isinstance(node, dict):
+                    if node.get("t") == "obj":
+                        node["cls"] = "Popen"
+                    for value in node.values():
+                        poison(value)
+                elif isinstance(node, list):
+                    for item in node:
+                        poison(item)
+
+            poison(hostile["encoder"])
+            hostile["digest"] = protocol.state_digest(hostile)  # reseal
+            return hostile
+
+        response = self.run_resume(mutate)
+        assert response["error"]["code"] == protocol.ERR_STALE_CHECKPOINT
+
+    def test_payload_of_wrong_coder_type_is_mismatch(self):
+        # Swap in another coder family's sealed payload under this
+        # blob's identity: well-formed, decodable, but it restores into
+        # a different coder type than the identity claims.
+        async def scenario():
+            engine = await started_engine()
+            try:
+                _, _, blob = await exported_session(engine, coder="window8")
+                engine.drop_connection(1)
+                _, _, other_blob = await exported_session(engine, coder="fcm")
+                crossed = dict(blob)
+                crossed["encoder"] = other_blob["encoder"]
+                crossed["decoder"] = other_blob["decoder"]
+                crossed["digest"] = protocol.state_digest(crossed)
+                return await engine.handle(2, req("resume", 9, state=crossed))
+            finally:
+                await engine.stop(0.1)
+
+        response = run(scenario())
+        assert response["error"]["code"] == protocol.ERR_RESUME_MISMATCH

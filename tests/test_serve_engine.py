@@ -59,7 +59,7 @@ class TestEnvelope:
             try:
                 bad_version = await engine.handle(1, {"op": "hello", "id": 1})
                 unknown_op = await engine.handle(1, req("hello") | {"op": "nope"})
-                bad_id = await engine.handle(1, {"v": 1, "id": "x", "op": "hello"})
+                bad_id = await engine.handle(1, {"v": 2, "id": "x", "op": "hello"})
                 return bad_version, unknown_op, bad_id
             finally:
                 await engine.stop(0.1)
@@ -315,7 +315,7 @@ class TestDesyncRecovery:
 
 
 class TestBackpressure:
-    def test_queue_full_answers_busy(self):
+    def test_queue_full_sheds_oldest_deadline_first(self):
         async def scenario():
             engine = admitting_engine(queue_limit=4)
             try:
@@ -326,18 +326,42 @@ class TestBackpressure:
                     for i in range(4)
                 ]
                 await asyncio.sleep(0)
-                # The queue is now full: the next request must be shed.
-                rejected = await engine.handle(1, req("hello", 100))
+                # Overflow: under shed-oldest-deadline-first the
+                # *stalest* queued request is answered busy and the
+                # fresh one is admitted in its place — new work keeps
+                # flowing during overload, the about-to-expire request
+                # pays for it.
+                overflow = asyncio.ensure_future(engine.handle(1, req("hello", 100)))
+                shed = await waiters[0]
                 await engine.start()
-                served = await asyncio.gather(*waiters)
-                return rejected, served
+                served = await asyncio.gather(*waiters[1:], overflow)
+                return shed, served
             finally:
                 await engine.stop(0.1)
 
-        rejected, served = run(scenario())
-        assert rejected["ok"] is False
-        assert rejected["error"]["code"] == protocol.ERR_BUSY
+        shed, served = run(scenario())
+        assert shed["ok"] is False
+        assert shed["error"]["code"] == protocol.ERR_BUSY
         assert all(r["ok"] for r in served)  # admitted work still completes
+
+    def test_overflow_without_deadlines_sheds_stalest_enqueue(self):
+        async def scenario():
+            engine = admitting_engine(queue_limit=2, request_timeout_s=None)
+            try:
+                first = asyncio.ensure_future(engine.handle(1, req("hello", 1)))
+                second = asyncio.ensure_future(engine.handle(1, req("hello", 2)))
+                await asyncio.sleep(0)
+                third = asyncio.ensure_future(engine.handle(1, req("hello", 3)))
+                shed = await first
+                await engine.start()
+                served = await asyncio.gather(second, third)
+                return shed, served
+            finally:
+                await engine.stop(0.1)
+
+        shed, served = run(scenario())
+        assert shed["error"]["code"] == protocol.ERR_BUSY
+        assert all(r["ok"] for r in served)
 
     def test_not_admitting_after_stop(self):
         async def scenario():

@@ -14,7 +14,7 @@ class TestFraming:
         assert frame.endswith(b"\n")
         assert frame.count(b"\n") == 1
         frame.decode("ascii")  # must not raise
-        assert json.loads(frame) == {"v": 1, "id": 1, "op": "hello"}
+        assert json.loads(frame) == {"v": 2, "id": 1, "op": "hello"}
 
     def test_round_trip(self):
         message = protocol.request("encode", 42, session=3, values=[1, 2, 3])
@@ -44,7 +44,7 @@ class TestFraming:
 class TestConstructors:
     def test_ok_response_shape(self):
         message = protocol.ok_response(7, states=[1])
-        assert message == {"v": 1, "id": 7, "ok": True, "states": [1]}
+        assert message == {"v": 2, "id": 7, "ok": True, "states": [1]}
 
     def test_error_response_shape(self):
         message = protocol.error_response(9, protocol.ERR_BUSY, "queue full")
@@ -64,11 +64,40 @@ class TestConstructors:
             protocol.ERR_DESYNC,
             protocol.ERR_INTERNAL,
             protocol.ERR_NO_SESSION,
+            protocol.ERR_RESUME_MISMATCH,
+            protocol.ERR_SHUTDOWN,
+            protocol.ERR_STALE_CHECKPOINT,
             protocol.ERR_TIMEOUT,
             protocol.ERR_UNKNOWN_OP,
             protocol.ERR_UNSUPPORTED_VERSION,
         ):
             assert code in protocol.ERROR_CODES
+
+    def test_idempotent_ops_are_known_ops(self):
+        assert protocol.IDEMPOTENT_OPS <= frozenset(protocol.KNOWN_OPS)
+        # The session mutators must never be blind-retryable: resending
+        # a chunk would double-advance the server-side FSM.
+        for op in ("open", "encode", "close", "resume", "checkpoint"):
+            assert op in protocol.KNOWN_OPS
+            assert op not in protocol.IDEMPOTENT_OPS
+
+
+class TestStateDigest:
+    def test_digest_is_stable_under_key_order(self):
+        a = {"spec": "window8", "width": 16, "nested": {"x": 1, "y": 2}}
+        b = {"nested": {"y": 2, "x": 1}, "width": 16, "spec": "window8"}
+        assert protocol.state_digest(a) == protocol.state_digest(b)
+
+    def test_digest_ignores_its_own_field(self):
+        state = {"spec": "window8", "width": 16}
+        digest = protocol.state_digest(state)
+        sealed = dict(state, digest=digest)
+        assert protocol.state_digest(sealed) == digest
+
+    def test_digest_detects_tampering(self):
+        state = {"spec": "window8", "width": 16}
+        digest = protocol.state_digest(state)
+        assert protocol.state_digest(dict(state, width=32)) != digest
 
 
 class TestValidateRequest:
@@ -84,23 +113,30 @@ class TestValidateRequest:
 
     def test_rejects_future_versions(self):
         with pytest.raises(ProtocolError) as excinfo:
-            protocol.validate_request({"v": 2, "id": 1, "op": "hello"})
+            protocol.validate_request({"v": 3, "id": 1, "op": "hello"})
+        assert excinfo.value.code == protocol.ERR_UNSUPPORTED_VERSION
+
+    def test_rejects_stale_v1(self):
+        # The v2 bump (resume + exported checkpoints) is incompatible:
+        # a v1 client must learn about it on its first request.
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "id": 1, "op": "hello"})
         assert excinfo.value.code == protocol.ERR_UNSUPPORTED_VERSION
 
     @pytest.mark.parametrize("bad_id", [None, "7", 1.5, True])
     def test_rejects_non_int_request_ids(self, bad_id):
         with pytest.raises(ProtocolError) as excinfo:
-            protocol.validate_request({"v": 1, "id": bad_id, "op": "hello"})
+            protocol.validate_request({"v": 2, "id": bad_id, "op": "hello"})
         assert excinfo.value.code == protocol.ERR_BAD_REQUEST
 
     def test_rejects_missing_op(self):
         with pytest.raises(ProtocolError) as excinfo:
-            protocol.validate_request({"v": 1, "id": 1})
+            protocol.validate_request({"v": 2, "id": 1})
         assert excinfo.value.code == protocol.ERR_BAD_REQUEST
 
     def test_rejects_unknown_op(self):
         with pytest.raises(ProtocolError) as excinfo:
-            protocol.validate_request({"v": 1, "id": 1, "op": "transmogrify"})
+            protocol.validate_request({"v": 2, "id": 1, "op": "transmogrify"})
         assert excinfo.value.code == protocol.ERR_UNKNOWN_OP
 
 

@@ -101,3 +101,51 @@ class TestStreamingRoundTrip:
         first = dec.feed(wire[cut:])
         dec.restore(ckpt)
         assert np.array_equal(first, dec.feed(wire[cut:]))
+
+    @given(values=values, cut=st.integers(0, 80), sizes=chunkings)
+    @settings(max_examples=25, deadline=None)
+    def test_wire_checkpoint_resume_equals_one_shot(self, family, values, cut, sizes):
+        """The serving layer's resume guarantee, as a pure-FSM property.
+
+        Encode up to an arbitrary disconnect point, export the
+        checkpoint through the JSON wire codec (the exact blob a
+        ``ResilientTraceClient`` holds across a dropped connection),
+        resume a *fresh* encoder from it, and finish the trace under an
+        arbitrary re-chunking: the combined wire stream must equal the
+        uninterrupted one-shot encode bit-for-bit — and therefore
+        cost-for-cost, the transition counts the paper's energy model
+        integrates.
+        """
+        import json
+
+        from repro.energy import count_activity
+        from repro.traces.streaming import (
+            checkpoint_from_wire,
+            checkpoint_to_wire,
+        )
+
+        trace = BusTrace.from_values(values, width=WIDTH)
+        cut = min(cut, len(trace))
+        oneshot = build_coder(family, 4, WIDTH).encode_trace(trace)
+
+        enc = StreamingEncoder(build_coder(family, 4, WIDTH))
+        head = enc.feed(trace.values[:cut])
+        # The blob crosses a real JSON boundary, like the wire does.
+        blob = json.loads(json.dumps(checkpoint_to_wire(enc.checkpoint())))
+
+        resumed = StreamingEncoder(build_coder(family, 4, WIDTH))
+        resumed.restore(checkpoint_from_wire(blob))
+        assert resumed.cycles == cut
+        parts = [np.asarray(head)] + [
+            np.asarray(resumed.feed(c)) for c in split(trace.values[cut:], sizes)
+        ]
+        streamed = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.uint64)
+        )
+        assert np.array_equal(streamed, oneshot.values)
+        if len(streamed):
+            spliced = BusTrace(streamed, oneshot.width)
+            assert (
+                count_activity(spliced).total_transitions
+                == count_activity(oneshot).total_transitions
+            )

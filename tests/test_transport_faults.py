@@ -1,0 +1,153 @@
+"""Unit tests for the connection-level fault models (pure FSMs).
+
+No sockets here: each model maps ``(seed, frame index)`` to a
+:class:`FrameDecision`, and these tests pin the properties the chaos
+soak's determinism argument rests on — same seed, same verdicts; frame
+content never influences the decision sequence; composition merges
+verdicts without losing any.
+"""
+
+import pytest
+
+from repro.faults import (
+    ComposeTransport,
+    ConnectionDrop,
+    CorruptFrame,
+    FrameDecision,
+    NoTransportFaults,
+    PartialWrite,
+    ReorderFrames,
+    ScriptedTransport,
+    StallFrames,
+)
+
+FRAME = b'{"v": 2, "id": 1, "op": "hello"}\n'
+
+
+def verdicts(fault, frames=200, frame=FRAME):
+    fault.reset()
+    return [fault.decide(i, frame) for i in range(frames)]
+
+
+class TestFrameDecision:
+    def test_default_is_benign(self):
+        assert FrameDecision().benign
+        assert not FrameDecision(cut_after=True).benign
+        assert not FrameDecision(stall_s=0.01).benign
+
+    def test_merge_composes_fields(self):
+        a = FrameDecision(stall_s=0.01, corrupt_at=(1,), split_at=8)
+        b = FrameDecision(stall_s=0.02, corrupt_at=(3,), split_at=4, cut_after=True)
+        merged = a.merge(b)
+        assert merged.stall_s == pytest.approx(0.03)
+        assert merged.corrupt_at == (1, 3)
+        assert merged.split_at == 4  # the earlier split wins
+        assert merged.cut_after
+        assert not merged.cut_before
+
+    def test_merge_with_benign_is_identity(self):
+        verdict = FrameDecision(corrupt_at=(2,), hold=True)
+        assert verdict.merge(FrameDecision()) == verdict
+        assert FrameDecision().merge(verdict) == verdict
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ConnectionDrop(rate=0.2, seed=7),
+            lambda: StallFrames(rate=0.3, delay_s=0.01, seed=7),
+            lambda: PartialWrite(rate=0.3, seed=7),
+            lambda: PartialWrite(rate=0.3, seed=7, truncate=True),
+            lambda: CorruptFrame(rate=0.3, seed=7, nbytes=2),
+            lambda: ReorderFrames(rate=0.3, seed=7),
+        ],
+    )
+    def test_same_seed_same_verdicts(self, factory):
+        assert verdicts(factory()) == verdicts(factory())
+
+    def test_reset_restores_power_on_state(self):
+        fault = CorruptFrame(rate=0.5, seed=3)
+        first = [fault.decide(i, FRAME) for i in range(50)]
+        fault.reset()
+        again = [fault.decide(i, FRAME) for i in range(50)]
+        assert first == again
+
+    def test_decisions_ignore_frame_content(self):
+        # One variate per frame: hit/miss depends on the index only, so
+        # stacked faults and varying payload sizes cannot skew each
+        # other's schedules.
+        fault = StallFrames(rate=0.4, delay_s=0.01, seed=11)
+        a = verdicts(fault, frame=FRAME)
+        b = verdicts(fault, frame=b"x" * 500 + b"\n")
+        assert [v.benign for v in a] == [v.benign for v in b]
+
+    def test_different_seeds_differ(self):
+        a = verdicts(CorruptFrame(rate=0.3, seed=1))
+        b = verdicts(CorruptFrame(rate=0.3, seed=2))
+        assert a != b
+
+
+class TestConnectionDrop:
+    def test_scheduled_cut_fires_exactly_there(self):
+        fault = ConnectionDrop(at_frames=(5, 9))
+        for index, verdict in enumerate(verdicts(fault, 12)):
+            assert verdict.cut_after == (index in (5, 9))
+
+    def test_random_cuts_respect_min_index(self):
+        fault = ConnectionDrop(rate=0.5, seed=13, min_index=10)
+        for index, verdict in enumerate(verdicts(fault, 10)):
+            assert not verdict.cut_after
+
+    def test_rate_zero_without_schedule_is_clean(self):
+        assert all(v.benign for v in verdicts(ConnectionDrop()))
+
+
+class TestCorruptFrame:
+    def test_never_touches_the_trailing_newline(self):
+        fault = CorruptFrame(rate=1.0, seed=5, nbytes=4)
+        newline_at = len(FRAME) - 1
+        for verdict in verdicts(fault, 100):
+            assert verdict.corrupt_at
+            assert all(0 <= p < newline_at for p in verdict.corrupt_at)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CorruptFrame(rate=1.5)
+        with pytest.raises(ValueError):
+            CorruptFrame(rate=0.1, nbytes=0)
+
+
+class TestPartialWrite:
+    def test_split_points_are_interior(self):
+        fault = PartialWrite(rate=1.0, seed=5)
+        for verdict in verdicts(fault, 100):
+            assert verdict.split_at is not None
+            assert 0 < verdict.split_at < len(FRAME)
+            assert not verdict.truncate and not verdict.cut_after
+
+    def test_truncate_mode_cuts_the_connection(self):
+        fault = PartialWrite(rate=1.0, seed=5, truncate=True)
+        verdict = fault.decide(0, FRAME)
+        assert verdict.truncate and verdict.cut_after
+
+
+class TestComposition:
+    def test_compose_merges_all_members(self):
+        fault = ComposeTransport(
+            ScriptedTransport({2: FrameDecision(cut_after=True)}),
+            ScriptedTransport({2: FrameDecision(corrupt_at=(1,))}),
+        )
+        verdict = fault.decide(2, FRAME)
+        assert verdict.cut_after and verdict.corrupt_at == (1,)
+        assert fault.decide(0, FRAME).benign
+
+    def test_compose_reset_resets_members(self):
+        member = CorruptFrame(rate=0.5, seed=9)
+        fault = ComposeTransport(member)
+        first = [fault.decide(i, FRAME) for i in range(30)]
+        fault.reset()
+        assert [fault.decide(i, FRAME) for i in range(30)] == first
+
+    def test_no_faults_is_always_benign(self):
+        assert all(v.benign for v in verdicts(NoTransportFaults()))

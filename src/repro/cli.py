@@ -58,6 +58,7 @@ line is a stable contract, everything else on stderr is logging.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import List, Optional
@@ -362,9 +363,55 @@ def _cmd_report(args: argparse.Namespace) -> None:
     print(render_report(spans, metrics))
 
 
+@contextlib.asynccontextmanager
+async def _stop_on_signals():
+    """Install SIGTERM/SIGINT handlers; yields the stop event.
+
+    Installing real signal handlers (instead of riding the default
+    ``KeyboardInterrupt``) is what lets a supervisor SIGTERM a worker
+    and get a *clean drain and exit 0* rather than a -15 corpse — the
+    cluster's graceful-stop contract depends on it.  Enter this BEFORE
+    announcing any bound port: the announcement is the supervisor's
+    cue that the worker is fair game for signals, so the handlers must
+    already be armed when it prints.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop; KeyboardInterrupt still works
+    try:
+        yield stop
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+
+async def _serve_until_signalled(forever: "asyncio.Task", stop) -> None:
+    """Await ``forever`` until it ends or the armed ``stop`` event
+    (from :func:`_stop_on_signals`) fires; cancels both on the way out."""
+    import asyncio
+
+    waiter = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait({forever, waiter}, return_when=asyncio.FIRST_COMPLETED)
+    finally:
+        for task in (waiter, forever):
+            task.cancel()
+        await asyncio.gather(waiter, forever, return_exceptions=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .serve import ports
     from .serve.server import TraceServer
 
     async def run() -> None:
@@ -379,22 +426,176 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             sweep_workers=args.jobs,
         )
-        await server.start()
-        # One stable stdout line so scripts (and humans) learn the
-        # bound port even with --port 0.
-        print(f"repro serve: listening on {server.host}:{server.port}", flush=True)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            log.info("draining", extra=obs.fields(timeout_s=args.drain_timeout))
-            await server.stop(drain_timeout_s=args.drain_timeout)
+        async with _stop_on_signals() as stop:
+            await server.start()
+            # One stable stdout line so scripts (and the cluster
+            # supervisor) learn the bound port even with --port 0.
+            ports.announce_listening("serve", server.host, server.port)
+            try:
+                await _serve_until_signalled(
+                    asyncio.ensure_future(server.serve_forever()), stop
+                )
+            finally:
+                log.info("draining", extra=obs.fields(timeout_s=args.drain_timeout))
+                await server.stop(drain_timeout_s=args.drain_timeout)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         log.info("interrupted; server stopped")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ports
+    from .serve.cluster import TraceCluster
+    from .serve.supervisor import WorkerSpec
+
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+
+    async def run() -> None:
+        cluster = TraceCluster(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            spec=WorkerSpec(
+                queue_limit=args.queue_limit,
+                batch_limit=args.batch_limit,
+                request_timeout_s=args.timeout,
+                drain_timeout_s=args.drain_timeout,
+                obs_dir=args.worker_obs_dir,
+            ),
+            checkpoint_every=args.checkpoint_every,
+            rebalance_on_join=True,
+            seed=args.seed,
+        )
+        async with _stop_on_signals() as stop:
+            await cluster.start()
+            # The router's line first, then one per worker (restarted
+            # workers re-announce through the supervisor's log instead).
+            ports.announce_listening("cluster", cluster.host, cluster.port)
+            for worker_id, handle in sorted(cluster.supervisor.handles.items()):
+                if handle.port is not None:
+                    ports.announce_listening(
+                        f"cluster: worker {worker_id}", cluster.host, handle.port
+                    )
+            try:
+                await _serve_until_signalled(
+                    asyncio.ensure_future(cluster.router.serve_forever()), stop
+                )
+            finally:
+                log.info("draining", extra=obs.fields(timeout_s=args.drain_timeout))
+                await cluster.stop(drain_timeout_s=args.drain_timeout)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log.info("interrupted; cluster stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        streams=args.streams,
+        chunks=args.chunks,
+        chunk=args.chunk,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    report = asyncio.run(run_loadgen(config))
+    offered = config.streams * config.chunks
+    rows = [
+        ("mode", config.mode),
+        ("streams", config.streams),
+        ("chunks fed", f"{report.chunks_done}/{offered}"),
+        ("chunks failed", report.chunks_failed),
+        ("cycles encoded", report.cycles),
+        ("throughput", f"{report.throughput_cps:.0f} cycles/s"),
+        ("feed latency p50", f"{report.quantile(0.50) * 1e3:.2f} ms"),
+        ("feed latency p90", f"{report.quantile(0.90) * 1e3:.2f} ms"),
+        ("feed latency p99", f"{report.quantile(0.99) * 1e3:.2f} ms"),
+        ("session resumes", report.resumes),
+        ("reconnects", report.reconnects),
+        ("elapsed", f"{report.elapsed_s:.2f} s"),
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"loadgen | {args.host}:{args.port} | seed {config.seed}",
+        )
+    )
+    for error in report.errors:
+        print(f"loadgen: error: {error}", file=sys.stderr)
+    return 0 if report.chunks_done == offered else 1
+
+
+def _cmd_cluster_soak(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.cluster_soak import ClusterSoakConfig, run_cluster_soak
+
+    import dataclasses
+
+    config = (
+        ClusterSoakConfig.quick(seed=args.seed)
+        if args.quick
+        else ClusterSoakConfig(seed=args.seed)
+    )
+    overrides = {
+        key: value
+        for key, value in {
+            "workers": args.workers,
+            "clients": args.clients,
+            "cycles": args.cycles,
+            "chunk": args.chunk,
+            "kills": args.kills,
+            "obs_dir": args.worker_obs_dir,
+        }.items()
+        if value is not None
+    }
+    if overrides:
+        # dataclasses.replace re-runs __post_init__, which validates
+        # workers/clients/cycles; ValueError lands in the CLI funnel.
+        config = dataclasses.replace(config, **overrides)
+
+    report = asyncio.run(run_cluster_soak(config))
+    rows = [
+        ("verdict", "PASS" if report.ok else "FAIL"),
+        ("streams verified", f"{report.streams_verified}/{report.clients}"),
+        ("workers killed", report.kills),
+        ("crash failovers", report.failovers),
+        ("planned migrations", report.migrations),
+        ("worker restarts", report.worker_restarts),
+        ("session resumes", report.resumes),
+        ("reconnects", report.reconnects),
+        ("cluster drain", "clean" if report.drain.get("clean") else str(report.drain)),
+        ("elapsed", f"{report.elapsed_s:.2f} s"),
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=(
+                f"cluster soak | seed {config.seed} | {config.workers} workers, "
+                f"{config.clients} clients"
+            ),
+        )
+    )
+    if report.failures:
+        for failure in report.failures:
+            print(f"cluster-soak: FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -859,6 +1060,150 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="the CI profile: shorter traces, same fault coverage",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a fault-tolerant sharded serving cluster: a router in "
+        "front of N supervised `repro serve` worker processes",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
+    cluster.add_argument("--host", default="127.0.0.1", help="bind address")
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=7460,
+        help="router bind port (0 = ephemeral; the bound port is printed "
+        "on stdout; workers always bind ephemeral ports)",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="supervised engine worker processes (default 4)",
+    )
+    cluster.add_argument(
+        "--queue-limit", type=int, default=64, help="per-worker request queue"
+    )
+    cluster.add_argument(
+        "--batch-limit", type=int, default=16, help="per-worker micro-batch size"
+    )
+    cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline inside each worker (seconds)",
+    )
+    cluster.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="grace period for the cluster-wide drain at shutdown",
+    )
+    cluster.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        help="router checkpoint-export cadence per session (ops between "
+        "exported checkpoints; lower = faster failover replay)",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0, help="seed for restart-backoff jitter"
+    )
+    cluster.add_argument(
+        "--worker-obs-dir",
+        metavar="DIR",
+        default=None,
+        help="per-worker telemetry root: each spawn exports to "
+        "DIR/worker-<id>-gen<generation>",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve/cluster endpoint with concurrent streams and "
+        "measure throughput + feed-latency percentiles",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7460)
+    loadgen.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: feed-on-ack, measures capacity; open: seeded Poisson "
+        "arrivals at --rate, measures queueing (default closed)",
+    )
+    loadgen.add_argument(
+        "--streams", type=int, default=8, help="concurrent sessions (default 8)"
+    )
+    loadgen.add_argument(
+        "--chunks", type=int, default=50, help="chunks fed per stream"
+    )
+    loadgen.add_argument(
+        "--chunk", type=int, default=64, help="cycles per chunk"
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate, chunks/s across all streams",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+
+    csoak = sub.add_parser(
+        "cluster-soak",
+        help="SIGKILL cluster workers mid-stream; non-zero exit unless every "
+        "stream decodes bit-identically through >=1 crash failover, >=1 "
+        "planned migration, and a clean drain",
+    )
+    csoak.set_defaults(func=_cmd_cluster_soak)
+    csoak.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default 4, or 3 with --quick)",
+    )
+    csoak.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent resilient streams (default 8, or 6 with --quick)",
+    )
+    csoak.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        help="trace length per stream (default 480, or 240 with --quick)",
+    )
+    csoak.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="values per streamed chunk (default 40, or 20 with --quick)",
+    )
+    csoak.add_argument(
+        "--kills",
+        type=int,
+        default=None,
+        help="SIGKILL rounds, each killing one session-hosting worker "
+        "(default 1)",
+    )
+    csoak.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed for traces, placement and backoff jitter",
+    )
+    csoak.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI profile: 3 workers, shorter traces, one kill",
+    )
+    csoak.add_argument(
+        "--worker-obs-dir",
+        metavar="DIR",
+        default=None,
+        help="per-worker telemetry root (CI uploads these as artifacts)",
     )
 
     # Accept the global flags after the subcommand as well.

@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 __all__ = [
     "HIST_BOUNDS",
     "MetricsRegistry",
+    "estimate_quantile",
     "format_key",
     "parse_key",
 ]
@@ -79,6 +80,46 @@ def _bucket_index(value: float) -> int:
         if value <= bound:
             return i
     return len(HIST_BOUNDS)
+
+
+def estimate_quantile(hist: Mapping[str, Any], q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of a bucketed histogram record.
+
+    Works on anything histogram-shaped — a :meth:`MetricsRegistry.histogram`
+    dict, a snapshot entry, or a ``metrics.jsonl`` record — as long as
+    it carries ``count`` and ``buckets``.  Linear interpolation inside
+    the owning log2 bucket, clamped to the observed ``min``/``max``
+    (which also makes single-sample histograms exact).  Returns None
+    when the histogram is empty or bucketless (old exports).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = int(hist.get("count") or 0)
+    buckets = list(hist.get("buckets") or ())
+    if count <= 0 or not buckets:
+        return None
+    lo = hist.get("min")
+    hi = hist.get("max")
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(buckets):
+        if n <= 0:
+            continue
+        if cumulative + n >= rank:
+            lower = 0.0 if i == 0 else HIST_BOUNDS[i - 1]
+            if i < len(HIST_BOUNDS):
+                upper = HIST_BOUNDS[i]
+            else:  # the +Inf bucket: the observed max is the only bound
+                upper = float(hi) if hi is not None else lower
+            fraction = (rank - cumulative) / n
+            value = lower + fraction * (upper - lower)
+            if lo is not None:
+                value = max(value, float(lo))
+            if hi is not None:
+                value = min(value, float(hi))
+            return value
+        cumulative += n
+    return float(hi) if hi is not None else None
 
 
 class MetricsRegistry:
@@ -242,6 +283,9 @@ class MetricsRegistry:
                 sum=hist["sum"],
                 min=hist["min"] if hist["count"] else None,
                 max=hist["max"] if hist["count"] else None,
+                # Bucket counts ride along so `repro report` can derive
+                # percentiles offline (see :func:`estimate_quantile`).
+                buckets=list(hist["buckets"]),
             )
             out.append(record)
         return out

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from .export import METRICS_FILENAME, SPANS_FILENAME, read_jsonl
+from .registry import estimate_quantile
 
 __all__ = ["load_run", "render_report", "summarize_spans"]
 
@@ -186,12 +187,19 @@ def render_report(
     )
     if gauge_rows:
         sections.append(format_table(["gauge", "value"], gauge_rows, title="gauges"))
+    def _hist_quantile(record: Dict[str, Any], q: float) -> str:
+        value = estimate_quantile(record, q)
+        return "-" if value is None else f"{value:.6f}"
+
     hist_rows = [
         (
             r.get("name"),
             r.get("count"),
             f"{float(r.get('sum', 0.0)):.4f}",
             "-" if r.get("min") is None else f"{float(r['min']):.6f}",
+            _hist_quantile(r, 0.50),
+            _hist_quantile(r, 0.90),
+            _hist_quantile(r, 0.99),
             "-" if r.get("max") is None else f"{float(r['max']):.6f}",
         )
         for r in metrics
@@ -200,7 +208,7 @@ def render_report(
     if hist_rows:
         sections.append(
             format_table(
-                ["histogram", "count", "sum s", "min", "max"],
+                ["histogram", "count", "sum s", "min", "p50", "p90", "p99", "max"],
                 sorted(hist_rows),
                 title="histograms",
             )

@@ -25,7 +25,21 @@ transcoders as *online* components, the paper's per-cycle FSM view
   :mod:`repro.faults.transport` fault models on live connections;
 * :mod:`~repro.serve.soak` — the ``repro chaos-soak`` acceptance
   harness: N resilient clients through the chaos proxy, byte-equality
-  against the fault-free library path, clean-drain check.
+  against the fault-free library path, clean-drain check;
+* :mod:`~repro.serve.ring` / :mod:`~repro.serve.ports` — consistent
+  hashing and the shared ``--port 0`` announce/parse contract;
+* :mod:`~repro.serve.supervisor` — worker process supervision:
+  spawn ``repro serve --port 0`` subprocesses, heartbeat them, restart
+  crashes and wedges with jittered backoff and flap detection;
+* :mod:`~repro.serve.cluster` — the sharded cluster (``repro
+  cluster``): a protocol-v2 router in front of N supervised workers,
+  consistent-hash placement, crash failover and planned migration by
+  checkpoint-export → ``resume`` → verified replay;
+* :mod:`~repro.serve.loadgen` — ``repro loadgen``: open/closed-loop
+  arrival disciplines with feed-latency percentiles;
+* :mod:`~repro.serve.cluster_soak` — the ``repro cluster-soak``
+  acceptance harness: SIGKILL workers mid-stream, demand bit-exact
+  streams, ≥1 failover, ≥1 planned migration and a clean drain.
 
 Everything is instrumented through :mod:`repro.obs` (``serve.*``
 request counters, latency histograms, queue-depth gauges, ``chaos.*``
@@ -34,7 +48,9 @@ injection counters) and rendered by ``repro report``.
 
 from .chaos import ChaosProxy, ChaosStats, ChaosTransport
 from .client import EncodeStream, FrameCorruptionError, TraceClient
+from .cluster import ClusterRouter, TraceCluster
 from .engine import ServeEngine, Session
+from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen
 from .protocol import (
     ERROR_CODES,
     IDEMPOTENT_OPS,
@@ -47,10 +63,13 @@ from .recovery import ResilientTraceClient
 from .retry import (
     CircuitBreaker,
     CircuitOpenError,
+    RestartBackoff,
     RetryBudgetExceeded,
     RetryPolicy,
 )
+from .ring import HashRing
 from .server import TraceServer
+from .supervisor import WorkerSpec, WorkerSupervisor
 
 __all__ = [
     "ChaosProxy",
@@ -58,19 +77,28 @@ __all__ = [
     "ChaosTransport",
     "CircuitBreaker",
     "CircuitOpenError",
+    "ClusterRouter",
     "ERROR_CODES",
     "EncodeStream",
     "FrameCorruptionError",
+    "HashRing",
     "IDEMPOTENT_OPS",
     "KNOWN_OPS",
+    "LoadgenConfig",
+    "LoadgenReport",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ResilientTraceClient",
+    "RestartBackoff",
     "RetryBudgetExceeded",
     "RetryPolicy",
     "ServeEngine",
     "Session",
     "TraceClient",
+    "TraceCluster",
     "TraceServer",
+    "WorkerSpec",
+    "WorkerSupervisor",
+    "run_loadgen",
 ]

@@ -99,16 +99,39 @@ class ChaosTransport:
         self._held: Optional[bytes] = None
         self._hold_timer: Optional["asyncio.Task[None]"] = None
 
-    def _cancel_hold_timer(self) -> None:
+    async def _cancel_hold_timer(self) -> None:
+        """Cancel the hold-release watchdog and *await* it.
+
+        Cancel-without-await leaves a pending task behind; if the loop
+        closes before that task processes its cancellation (exactly
+        what happens at the end of a soak), asyncio reports "Task was
+        destroyed but it is pending".  Awaiting here retires the timer
+        deterministically.
+        """
         timer, self._hold_timer = self._hold_timer, None
-        if timer is not None and timer is not asyncio.current_task():
-            timer.cancel()
+        if timer is None or timer is asyncio.current_task():
+            return
+        timer.cancel()
+        # return_exceptions swallows both the CancelledError and any
+        # late transport error the timer died with.
+        await asyncio.gather(timer, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Retire the transport: stop the hold-release watchdog.
+
+        Must be awaited when the owning pump ends — a watchdog armed by
+        the final frame of a connection would otherwise outlive the
+        pump and fire (or be garbage-collected pending) after the
+        writers are gone.
+        """
+        self._held = None
+        await self._cancel_hold_timer()
 
     async def _cut(self) -> None:
         self.stats.cuts += 1
         obs.inc("chaos.cuts")
         self._held = None  # in flight when the wire died
-        self._cancel_hold_timer()
+        await self._cancel_hold_timer()
         try:
             self.writer.close()
             await self.writer.wait_closed()
@@ -166,7 +189,7 @@ class ChaosTransport:
         self.stats.forwarded += 1
         if self._held is not None:
             released, self._held = self._held, None
-            self._cancel_hold_timer()
+            await self._cancel_hold_timer()
             await self._emit(released, None, False)
             self.stats.forwarded += 1
         if decision.cut_after:
@@ -323,6 +346,9 @@ class ChaosProxy:
                 # Either direction dying kills the proxied connection:
                 # half-open TCP is a different failure mode than the
                 # fault taxonomy models, and resumption does not need it.
+                # The transport is retired first so its hold-release
+                # watchdog can never outlive the pump that armed it.
+                await transport.close()
                 await close_both()
 
         task_up = asyncio.ensure_future(pump(client_reader, c2s))

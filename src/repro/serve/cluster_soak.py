@@ -1,0 +1,357 @@
+"""The cluster soak: SIGKILL workers mid-stream, demand bit-exactness.
+
+``repro cluster-soak`` is the fault-tolerance acceptance harness of the
+sharded serving cluster — the cluster-level sibling of ``repro
+chaos-soak`` (which attacks the *network* of a single server; this one
+attacks the *processes* of a cluster).  A real
+:class:`~repro.serve.cluster.TraceCluster` (supervised worker
+subprocesses, consistent-hash router) is driven by N concurrent
+:class:`~repro.serve.recovery.ResilientTraceClient` streams while the
+soak:
+
+1. feeds every stream up to a phase boundary (placements settle,
+   checkpoints exported);
+2. **SIGKILLs** the worker hosting stream 0's session — a real
+   ``kill -9``, not a mock — and keeps feeding immediately, so the
+   victim's sessions crash-fail-over to ring neighbours while the
+   supervisor restarts the corpse with backoff;
+3. waits for the cluster to heal, then runs a **planned rebalance**:
+   the failed-over sessions migrate home by checkpoint-export →
+   ``resume`` — the bit-exact planned path, counted separately from
+   failovers;
+4. feeds the remainder and closes every stream.
+
+The verdict (exit code of ``repro cluster-soak``) is PASS only if:
+
+* **every** stream's wire states are byte-identical to the fault-free
+  library encode of its trace, *and* decode back to the original
+  values (kills may delay data, never damage it);
+* at least one **crash failover** was observed (the kill must have
+  actually hurt);
+* at least one **planned migration** was observed (the rebalance must
+  have actually moved something home);
+* the cluster **drains cleanly**: every worker — including the
+  restarted victim — exits 0 on SIGTERM within the budget.
+
+Determinism: traces, placement (consistent hashing), restart backoff
+jitter and the kill *target selection* (the worker hosting stream 0)
+are all functions of the seed and the phase structure.  The only
+scheduler-dependent freedom is *which* ops land during the victim's
+downtime, and the invariants are written to hold for every
+interleaving: failovers trigger on first touch of a dead worker, and
+an untouched session still migrates home in phase 3.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from .. import obs
+from ..coding.specs import parse_coder_spec
+from ..traces.trace import BusTrace
+from ..workloads import locality_trace
+from .cluster import TraceCluster
+from .recovery import ResilientTraceClient
+from .retry import CircuitBreaker, RestartBackoff, RetryPolicy
+from .supervisor import WorkerSpec
+
+__all__ = ["ClusterSoakConfig", "ClusterSoakReport", "run_cluster_soak"]
+
+log = obs.get_logger("serve.cluster_soak")
+
+#: Coder specs cycled across streams (stateful families included, so a
+#: failover genuinely reconstructs non-trivial FSM state).
+SOAK_SPECS = ("window8", "fcm", "stride4", "transition", "invert", "last")
+
+
+@dataclass(frozen=True)
+class ClusterSoakConfig:
+    """One cluster-soak scenario; deterministic given ``seed``."""
+
+    workers: int = 4
+    clients: int = 8
+    cycles: int = 480  #: trace length per stream
+    chunk: int = 40  #: values per streamed chunk
+    width: int = 16
+    seed: int = 0
+    kills: int = 1  #: SIGKILL rounds (each kills one hosting worker)
+    checkpoint_every: int = 2  #: client checkpoint-export cadence
+    queue_limit: int = 64
+    batch_limit: int = 16
+    request_timeout_s: float = 20.0
+    attempt_timeout_s: float = 5.0
+    deadline_s: float = 120.0  #: client per-chunk overall budget
+    heartbeat_interval_s: float = 0.2
+    liveness_deadline_s: float = 2.0
+    drain_timeout_s: float = 15.0
+    heal_timeout_s: float = 60.0  #: budget for the victim to come back
+    obs_dir: str = ""  #: per-worker telemetry base (CI artifacts); "" = off
+
+    def __post_init__(self):
+        if self.workers < 2:
+            raise ValueError(
+                f"workers must be >= 2 for a failover soak, got {self.workers}"
+            )
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.cycles < self.chunk or self.chunk < 1:
+            raise ValueError(
+                f"need 1 <= chunk ({self.chunk}) <= cycles ({self.cycles})"
+            )
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "ClusterSoakConfig":
+        """The CI profile: 3 workers, shorter traces, one kill."""
+        return cls(workers=3, clients=6, cycles=240, chunk=20, seed=seed)
+
+
+@dataclass
+class ClusterSoakReport:
+    """What the soak observed; :attr:`ok` is the verdict."""
+
+    ok: bool = False
+    workers: int = 0
+    clients: int = 0
+    streams_verified: int = 0
+    kills: int = 0
+    failovers: int = 0
+    migrations: int = 0
+    worker_restarts: int = 0
+    resumes: int = 0
+    reconnects: int = 0
+    drain: Dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "workers": self.workers,
+            "clients": self.clients,
+            "streams_verified": self.streams_verified,
+            "kills": self.kills,
+            "failovers": self.failovers,
+            "migrations": self.migrations,
+            "worker_restarts": self.worker_restarts,
+            "resumes": self.resumes,
+            "reconnects": self.reconnects,
+            "drain": dict(self.drain),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class _SoakStream:
+    """One client stream and its ground truth."""
+
+    index: int
+    spec: str
+    trace: BusTrace
+    client: ResilientTraceClient
+    states: List[int] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[int]:
+        return [int(v) for v in self.trace.values]
+
+
+def _build_streams(
+    config: ClusterSoakConfig, port: int
+) -> List[_SoakStream]:
+    streams = []
+    for index in range(config.clients):
+        spec = SOAK_SPECS[index % len(SOAK_SPECS)]
+        trace = locality_trace(
+            config.cycles,
+            width=config.width,
+            seed=config.seed * 1000 + 17 * index + 5,
+        )
+        client = ResilientTraceClient(
+            "127.0.0.1",
+            port,
+            coder=spec,
+            width=config.width,
+            retry=RetryPolicy(
+                attempts=24,
+                base_backoff_s=0.02,
+                max_backoff_s=0.5,
+                attempt_timeout_s=config.attempt_timeout_s,
+                deadline_s=config.deadline_s,
+                seed=config.seed * 31 + index,
+            ),
+            breaker=CircuitBreaker(failure_threshold=12, reset_timeout_s=0.1),
+            checkpoint_every=config.checkpoint_every,
+        )
+        streams.append(_SoakStream(index=index, spec=spec, trace=trace, client=client))
+    return streams
+
+
+async def _feed_phase(
+    streams: List[_SoakStream], config: ClusterSoakConfig, start: int, stop: int
+) -> None:
+    """Feed chunks [start, stop) of every stream concurrently."""
+
+    async def one(stream: _SoakStream) -> None:
+        values = stream.values
+        for turn in range(start, stop):
+            lo = turn * config.chunk
+            if lo >= len(values):
+                return
+            chunk = values[lo : lo + config.chunk]
+            stream.states.extend(await stream.client.feed(chunk))
+
+    await asyncio.gather(*(one(s) for s in streams))
+
+
+def _verify_streams(
+    streams: List[_SoakStream], config: ClusterSoakConfig, report: ClusterSoakReport
+) -> None:
+    """Every stream must encode AND decode bit-identically."""
+    for stream in streams:
+        coder = parse_coder_spec(stream.spec, config.width)
+        expected = coder.encode_trace(stream.trace)
+        produced = np.asarray(stream.states, dtype=np.uint64)
+        if not np.array_equal(produced, expected.values):
+            report.failures.append(
+                f"stream {stream.index} ({stream.spec}): wire states diverged "
+                f"from the fault-free encode"
+            )
+            continue
+        decoded = coder.decode_trace(
+            BusTrace(produced, expected.width, f"soak{stream.index}")
+        )
+        if not np.array_equal(decoded.values, stream.trace.values):
+            report.failures.append(
+                f"stream {stream.index} ({stream.spec}): decoded values diverged "
+                f"from the original trace"
+            )
+            continue
+        report.streams_verified += 1
+
+
+async def run_cluster_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
+    """Run one cluster-soak scenario; returns its report."""
+    report = ClusterSoakReport(workers=config.workers, clients=config.clients)
+    t0 = time.monotonic()
+    cluster = TraceCluster(
+        workers=config.workers,
+        port=0,
+        spec=WorkerSpec(
+            queue_limit=config.queue_limit,
+            batch_limit=config.batch_limit,
+            request_timeout_s=config.request_timeout_s,
+            drain_timeout_s=config.drain_timeout_s,
+            obs_dir=config.obs_dir or None,
+        ),
+        checkpoint_every=config.checkpoint_every,
+        rebalance_on_join=False,  # the soak rebalances at a known point
+        heartbeat_interval_s=config.heartbeat_interval_s,
+        liveness_deadline_s=config.liveness_deadline_s,
+        backoff_factory=lambda index: RestartBackoff(
+            base_s=0.05, max_s=0.5, seed=config.seed * 8191 + index
+        ),
+        seed=config.seed,
+    )
+    await cluster.start()
+    streams = _build_streams(config, cluster.port)
+    total_chunks = (config.cycles + config.chunk - 1) // config.chunk
+    # Phase boundaries: kills happen at evenly spaced chunk indices,
+    # each followed by a feeding phase over the wreckage, a heal wait
+    # and a planned rebalance.
+    rounds = max(1, config.kills)
+    boundaries = [
+        (r + 1) * total_chunks // (rounds + 1) for r in range(rounds)
+    ]
+    try:
+        position = 0
+        for boundary in boundaries:
+            await _feed_phase(streams, config, position, boundary)
+            position = boundary
+            # Aim the kill where it hurts: the worker hosting stream
+            # 0's session (fall back to any session's host).
+            victim = None
+            for stream in streams:
+                session = stream.client.session_id
+                if session is not None:
+                    victim = cluster.worker_of(session)
+                    if victim is not None:
+                        break
+            if victim is None:  # pragma: no cover - every stream idle
+                victim = cluster.supervisor.live_workers()[0]
+            pid = cluster.kill_worker(victim)
+            report.kills += 1
+            log.info(
+                "worker killed",
+                extra=obs.fields(worker=victim, pid=pid, at_chunk=boundary),
+            )
+            # Feed straight through the crash: the victim's sessions
+            # fail over to ring neighbours on first touch.
+            heal_boundary = min(total_chunks, boundary + max(1, total_chunks // (2 * (rounds + 1))))
+            await _feed_phase(streams, config, position, heal_boundary)
+            position = heal_boundary
+            # Let the supervisor finish the restart, then bring the
+            # failed-over sessions home — the planned path.
+            await cluster.supervisor.wait_all_up(config.heal_timeout_s)
+            report.migrations += await cluster.rebalance()
+        await _feed_phase(streams, config, position, total_chunks)
+        # Harvest per-session failover counters before close removes
+        # them (migrations were already counted via rebalance()).
+        for session in cluster.router.sessions.values():
+            report.failovers += session.failovers
+        for stream in streams:
+            await stream.client.close()
+            report.resumes += stream.client.resumes
+            report.reconnects += stream.client.reconnects
+    except BaseException as exc:
+        report.failures.append(f"soak aborted: {type(exc).__name__}: {exc}")
+        for stream in streams:
+            try:
+                await stream.client.close()
+            except Exception:  # noqa: BLE001 - already failing
+                pass
+        if not isinstance(exc, Exception):
+            raise  # cancellation etc.; the finally still drains
+    finally:
+        report.worker_restarts = cluster.supervisor.restarts()
+        report.drain = await cluster.stop(config.drain_timeout_s)
+    _verify_streams(streams, config, report)
+    report.elapsed_s = time.monotonic() - t0
+    obs.inc("cluster.soak_runs")
+
+    # -- the verdict ---------------------------------------------------
+    if report.streams_verified != config.clients:
+        report.failures.append(
+            f"only {report.streams_verified}/{config.clients} streams verified "
+            f"bit-identical end to end"
+        )
+    if report.failovers < 1:
+        report.failures.append(
+            "no crash failover observed (the SIGKILL did not disturb any "
+            "session — kill targeting is broken)"
+        )
+    if report.migrations < 1:
+        report.failures.append(
+            "no planned migration observed (rebalance moved nothing home)"
+        )
+    if not report.drain.get("clean"):
+        report.failures.append(f"cluster did not drain cleanly: {report.drain}")
+    report.ok = not report.failures
+    log.info(
+        "cluster soak finished",
+        extra=obs.fields(
+            ok=report.ok,
+            verified=report.streams_verified,
+            kills=report.kills,
+            failovers=report.failovers,
+            migrations=report.migrations,
+            restarts=report.worker_restarts,
+            elapsed_s=round(report.elapsed_s, 2),
+        ),
+    )
+    return report

@@ -294,6 +294,7 @@ class ServeEngine:
         self._admitting = False
         self._running = asyncio.Event()  # cleared = worker paused
         self._running.set()
+        self._started_at = time.monotonic()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -416,9 +417,13 @@ class ServeEngine:
             return protocol.error_response(message.get("id"), exc.code, exc.args[0])
         obs.inc("serve.requests", op=op)
         if not self._admitting:
+            # `shutdown`, not `busy`: a draining server will never admit
+            # again, so "retry elsewhere" is the honest signal (the
+            # cluster router fails sessions over on it; `busy` would
+            # invite clients to retry against a corpse).
             obs.inc("serve.rejected", reason="not-admitting")
             return protocol.error_response(
-                request_id, protocol.ERR_BUSY, "server is not accepting requests"
+                request_id, protocol.ERR_SHUTDOWN, "server is not accepting requests"
             )
         now = time.monotonic()
         deadline = (
@@ -610,6 +615,19 @@ class ServeEngine:
                 batch_limit=self.batch_limit,
                 max_chunk_cycles=MAX_CHUNK_CYCLES,
                 session_idle_timeout_s=self.session_idle_timeout_s,
+            )
+        if job.op == "health":
+            # The heartbeat op: a liveness + load snapshot.  It rides
+            # the normal queue on purpose — a wedged batch worker fails
+            # it (by timeout), which is exactly what the supervisor's
+            # liveness deadline wants to detect.
+            return protocol.ok_response(
+                request_id,
+                uptime_s=round(time.monotonic() - self._started_at, 3),
+                sessions=sum(len(s) for s in self._connections.values()),
+                outstanding=self._outstanding,
+                queue_depth=len(self._queue),
+                admitting=self._admitting,
             )
         if job.op == "open":
             return self._op_open(job)

@@ -1,0 +1,98 @@
+"""Central ``--port 0`` handling: announce and parse bound ports.
+
+Every serving CLI binds with ``--port 0`` in tests and soaks so runs
+never race on a fixed port — which only works if the *actually bound*
+port is discoverable.  The contract, shared by ``repro serve`` and
+``repro cluster`` (and by the worker supervisor, which spawns ``repro
+serve --port 0`` subprocesses and must learn where each worker
+landed):
+
+* the serving process prints exactly one line per listening socket on
+  **stdout**, in the stable format of :func:`format_listening`::
+
+      repro serve: listening on 127.0.0.1:40001
+      repro cluster: listening on 127.0.0.1:40002
+      repro cluster: worker 0 listening on 127.0.0.1:40003
+
+* consumers parse it back with :func:`parse_listening` (scripts,
+  tests) or :func:`read_listening` (the supervisor, against the
+  child's stdout pipe, under a deadline so a worker that wedges before
+  binding is detected rather than awaited forever).
+
+Nothing else the serving CLIs write goes to stdout — logging is all
+stderr — so ``head -n1`` style consumption is safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import sys
+from typing import Optional, TextIO, Tuple
+
+__all__ = [
+    "format_listening",
+    "announce_listening",
+    "parse_listening",
+    "read_listening",
+]
+
+#: The stable stdout line format.  ``component`` is free-form text
+#: (``serve``, ``cluster``, ``cluster: worker 3``) — the parser only
+#: anchors on the prefix and the trailing ``host:port``.
+_LISTENING_RE = re.compile(
+    r"^repro (?P<component>.+?): listening on (?P<host>\S+):(?P<port>\d+)\s*$"
+)
+
+
+def format_listening(component: str, host: str, port: int) -> str:
+    """The one stable stdout line announcing a bound socket."""
+    return f"repro {component}: listening on {host}:{port}"
+
+
+def announce_listening(
+    component: str, host: str, port: int, stream: Optional[TextIO] = None
+) -> None:
+    """Print (and flush) the announcement line on ``stream``/stdout."""
+    out = stream if stream is not None else sys.stdout
+    print(format_listening(component, host, port), file=out, flush=True)
+
+
+def parse_listening(line: str) -> Optional[Tuple[str, str, int]]:
+    """Parse one announcement line; ``(component, host, port)`` or None."""
+    match = _LISTENING_RE.match(line.strip())
+    if match is None:
+        return None
+    return match.group("component"), match.group("host"), int(match.group("port"))
+
+
+async def read_listening(
+    reader: asyncio.StreamReader, timeout_s: float = 20.0
+) -> Tuple[str, str, int]:
+    """Read a child's stdout until its announcement line appears.
+
+    Skips unrelated lines (a child may be wrapped by tooling that
+    prints first).  Raises ``TimeoutError`` when nothing parseable
+    arrives within ``timeout_s`` — the supervisor treats that as a
+    failed spawn — and ``ConnectionError`` on EOF (the child died
+    before binding; its exit code tells the rest of the story).
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while True:
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"no listening announcement within {timeout_s:.1f}s"
+            )
+        try:
+            line = await asyncio.wait_for(reader.readline(), remaining)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"no listening announcement within {timeout_s:.1f}s"
+            ) from None
+        if not line:
+            raise ConnectionError("child exited before announcing its port")
+        parsed = parse_listening(line.decode("utf-8", "replace"))
+        if parsed is not None:
+            return parsed

@@ -42,6 +42,7 @@ README's "Failure semantics" section documents:
 op               idempotent   why / what a blind resend does
 ===============  ===========  ==============================================
 ``hello``        yes          pure read of server capabilities
+``health``       yes          pure read of liveness/load (the heartbeat op)
 ``encode_trace`` yes          stateless pure function of the request body
 ``sweep``        yes          pure function (workload sim is deterministic)
 ``open``         no           each call creates a fresh session (leaks state)
@@ -126,7 +127,8 @@ ERR_BUSY = "busy"  #: bounded queue full — back off and retry (HTTP 429)
 ERR_TIMEOUT = "timeout"  #: request exceeded the server's deadline
 ERR_DESYNC = "desync"  #: resilient session detected FSM divergence
 ERR_INTERNAL = "internal"  #: unexpected server-side failure
-ERR_SHUTDOWN = "shutdown"  #: admitted but abandoned — server is draining
+ERR_SHUTDOWN = "shutdown"  #: server is draining — the request was NOT
+#: applied (rejected at the door or abandoned pre-apply); retry elsewhere
 ERR_STALE_CHECKPOINT = "stale_checkpoint"  #: exported state unusable
 #: (wrong format/protocol, or the integrity digest does not verify)
 ERR_RESUME_MISMATCH = "resume_mismatch"  #: well-formed state disagrees
@@ -149,6 +151,8 @@ ERROR_CODES = (
 #: The operations of protocol version 2.
 KNOWN_OPS = (
     "hello",  # server identification + capabilities
+    "health",  # liveness + load snapshot (the supervisor's heartbeat op;
+    #            deliberately cheap so a wedged engine fails it loudly)
     "open",  # create a per-connection streaming session
     "encode",  # advance a session's encoder FSM by one chunk
     "decode",  # advance a session's decoder FSM by one chunk
@@ -168,7 +172,7 @@ KNOWN_OPS = (
 #: (transport error or attempt timeout) — see the idempotency table in
 #: the module docstring.  ``busy`` rejections are retryable for every
 #: op regardless, because the server never admitted the request.
-IDEMPOTENT_OPS = frozenset({"hello", "encode_trace", "sweep"})
+IDEMPOTENT_OPS = frozenset({"hello", "health", "encode_trace", "sweep"})
 
 
 class ProtocolError(ValueError):

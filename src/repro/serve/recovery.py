@@ -34,7 +34,8 @@ after a transport fault, from the same kind of checkpoint state.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from . import protocol
@@ -42,7 +43,7 @@ from .client import EncodeStream, TraceClient
 from .protocol import ProtocolError
 from .retry import CircuitBreaker, RetryPolicy
 
-__all__ = ["ResilientTraceClient"]
+__all__ = ["ReplayBuffer", "ResilientTraceClient"]
 
 log = obs.get_logger("serve.recovery")
 
@@ -52,6 +53,76 @@ DEFAULT_CHECKPOINT_EVERY = 3
 #: Error codes recoverable by reconnect → resume → replay (the session
 #: is gone or fenced, but the exported checkpoint is still good).
 _RESUMABLE_CODES = frozenset({protocol.ERR_NO_SESSION, protocol.ERR_INTERNAL})
+
+
+@dataclass
+class ReplayBuffer:
+    """Checkpoint blob + acknowledged-op tail = a rebuildable session.
+
+    The migrate-by-checkpoint primitive, shared by the client side
+    (:class:`ResilientTraceClient`) and the cluster router's back side
+    (:class:`repro.serve.cluster.ClusterRouter` failing a session over
+    to another worker): hold the last *exported* digest-sealed
+    checkpoint, log every acknowledged ``encode``/``decode`` op since,
+    and rebuild the session anywhere by ``resume`` (or a fresh ``open``
+    when nothing was ever exported) followed by :meth:`replay`.
+
+    The replay **verifies**: deterministic FSMs must reproduce the
+    original outputs bit-for-bit, so a divergence means the restored
+    state is not the state we think it is — that is surfaced as
+    ``resume_mismatch``, never papered over.
+    """
+
+    checkpoint: Optional[Dict[str, Any]] = None
+    #: Acknowledged ops since the checkpoint: ``(op, inputs, outputs)``.
+    tail: List[Tuple[str, List[int], List[int]]] = field(default_factory=list)
+
+    @property
+    def tail_ops(self) -> int:
+        return len(self.tail)
+
+    @property
+    def tail_cycles(self) -> int:
+        return sum(len(inputs) for _, inputs, _ in self.tail)
+
+    def record(self, op: str, inputs: Sequence[int], outputs: Sequence[int]) -> None:
+        """Log one acknowledged session op (``encode`` or ``decode``)."""
+        assert op in ("encode", "decode"), f"unreplayable op {op!r}"
+        self.tail.append((op, [int(v) for v in inputs], [int(v) for v in outputs]))
+
+    def seal(self, exported: Dict[str, Any]) -> None:
+        """Adopt a fresh exported checkpoint; the tail is now redundant."""
+        self.checkpoint = exported
+        self.tail.clear()
+
+    def clear(self) -> None:
+        """Forget everything (the session's history was invalidated)."""
+        self.checkpoint = None
+        self.tail.clear()
+
+    async def replay(self, stream: EncodeStream) -> int:
+        """Re-apply the tail to a freshly resumed/opened stream.
+
+        Returns the number of cycles replayed.  Raises
+        :class:`ProtocolError` (``resume_mismatch``) if any replayed
+        op's outputs differ from the originally acknowledged ones.
+        """
+        replayed = 0
+        for op, inputs, outputs in self.tail:
+            if op == "encode":
+                produced = await stream.feed(inputs)
+            else:
+                produced = await stream.decode(inputs)
+            if [int(v) for v in produced] != outputs:
+                raise ProtocolError(
+                    protocol.ERR_RESUME_MISMATCH,
+                    f"replayed {op} tail diverged from the original stream "
+                    f"({replayed + len(inputs)} cycles after resume)",
+                )
+            replayed += len(inputs)
+        if replayed:
+            obs.inc("serve.client_replayed_cycles", replayed)
+        return replayed
 
 
 class ResilientTraceClient:
@@ -103,14 +174,22 @@ class ResilientTraceClient:
         self.checkpoint_every = int(checkpoint_every)
         self._client: Optional[TraceClient] = None
         self._stream: Optional[EncodeStream] = None
-        self._ckpt: Optional[Dict[str, Any]] = None  # exported state blob
-        self._tail_values: List[int] = []  # fed since the checkpoint
-        self._tail_states: List[int] = []  # ...and what they encoded to
+        self._buffer = ReplayBuffer()
         self._since_ckpt = 0
         #: Recovery telemetry (also mirrored to ``serve.client_*`` obs).
         self.resumes = 0
         self.reconnects = 0
         self.cycles = 0
+
+    @property
+    def session_id(self) -> Optional[int]:
+        """The live server-side session id, or None between connections.
+
+        Against a cluster router this is the *cluster* session id — the
+        stable identity the soak uses to find which worker currently
+        hosts the stream (and SIGKILL it).
+        """
+        return self._stream.session_id if self._stream is not None else None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -153,9 +232,9 @@ class ResilientTraceClient:
             return self._stream
         client = await TraceClient.connect(self.host, self.port)
         try:
-            if self._ckpt is not None:
+            if self._buffer.checkpoint is not None:
                 stream = await client.resume_stream(
-                    self._ckpt, coder=self.coder, width=self.width
+                    self._buffer.checkpoint, coder=self.coder, width=self.width
                 )
                 self.resumes += 1
                 obs.inc("serve.client_resumes", coder=self.coder)
@@ -169,19 +248,12 @@ class ResilientTraceClient:
                 stream = await client.open_stream(
                     self.coder, self.width, policy=self.policy
                 )
-            if self._tail_values:
-                # Replay what was fed after the checkpoint.  The FSMs
-                # are deterministic, so the replay must reproduce the
-                # original states bit-for-bit — anything else means
-                # the restored state is not the state we think it is.
-                replayed = await stream.feed(self._tail_values)
-                if [int(s) for s in replayed] != self._tail_states:
-                    raise ProtocolError(
-                        protocol.ERR_RESUME_MISMATCH,
-                        "replayed tail diverged from the original stream "
-                        f"({len(replayed)} cycles after resume)",
-                    )
-                obs.inc("serve.client_replayed_cycles", len(self._tail_values))
+            # Replay what was fed after the checkpoint.  The FSMs are
+            # deterministic, so the replay must reproduce the original
+            # states bit-for-bit (ReplayBuffer verifies; a divergence
+            # raises `resume_mismatch` rather than streaming on from
+            # state we cannot trust).
+            await self._buffer.replay(stream)
         except BaseException:
             await client.close()
             raise
@@ -233,8 +305,7 @@ class ResilientTraceClient:
                 last_error = exc
             else:
                 self.breaker.record_success()
-                self._tail_values.extend(chunk)
-                self._tail_states.extend(int(s) for s in states)
+                self._buffer.record("encode", chunk, states)
                 self.cycles += len(chunk)
                 self._since_ckpt += 1
                 if self._since_ckpt >= self.checkpoint_every:
@@ -270,8 +341,6 @@ class ResilientTraceClient:
             self.breaker.record_failure()
             await self._teardown()
             return
-        self._ckpt = exported
-        self._tail_values.clear()
-        self._tail_states.clear()
+        self._buffer.seal(exported)
         self._since_ckpt = 0
         obs.inc("serve.client_checkpoints", coder=self.coder)

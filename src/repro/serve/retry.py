@@ -40,6 +40,7 @@ __all__ = [
     "RetryBudgetExceeded",
     "CircuitBreaker",
     "CircuitOpenError",
+    "RestartBackoff",
 ]
 
 
@@ -233,3 +234,87 @@ class CircuitBreaker:
                 obs.inc("serve.breaker_opened")
             self._state = "open"
             self._opened_at = now
+
+
+class RestartBackoff:
+    """Restart pacing for supervised processes: jittered exponential
+    backoff plus a flap detector.
+
+    The retry classes above pace *calls*; this paces *process
+    restarts*.  Each :meth:`next_delay` records one restart and returns
+    how long the supervisor should wait before spawning the
+    replacement: exponential in the current consecutive-restart streak,
+    jittered (seeded, so supervised soaks stay reproducible), and
+    capped.  A worker that keeps dying — ``flap_threshold`` restarts
+    inside ``flap_window_s`` — is *flapping*: the backoff jumps to
+    ``hold_down_s`` so a crash-looping worker cannot monopolise the
+    supervisor, but it is never abandoned (the cluster must heal when
+    the cause clears).  :meth:`note_stable` resets the streak once the
+    process has stayed up past ``stable_after_s``.
+
+    All methods accept an explicit ``now`` so tests drive a fake clock.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_s: float = 2.0,
+        jitter: float = 0.5,
+        flap_window_s: float = 30.0,
+        flap_threshold: int = 5,
+        hold_down_s: float = 5.0,
+        stable_after_s: float = 5.0,
+        seed: int = 0,
+    ):
+        if base_s < 0 or max_s < 0 or hold_down_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if flap_threshold < 1:
+            raise ValueError(f"flap_threshold must be >= 1, got {flap_threshold}")
+        self.base_s = float(base_s)
+        self.multiplier = float(multiplier)
+        self.max_s = float(max_s)
+        self.jitter = float(jitter)
+        self.flap_window_s = float(flap_window_s)
+        self.flap_threshold = int(flap_threshold)
+        self.hold_down_s = float(hold_down_s)
+        self.stable_after_s = float(stable_after_s)
+        self._rng = random.Random(seed * 0x9E3779B1 + 0x5F)
+        self._streak = 0
+        self._recent: list = []  # restart timestamps inside the window
+        self.restarts = 0  #: lifetime restart count (telemetry)
+
+    @property
+    def flapping(self) -> bool:
+        """True while the flap detector holds the worker down."""
+        return len(self._recent) >= self.flap_threshold
+
+    def next_delay(self, now: Optional[float] = None) -> float:
+        """Record one restart; return the pre-spawn delay in seconds."""
+        now = now if now is not None else time.monotonic()
+        self.restarts += 1
+        self._streak += 1
+        self._recent = [t for t in self._recent if now - t < self.flap_window_s]
+        self._recent.append(now)
+        nominal = min(
+            self.max_s, self.base_s * (self.multiplier ** (self._streak - 1))
+        )
+        if self.flapping:
+            obs.inc("cluster.flaps_detected")
+            nominal = max(nominal, self.hold_down_s)
+        if self.jitter > 0.0 and nominal > 0.0:
+            floor = nominal * (1.0 - self.jitter)
+            nominal = floor + self._rng.random() * (nominal - floor)
+        return nominal
+
+    def note_stable(self, uptime_s: float, now: Optional[float] = None) -> None:
+        """Report the process has been healthy for ``uptime_s`` seconds;
+        past ``stable_after_s`` the streak (and flap window) reset."""
+        if uptime_s >= self.stable_after_s:
+            self._streak = 0
+            now = now if now is not None else time.monotonic()
+            self._recent = [t for t in self._recent if now - t < self.flap_window_s]
+            if not self.flapping:
+                self._recent.clear()

@@ -1,0 +1,113 @@
+"""Consistent hashing for session → worker placement.
+
+Sessions are sharded across engine workers by consistent hashing on
+the cluster session id.  The ring is the classic construction: each
+worker contributes ``replicas`` points (SHA-256 of ``worker:replica``)
+on a 64-bit circle; a key is owned by the first point clockwise of its
+own hash.  Properties the cluster relies on:
+
+* **stability** — placement is a pure function of (member set, key):
+  two routers with the same live-worker view agree on every session's
+  home, and a soak's placement is reproducible run to run;
+* **minimal movement** — when a worker dies or (re)joins, only the
+  keys in its arc move; everyone else stays put, which is what keeps a
+  planned rebalance small;
+* **spread** — ``replicas`` virtual nodes per worker keep the arcs
+  even enough that N workers each take ~1/N of the sessions.
+
+Members are plain strings (worker ids).  The ring is deliberately
+synchronous and allocation-light: the router consults it on every
+``open`` and during failover/rebalance, never across an await.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per member; 64 keeps the max/min arc ratio tight for
+#: single-digit worker counts without measurable lookup cost.
+DEFAULT_REPLICAS = 64
+
+
+def _point(token: str) -> int:
+    """64-bit position of a token on the circle."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over string member ids."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []  # sorted (position, member)
+        self._keys: List[int] = []  # positions only (bisect view)
+        self._members: Dict[str, List[int]] = {}
+
+    # -- membership ---------------------------------------------------
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def add(self, member: str) -> None:
+        """Join a member (idempotent)."""
+        if member in self._members:
+            return
+        positions = []
+        for replica in range(self.replicas):
+            position = _point(f"{member}:{replica}")
+            bisect.insort(self._points, (position, member))
+            positions.append(position)
+        self._members[member] = positions
+        self._keys = [p for p, _ in self._points]
+
+    def remove(self, member: str) -> None:
+        """Leave a member (idempotent)."""
+        if member not in self._members:
+            return
+        del self._members[member]
+        self._points = [(p, m) for p, m in self._points if m != member]
+        self._keys = [p for p, _ in self._points]
+
+    # -- lookup -------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The member owning ``key``, or None on an empty ring."""
+        if not self._points:
+            return None
+        position = _point(key)
+        index = bisect.bisect_right(self._keys, position)
+        if index == len(self._points):
+            index = 0  # wrap: first point clockwise of the top
+        return self._points[index][1]
+
+    def lookup_excluding(self, key: str, excluded: set) -> Optional[str]:
+        """The owner of ``key`` among members not in ``excluded``.
+
+        Walks clockwise from the key's own point, so the fallback
+        owner is deterministic and, when the excluded member rejoins,
+        the key's primary owner is unchanged.
+        """
+        if not self._points:
+            return None
+        position = _point(key)
+        start = bisect.bisect_right(self._keys, position)
+        n = len(self._points)
+        for step in range(n):
+            member = self._points[(start + step) % n][1]
+            if member not in excluded:
+                return member
+        return None

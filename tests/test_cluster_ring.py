@@ -1,0 +1,89 @@
+"""Unit tests for the consistent-hash ring behind cluster placement.
+
+The properties pinned here are exactly the ones the router builds on:
+deterministic placement, minimal movement on membership change,
+reasonable spread, and the ``lookup_excluding`` walk that makes a
+failed-over session come *home* when its worker rejoins.
+"""
+
+import pytest
+
+from repro.serve.ring import HashRing
+
+
+def ring_of(*members, replicas=64):
+    ring = HashRing(replicas=replicas)
+    for member in members:
+        ring.add(member)
+    return ring
+
+
+class TestMembership:
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = ring_of("w0", "w1")
+        ring.add("w0")
+        assert len(ring) == 2
+        ring.remove("w1")
+        ring.remove("w1")
+        assert ring.members == ["w0"]
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.lookup("s1") is None
+        assert ring.lookup_excluding("s1", set()) is None
+
+
+class TestPlacement:
+    def test_placement_is_deterministic(self):
+        a = ring_of("w0", "w1", "w2")
+        b = ring_of("w2", "w0", "w1")  # insertion order must not matter
+        for key in map(str, range(200)):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_spread_is_roughly_even(self):
+        ring = ring_of("w0", "w1", "w2", "w3")
+        counts = {m: 0 for m in ring.members}
+        for key in map(str, range(2000)):
+            counts[ring.lookup(key)] += 1
+        # 64 virtual nodes keep every arc within a loose 2x band of the
+        # fair share (500) — enough that no worker idles or drowns.
+        assert min(counts.values()) > 250
+        assert max(counts.values()) < 1000
+
+    def test_removal_moves_only_the_dead_members_keys(self):
+        ring = ring_of("w0", "w1", "w2", "w3")
+        before = {key: ring.lookup(key) for key in map(str, range(500))}
+        ring.remove("w2")
+        for key, owner in before.items():
+            if owner == "w2":
+                assert ring.lookup(key) != "w2"
+            else:
+                assert ring.lookup(key) == owner  # everyone else stays put
+
+
+class TestLookupExcluding:
+    def test_exclusion_matches_removal(self):
+        """Excluding a member routes exactly like removing it — the
+        failover target is the key's next-clockwise live owner."""
+        ring = ring_of("w0", "w1", "w2", "w3")
+        removed = ring_of("w0", "w1", "w3")
+        for key in map(str, range(300)):
+            assert ring.lookup_excluding(key, {"w2"}) == removed.lookup(key)
+
+    def test_primary_owner_survives_exclusion_rounds(self):
+        """The whole point of exclude-don't-remove: when the dead worker
+        comes back, every key's primary owner is what it always was."""
+        ring = ring_of("w0", "w1", "w2")
+        primaries = {key: ring.lookup(key) for key in map(str, range(300))}
+        for key in primaries:
+            ring.lookup_excluding(key, {"w1"})  # failover rounds
+        for key, owner in primaries.items():
+            assert ring.lookup(key) == owner
+
+    def test_all_excluded_returns_none(self):
+        ring = ring_of("w0", "w1")
+        assert ring.lookup_excluding("s", {"w0", "w1"}) is None

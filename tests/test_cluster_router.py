@@ -1,0 +1,357 @@
+"""Router tests against in-process workers — no subprocesses.
+
+The :class:`ClusterRouter` takes worker membership by method call, so
+everything the cluster does over real ports — sharded placement,
+session-id virtualisation, crash failover with verified replay,
+planned migration, rebalance — is testable here with plain
+:class:`TraceServer` instances standing in for supervised workers.
+The process-level half (spawn/SIGKILL/restart) lives in the
+``chaos``-marked supervisor and cluster-soak tests.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.coding import parse_coder_spec
+from repro.serve import TraceClient, TraceServer, protocol
+from repro.serve.cluster import ClusterRouter
+from repro.traces import BusTrace
+from repro.workloads import locality_trace
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_worker(host="127.0.0.1"):
+    server = TraceServer(host=host, port=0, queue_limit=64, batch_limit=16)
+    await server.start()
+    return server
+
+
+class _Rig:
+    """A router + N in-process workers, torn down in reverse order."""
+
+    def __init__(self, workers=2, **router_kwargs):
+        self.worker_count = workers
+        self.router_kwargs = router_kwargs
+        self.servers = {}
+        self.router = None
+
+    async def __aenter__(self):
+        self.router = ClusterRouter(port=0, **self.router_kwargs)
+        for index in range(self.worker_count):
+            worker_id = f"w{index}"
+            server = await start_worker()
+            self.servers[worker_id] = server
+            self.router.add_worker(worker_id, "127.0.0.1", server.port)
+        await self.router.start()
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.router.stop()
+        for server in self.servers.values():
+            await server.stop(drain_timeout_s=1.0)
+
+    async def crash(self, worker_id):
+        """Kill a worker the way the supervisor reports it: the process
+        is gone (connections die) and ``worker_down`` is pushed."""
+        await self.servers.pop(worker_id).stop(drain_timeout_s=0.0)
+        self.router.worker_down(worker_id)
+
+    async def restart(self, worker_id, generation=2):
+        """The supervisor respawned ``worker_id`` on a fresh port."""
+        server = await start_worker()
+        self.servers[worker_id] = server
+        self.router.add_worker(worker_id, "127.0.0.1", server.port, generation)
+        return server
+
+    def host_of(self, cluster_session):
+        session = self.router.sessions.get(cluster_session)
+        return session.worker_id if session is not None else None
+
+
+def expected_states(spec, width, values):
+    coder = parse_coder_spec(spec, width)
+    trace = BusTrace(np.asarray(values, dtype=np.uint64), width, "expected")
+    return [int(s) for s in coder.encode_trace(trace).values]
+
+
+class TestLocalOps:
+    def test_hello_identifies_the_cluster(self):
+        async def scenario():
+            async with _Rig(workers=2) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    return await client.hello()
+
+        hello = run(scenario())
+        assert hello["server"] == "repro.serve.cluster"
+        assert hello["protocol"] == protocol.PROTOCOL_VERSION
+        assert hello["workers"] == 2
+
+    def test_health_counts_live_workers(self):
+        async def scenario():
+            async with _Rig(workers=2) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    before = await client.request("health")
+                    await rig.crash("w0")
+                    after = await client.request("health")
+                    return before, after
+
+        before, after = run(scenario())
+        assert (before["workers_live"], before["workers_total"]) == (2, 2)
+        assert (after["workers_live"], after["workers_total"]) == (1, 2)
+
+    def test_envelope_errors_do_not_reach_workers(self):
+        async def scenario():
+            async with _Rig(workers=1) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    bad = await client.request("nonsense")
+                    no_session = await client.request("encode", session=99, values=[1])
+                    return bad, no_session
+
+        bad, no_session = run(scenario())
+        assert bad["error"]["code"] == protocol.ERR_UNKNOWN_OP
+        assert no_session["error"]["code"] == protocol.ERR_NO_SESSION
+
+
+class TestRoutedStreaming:
+    def test_streamed_encode_matches_the_library(self):
+        async def scenario():
+            async with _Rig(workers=3) as rig:
+                trace = locality_trace(240, width=16, seed=11)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("window8", width=16)
+                    states = []
+                    for start in range(0, len(values), 40):
+                        states.extend(await stream.feed(values[start : start + 40]))
+                    await stream.close()
+                    return states, values
+
+        states, values = run(scenario())
+        assert states == expected_states("window8", 16, values)
+
+    def test_sessions_shard_across_workers(self):
+        async def scenario():
+            async with _Rig(workers=3) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    streams = [
+                        await client.open_stream("last", width=8) for _ in range(24)
+                    ]
+                    hosts = {rig.host_of(s.session_id) for s in streams}
+                    for stream in streams:
+                        await stream.close()
+                    return hosts
+
+        hosts = run(scenario())
+        assert len(hosts) >= 2  # consistent hashing actually spreads
+
+    def test_cluster_session_ids_are_virtual(self):
+        """Clients see cluster ids; two sessions on different workers
+        must not collide even when the workers allocate the same local
+        session id (they both start at 1)."""
+
+        async def scenario():
+            async with _Rig(workers=3) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    streams = [
+                        await client.open_stream("invert", width=8) for _ in range(6)
+                    ]
+                    ids = [s.session_id for s in streams]
+                    # Every stream must be independently addressable.
+                    outs = [await s.feed([1, 2, 3]) for s in streams]
+                    for stream in streams:
+                        await stream.close()
+                    return ids, outs
+
+        ids, outs = run(scenario())
+        assert len(set(ids)) == len(ids)
+        assert all(out == outs[0] for out in outs)  # same coder, same chunk
+
+    def test_stateless_ops_round_robin(self):
+        async def scenario():
+            async with _Rig(workers=2) as rig:
+                trace = locality_trace(100, width=8, seed=3)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    responses = [
+                        await client.request(
+                            "encode_trace", coder="invert", width=8, values=values
+                        )
+                        for _ in range(4)
+                    ]
+                    return responses, values
+
+        responses, values = run(scenario())
+        expected = expected_states("invert", 8, values)
+        for response in responses:
+            assert response["ok"] and response["states"] == expected
+
+
+class TestFailover:
+    def test_crash_failover_is_bit_exact(self):
+        async def scenario():
+            async with _Rig(workers=2, checkpoint_every=2) as rig:
+                trace = locality_trace(200, width=16, seed=23)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("fcm", width=16)
+                    states = []
+                    for start in range(0, 120, 40):
+                        states.extend(await stream.feed(values[start : start + 40]))
+                    victim = rig.host_of(stream.session_id)
+                    await rig.crash(victim)
+                    # The very next op fails over: resume on the ring
+                    # neighbour from the router's sealed checkpoint,
+                    # verified tail replay, then the op applies once.
+                    for start in range(120, 200, 40):
+                        states.extend(await stream.feed(values[start : start + 40]))
+                    survivor = rig.host_of(stream.session_id)
+                    failovers = rig.router.sessions[stream.session_id].failovers
+                    await stream.close()
+                    return states, values, victim, survivor, failovers
+
+        states, values, victim, survivor, failovers = run(scenario())
+        assert states == expected_states("fcm", 16, values)
+        assert survivor != victim
+        assert failovers == 1
+
+    def test_failover_without_any_checkpoint_replays_from_open(self):
+        """A session whose tail never crossed ``checkpoint_every`` has
+        no exported blob: failover must rebuild by fresh open + full
+        verified replay of the acknowledged tail."""
+
+        async def scenario():
+            async with _Rig(workers=2, checkpoint_every=1000) as rig:
+                trace = locality_trace(120, width=16, seed=31)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("stride4", width=16)
+                    states = list(await stream.feed(values[:60]))
+                    await rig.crash(rig.host_of(stream.session_id))
+                    states.extend(await stream.feed(values[60:]))
+                    await stream.close()
+                    return states, values
+
+        states, values = run(scenario())
+        assert states == expected_states("stride4", 16, values)
+
+    def test_unreported_crash_still_fails_over(self):
+        """Even before the supervisor notices (no ``worker_down`` yet),
+        transport errors + the per-worker breaker converge the op onto
+        a live worker."""
+
+        async def scenario():
+            async with _Rig(workers=2, checkpoint_every=2) as rig:
+                trace = locality_trace(120, width=16, seed=37)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("window8", width=16)
+                    states = list(await stream.feed(values[:60]))
+                    victim = rig.host_of(stream.session_id)
+                    # Stop the server but do NOT tell the router.
+                    await rig.servers.pop(victim).stop(drain_timeout_s=0.0)
+                    states.extend(await stream.feed(values[60:]))
+                    await stream.close()
+                    rig.router.worker_down(victim)  # tidy teardown
+                    return states, values
+
+        states, values = run(scenario())
+        assert states == expected_states("window8", 16, values)
+
+    def test_open_avoids_dead_workers(self):
+        async def scenario():
+            async with _Rig(workers=2) as rig:
+                await rig.crash("w0")
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    streams = [
+                        await client.open_stream("last", width=8) for _ in range(6)
+                    ]
+                    hosts = {rig.host_of(s.session_id) for s in streams}
+                    for stream in streams:
+                        await stream.close()
+                    return hosts
+
+        assert run(scenario()) == {"w1"}
+
+    def test_no_live_workers_answers_busy(self):
+        async def scenario():
+            async with _Rig(workers=1) as rig:
+                await rig.crash("w0")
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    return await client.request("open", coder="last", width=8)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.ERR_BUSY
+
+
+class TestPlannedMigration:
+    def test_rebalance_brings_sessions_home(self):
+        async def scenario():
+            async with _Rig(workers=2, checkpoint_every=2) as rig:
+                trace = locality_trace(200, width=16, seed=41)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("transition", width=16)
+                    states = list(await stream.feed(values[:80]))
+                    home = rig.host_of(stream.session_id)
+                    await rig.crash(home)
+                    states.extend(await stream.feed(values[80:120]))  # failover
+                    away = rig.host_of(stream.session_id)
+                    await rig.restart(home)
+                    moved = await rig.router.rebalance()
+                    back = rig.host_of(stream.session_id)
+                    states.extend(await stream.feed(values[120:]))
+                    migrations = rig.router.sessions[stream.session_id].migrations
+                    await stream.close()
+                    return states, values, home, away, back, moved, migrations
+
+        states, values, home, away, back, moved, migrations = run(scenario())
+        assert states == expected_states("transition", 16, values)
+        assert away != home
+        assert back == home  # exclude-don't-remove made the home stable
+        assert moved == 1
+        assert migrations == 1
+
+    def test_rebalance_moves_nothing_when_everyone_is_home(self):
+        async def scenario():
+            async with _Rig(workers=2) as rig:
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    streams = [
+                        await client.open_stream("last", width=8) for _ in range(4)
+                    ]
+                    moved = await rig.router.rebalance()
+                    for stream in streams:
+                        await stream.close()
+                    return moved
+
+        assert run(scenario()) == 0
+
+
+class TestClientResume:
+    def test_client_resume_through_the_router(self):
+        """A client's exported checkpoint resumes against the cluster
+        exactly as against a single server — and arms the router's own
+        failover buffer from the first cycle."""
+
+        async def scenario():
+            async with _Rig(workers=2, checkpoint_every=2) as rig:
+                trace = locality_trace(160, width=16, seed=43)
+                values = [int(v) for v in trace.values]
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    stream = await client.open_stream("fcm", width=16)
+                    states = list(await stream.feed(values[:80]))
+                    _checkpoint_id, state = await stream.checkpoint(export=True)
+                # Connection gone; resume on a fresh one.
+                async with await TraceClient.connect("127.0.0.1", rig.router.port) as client:
+                    resumed = await client.resume_stream(state, coder="fcm", width=16)
+                    states.extend(await resumed.feed(values[80:]))
+                    await resumed.close()
+                return states, values
+
+        states, values = run(scenario())
+        assert states == expected_states("fcm", 16, values)

@@ -1,0 +1,38 @@
+"""End-to-end cluster soak as a pytest (``chaos`` lane).
+
+One quick-profile run of the kill-the-worker soak: real supervised
+worker processes behind a real router, concurrent client streams,
+SIGKILL mid-stream, a planned rebalance, and a full drain — asserting
+the same invariants the CI gate enforces via ``repro cluster-soak``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.cluster_soak import ClusterSoakConfig, run_cluster_soak
+
+@pytest.mark.chaos
+class TestClusterSoak:
+    def test_quick_profile_passes_every_invariant(self):
+        config = ClusterSoakConfig.quick()
+        report = asyncio.run(run_cluster_soak(config))
+        assert report.ok, f"cluster soak failed: {report.failures}"
+        assert report.streams_verified == config.clients
+        assert report.failovers >= 1
+        assert report.migrations >= 1
+        assert report.kills >= 1
+        assert report.worker_restarts >= 1
+        assert report.drain.get("clean") is True
+
+
+class TestConfigValidation:
+    def test_one_worker_cannot_fail_over(self):
+        with pytest.raises(ValueError):
+            ClusterSoakConfig(workers=1)
+
+    def test_rejects_degenerate_sizing(self):
+        with pytest.raises(ValueError):
+            ClusterSoakConfig(clients=0)
+        with pytest.raises(ValueError):
+            ClusterSoakConfig(cycles=10, chunk=20)

@@ -1,0 +1,111 @@
+"""Tests for the cluster load generator.
+
+Small closed- and open-loop runs against an in-process
+:class:`TraceServer` — the loadgen speaks the same protocol to a
+single server and to a cluster router, so the cheap target suffices
+for correctness; the CI cluster-soak covers the real topology.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import TraceServer
+from repro.serve.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def run_against_server(**overrides):
+    async with TraceServer(host="127.0.0.1", port=0, queue_limit=64) as server:
+        config = LoadgenConfig(port=server.port, **overrides)
+        return await run_loadgen(config)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(mode="half-open")
+
+    def test_rejects_non_positive_sizing(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(streams=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(chunks=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(chunk=0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(rate=0.0)
+
+
+class TestReport:
+    def test_quantile_is_exact_on_samples(self):
+        report = LoadgenReport(latencies_s=[0.4, 0.1, 0.3, 0.2])
+        assert report.quantile(0.0) == pytest.approx(0.1)
+        assert report.quantile(1.0) == pytest.approx(0.4)
+        assert report.quantile(0.5) == pytest.approx(0.3)  # round-half-even index
+
+    def test_quantile_of_empty_report_is_zero(self):
+        assert LoadgenReport().quantile(0.99) == 0.0
+
+    def test_throughput_guards_zero_elapsed(self):
+        assert LoadgenReport(cycles=100, elapsed_s=0.0).throughput_cps == 0.0
+
+    def test_as_dict_is_json_shaped(self):
+        report = LoadgenReport(
+            mode="open", streams=2, chunks_done=4, cycles=80,
+            elapsed_s=0.5, latencies_s=[0.01, 0.02],
+        )
+        out = report.as_dict()
+        assert out["throughput_cps"] == pytest.approx(160.0)
+        assert out["latency_p50_ms"] > 0
+        assert out["errors"] == []
+
+
+class TestClosedLoop:
+    def test_every_chunk_lands(self):
+        report = run(
+            run_against_server(mode="closed", streams=3, chunks=4, chunk=16)
+        )
+        assert report.chunks_done == 3 * 4
+        assert report.chunks_failed == 0
+        assert report.cycles == 3 * 4 * 16
+        assert len(report.latencies_s) == report.chunks_done
+        assert report.errors == []
+
+    def test_unreachable_server_reports_failures_not_raises(self):
+        async def scenario():
+            # Grab a port and close it: nothing listens there.
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            config = LoadgenConfig(
+                port=port, streams=2, chunks=2, chunk=8,
+                attempt_timeout_s=0.2, deadline_s=0.5,
+            )
+            return await run_loadgen(config)
+
+        report = run(scenario())
+        assert report.chunks_done == 0
+        assert report.chunks_failed == 2 * 2
+        assert report.errors  # capped sample of what went wrong
+
+
+class TestOpenLoop:
+    def test_paced_arrivals_still_deliver_everything(self):
+        report = run(
+            run_against_server(
+                mode="open", streams=2, chunks=3, chunk=16, rate=500.0
+            )
+        )
+        assert report.mode == "open"
+        assert report.chunks_done == 2 * 3
+        assert report.chunks_failed == 0
+        assert report.cycles == 2 * 3 * 16

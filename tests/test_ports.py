@@ -1,0 +1,72 @@
+"""Tests for the shared ``--port 0`` announce/parse contract.
+
+Every serving CLI prints one stable stdout line per listening socket;
+the supervisor (and scripts) parse it back.  These tests pin the line
+format and the deadline/EOF behaviour of the async reader the
+supervisor points at a worker's stdout pipe.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import ports
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFormat:
+    def test_round_trip(self):
+        line = ports.format_listening("serve", "127.0.0.1", 40001)
+        assert line == "repro serve: listening on 127.0.0.1:40001"
+        assert ports.parse_listening(line) == ("serve", "127.0.0.1", 40001)
+
+    def test_component_is_free_form(self):
+        line = ports.format_listening("cluster: worker w3", "127.0.0.1", 7)
+        assert ports.parse_listening(line) == ("cluster: worker w3", "127.0.0.1", 7)
+
+    def test_non_matching_lines_parse_to_none(self):
+        assert ports.parse_listening("") is None
+        assert ports.parse_listening("repro serve: draining") is None
+        assert ports.parse_listening("listening on 127.0.0.1:1") is None
+
+    def test_announce_writes_one_line(self, capsys):
+        ports.announce_listening("serve", "127.0.0.1", 1234)
+        assert capsys.readouterr().out == "repro serve: listening on 127.0.0.1:1234\n"
+
+
+def reader_with(data: bytes, at_eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if at_eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestReadListening:
+    def test_skips_noise_until_the_announcement(self):
+        async def scenario():
+            reader = reader_with(
+                b"some wrapper banner\n"
+                b"repro serve: listening on 127.0.0.1:40123\n"
+            )
+            return await ports.read_listening(reader, timeout_s=1.0)
+
+        assert run(scenario()) == ("serve", "127.0.0.1", 40123)
+
+    def test_eof_before_announcement_is_connection_error(self):
+        async def scenario():
+            with pytest.raises(ConnectionError):
+                await ports.read_listening(reader_with(b"crash\n"), timeout_s=1.0)
+
+        run(scenario())
+
+    def test_silence_past_deadline_is_timeout(self):
+        async def scenario():
+            silent = asyncio.StreamReader()  # never fed, never EOF
+            with pytest.raises(TimeoutError):
+                await ports.read_listening(silent, timeout_s=0.05)
+
+        run(scenario())

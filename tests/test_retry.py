@@ -11,6 +11,7 @@ import pytest
 from repro.serve.retry import (
     CircuitBreaker,
     CircuitOpenError,
+    RestartBackoff,
     RetryBudgetExceeded,
     RetryPolicy,
 )
@@ -144,3 +145,101 @@ class TestCircuitBreaker:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)
+
+    def test_reopen_after_half_open_failure_restarts_the_full_cooldown(self):
+        """A failed probe must buy the server a *full* fresh cooldown,
+        measured from the probe failure — not the original opening."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0)
+        breaker.record_failure(now=0.0)
+        breaker.before_attempt(now=6.0)  # half-open probe
+        breaker.record_failure(now=6.0)  # probe failed -> re-open at t=6
+        # 5s after the ORIGINAL open would be t=5 (already past); 5s
+        # after the re-open is t=11.  Anything before that fails fast.
+        with pytest.raises(CircuitOpenError):
+            breaker.before_attempt(now=10.9)
+        breaker.before_attempt(now=11.0)  # next probe allowed
+        assert breaker.state == "half-open"
+
+    def test_half_open_allows_exactly_one_probe_outcome_cycle(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=1.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == "open"
+        breaker.before_attempt(now=2.0)
+        assert breaker.state == "half-open"
+        # A single failure re-opens immediately in half-open — the
+        # closed-state threshold does not apply to probes.
+        breaker.record_failure(now=2.0)
+        assert breaker.state == "open"
+
+
+class TestRestartBackoff:
+    def test_delays_grow_exponentially_with_the_streak(self):
+        backoff = RestartBackoff(
+            base_s=0.1, multiplier=2.0, max_s=10.0, jitter=0.0,
+            flap_threshold=100,
+        )
+        delays = [backoff.next_delay(now=float(i)) for i in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_delay_is_capped(self):
+        backoff = RestartBackoff(
+            base_s=1.0, multiplier=10.0, max_s=3.0, jitter=0.0,
+            flap_threshold=100,
+        )
+        backoff.next_delay(now=0.0)
+        assert backoff.next_delay(now=1.0) == pytest.approx(3.0)
+
+    def test_jitter_is_seeded_and_in_band(self):
+        a = RestartBackoff(base_s=1.0, jitter=0.5, seed=7, flap_threshold=100)
+        b = RestartBackoff(base_s=1.0, jitter=0.5, seed=7, flap_threshold=100)
+        da, db = a.next_delay(now=0.0), b.next_delay(now=0.0)
+        assert da == db  # same seed, same schedule
+        assert 0.5 <= da <= 1.0
+
+    def test_stability_resets_the_streak(self):
+        backoff = RestartBackoff(
+            base_s=0.1, multiplier=2.0, max_s=10.0, jitter=0.0,
+            stable_after_s=5.0, flap_threshold=100,
+        )
+        backoff.next_delay(now=0.0)
+        backoff.next_delay(now=1.0)
+        backoff.note_stable(uptime_s=2.0, now=2.0)  # not stable enough
+        assert backoff.next_delay(now=3.0) == pytest.approx(0.4)
+        backoff.note_stable(uptime_s=6.0, now=9.0)  # genuinely stable
+        assert backoff.next_delay(now=10.0) == pytest.approx(0.1)
+
+    def test_flap_detector_holds_the_worker_down(self):
+        backoff = RestartBackoff(
+            base_s=0.01, multiplier=1.0, max_s=0.01, jitter=0.0,
+            flap_window_s=30.0, flap_threshold=3, hold_down_s=5.0,
+        )
+        assert backoff.next_delay(now=0.0) == pytest.approx(0.01)
+        assert backoff.next_delay(now=1.0) == pytest.approx(0.01)
+        # Third restart inside the window: flapping -> hold-down floor.
+        assert backoff.next_delay(now=2.0) == pytest.approx(5.0)
+        assert backoff.flapping
+
+    def test_flap_window_expires(self):
+        backoff = RestartBackoff(
+            base_s=0.01, multiplier=1.0, max_s=0.01, jitter=0.0,
+            flap_window_s=10.0, flap_threshold=2, hold_down_s=5.0,
+        )
+        backoff.next_delay(now=0.0)
+        # Second restart far outside the window: not flapping.
+        assert backoff.next_delay(now=100.0) == pytest.approx(0.01)
+        assert not backoff.flapping
+
+    def test_lifetime_restarts_counter(self):
+        backoff = RestartBackoff(jitter=0.0, flap_threshold=100)
+        for i in range(3):
+            backoff.next_delay(now=float(i))
+        assert backoff.restarts == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RestartBackoff(base_s=-1.0)
+        with pytest.raises(ValueError):
+            RestartBackoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            RestartBackoff(flap_threshold=0)

@@ -363,14 +363,18 @@ class TestBackpressure:
         assert shed["error"]["code"] == protocol.ERR_BUSY
         assert all(r["ok"] for r in served)
 
-    def test_not_admitting_after_stop(self):
+    def test_not_admitting_after_stop_answers_shutdown(self):
+        """A stopped engine will never admit again, so the rejection is
+        `shutdown` (retry elsewhere), not `busy` (retry here later) —
+        the cluster router keys crash/drain failover off this."""
+
         async def scenario():
             engine = await started_engine()
             await engine.stop(0.1)
             return await engine.handle(1, req("hello"))
 
         response = run(scenario())
-        assert response["error"]["code"] == protocol.ERR_BUSY
+        assert response["error"]["code"] == protocol.ERR_SHUTDOWN
 
 
 class TestDeadlines:
@@ -471,3 +475,106 @@ class TestSweeps:
 
         for response in run(scenario()):
             assert response["error"]["code"] == protocol.ERR_BAD_REQUEST
+
+
+class TestHealthOp:
+    def test_health_reports_liveness_and_load(self):
+        async def scenario():
+            engine = await started_engine(queue_limit=5, batch_limit=2)
+            try:
+                return await engine.handle(1, req("health"))
+            finally:
+                await engine.stop(0.1)
+
+        response = run(scenario())
+        assert response["ok"] is True
+        assert response["uptime_s"] >= 0.0
+        assert response["sessions"] == 0
+        assert response["admitting"] is True
+
+    def test_health_rides_the_queue_so_a_wedged_worker_fails_it(self):
+        """The supervisor's liveness probe must NOT bypass the batch
+        worker: a paused (wedged) engine answers health only by its
+        deadline lapsing, which is the wedge signal."""
+
+        async def scenario():
+            engine = await started_engine(request_timeout_s=0.05)
+            try:
+                engine.pause()
+                probe = asyncio.ensure_future(engine.handle(1, req("health")))
+                await asyncio.sleep(0.12)
+                engine.resume()
+                return await probe
+            finally:
+                await engine.stop(0.1)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.ERR_TIMEOUT
+
+
+class TestShedTieBreaking:
+    def test_equal_deadlines_shed_the_stalest_enqueue_first(self):
+        """Deadlines tie when requests arrive inside one clock tick; the
+        tie-break must be deterministic: the earliest-enqueued of the
+        tied group is shed, never the fresh arrival."""
+
+        async def scenario():
+            engine = admitting_engine(queue_limit=3, request_timeout_s=None)
+            try:
+                # No per-request deadline: shed_key falls back to the
+                # enqueue stamp, so ordering is purely arrival order.
+                waiters = [
+                    asyncio.ensure_future(engine.handle(1, req("hello", i)))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0)
+                overflow = [
+                    asyncio.ensure_future(engine.handle(1, req("hello", 100 + i)))
+                    for i in range(2)
+                ]
+                # Two overflows -> the two stalest queued requests are
+                # shed, in arrival order.
+                shed_first = await waiters[0]
+                shed_second = await waiters[1]
+                await engine.start()
+                served = await asyncio.gather(waiters[2], *overflow)
+                return shed_first, shed_second, served
+            finally:
+                await engine.stop(0.1)
+
+        shed_first, shed_second, served = run(scenario())
+        assert shed_first["error"]["code"] == protocol.ERR_BUSY
+        assert shed_first["id"] == 0
+        assert shed_second["error"]["code"] == protocol.ERR_BUSY
+        assert shed_second["id"] == 1
+        assert [r["id"] for r in served] == [2, 100, 101]
+        assert all(r["ok"] for r in served)
+
+    def test_incoming_request_loses_tie_only_if_strictly_older_exists(self):
+        """When the incoming request itself has the soonest deadline it
+        is the shed victim — admission is not a free pass."""
+
+        async def scenario():
+            engine = admitting_engine(queue_limit=2, request_timeout_s=None)
+            try:
+                first = asyncio.ensure_future(engine.handle(1, req("hello", 1)))
+                second = asyncio.ensure_future(engine.handle(1, req("hello", 2)))
+                await asyncio.sleep(0)
+                # Artificially make the queued requests look fresher
+                # than the incoming one, so the incoming loses.
+                for job in engine._queue:
+                    job.enqueued += 60.0
+                    if job.deadline is not None:
+                        job.deadline += 60.0
+                shed = await engine.handle(1, req("hello", 3))
+                await engine.start()
+                served = await asyncio.gather(first, second)
+                return shed, served
+            finally:
+                await engine.stop(0.1)
+
+        shed, served = run(scenario())
+        assert shed["error"]["code"] == protocol.ERR_BUSY
+        assert shed["id"] == 3
+        assert all(r["ok"] for r in served)

@@ -20,13 +20,33 @@ accounting in :mod:`repro.energy` reduces to the same two primitives on
   adjacent pairs toggling in the *same direction* (both rising or both
   falling: ``(up & up>>1) | (down & down>>1)``).  That turns the
   per-wire Python loop of the scalar cost model into three popcounts.
+
+The serving hot path adds a third family: **columnar multi-stream
+kernels**.  B homogeneous word streams (same coder spec, possibly
+ragged lengths) pack into one zero-padded ``(B, T_max)`` matrix
+(:func:`pack_streams` / :func:`unpack_streams`) so a whole batch
+encodes or decodes in a single 2-D ``np.bitwise_*`` pass
+(:func:`xor_scan_rows` / :func:`xor_diff_rows`).  Zero is the XOR
+identity, so the padding columns never perturb the live prefix of any
+row — the unpacked results are bit-identical to running each stream
+alone.
 """
 
 from __future__ import annotations
 
+from typing import List, Sequence, Tuple
+
 import numpy as np
 
-__all__ = ["popcount", "pair_coupling_counts", "HAVE_BITWISE_COUNT"]
+__all__ = [
+    "popcount",
+    "pair_coupling_counts",
+    "pack_streams",
+    "unpack_streams",
+    "xor_scan_rows",
+    "xor_diff_rows",
+    "HAVE_BITWISE_COUNT",
+]
 
 #: True when the native NumPy >= 2 ``bitwise_count`` ufunc is available.
 HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
@@ -81,3 +101,58 @@ def pair_coupling_counts(old: np.ndarray, new: np.ndarray, width: int) -> np.nda
         + popcount((toggled >> np.uint64(1)) & low)
         - 2 * popcount(same & low)
     )
+
+
+# -- columnar multi-stream kernels ------------------------------------
+
+
+def pack_streams(streams: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack B ragged 1-D uint64 streams into a zero-padded matrix.
+
+    Returns ``(matrix, lengths)`` where ``matrix`` is ``(B, T_max)``
+    uint64 with row ``i`` holding ``streams[i]`` left-aligned and
+    zero-padded, and ``lengths[i] == len(streams[i])``.  Zero padding
+    is the XOR identity, so row-wise XOR kernels never leak padding
+    into the live prefix.
+    """
+    lengths = np.array([len(s) for s in streams], dtype=np.int64)
+    width = int(lengths.max()) if len(lengths) else 0
+    matrix = np.zeros((len(streams), width), dtype=np.uint64)
+    for i, stream in enumerate(streams):
+        matrix[i, : lengths[i]] = stream
+    return matrix, lengths
+
+
+def unpack_streams(matrix: np.ndarray, lengths: np.ndarray) -> List[np.ndarray]:
+    """Slice a packed matrix back into per-stream 1-D arrays."""
+    return [
+        np.ascontiguousarray(matrix[i, : int(n)]) for i, n in enumerate(lengths)
+    ]
+
+
+def xor_scan_rows(matrix: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+    """Row-wise XOR prefix scan seeded per row (transition *encode*).
+
+    Row ``i`` of the result is ``seeds[i] ^ (m[i,0] ^ ... ^ m[i,t])``
+    at column ``t`` — B transition-coder encoders advanced in one 2-D
+    ``np.bitwise_xor.accumulate`` pass.
+    """
+    if not matrix.size:
+        return matrix.copy()
+    return np.bitwise_xor.accumulate(matrix, axis=1) ^ np.asarray(
+        seeds, dtype=np.uint64
+    ).reshape(-1, 1)
+
+
+def xor_diff_rows(matrix: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+    """Row-wise adjacent XOR seeded per row (transition *decode*).
+
+    Column 0 of row ``i`` is ``m[i,0] ^ seeds[i]``; column ``t>0`` is
+    ``m[i,t] ^ m[i,t-1]`` — the exact inverse of :func:`xor_scan_rows`.
+    """
+    if not matrix.size:
+        return matrix.copy()
+    prev = np.empty_like(matrix)
+    prev[:, 0] = np.asarray(seeds, dtype=np.uint64)
+    prev[:, 1:] = matrix[:, :-1]
+    return matrix ^ prev

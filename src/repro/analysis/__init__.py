@@ -3,6 +3,7 @@
 from .bench import (
     BENCH_SCHEMA,
     BenchSchemaError,
+    compare_serve_baseline,
     run_bench,
     validate_bench_report,
     write_report,
@@ -34,6 +35,7 @@ from .reporting import fmt, format_series, format_table
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSchemaError",
+    "compare_serve_baseline",
     "run_bench",
     "validate_bench_report",
     "write_report",

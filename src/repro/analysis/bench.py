@@ -15,6 +15,18 @@ report so perf regressions are diffable across commits:
   :func:`crossover_table` run cold (empty trace cache) and then warm
   (persistent cache populated, in-memory layers cleared), quantifying
   what the ``.npz``/JSON artifact cache buys a second invocation.
+* **serve throughput** — a real localhost :class:`~repro.serve.server.
+  TraceServer` driven closed-loop by same-spec streaming sessions, one
+  scenario per (framing, batching) corner: newline-JSON vs binary bulk
+  frames, ``batch_limit`` 1 vs batched (which lets the engine coalesce
+  a drain into one columnar kernel call).  Every scenario verifies its
+  states against the solo-coder oracle, and each records its speedup
+  over the ``json-batch1`` baseline corner — the number the acceptance
+  bar (>= 5x for ``binary-batch16``) reads.  A committed baseline
+  report (``benchmarks/BENCH_SEED.json``) plus
+  :func:`compare_serve_baseline` turn the section into a CI regression
+  gate: ``repro bench --baseline`` exits nonzero when any scenario
+  loses more than the tolerance vs the committed numbers.
 
 Timings are sourced from :mod:`repro.obs` spans — each measured region
 runs under a ``bench.*`` span and the reported seconds are the span's
@@ -34,6 +46,7 @@ validated only when present, so pre-existing reports stay valid.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import tempfile
@@ -57,6 +70,7 @@ from .experiments import crossover_table, robust_savings_sweep
 __all__ = [
     "BENCH_SCHEMA",
     "BenchSchemaError",
+    "compare_serve_baseline",
     "default_report_path",
     "run_bench",
     "validate_bench_report",
@@ -221,6 +235,158 @@ def _time_sweeps(quick: bool, jobs: Optional[int]) -> List[Dict[str, Any]]:
     return results
 
 
+#: Serve-throughput scenario grid: framing x engine batch limit.  The
+#: first entry is the baseline every other scenario's speedup is
+#: measured against.
+SERVE_SCENARIOS = (
+    ("json", 1),
+    ("json", 16),
+    ("binary", 1),
+    ("binary", 16),
+)
+
+#: All serve-bench sessions share one columnar-capable spec so the
+#: batched scenarios actually exercise the engine's coalescing path.
+_SERVE_SPEC = "transition"
+_SERVE_WIDTH = 32
+
+
+async def _serve_scenario(
+    framing: str, batch_limit: int, streams: int, chunks: int, words: int
+) -> Dict[str, Any]:
+    """Run one closed-loop serve scenario; returns its record (without
+    the cross-scenario ``speedup_vs_baseline``, filled in later)."""
+    from ..serve import TraceClient, TraceServer
+
+    per_stream = [
+        [
+            int(v)
+            for v in random_trace(
+                chunks * words, _SERVE_WIDTH, seed=900 + i, name="bench-serve"
+            ).values
+        ]
+        for i in range(streams)
+    ]
+    oracle = TransitionCoder(_SERVE_WIDTH)
+    expected = []
+    for values in per_stream:
+        oracle.reset()
+        trace = BusTrace(np.asarray(values, dtype=np.uint64), _SERVE_WIDTH, "bench")
+        expected.append([int(s) for s in oracle.encode_trace(trace).values])
+
+    identical = True
+    async with TraceServer(
+        port=0, batch_limit=batch_limit, queue_limit=max(64, streams * 4)
+    ) as server:
+        clients = []
+        sessions = []
+        for _ in range(streams):
+            client = await TraceClient.connect("127.0.0.1", server.port)
+            if framing == "binary":
+                await client.negotiate_binary()
+            clients.append(client)
+            sessions.append(await client.open_stream(_SERVE_SPEC, _SERVE_WIDTH))
+
+        async def one_stream(index: int) -> List[Any]:
+            # Raw per-chunk results only; flattening to ints happens
+            # outside the timer so the measurement is the serving path,
+            # not the bench's own bookkeeping.
+            got: List[Any] = []
+            values = per_stream[index]
+            for start in range(0, len(values), words):
+                got.append(await sessions[index].feed(values[start : start + words]))
+            return got
+
+        # Sessions are open and (for binary) negotiated; only the feed
+        # phase is timed.
+        with _phase_timer(
+            "bench.serve",
+            scenario=f"{framing}-batch{batch_limit}",
+            cycles=streams * chunks * words,
+        ) as timer:
+            results = await asyncio.gather(*(one_stream(i) for i in range(streams)))
+        for got, want in zip(results, expected):
+            flat = [int(s) for chunk in got for s in chunk]
+            identical = identical and flat == want
+        for client in clients:
+            await client.close()
+
+    elapsed = max(timer.seconds, 1e-9)
+    requests = streams * chunks
+    cycles = streams * chunks * words
+    return {
+        "scenario": f"{framing}-batch{batch_limit}",
+        "framing": framing,
+        "batch_limit": batch_limit,
+        "streams": streams,
+        "chunk_words": words,
+        "requests": requests,
+        "cycles": cycles,
+        "elapsed_s": timer.seconds,
+        "req_per_s": requests / elapsed,
+        # Payload bytes both ways: 8-byte words in, 8-byte states out.
+        "mbytes_per_s": cycles * 16 / elapsed / 1e6,
+        "identical": identical,
+    }
+
+
+def _time_serve(quick: bool) -> List[Dict[str, Any]]:
+    """Serve-throughput records, one per :data:`SERVE_SCENARIOS` entry.
+
+    Quick mode still ships full-sized-enough chunks (1 KiB of words)
+    that the framing ratios are stable run to run — the regression gate
+    compares those ratios, so they cannot be noise."""
+    streams = 4 if quick else 8
+    chunks = 8 if quick else 16
+    words = 1024 if quick else 4096
+    records = []
+    for framing, batch_limit in SERVE_SCENARIOS:
+        records.append(
+            asyncio.run(_serve_scenario(framing, batch_limit, streams, chunks, words))
+        )
+    baseline = max(records[0]["req_per_s"], 1e-9)
+    for record in records:
+        record["speedup_vs_baseline"] = record["req_per_s"] / baseline
+    return records
+
+
+def compare_serve_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.2
+) -> List[str]:
+    """Regressions of ``report``'s serve throughput vs ``baseline``.
+
+    The gated quantity is ``speedup_vs_baseline`` — each scenario's
+    throughput normalised to the same run's ``json-batch1`` corner —
+    not absolute req/s, which tracks the host machine more than the
+    code (the committed ``benchmarks/BENCH_SEED.json`` was measured on
+    one box; CI runs on another).  The normalised ratio cancels the
+    hardware and isolates what this gate exists to catch: the binary
+    framing or the columnar batching path losing its edge over the
+    JSON fallback.  A scenario regresses when its ratio falls more
+    than ``tolerance`` (default 20%) below the committed one, goes
+    missing, or stops verifying against the coder oracle.  Returns
+    human-readable problem strings — empty means the gate passes.
+    """
+    problems: List[str] = []
+    current = {r["scenario"]: r for r in report.get("serve", [])}
+    for base in baseline.get("serve", []):
+        name = base["scenario"]
+        record = current.get(name)
+        if record is None:
+            problems.append(f"serve scenario {name!r} missing from the current report")
+            continue
+        if not record["identical"]:
+            problems.append(f"{name}: served states diverged from the coder oracle")
+        floor = base["speedup_vs_baseline"] * (1.0 - tolerance)
+        if record["speedup_vs_baseline"] < floor:
+            problems.append(
+                f"{name}: {record['speedup_vs_baseline']:.2f}x vs json-batch1 "
+                f"is below the regression floor {floor:.2f}x (baseline "
+                f"{base['speedup_vs_baseline']:.2f}x - {tolerance:.0%})"
+            )
+    return problems
+
+
 def _phase_breakdown(spans: List[Any]) -> List[Dict[str, Any]]:
     """Roll ``bench.*`` spans up into ``phases`` records.
 
@@ -232,7 +398,11 @@ def _phase_breakdown(spans: List[Any]) -> List[Dict[str, Any]]:
     for record in spans:
         if not record.name.startswith("bench."):
             continue
-        sub = record.attrs.get("coder") or record.attrs.get("sweep")
+        sub = (
+            record.attrs.get("coder")
+            or record.attrs.get("sweep")
+            or record.attrs.get("scenario")
+        )
         mode = record.attrs.get("mode")
         phase = "/".join(
             str(part) for part in (record.name, sub, mode) if part is not None
@@ -257,6 +427,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
     span_mark = tracer.mark()
     kernels = [_time_kernel(*case) for case in _kernel_cases(quick)]
     sweeps = _time_sweeps(quick, jobs)
+    serve = _time_serve(quick)
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "created": datetime.now(timezone.utc).isoformat(),
@@ -265,6 +436,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
         "numpy": np.__version__,
         "kernels": kernels,
         "sweeps": sweeps,
+        "serve": serve,
     }
     phases = _phase_breakdown(tracer.take_since(span_mark))
     if phases:
@@ -293,6 +465,20 @@ _PHASE_KEYS = {
     "phase": str,
     "count": int,
     "total_s": float,
+}
+_SERVE_KEYS = {
+    "scenario": str,
+    "framing": str,
+    "batch_limit": int,
+    "streams": int,
+    "chunk_words": int,
+    "requests": int,
+    "cycles": int,
+    "elapsed_s": float,
+    "req_per_s": float,
+    "mbytes_per_s": float,
+    "identical": bool,
+    "speedup_vs_baseline": float,
 }
 
 
@@ -334,7 +520,10 @@ def validate_bench_report(report: Any) -> None:
             f"schema tag {report.get('schema')!r} != {BENCH_SCHEMA!r}"
         )
     required = {"schema", "created", "quick", "jobs", "numpy", "kernels", "sweeps"}
-    optional = {"phases"}
+    # `phases` needs observability on; `serve` postdates the first
+    # committed reports.  Both validate when present, neither is
+    # required, so older BENCH_*.json artifacts stay valid.
+    optional = {"phases", "serve"}
     missing = required - set(report)
     if missing:
         raise BenchSchemaError(f"missing top-level keys {sorted(missing)}")
@@ -361,6 +550,12 @@ def validate_bench_report(report: Any) -> None:
             raise BenchSchemaError("'phases', when present, must be a non-empty list")
         for i, record in enumerate(records):
             _check_record(record, _PHASE_KEYS, f"phases[{i}]")
+    if "serve" in report:
+        records = report["serve"]
+        if not isinstance(records, list) or not records:
+            raise BenchSchemaError("'serve', when present, must be a non-empty list")
+        for i, record in enumerate(records):
+            _check_record(record, _SERVE_KEYS, f"serve[{i}]")
 
 
 def default_report_path(directory: str = ".") -> str:

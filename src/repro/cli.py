@@ -272,7 +272,7 @@ def _cmd_table3(args: argparse.Namespace) -> None:
     print(format_table(["Technology", "Entries", "Suite", "Median mm"], rows))
 
 
-def _cmd_bench(args: argparse.Namespace) -> None:
+def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(quick=args.quick, jobs=args.jobs)
     kernel_rows = [
         (
@@ -310,11 +310,43 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             title="trace-cache cold vs warm",
         )
     )
+    serve_rows = [
+        (
+            s["scenario"],
+            s["requests"],
+            f"{s['req_per_s']:.0f}",
+            f"{s['mbytes_per_s']:.1f}",
+            f"{s['speedup_vs_baseline']:.1f}x",
+            "yes" if s["identical"] else "NO",
+        )
+        for s in report["serve"]
+    ]
+    print(
+        format_table(
+            ["scenario", "requests", "req/s", "MB/s", "vs json-batch1", "identical"],
+            serve_rows,
+            title="serve throughput (framing x batching)",
+        )
+    )
     # write_report re-validates the *serialised* JSON; schema drift
     # raises BenchSchemaError (a ValueError), which main() turns into
     # exit code 1 — the --quick smoke-check contract.
     path = write_report(report, args.output)
     log.info("bench report written", extra=obs.fields(path=path))
+    if args.baseline is not None:
+        import json
+
+        from .analysis.bench import compare_serve_baseline
+
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_serve_baseline(report, baseline)
+        for problem in problems:
+            print(f"bench: serve regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench: serve throughput within tolerance of {args.baseline}")
+    return 0
 
 
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
@@ -511,12 +543,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         chunk=args.chunk,
         rate=args.rate,
         seed=args.seed,
+        sessions_per_spec=args.sessions_per_spec,
+        binary=args.binary,
     )
     report = asyncio.run(run_loadgen(config))
     offered = config.streams * config.chunks
     rows = [
         ("mode", config.mode),
+        ("framing", "binary" if config.binary else "json"),
         ("streams", config.streams),
+        ("sessions per spec", config.sessions_per_spec),
         ("chunks fed", f"{report.chunks_done}/{offered}"),
         ("chunks failed", report.chunks_failed),
         ("cycles encoded", report.cycles),
@@ -881,6 +917,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sweep benchmarks (must be >= 1)",
     )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed BENCH_*.json to gate serve throughput against: "
+        "exit 1 if any serve scenario's speedup over json-batch1 falls "
+        ">20%% below the baseline's (e.g. benchmarks/BENCH_SEED.json)",
+    )
 
     figures = sub.add_parser("figures", help="export figure datasets as CSV")
     figures.set_defaults(func=_cmd_figures)
@@ -1140,7 +1183,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunks", type=int, default=50, help="chunks fed per stream"
     )
     loadgen.add_argument(
-        "--chunk", type=int, default=64, help="cycles per chunk"
+        "--chunk",
+        "--chunk-words",
+        dest="chunk",
+        type=int,
+        default=64,
+        help="cycles (words) per chunk; --chunk-words is the bulk-framing "
+        "spelling of the same knob (default 64)",
     )
     loadgen.add_argument(
         "--rate",
@@ -1149,6 +1198,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop arrival rate, chunks/s across all streams",
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--sessions-per-spec",
+        type=int,
+        default=1,
+        help="consecutive streams sharing one coder spec; raise it to offer "
+        "homogeneous batches the server can coalesce into columnar kernel "
+        "calls (default 1 = cycle specs per stream)",
+    )
+    loadgen.add_argument(
+        "--binary",
+        action="store_true",
+        help="negotiate length-prefixed binary bulk frames instead of "
+        "newline-JSON for chunk payloads",
+    )
 
     csoak = sub.add_parser(
         "cluster-soak",

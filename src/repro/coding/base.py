@@ -240,6 +240,50 @@ class Transcoder(ABC):
             )
         return result
 
+    # -- columnar batch API -------------------------------------------
+    #
+    # B homogeneous streams (same coder family and widths) can advance
+    # in ONE kernel call when the family's transform vectorizes across
+    # streams (``columnar_batch = True``; see TransitionCoder's 2-D
+    # kernels).  The default implementations below simply loop the
+    # per-stream chunk/trace methods — that loop IS the differential
+    # oracle the columnar overrides are tested against, and it makes
+    # the batch API safe to call for every family unconditionally.
+    # Contract (pinned by tests/test_columnar_kernels.py): batch calls
+    # are bit-identical to per-stream calls, advance each coder's FSM
+    # identically, and report the same ``coder.*`` metrics.
+
+    #: True when this family overrides the batch methods with real
+    #: columnar (2-D) kernels worth coalescing for.
+    columnar_batch = False
+
+    @classmethod
+    def encode_chunks_batch(
+        cls, coders: List["Transcoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Advance B live encoder FSMs by one chunk each.
+
+        ``coders[i]`` consumes ``chunks[i]``; returns the B wire-state
+        arrays.  The default is the sequential per-stream loop.
+        """
+        return [coder.encode_chunk(chunk) for coder, chunk in zip(coders, chunks)]
+
+    @classmethod
+    def decode_chunks_batch(
+        cls, coders: List["Transcoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Advance B live decoder FSMs by one chunk each."""
+        return [coder.decode_chunk(chunk) for coder, chunk in zip(coders, chunks)]
+
+    def encode_traces_batch(self, traces: List[BusTrace]) -> List[BusTrace]:
+        """One-shot encode B independent traces (each from power-on).
+
+        Every trace is encoded as :meth:`encode_trace` would encode it
+        alone — reset first, so results are pure functions of each
+        input.  The default loops; columnar families override.
+        """
+        return [self.encode_trace(trace) for trace in traces]
+
     def roundtrip(self, trace: BusTrace) -> BusTrace:
         """``decode_trace(encode_trace(trace))`` — must equal ``trace``."""
         return self.decode_trace(self.encode_trace(trace))

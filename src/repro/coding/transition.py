@@ -14,8 +14,13 @@ predictions and send them *through* this layer.
 
 from __future__ import annotations
 
+import time
+from typing import Any, List
+
 import numpy as np
 
+from .. import obs
+from .._bitops import pack_streams, unpack_streams, xor_diff_rows, xor_scan_rows
 from ..traces.trace import BusTrace
 from .base import Transcoder
 
@@ -86,6 +91,95 @@ class TransitionCoder(Transcoder):
         prev[1:] = states[:-1]
         self._dec_state = int(states[-1])
         return states ^ prev
+
+    # -- columnar multi-stream kernels ---------------------------------
+    #
+    # XOR is associative with identity 0, so B independent transition
+    # streams advance in ONE 2-D pass over a zero-padded (B, T_max)
+    # matrix (repro._bitops.pack_streams): padding columns can never
+    # perturb a row's live prefix.  These overrides must stay
+    # bit-identical to the per-stream loop in Transcoder — the batch
+    # default IS the differential oracle (tests/test_columnar_kernels).
+
+    columnar_batch = True
+
+    @classmethod
+    def encode_chunks_batch(
+        cls, coders: List["TransitionCoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Advance B live encoders by one chunk each, in one 2-D scan."""
+        arrs = []
+        for coder, chunk in zip(coders, chunks):
+            arr = np.ascontiguousarray(np.asarray(chunk, dtype=np.uint64))
+            if arr.ndim != 1:
+                raise ValueError(f"chunk values must be 1-D, got shape {arr.shape}")
+            arrs.append(arr & np.uint64(coder._mask))
+        seeds = np.array([coder._enc_state for coder in coders], dtype=np.uint64)
+        matrix, lengths = pack_streams(arrs)
+        outs = unpack_streams(xor_scan_rows(matrix, seeds), lengths)
+        for coder, out in zip(coders, outs):
+            if len(out):
+                coder._enc_state = int(out[-1])
+            if obs.is_enabled():
+                obs.inc("coder.stream_chunks", coder=type(coder).__name__, dir="encode")
+                obs.inc(
+                    "coder.stream_cycles",
+                    len(out),
+                    coder=type(coder).__name__,
+                    dir="encode",
+                )
+        return outs
+
+    @classmethod
+    def decode_chunks_batch(
+        cls, coders: List["TransitionCoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Advance B live decoders by one chunk each, in one 2-D pass."""
+        arrs = []
+        for coder, chunk in zip(coders, chunks):
+            arr = np.ascontiguousarray(np.asarray(chunk, dtype=np.uint64))
+            if arr.ndim != 1:
+                raise ValueError(f"chunk states must be 1-D, got shape {arr.shape}")
+            arrs.append(arr & np.uint64((1 << coder.output_width) - 1))
+        seeds = np.array([coder._dec_state for coder in coders], dtype=np.uint64)
+        matrix, lengths = pack_streams(arrs)
+        outs = unpack_streams(xor_diff_rows(matrix, seeds), lengths)
+        for coder, arr, out in zip(coders, arrs, outs):
+            if len(arr):
+                coder._dec_state = int(arr[-1])
+            if obs.is_enabled():
+                obs.inc("coder.stream_chunks", coder=type(coder).__name__, dir="decode")
+                obs.inc(
+                    "coder.stream_cycles",
+                    len(out),
+                    coder=type(coder).__name__,
+                    dir="decode",
+                )
+        return outs
+
+    def encode_traces_batch(self, traces: List[BusTrace]) -> List[BusTrace]:
+        """One-shot encode B traces (each from power-on) in one 2-D scan."""
+        for trace in traces:
+            self._check_encode_width(trace)
+        t0 = time.perf_counter()
+        matrix, lengths = pack_streams([trace.values for trace in traces])
+        seeds = np.zeros(len(traces), dtype=np.uint64)
+        rows = unpack_streams(xor_scan_rows(matrix, seeds), lengths)
+        self.reset()
+        if rows and len(rows[-1]):
+            self._enc_state = int(rows[-1][-1])  # as the last solo call would
+        results = [
+            BusTrace(row, self.output_width, self._encoded_name(trace))
+            for trace, row in zip(traces, rows)
+        ]
+        if obs.is_enabled():
+            seconds = time.perf_counter() - t0
+            name = type(self).__name__
+            for trace in traces:
+                obs.inc("coder.encodes", coder=name)
+                obs.inc("coder.encoded_cycles", len(trace), coder=name)
+                obs.observe("coder.encode_s", seconds / max(1, len(traces)), coder=name)
+        return results
 
     def _decode_trace_fast(self, phys: BusTrace) -> BusTrace:
         """Whole-trace shifted XOR (bit-identical to the scalar loop)."""

@@ -118,6 +118,30 @@ class FrameDecision:
 #: The shared "forward untouched" verdict.
 _FORWARD = FrameDecision()
 
+# Binary bulk frame geometry, mirrored from ``repro.serve.protocol``
+# (importing it here would cycle through the package __init__s — the
+# serve layer already imports this module; a test pins the values to
+# the protocol's).  Fault models need just enough framing awareness to
+# corrupt *content* without desyncing *framing*: byte 0 is the magic,
+# bytes [1:13) carry the lengths and CRC.
+BINARY_FRAME_MAGIC = 0xB5
+BINARY_FRAME_PREFIX_BYTES = 13
+
+
+def _corruptable_span(frame: bytes) -> Tuple[int, int]:
+    """The ``[lower, upper)`` byte range safe to corrupt in ``frame``.
+
+    For newline-JSON frames that is everything but the trailing
+    newline; for length-prefixed binary frames everything but the
+    13-byte prefix (mutating the declared lengths would desync the
+    byte stream — a *framing* fault, which cut/truncate model — while
+    any body byte trips the CRC-32 or the header's UTF-8 decode, a
+    deterministic per-frame error).
+    """
+    if frame[:1] == bytes([BINARY_FRAME_MAGIC]):
+        return BINARY_FRAME_PREFIX_BYTES, len(frame)
+    return 0, len(frame) - 1 if frame.endswith(b"\n") else len(frame)
+
 
 class TransportFault(ABC):
     """A deterministic perturbation of a framed byte stream."""
@@ -237,10 +261,12 @@ class PartialWrite(_SeededFault):
 class CorruptFrame(_SeededFault):
     """Overwrite bytes of a fraction of frames with ``0xFF``.
 
-    ``0xFF`` is never valid UTF-8, so a corrupted frame is *guaranteed*
-    undecodable — detection is deterministic, never a silent
-    valid-but-different JSON document.  The trailing newline is never
-    touched, so framing survives and exactly one frame is poisoned.
+    For JSON frames ``0xFF`` is never valid UTF-8, so a corrupted frame
+    is *guaranteed* undecodable; for binary bulk frames any body byte
+    trips the CRC-32 — detection is deterministic either way, never a
+    silent valid-but-different payload.  Framing always survives: the
+    trailing newline (JSON) and the 13-byte length prefix (binary) are
+    never touched, so exactly one frame is poisoned.
     """
 
     def __init__(self, rate: float, seed: int = 0, nbytes: int = 1):
@@ -252,12 +278,12 @@ class CorruptFrame(_SeededFault):
     def decide(self, index: int, frame: bytes) -> FrameDecision:
         if not self._hit():
             return _FORWARD
-        # Corruptable span excludes the trailing newline (if present).
-        body = len(frame) - 1 if frame.endswith(b"\n") else len(frame)
+        lower, upper = _corruptable_span(frame)
+        body = upper - lower
         if body < 1:
             return _FORWARD
         count = min(self.nbytes, body)
-        positions = self._rng.choice(body, size=count, replace=False)
+        positions = self._rng.choice(body, size=count, replace=False) + lower
         return FrameDecision(corrupt_at=tuple(sorted(int(p) for p in positions)))
 
 

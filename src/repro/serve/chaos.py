@@ -167,9 +167,20 @@ class ChaosTransport:
             await asyncio.sleep(decision.stall_s)
         if decision.corrupt_at:
             mutable = bytearray(frame)
-            limit = len(mutable) - 1 if mutable.endswith(b"\n") else len(mutable)
+            # Corrupt content, never framing: the trailing newline of a
+            # JSON frame and the 13-byte length prefix of a binary
+            # frame are what keeps the byte stream parseable — mutating
+            # them models a *different* fault (desynced framing, which
+            # the cut/truncate verdicts already cover).  Body bytes are
+            # fair game: JSON turns 0xFF into a decode error, binary
+            # frames fail their CRC-32.
+            if protocol.is_binary_frame(frame):
+                lower, upper = protocol.BINARY_PREFIX_BYTES, len(mutable)
+            else:
+                lower = 0
+                upper = len(mutable) - 1 if mutable.endswith(b"\n") else len(mutable)
             for position in decision.corrupt_at:
-                if 0 <= position < limit:
+                if lower <= position < upper:
                     mutable[position] = 0xFF
             frame = bytes(mutable)
             self.stats.corrupted += 1
@@ -329,17 +340,22 @@ class ChaosProxy:
             try:
                 while True:
                     try:
-                        line = await reader.readline()
+                        # Frame-aware reading: a binary bulk frame's
+                        # payload may legally contain 0x0A bytes, so a
+                        # bare readline() would split it mid-frame and
+                        # the fault FSM would corrupt/reorder fragments
+                        # instead of frames.
+                        frame = await protocol.read_frame(reader)
                     except (
                         asyncio.LimitOverrunError,
                         asyncio.IncompleteReadError,
                         ValueError,
                     ):
                         break
-                    if not line:
+                    if not frame:
                         await transport.flush_held()
                         break
-                    await transport.forward(line)
+                    await transport.forward(frame)
             except (ConnectionCut, ConnectionResetError, BrokenPipeError, OSError):
                 pass
             finally:

@@ -1,9 +1,11 @@
 """Asyncio client for the trace-serving protocol (``repro client``).
 
-:class:`TraceClient` is a thin, fully-typed wrapper over the newline-
-JSON protocol: one TCP connection, monotonically increasing request
-ids, responses matched back to their requests by id (so requests may be
-pipelined), and protocol errors surfaced as
+:class:`TraceClient` is a thin, fully-typed wrapper over the wire
+protocol (newline-JSON, plus the negotiated binary bulk framing — see
+:meth:`TraceClient.negotiate_binary`): one TCP connection,
+monotonically increasing request ids, responses matched back to their
+requests by id (so requests may be pipelined), and protocol errors
+surfaced as
 :class:`~repro.serve.protocol.ProtocolError` — a ``ValueError``
 subclass, which the CLI's error funnel renders as the one-line
 ``repro: error:`` contract.
@@ -37,6 +39,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import obs
 from . import protocol
 from .protocol import ProtocolError
@@ -67,6 +71,9 @@ class TraceClient:
         self._receiver = asyncio.get_running_loop().create_task(self._receive_loop())
         self._closed = False
         self._broken = False  # set when the server stream is unusable
+        #: True after :meth:`negotiate_binary` confirmed the server
+        #: speaks binary bulk frames; bulk requests then go binary.
+        self.binary = False
 
     # -- lifecycle ----------------------------------------------------
 
@@ -112,14 +119,29 @@ class TraceClient:
     async def _receive_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                try:
+                    raw = await protocol.read_frame(self._reader)
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ProtocolError,
+                ) as exc:
+                    # Framing lost mid-stream (truncated binary body,
+                    # oversize declaration, overlong line): same
+                    # severity as an undecodable frame below.
+                    obs.inc("serve.client_corrupt_frames")
+                    self._broken = True
+                    self._fail_pending(
+                        FrameCorruptionError(f"unreadable frame from server: {exc}")
+                    )
+                    return
+                if not raw:
                     self._fail_pending(
                         ConnectionResetError("server closed the connection")
                     )
                     return
                 try:
-                    message = protocol.decode_frame(line)
+                    message = protocol.decode_any_frame(raw)
                 except ProtocolError as exc:
                     # An undecodable frame severs request/response
                     # correlation: *some* pending request was probably
@@ -139,6 +161,9 @@ class TraceClient:
                         )
                     )
                     return
+                # The framing marker is transport metadata, not part of
+                # the response the caller asked for.
+                message.pop(protocol.BULK_KEY, None)
                 request_id = message.get("id")
                 future = self._pending.pop(request_id, None)
                 if future is not None and not future.done():
@@ -165,10 +190,18 @@ class TraceClient:
             asyncio.get_running_loop().create_future()
         )
         self._pending[request_id] = future
-        try:
-            self._writer.write(
-                protocol.encode_frame(protocol.request(op, request_id, **fields))
+        message = protocol.request(op, request_id, **fields)
+        bulk_field = protocol.BULK_REQUEST_FIELDS.get(op) if self.binary else None
+        if bulk_field is not None and isinstance(
+            message.get(bulk_field), (list, tuple, np.ndarray)
+        ):
+            frame = protocol.encode_binary_frame(
+                message, bulk_field, message[bulk_field]
             )
+        else:
+            frame = protocol.encode_frame(message)
+        try:
+            self._writer.write(frame)
             await self._writer.drain()
             return await future
         finally:
@@ -256,6 +289,19 @@ class TraceClient:
         """Server identification, capabilities and limits."""
         return await self.call("hello")
 
+    async def negotiate_binary(self) -> bool:
+        """Switch bulk ops to binary frames if the server supports them.
+
+        Sends a ``hello`` (JSON, as always) and enables binary bulk
+        framing iff the response advertises ``binary_frames``.  Returns
+        the negotiated state.  Without this call — or against an older
+        server — every request stays newline-JSON: the fallback needs
+        no negotiation.
+        """
+        response = await self.hello()
+        self.binary = bool(response.get("binary_frames"))
+        return self.binary
+
     async def open_stream(
         self, coder: str, width: int = 32, policy: Optional[str] = None
     ) -> "EncodeStream":
@@ -280,12 +326,23 @@ class TraceClient:
 
     async def encode_trace(
         self, coder: str, values: Sequence[int], width: int = 32
-    ) -> List[int]:
-        """One-shot stateless encode (micro-batched server-side)."""
+    ) -> Sequence[int]:
+        """One-shot stateless encode (micro-batched server-side).
+
+        Returns the wire states: a plain int list over JSON framing, a
+        ``uint64`` ndarray (bit-identical values) when binary frames
+        were negotiated.
+        """
         response = await self.call(
-            "encode_trace", coder=coder, width=width, values=[int(v) for v in values]
+            "encode_trace", coder=coder, width=width, values=self._bulk_payload(values)
         )
         return response["states"]
+
+    def _bulk_payload(self, values: Sequence[int]) -> Any:
+        """A bulk request payload in the connection's negotiated form."""
+        if self.binary:
+            return np.ascontiguousarray(np.asarray(values, dtype=np.uint64))
+        return [int(v) for v in values]
 
     async def sweep(
         self,
@@ -316,18 +373,27 @@ class EncodeStream:
         self.resumed: bool = bool(opened.get("resumed"))
         self.desyncs: List[int] = []  #: decode cycles where desync was detected
 
-    async def feed(self, values: Sequence[int]) -> List[int]:
-        """Stream-encode one chunk; returns its wire states."""
+    async def feed(self, values: Sequence[int]) -> Sequence[int]:
+        """Stream-encode one chunk; returns its wire states.
+
+        States come back as an int list over JSON framing, as a
+        ``uint64`` ndarray (bit-identical) when the connection
+        negotiated binary frames.
+        """
         response = await self._client.call(
-            "encode", session=self.session_id, values=[int(v) for v in values]
+            "encode",
+            session=self.session_id,
+            values=self._client._bulk_payload(values),
         )
         self.cycles = response["cycles"]
         return response["states"]
 
-    async def decode(self, states: Sequence[int]) -> List[int]:
+    async def decode(self, states: Sequence[int]) -> Sequence[int]:
         """Stream-decode one chunk; desync detections land in :attr:`desyncs`."""
         response = await self._client.call(
-            "decode", session=self.session_id, states=[int(s) for s in states]
+            "decode",
+            session=self.session_id,
+            states=self._client._bulk_payload(states),
         )
         self.desyncs.extend(response.get("desyncs", ()))
         return response["values"]

@@ -78,6 +78,19 @@ _SESSION_OPS = frozenset({"encode", "decode", "checkpoint", "restore", "close"})
 _MAX_PLACEMENTS_PER_OP = 3
 
 
+def _word_list(value) -> list:
+    """A payload field as a plain int list for the failover buffer.
+
+    Under binary framing bulk fields arrive as numpy arrays, which (a)
+    raise on the truthiness test a bare ``or []`` would apply and (b)
+    would pin frame buffers alive if stored as-is; the replay/seal
+    paths want durable plain ints either way.
+    """
+    if value is None:
+        return []
+    return [int(v) for v in value]
+
+
 class _NoLiveWorker(Exception):
     """Every worker is dead or breaker-open; placement is impossible."""
 
@@ -299,7 +312,20 @@ class ClusterRouter:
     async def _connected(self, link: _WorkerLink) -> TraceClient:
         async with link.connect_lock:
             if link.client is None:
-                link.client = await TraceClient.connect(link.host, link.port)
+                client = await TraceClient.connect(link.host, link.port)
+                try:
+                    # Bulk payloads forward worker-ward without per-word
+                    # re-encoding when the worker speaks binary frames.
+                    # Best-effort: a worker that cannot answer the hello
+                    # right now (busy, old version) leaves the link on
+                    # JSON — never a reason to fail the connection.
+                    await asyncio.wait_for(client.negotiate_binary(), 5.0)
+                except (asyncio.TimeoutError, ProtocolError):
+                    pass
+                except (ConnectionError, OSError):
+                    await client.close()
+                    raise
+                link.client = client
             return link.client
 
     async def _disconnect(self, link: _WorkerLink) -> None:
@@ -514,19 +540,28 @@ class ClusterRouter:
         write_lock = asyncio.Lock()
         pending: "set[asyncio.Task[None]]" = set()
 
-        async def respond(response) -> None:
+        async def respond(response, bulk_field=None) -> None:
+            # Mirror the request's framing (same rule as TraceServer):
+            # a binary request with a bulk result field is answered
+            # binary; everything else stays newline-JSON.
+            if bulk_field is not None and bulk_field in response:
+                frame = protocol.encode_binary_frame(
+                    response, bulk_field, response[bulk_field]
+                )
+            else:
+                frame = protocol.encode_frame(response)
             async with write_lock:
-                writer.write(protocol.encode_frame(response))
+                writer.write(frame)
                 await writer.drain()
 
-        async def process(message) -> None:
+        async def process(message, bulk_field) -> None:
             response = await self._handle_message(connection_id, message)
-            await respond(response)
+            await respond(response, bulk_field)
 
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    raw = await protocol.read_frame(reader)
                 except (
                     asyncio.LimitOverrunError,
                     asyncio.IncompleteReadError,
@@ -538,16 +573,21 @@ class ClusterRouter:
                         )
                     )
                     break
-                if not line:
+                if not raw:
                     break
-                if not line.strip():
+                if not raw.strip():
                     continue
                 try:
-                    message = protocol.decode_frame(line)
+                    message = protocol.decode_any_frame(raw)
                 except ProtocolError as exc:
                     await respond(protocol.error_response(None, exc.code, exc.args[0]))
                     continue
-                task = asyncio.ensure_future(process(message))
+                bulk_field = (
+                    protocol.response_bulk_field(message)
+                    if protocol.is_binary_frame(raw)
+                    else None
+                )
+                task = asyncio.ensure_future(process(message, bulk_field))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
         except (ConnectionResetError, BrokenPipeError):
@@ -640,6 +680,10 @@ class ClusterRouter:
             batch_limit=self.batch_limit,
             max_chunk_cycles=MAX_CHUNK_CYCLES,
             workers=self._live_count(),
+            # The router speaks binary bulk frames on its front socket
+            # and (best-effort) down its worker links; the two hops
+            # negotiate independently.
+            binary_frames=True,
         )
 
     def _op_health(self, request_id: int) -> Dict[str, Any]:
@@ -728,6 +772,7 @@ class ClusterRouter:
                 obs.inc("cluster.sessions_opened")
                 obs.set_gauge("cluster.sessions", len(self._sessions))
                 out = dict(response)
+                out.pop(protocol.BULK_KEY, None)
                 out["id"] = request_id
                 out["session"] = session.cluster_id
                 if forward is not None:
@@ -750,7 +795,9 @@ class ClusterRouter:
                 f"no session {cluster_id!r} on this connection",
             )
         fields = {
-            k: v for k, v in message.items() if k not in ("v", "id", "op", "session")
+            k: v
+            for k, v in message.items()
+            if k not in ("v", "id", "op", "session", protocol.BULK_KEY)
         }
         async with session.lock:
             if session.cluster_id not in self._sessions:
@@ -801,7 +848,10 @@ class ClusterRouter:
                     continue
                 break
             await self._after_session_op(session, op, message, response)
+            # The worker link's framing marker is hop-local; the front
+            # side re-frames per its own negotiation.
             out = dict(response)
+            out.pop(protocol.BULK_KEY, None)
             out["id"] = request_id
             if "session" in out:
                 out["session"] = session.cluster_id
@@ -821,12 +871,16 @@ class ClusterRouter:
             return
         if op == "encode":
             session.buffer.record(
-                "encode", message.get("values") or [], response.get("states") or []
+                "encode",
+                _word_list(message.get("values")),
+                _word_list(response.get("states")),
             )
             session.cycles = int(response.get("cycles", session.cycles))
         elif op == "decode":
             session.buffer.record(
-                "decode", message.get("states") or [], response.get("values") or []
+                "decode",
+                _word_list(message.get("states")),
+                _word_list(response.get("values")),
             )
         elif op == "checkpoint":
             if message.get("export") and isinstance(response.get("state"), dict):
@@ -852,7 +906,11 @@ class ClusterRouter:
     ) -> Dict[str, Any]:
         """Round-robin the stateless ops over live workers; they are
         idempotent, so a transport failure just tries the next one."""
-        fields = {k: v for k, v in message.items() if k not in ("v", "id", "op")}
+        fields = {
+            k: v
+            for k, v in message.items()
+            if k not in ("v", "id", "op", protocol.BULK_KEY)
+        }
         live = [l for l in self._links.values() if l.alive]
         if not live:
             return protocol.error_response(
@@ -868,6 +926,7 @@ class ClusterRouter:
             except (ConnectionError, CircuitOpenError):
                 continue
             out = dict(response)
+            out.pop(protocol.BULK_KEY, None)
             out["id"] = request_id
             return out
         return protocol.error_response(

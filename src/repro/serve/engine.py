@@ -571,14 +571,24 @@ class ServeEngine:
                 live.append(job)
         # Group the stateless one-shots by coder spec: one transcoder
         # instance per (spec, width) serves every request in the batch
-        # back-to-back through its vectorized kernel.
+        # back-to-back through its vectorized kernel.  Where the coder
+        # family has columnar kernels, same-spec jobs in this drained
+        # batch coalesce further — into a SINGLE 2-D kernel call — via
+        # the pre-pass below; everything it leaves alone (errors,
+        # resilient sessions, singleton groups, non-columnar families)
+        # takes the sequential path, which stays the differential
+        # oracle the coalesced results must match bit-for-bit.
         coders: Dict[Tuple[str, int], Transcoder] = {}
+        coalesced = self._coalesce_columnar(live)
         for job in live:
             try:
                 if job.op == "sweep":
                     self._launch_sweep(job)
                     continue
-                response = self._dispatch(job, coders)
+                if id(job) in coalesced:
+                    response = coalesced[id(job)]
+                else:
+                    response = self._dispatch(job, coders)
             except ProtocolError as exc:
                 response = protocol.error_response(job.request_id, exc.code, exc.args[0])
             except Exception as exc:  # noqa: BLE001 - protocol boundary
@@ -596,6 +606,131 @@ class ServeEngine:
                     f"{type(exc).__name__}: {exc}",
                 )
             self._finish(job, response)
+
+    def _coalesce_columnar(self, live: List[_Job]) -> Dict[int, Dict[str, Any]]:
+        """Run same-spec bulk jobs of one batch through columnar kernels.
+
+        Returns ``{id(job): response}`` for every job it fully served;
+        jobs it declines stay on the sequential path.  Declined means:
+
+        * any validation failure — the sequential path must raise the
+          *identical* per-job error, so nothing is pre-judged here;
+        * resilient sessions (their per-cycle desync detection cannot
+          vectorize across streams);
+        * a session's second chunk in the same batch (an FSM can only
+          take one wave per kernel call; later chunks run sequentially
+          *after* the wave, preserving stream order);
+        * coder families without columnar kernels, and groups of one
+          (a 2-D pass over one row is pure overhead).
+        """
+        responses: Dict[int, Dict[str, Any]] = {}
+        if len(live) < 2:
+            return responses
+        chunk_groups: Dict[Tuple[str, str, int], List[Tuple[_Job, Session, Any]]] = {}
+        trace_groups: Dict[Tuple[str, int], List[Tuple[_Job, Any]]] = {}
+        waved: set = set()  # (op, session id) already claimed by a wave
+        for job in live:
+            if job.op in ("encode", "decode"):
+                field_name = "values" if job.op == "encode" else "states"
+                try:
+                    session = self._session_for(job)
+                    payload = self._chunk_field(job.message, field_name)
+                except ProtocolError:
+                    continue
+                if session.resilient or (job.op, session.session_id) in waved:
+                    continue
+                stream = (
+                    session.encoder if job.op == "encode" else session.decoder
+                )
+                if not type(stream.coder).columnar_batch:
+                    continue
+                waved.add((job.op, session.session_id))
+                chunk_groups.setdefault(
+                    (job.op, session.spec, session.width), []
+                ).append((job, session, payload))
+            elif job.op == "encode_trace":
+                message = job.message
+                spec = message.get("coder")
+                width = message.get("width", 32)
+                if (
+                    not isinstance(spec, str)
+                    or not isinstance(width, int)
+                    or isinstance(width, bool)
+                    or not 1 <= width <= 64
+                ):
+                    continue
+                try:
+                    payload = self._chunk_field(message, "values")
+                except ProtocolError:
+                    continue
+                trace_groups.setdefault((spec, width), []).append((job, payload))
+        for (op, spec, width), group in chunk_groups.items():
+            if len(group) < 2:
+                continue
+            jobs = [job for job, _, _ in group]
+            sessions = [session for _, session, _ in group]
+            payloads = [payload for _, _, payload in group]
+            try:
+                if op == "encode":
+                    outs = StreamingEncoder.feed_many(
+                        [session.encoder for session in sessions], payloads
+                    )
+                    for job, session, payload, out in zip(
+                        jobs, sessions, payloads, outs
+                    ):
+                        obs.inc("serve.encoded_cycles", len(payload), coder=spec)
+                        responses[id(job)] = protocol.ok_response(
+                            job.request_id,
+                            states=self._bulk_out(payload, out),
+                            cycles=session.encoder.cycles,
+                        )
+                else:
+                    outs = StreamingDecoder.feed_many(
+                        [session.decoder for session in sessions], payloads
+                    )
+                    for job, session, payload, out in zip(
+                        jobs, sessions, payloads, outs
+                    ):
+                        obs.inc("serve.decoded_cycles", len(payload), coder=spec)
+                        responses[id(job)] = protocol.ok_response(
+                            job.request_id,
+                            values=self._bulk_out(payload, out),
+                            cycles=session.decoder.cycles,
+                        )
+            except Exception:  # noqa: BLE001 - fall back, never fail the wave
+                for job in jobs:
+                    responses.pop(id(job), None)
+                continue
+            obs.inc("serve.coalesced", len(group), op=op, coder=spec)
+        for (spec, width), group in trace_groups.items():
+            if len(group) < 2:
+                continue
+            try:
+                coder = parse_coder_spec(spec, width)
+            except ValueError:
+                continue
+            if not type(coder).columnar_batch:
+                continue
+            try:
+                traces = [
+                    BusTrace(np.asarray(payload, dtype=np.uint64), width)
+                    for _, payload in group
+                ]
+                coded = coder.encode_traces_batch(traces)
+            except Exception:  # noqa: BLE001 - fall back, never fail the wave
+                continue
+            for (job, payload), out in zip(group, coded):
+                obs.inc("serve.encoded_cycles", len(payload), coder=spec)
+                responses[id(job)] = protocol.ok_response(
+                    job.request_id,
+                    states=self._bulk_out(payload, out.values),
+                    output_width=coder.output_width,
+                )
+            # The sequential path would have shared one coder instance
+            # across these jobs; keep that counter's meaning intact.
+            obs.inc("serve.batch_shared_coders", len(group) - 1)
+            obs.inc("serve.coalesced", len(group), op="encode_trace", coder=spec)
+        return responses
 
     # -- op handlers ---------------------------------------------------
 
@@ -615,6 +750,10 @@ class ServeEngine:
                 batch_limit=self.batch_limit,
                 max_chunk_cycles=MAX_CHUNK_CYCLES,
                 session_idle_timeout_s=self.session_idle_timeout_s,
+                # Capability flag of the binary bulk framing (the wire
+                # format is versioned separately from `v`: a client
+                # that never sees this stays on newline-JSON forever).
+                binary_frames=True,
             )
         if job.op == "health":
             # The heartbeat op: a liveness + load snapshot.  It rides
@@ -640,17 +779,19 @@ class ServeEngine:
         if job.op == "encode":
             values = self._chunk_field(message, "values")
             states = session.encoder.feed(values)
+            obs.inc("serve.encoded_cycles", len(values), coder=session.spec)
             return protocol.ok_response(
                 request_id,
-                states=[int(s) for s in states],
+                states=self._bulk_out(values, states),
                 cycles=session.encoder.cycles,
             )
         if job.op == "decode":
             states = self._chunk_field(message, "states")
             values, desyncs = session.decode_states(states)
+            obs.inc("serve.decoded_cycles", len(states), coder=session.spec)
             response = protocol.ok_response(
                 request_id,
-                values=[int(v) for v in values],
+                values=self._bulk_out(states, values),
                 cycles=session.decoder.cycles,
             )
             if desyncs:
@@ -893,11 +1034,25 @@ class ServeEngine:
         coder = coders[key]
         trace = BusTrace(np.asarray(values, dtype=np.uint64), width)
         coded = coder.encode_trace(trace)
+        obs.inc("serve.encoded_cycles", len(values), coder=spec)
         return protocol.ok_response(
             job.request_id,
-            states=[int(s) for s in coded.values],
+            states=self._bulk_out(values, coded.values),
             output_width=coder.output_width,
         )
+
+    @staticmethod
+    def _bulk_out(request_payload: Any, out: Any) -> Any:
+        """Response bulk payload, mirroring the request's framing type.
+
+        A binary request delivered its bulk field as an ndarray; answer
+        in kind (the transport re-frames it binary, zero per-word
+        work).  A JSON request gets plain ints, exactly as before —
+        a non-negotiating client never sees a numpy-typed payload.
+        """
+        if isinstance(request_payload, np.ndarray):
+            return np.ascontiguousarray(np.asarray(out, dtype=np.uint64))
+        return [int(v) for v in out]
 
     def _session_for(self, job: _Job) -> Session:
         session_id = job.message.get("session")
@@ -918,7 +1073,7 @@ class ServeEngine:
         return session
 
     @staticmethod
-    def _chunk_field(message: Dict[str, Any], key: str) -> List[int]:
+    def _chunk_field(message: Dict[str, Any], key: str) -> Any:
         values = protocol.int_list_field(message, key)
         if len(values) > MAX_CHUNK_CYCLES:
             raise ProtocolError(

@@ -62,6 +62,13 @@ class LoadgenConfig:
     checkpoint_every: int = 8
     attempt_timeout_s: float = 5.0
     deadline_s: float = 60.0
+    #: Consecutive streams sharing one coder spec.  ``1`` cycles the
+    #: spec per stream (maximum diversity); ``streams`` makes every
+    #: session identical — the shape that lets the engine's micro-batch
+    #: coalesce a whole drain into one columnar kernel call.
+    sessions_per_spec: int = 1
+    #: Negotiate binary bulk frames on every stream's connection.
+    binary: bool = False
 
     def __post_init__(self):
         if self.mode not in ("closed", "open"):
@@ -70,6 +77,10 @@ class LoadgenConfig:
             raise ValueError("streams, chunks and chunk must all be >= 1")
         if self.rate <= 0:
             raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.sessions_per_spec < 1:
+            raise ValueError(
+                f"sessions_per_spec must be >= 1, got {self.sessions_per_spec}"
+            )
 
 
 @dataclass
@@ -122,7 +133,9 @@ def _make_client(config: LoadgenConfig, index: int) -> ResilientTraceClient:
     return ResilientTraceClient(
         config.host,
         config.port,
-        coder=LOADGEN_SPECS[index % len(LOADGEN_SPECS)],
+        coder=LOADGEN_SPECS[
+            (index // config.sessions_per_spec) % len(LOADGEN_SPECS)
+        ],
         width=config.width,
         retry=RetryPolicy(
             attempts=16,
@@ -134,6 +147,7 @@ def _make_client(config: LoadgenConfig, index: int) -> ResilientTraceClient:
         ),
         breaker=CircuitBreaker(failure_threshold=12, reset_timeout_s=0.1),
         checkpoint_every=config.checkpoint_every,
+        binary=config.binary,
     )
 
 

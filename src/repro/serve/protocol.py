@@ -1,6 +1,9 @@
 """The wire protocol of the trace-serving frontend.
 
-Newline-delimited JSON, version-tagged, symmetric request/response:
+Two frame types share one connection; the first byte disambiguates.
+
+**Newline-delimited JSON** (the universal fallback, and the only
+framing for control ops):
 
 * every **request** is one JSON object on one line:
   ``{"v": 1, "id": 7, "op": "encode", ...op fields...}``;
@@ -9,13 +12,59 @@ Newline-delimited JSON, version-tagged, symmetric request/response:
   ``{"v": 1, "id": 7, "ok": false,
   "error": {"code": "busy", "message": "..."}}``.
 
-Why JSON-per-line: the payloads are integer vectors (bus words), which
-JSON carries exactly at any width up to the library's 64-bit ceiling,
-and a line-oriented framing keeps the protocol inspectable with
-``nc``/``socat`` and trivially implementable from any language.  The
-protocol is versioned from day one: a request whose ``v`` is missing or
-unknown is rejected with ``unsupported-version`` *before* the op is
-interpreted, so the frame format can evolve without silent
+**Length-prefixed binary bulk frames** (negotiated, optional): the hot
+ops move integer vectors — tens of thousands of bus words per chunk —
+and ``json.dumps`` on every word is the measured single-core throughput
+ceiling.  A binary bulk frame is the *same* message with its one bulk
+field (``values`` or ``states``) lifted out of the JSON and carried as
+a raw little-endian ``uint64`` word array:
+
+====================  ==============================================
+bytes                 meaning
+====================  ==============================================
+``[0]``               magic ``0xB5`` (a JSON frame always starts with
+                      ``{`` or whitespace, so the first byte is
+                      unambiguous)
+``[1:5]``             ``H``: header length, ``<u32``
+``[5:9]``             ``W``: payload word count, ``<u32``
+``[9:13]``            CRC-32 of header+payload (``zlib.crc32``)
+``[13:13+H]``         compact-JSON header: the message minus its bulk
+                      field, plus ``"_bulk": "<field name>"``
+``[13+H:13+H+8*W]``   the bulk field: ``W`` little-endian ``uint64``
+                      words, ``np.frombuffer``-able with zero copies
+====================  ==============================================
+
+Rationale for JSON staying the default and the fallback: JSON carries
+the integer payloads exactly at any width up to the library's 64-bit
+ceiling, keeps the protocol inspectable with ``nc``/``socat`` and
+trivially implementable from any language, and needs no negotiation.
+The binary frame exists purely as a bulk fast path, under strict
+fallback rules:
+
+* **negotiated per connection**: a client sends binary frames only
+  after a ``hello`` response advertising ``"binary_frames": true``
+  (the capability rides the existing version handshake; ``v`` stays
+  2 — a v2 peer that never negotiates never sees a binary frame);
+* **bulk ops only**: exactly the ops in :data:`BULK_REQUEST_FIELDS`
+  (``encode``/``decode``/``encode_trace``) may use it, and only for
+  their designated bulk field; every control op (``open``, ``hello``,
+  ``checkpoint``, ``resume``, ...) is always newline-JSON;
+* **responses mirror the request**: a binary request gets its bulk
+  response field (:data:`BULK_RESPONSE_FIELDS`) as a binary frame,
+  a JSON request is always answered in JSON — so a non-negotiating
+  client can never receive a frame it cannot parse;
+* **corruption is loud**: the CRC-32 makes any in-flight corruption a
+  deterministic ``bad-request`` decode error (raw word arrays have no
+  syntax to trip over, so without the checksum a flipped payload bit
+  would be *silent* data corruption — the one failure mode the chaos
+  harness must never allow);
+* **framing stays robust**: readers trust the length prefix only up to
+  :data:`MAX_FRAME_BYTES`; an oversized or truncated binary frame is a
+  connection-fatal framing error, exactly like an overlong line.
+
+The protocol is versioned from day one: a request whose ``v`` is
+missing or unknown is rejected with ``unsupported-version`` *before*
+the op is interpreted, so the frame format can evolve without silent
 misdecoding.
 
 Error codes (the ``error.code`` field) are a closed, stable set — see
@@ -74,13 +123,23 @@ shared verbatim by server and client.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
-from typing import Any, Dict, List, Optional, Tuple
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "BINARY_MAGIC",
+    "BINARY_PREFIX_BYTES",
+    "BULK_KEY",
+    "BULK_REQUEST_FIELDS",
+    "BULK_RESPONSE_FIELDS",
     "ERROR_CODES",
     "ERR_BAD_REQUEST",
     "ERR_BUSY",
@@ -96,12 +155,18 @@ __all__ = [
     "IDEMPOTENT_OPS",
     "KNOWN_OPS",
     "ProtocolError",
+    "decode_any_frame",
+    "decode_binary_frame",
     "decode_frame",
+    "encode_binary_frame",
     "encode_frame",
     "error_response",
     "int_list_field",
+    "is_binary_frame",
     "ok_response",
+    "read_frame",
     "request",
+    "response_bulk_field",
     "state_digest",
     "validate_request",
 ]
@@ -115,7 +180,42 @@ PROTOCOL_VERSION = 2
 #: Hard per-frame ceiling (also the server's StreamReader limit): a
 #: 64 Ki-cycle chunk of 20-digit words is ~1.4 MB, so 8 MB leaves
 #: comfortable headroom while bounding a malicious/buggy client.
+#: Binary frames obey the same ceiling — ``readexactly`` bypasses the
+#: StreamReader limit, so :func:`read_frame` enforces it on the
+#: declared length *before* reading the body.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+# -- binary bulk framing (see the module docstring's wire table) ------
+
+#: First byte of a binary bulk frame.  A JSON frame's first byte is
+#: ``{`` (0x7B) or ASCII whitespace, never 0xB5.
+BINARY_MAGIC = 0xB5
+
+#: ``<BIII``: magic, header length, payload word count, CRC-32.
+_BINARY_PREFIX = struct.Struct("<BIII")
+
+#: Size of the fixed binary prefix (13 bytes).  Fault injectors must
+#: never mutate these bytes: corrupting the length fields desyncs the
+#: *framing* (the analogue of eating a newline), which is a different
+#: failure class from corrupting the *content* (caught by the CRC).
+BINARY_PREFIX_BYTES = _BINARY_PREFIX.size
+
+#: Header key naming which message field rides as the raw payload.
+BULK_KEY = "_bulk"
+
+#: The only (op → request field) pairs allowed in binary frames.
+BULK_REQUEST_FIELDS = {
+    "encode": "values",
+    "decode": "states",
+    "encode_trace": "values",
+}
+
+#: The response bulk field mirrored back for each bulk op.
+BULK_RESPONSE_FIELDS = {
+    "encode": "states",
+    "decode": "values",
+    "encode_trace": "states",
+}
 
 # -- error codes (closed set; part of the protocol contract) ----------
 
@@ -194,10 +294,27 @@ class ProtocolError(ValueError):
 # -- framing ----------------------------------------------------------
 
 
+def _jsonable(value: Any) -> Any:
+    """JSON fallback for numpy payloads reaching a JSON frame.
+
+    A message built for the binary path may fall back to JSON (peer did
+    not negotiate, or the op errored before the bulk field was used);
+    word arrays then serialise as plain integer lists, bit-identically.
+    """
+    if isinstance(value, np.ndarray):
+        return [int(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    raise TypeError(f"{type(value).__name__} is not JSON-serialisable")
+
+
 def encode_frame(message: Dict[str, Any]) -> bytes:
     """Serialise one message as a compact JSON line (trailing ``\\n``)."""
     return (
-        json.dumps(message, separators=(",", ":"), ensure_ascii=True) + "\n"
+        json.dumps(
+            message, separators=(",", ":"), ensure_ascii=True, default=_jsonable
+        )
+        + "\n"
     ).encode("ascii")
 
 
@@ -220,6 +337,148 @@ def decode_frame(line: bytes) -> Dict[str, Any]:
             ERR_BAD_REQUEST, f"frame must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def is_binary_frame(raw: bytes) -> bool:
+    """True iff ``raw`` starts with the binary bulk frame magic byte."""
+    return len(raw) > 0 and raw[0] == BINARY_MAGIC
+
+
+def encode_binary_frame(
+    message: Dict[str, Any],
+    bulk_field: str,
+    words: Union[Sequence[int], np.ndarray],
+) -> bytes:
+    """Serialise one message as a binary bulk frame.
+
+    ``words`` becomes the raw little-endian ``uint64`` payload; the rest
+    of ``message`` (any existing ``bulk_field`` entry excluded) becomes
+    the JSON header, tagged with ``BULK_KEY`` so the decoder knows which
+    field to rehydrate.
+    """
+    arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    if arr.ndim != 1:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"bulk payload must be 1-D, got shape {arr.shape}"
+        )
+    payload = arr.astype("<u8", copy=False).tobytes()
+    header = {k: v for k, v in message.items() if k != bulk_field}
+    header[BULK_KEY] = bulk_field
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), ensure_ascii=True, default=_jsonable
+    ).encode("ascii")
+    total = BINARY_PREFIX_BYTES + len(header_bytes) + len(payload)
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"frame of {total} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    crc = zlib.crc32(payload, zlib.crc32(header_bytes))
+    prefix = _BINARY_PREFIX.pack(BINARY_MAGIC, len(header_bytes), len(arr), crc)
+    return prefix + header_bytes + payload
+
+
+def decode_binary_frame(raw: bytes) -> Dict[str, Any]:
+    """Parse a binary bulk frame into a message dict.
+
+    The bulk field comes back as a read-only 1-D ``uint64`` ndarray
+    viewing the frame's payload bytes directly (``np.frombuffer`` —
+    zero copies).  The ``BULK_KEY`` marker is kept in the message so
+    transport layers can tell the request arrived binary.
+
+    Raises :class:`ProtocolError` (``bad-request``) on bad magic, bad
+    lengths, CRC mismatch, or an undecodable header.
+    """
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"frame of {len(raw)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    if len(raw) < BINARY_PREFIX_BYTES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"binary frame truncated at {len(raw)} bytes"
+        )
+    magic, header_len, word_count, crc = _BINARY_PREFIX.unpack_from(raw)
+    if magic != BINARY_MAGIC:
+        raise ProtocolError(ERR_BAD_REQUEST, f"bad binary frame magic {magic:#x}")
+    expected = BINARY_PREFIX_BYTES + header_len + 8 * word_count
+    if len(raw) != expected:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"binary frame is {len(raw)} bytes but declares {expected}",
+        )
+    if zlib.crc32(raw[BINARY_PREFIX_BYTES:]) != crc:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, "binary frame failed its CRC-32 (corrupted in flight)"
+        )
+    header_end = BINARY_PREFIX_BYTES + header_len
+    try:
+        message = json.loads(raw[BINARY_PREFIX_BYTES:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"undecodable binary frame header: {exc}"
+        ) from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"binary frame header must be a JSON object, got {type(message).__name__}",
+        )
+    bulk_field = message.get(BULK_KEY)
+    if not isinstance(bulk_field, str) or not bulk_field:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"binary frame header lacks a {BULK_KEY!r} field name"
+        )
+    message[bulk_field] = np.frombuffer(raw, dtype="<u8", count=word_count, offset=header_end)
+    return message
+
+
+def decode_any_frame(raw: bytes) -> Dict[str, Any]:
+    """Parse a received frame of either framing (dispatch on byte 0)."""
+    if is_binary_frame(raw):
+        return decode_binary_frame(raw)
+    return decode_frame(raw)
+
+
+def response_bulk_field(message: Dict[str, Any]) -> Optional[str]:
+    """The response field that may ride binary, given a *request* dict."""
+    return BULK_RESPONSE_FIELDS.get(message.get("op"))  # type: ignore[arg-type]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame of either framing from a stream.
+
+    Returns the raw frame bytes (newline included for JSON frames), or
+    ``b""`` at EOF on a frame boundary.  Binary frames are reassembled
+    with ``readexactly`` — the payload may legally contain ``0x0A``
+    bytes, so ``readline`` alone would mis-split them.  Raises
+    :class:`ProtocolError` on an oversized or mid-frame-truncated
+    binary frame (framing is lost; callers must drop the connection),
+    and lets ``readline``'s ``LimitOverrunError`` propagate for
+    overlong JSON lines, as before.
+    """
+    try:
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError:
+        return b""
+    if first[0] != BINARY_MAGIC:
+        if first == b"\n":  # blank keep-alive line
+            return first
+        return first + await reader.readline()
+    rest = await reader.readexactly(BINARY_PREFIX_BYTES - 1)
+    _, header_len, word_count, _ = _BINARY_PREFIX.unpack(first + rest)
+    body_len = header_len + 8 * word_count
+    if BINARY_PREFIX_BYTES + body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"binary frame declares {BINARY_PREFIX_BYTES + body_len} bytes, "
+            f"exceeding {MAX_FRAME_BYTES}",
+        )
+    try:
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"binary frame truncated mid-body ({len(exc.partial)}/{body_len} bytes)",
+        ) from None
+    return first + rest + body
 
 
 # -- message constructors ---------------------------------------------
@@ -298,9 +557,24 @@ def state_digest(state: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def int_list_field(message: Dict[str, Any], key: str) -> List[int]:
-    """Extract a required list-of-ints field (bus words / wire states)."""
+def int_list_field(
+    message: Dict[str, Any], key: str
+) -> Union[List[int], np.ndarray]:
+    """Extract a required bulk field (bus words / wire states).
+
+    JSON frames deliver a list of ints, validated element-wise; binary
+    frames deliver a ready 1-D ``uint64`` ndarray, which is passed
+    through untouched (the dtype already guarantees non-negative
+    64-bit integers, so per-element checks would only burn the cycles
+    the binary path exists to save).
+    """
     values = message.get(key)
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1 or values.dtype != np.uint64:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, f"{key!r} must be a 1-D uint64 array"
+            )
+        return values
     if not isinstance(values, list):
         raise ProtocolError(ERR_BAD_REQUEST, f"{key!r} must be a list of integers")
     for v in values:

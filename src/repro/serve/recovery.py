@@ -145,6 +145,12 @@ class ResilientTraceClient:
     checkpoint_every:
         Export a checkpoint every N fed chunks.  Smaller = shorter
         replays after a failure, more checkpoint traffic.
+    binary:
+        Negotiate binary bulk frames on every (re)connection.  The
+        chunks go down the wire as raw word arrays; results are still
+        returned as plain int lists, and a server that does not
+        advertise ``binary_frames`` silently leaves the connection on
+        JSON — resilience semantics are framing-independent.
     """
 
     def __init__(
@@ -157,6 +163,7 @@ class ResilientTraceClient:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        binary: bool = False,
     ):
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -172,6 +179,7 @@ class ResilientTraceClient:
             failure_threshold=8, reset_timeout_s=0.2
         )
         self.checkpoint_every = int(checkpoint_every)
+        self.binary = bool(binary)
         self._client: Optional[TraceClient] = None
         self._stream: Optional[EncodeStream] = None
         self._buffer = ReplayBuffer()
@@ -232,6 +240,11 @@ class ResilientTraceClient:
             return self._stream
         client = await TraceClient.connect(self.host, self.port)
         try:
+            if self.binary:
+                # Re-negotiated on every reconnection: the replacement
+                # server (post-failover) may or may not speak binary,
+                # and either answer is fine.
+                await client.negotiate_binary()
             if self._buffer.checkpoint is not None:
                 stream = await client.resume_stream(
                     self._buffer.checkpoint, coder=self.coder, width=self.width

@@ -1,8 +1,10 @@
 """Asyncio TCP frontend over the :class:`~repro.serve.engine.ServeEngine`.
 
 One :class:`TraceServer` owns one engine and one listening socket.  The
-transport layer is deliberately thin: read a line, decode the frame,
-hand it to the engine, write the response line.  Everything
+transport layer is deliberately thin: read a frame (newline-JSON or
+length-prefixed binary — :func:`repro.serve.protocol.read_frame` tells
+them apart by the first byte), decode it, hand it to the engine, write
+the response framed the same way the request arrived.  Everything
 interesting — sessions, batching, backpressure, deadlines — lives in
 the engine, which is what makes the serving behaviour unit-testable
 without sockets.
@@ -130,42 +132,63 @@ class TraceServer:
         write_lock = asyncio.Lock()  # responses interleave task-safely
         pending: "set[asyncio.Task[None]]" = set()
 
-        async def respond(response) -> None:
+        async def respond(response, bulk_field=None) -> None:
+            # Responses mirror the request's framing: only a request
+            # that itself arrived binary gets a binary bulk response
+            # (and only when the op produced its bulk field — error
+            # responses stay JSON).
+            if bulk_field is not None and bulk_field in response:
+                frame = protocol.encode_binary_frame(
+                    response, bulk_field, response[bulk_field]
+                )
+            else:
+                frame = protocol.encode_frame(response)
             async with write_lock:
-                writer.write(protocol.encode_frame(response))
+                writer.write(frame)
                 await writer.drain()
 
-        async def process(message) -> None:
+        async def process(message, bulk_field) -> None:
             response = await self.engine.handle(connection_id, message)
-            await respond(response)
+            await respond(response, bulk_field)
 
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    raw = await protocol.read_frame(reader)
                 except (
                     asyncio.LimitOverrunError,
                     asyncio.IncompleteReadError,
                     ValueError,
                 ):
+                    # Framing is lost (overlong line, or a binary frame
+                    # truncated / declaring an oversize body): answer
+                    # once and drop the connection.
                     await respond(
                         protocol.error_response(
                             None, protocol.ERR_BAD_REQUEST, "oversized or truncated frame"
                         )
                     )
                     break
-                if not line:
+                if not raw:
                     break  # EOF: client is done
-                if not line.strip():
+                if not raw.strip():
                     continue  # tolerate keep-alive blank lines
                 try:
-                    message = protocol.decode_frame(line)
+                    message = protocol.decode_any_frame(raw)
                 except ProtocolError as exc:
+                    # Frame boundaries are intact (a corrupted binary
+                    # frame fails its CRC *after* being read whole), so
+                    # this is per-request: report and keep serving.
                     await respond(protocol.error_response(None, exc.code, exc.args[0]))
                     continue
+                bulk_field = (
+                    protocol.response_bulk_field(message)
+                    if protocol.is_binary_frame(raw)
+                    else None
+                )
                 # Pipelining: admit the request now, let the response
                 # land whenever the engine finishes it.
-                task = asyncio.ensure_future(process(message))
+                task = asyncio.ensure_future(process(message, bulk_field))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
         except (ConnectionResetError, BrokenPipeError):

@@ -171,6 +171,29 @@ class StreamingEncoder:
         """Rewind the FSM to a checkpoint taken on this coder type."""
         self.cycles, self._last_state = _restore(self.coder, checkpoint)
 
+    @staticmethod
+    def feed_many(
+        streams: List["StreamingEncoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Advance B same-family streams by one chunk each, coalesced.
+
+        Dispatches to the coder family's columnar batch kernel (a
+        single 2-D pass when ``columnar_batch`` is true, the
+        per-stream loop otherwise) and applies the same bookkeeping as
+        B individual :meth:`feed` calls.  All streams must wrap the
+        same coder class; each must appear at most once (the FSM state
+        *is* the stream position, so a stream cannot take two chunks
+        in one wave).
+        """
+        outs = type(streams[0].coder).encode_chunks_batch(
+            [stream.coder for stream in streams], chunks
+        )
+        for stream, out in zip(streams, outs):
+            stream.cycles += len(out)
+            if len(out):
+                stream._last_state = int(out[-1])
+        return outs
+
 
 class StreamingDecoder:
     """Incremental decoder: the receive-side twin of :class:`StreamingEncoder`."""
@@ -201,6 +224,20 @@ class StreamingDecoder:
 
     def restore(self, checkpoint: StreamCheckpoint) -> None:
         self.cycles, self._last_value = _restore(self.coder, checkpoint)
+
+    @staticmethod
+    def feed_many(
+        streams: List["StreamingDecoder"], chunks: List[Any]
+    ) -> List[np.ndarray]:
+        """Decode-side twin of :meth:`StreamingEncoder.feed_many`."""
+        outs = type(streams[0].coder).decode_chunks_batch(
+            [stream.coder for stream in streams], chunks
+        )
+        for stream, out in zip(streams, outs):
+            stream.cycles += len(out)
+            if len(out):
+                stream._last_value = int(out[-1])
+        return outs
 
 
 def encode_trace_chunked(

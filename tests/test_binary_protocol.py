@@ -1,0 +1,225 @@
+"""Unit tests for the length-prefixed binary bulk frame type.
+
+Pure data-plane tests of :mod:`repro.serve.protocol`'s binary path:
+frame geometry, CRC-checked round-trips, every corruption class mapped
+to a deterministic ``bad-request``, the first-byte dispatch between the
+two frame types, and the :func:`read_frame` stream reader fed mixed
+binary/JSON traffic (including binary payloads containing ``0x0A``,
+which a newline-framed reader would mis-split).  Socket-level behaviour
+lives in ``test_serve_binary_e2e.py``.
+"""
+
+import asyncio
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.faults import transport as faults_transport
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+def make_frame(op="encode", request_id=1, words=(1, 2, 3), field="values", **extra):
+    message = protocol.request(op, request_id, session=7, **extra)
+    return protocol.encode_binary_frame(
+        message, field, np.asarray(words, dtype=np.uint64)
+    )
+
+
+class TestGeometry:
+    def test_prefix_layout(self):
+        frame = make_frame(words=[10, 20])
+        magic, header_len, count, crc = struct.unpack_from("<BIII", frame)
+        assert magic == protocol.BINARY_MAGIC
+        assert count == 2
+        header = frame[protocol.BINARY_PREFIX_BYTES :][:header_len]
+        payload = frame[protocol.BINARY_PREFIX_BYTES + header_len :]
+        assert len(payload) == 2 * 8
+        assert crc == zlib.crc32(payload, zlib.crc32(header))
+        assert len(frame) == protocol.BINARY_PREFIX_BYTES + header_len + 16
+
+    def test_payload_is_little_endian_words(self):
+        frame = make_frame(words=[0x0102030405060708])
+        assert frame.endswith(bytes([8, 7, 6, 5, 4, 3, 2, 1]))
+
+    def test_header_carries_bulk_marker_not_the_payload(self):
+        frame = make_frame(words=[1, 2, 3])
+        _, header_len, _, _ = struct.unpack_from("<BIII", frame)
+        header = frame[protocol.BINARY_PREFIX_BYTES :][:header_len]
+        assert b'"_bulk"' in header
+        assert b'"values"' in header  # the marker's value
+        assert b"[1" not in header  # never the words themselves
+
+    def test_json_frames_cannot_collide_with_the_magic(self):
+        # Dispatch is on the first byte: JSON frames start with '{'
+        # (or whitespace), never 0xB5.
+        json_frame = protocol.encode_frame(protocol.request("hello", 1))
+        assert json_frame[0] != protocol.BINARY_MAGIC
+        assert not protocol.is_binary_frame(json_frame)
+        assert protocol.is_binary_frame(make_frame())
+
+
+class TestRoundTrip:
+    def test_words_come_back_zero_copy_and_bit_identical(self):
+        words = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        message = protocol.decode_binary_frame(make_frame(words=words))
+        out = message["values"]
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.dtype("<u8")
+        assert np.array_equal(out, words)
+        assert message["op"] == "encode"
+        assert message["session"] == 7
+        assert message[protocol.BULK_KEY] == "values"
+
+    def test_empty_payload_round_trips(self):
+        message = protocol.decode_binary_frame(make_frame(words=[]))
+        assert len(message["values"]) == 0
+
+    def test_decode_any_frame_dispatches_both_types(self):
+        binary = make_frame(words=[5])
+        json_frame = protocol.encode_frame(protocol.request("hello", 2))
+        assert protocol.decode_any_frame(binary)["op"] == "encode"
+        assert protocol.decode_any_frame(json_frame)["op"] == "hello"
+
+    def test_response_bulk_field_maps_request_ops(self):
+        assert protocol.response_bulk_field({"op": "encode"}) == "states"
+        assert protocol.response_bulk_field({"op": "decode"}) == "values"
+        assert protocol.response_bulk_field({"op": "encode_trace"}) == "states"
+        assert protocol.response_bulk_field({"op": "hello"}) is None
+
+    def test_encoder_rejects_non_1d_payloads(self):
+        message = protocol.request("encode", 1, session=1)
+        with pytest.raises(ProtocolError):
+            protocol.encode_binary_frame(
+                message, "values", np.zeros((2, 2), dtype=np.uint64)
+            )
+
+
+class TestCorruptionIsDeterministicallyDetected:
+    def test_any_flipped_payload_byte_fails_the_crc(self):
+        frame = bytearray(make_frame(words=[1, 2, 3, 4]))
+        # Pick a payload byte that is zero (high byte of a small word)
+        # so the 0xFF overwrite is guaranteed to change it.
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_binary_frame(bytes(frame))
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_flipped_header_byte_fails_the_crc(self):
+        frame = bytearray(make_frame())
+        frame[protocol.BINARY_PREFIX_BYTES] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            protocol.decode_binary_frame(bytes(frame))
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(make_frame())
+        frame[0] = 0x00
+        with pytest.raises(ProtocolError):
+            protocol.decode_binary_frame(bytes(frame))
+
+    def test_truncated_frame_is_rejected(self):
+        frame = make_frame(words=[1, 2, 3])
+        with pytest.raises(ProtocolError):
+            protocol.decode_binary_frame(frame[:-1])
+
+    def test_declared_oversize_is_rejected(self):
+        message = protocol.request("encode", 1, session=1)
+        too_many = protocol.MAX_FRAME_BYTES // 8 + 1
+        with pytest.raises(ProtocolError):
+            protocol.encode_binary_frame(
+                message, "values", np.zeros(too_many, dtype=np.uint64)
+            )
+
+    def test_protocol_error_is_a_value_error(self):
+        # Framing-layer handlers catch ValueError; the binary path's
+        # errors must flow through the same nets.
+        assert issubclass(ProtocolError, ValueError)
+
+
+class TestIntListFieldFastPath:
+    def test_ndarray_passes_through_unconverted(self):
+        words = np.array([1, 2, 3], dtype=np.uint64)
+        out = protocol.int_list_field({"values": words}, "values")
+        assert out is words
+
+    def test_wrong_dtype_or_shape_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.int_list_field(
+                {"values": np.zeros(3, dtype=np.int64)}, "values"
+            )
+        with pytest.raises(ProtocolError):
+            protocol.int_list_field(
+                {"values": np.zeros((2, 2), dtype=np.uint64)}, "values"
+            )
+
+    def test_plain_lists_still_validate(self):
+        with pytest.raises(ProtocolError):
+            protocol.int_list_field({"values": [1, "x"]}, "values")
+
+
+class TestReadFrameStream:
+    def run(self, payload: bytes, reads: int):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return [await protocol.read_frame(reader) for _ in range(reads)]
+
+        return asyncio.run(scenario())
+
+    def test_mixed_stream_with_newline_bytes_in_payload(self):
+        # 0x0A is a legal payload byte (any word with 10 in a byte
+        # lane); readline() framing would split the frame there.
+        tricky = make_frame(words=[0x0A0A0A0A0A0A0A0A, 10])
+        json_frame = protocol.encode_frame(protocol.request("hello", 2))
+        frames = self.run(json_frame + tricky + json_frame + tricky, 4)
+        assert frames[0] == json_frame
+        assert frames[1] == tricky
+        assert frames[2] == json_frame
+        assert frames[3] == tricky
+        decoded = protocol.decode_any_frame(frames[3])
+        assert list(decoded["values"]) == [0x0A0A0A0A0A0A0A0A, 10]
+
+    def test_blank_keepalive_lines_pass_through(self):
+        json_frame = protocol.encode_frame(protocol.request("hello", 2))
+        frames = self.run(b"\n" + json_frame, 2)
+        assert frames[0] == b"\n"
+        assert frames[1] == json_frame
+
+    def test_clean_eof_returns_empty(self):
+        assert self.run(b"", 1) == [b""]
+
+    def test_mid_body_truncation_raises(self):
+        frame = make_frame(words=[1, 2, 3])
+        with pytest.raises(ProtocolError):
+            self.run(frame[:-4], 1)
+
+    def test_oversize_declaration_raises_before_reading_the_body(self):
+        prefix = struct.pack(
+            "<BIII", protocol.BINARY_MAGIC, 16, protocol.MAX_FRAME_BYTES // 8, 0
+        )
+        with pytest.raises(ProtocolError):
+            self.run(prefix, 1)
+
+
+class TestFaultsMirrorConstants:
+    def test_transport_fault_constants_match_the_protocol(self):
+        # faults.transport cannot import serve.protocol (package-init
+        # cycle), so it mirrors the two framing constants; this is the
+        # pin that keeps the mirror honest.
+        assert faults_transport.BINARY_FRAME_MAGIC == protocol.BINARY_MAGIC
+        assert (
+            faults_transport.BINARY_FRAME_PREFIX_BYTES
+            == protocol.BINARY_PREFIX_BYTES
+        )
+
+    def test_corruptable_span_spares_binary_framing(self):
+        frame = make_frame(words=[1, 2])
+        lower, upper = faults_transport._corruptable_span(frame)
+        assert lower == protocol.BINARY_PREFIX_BYTES
+        assert upper == len(frame)
+        json_frame = protocol.encode_frame(protocol.request("hello", 1))
+        lower, upper = faults_transport._corruptable_span(json_frame)
+        assert (lower, upper) == (0, len(json_frame) - 1)

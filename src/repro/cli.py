@@ -446,6 +446,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ports
     from .serve.server import TraceServer
 
+    # With --obs-dir the server also keeps a flight recorder there: a
+    # crash-durable journal of recent engine events the supervisor
+    # harvests post-mortem.  (No-op under REPRO_OBS=0.)
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir:
+        obs.configure_flight(os.path.join(obs_dir, obs.FLIGHT_FILENAME))
+
     async def run() -> None:
         server = TraceServer(
             host=args.host,
@@ -487,6 +494,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
+
+    # The router keeps its own flight recorder next to its telemetry
+    # export; each worker keeps one under --worker-obs-dir (the
+    # supervisor passes --obs-dir down their command lines).
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir:
+        obs.configure_flight(os.path.join(obs_dir, obs.FLIGHT_FILENAME))
 
     async def run() -> None:
         cluster = TraceCluster(
@@ -618,6 +632,14 @@ def _cmd_cluster_soak(args: argparse.Namespace) -> int:
         ("cluster drain", "clean" if report.drain.get("clean") else str(report.drain)),
         ("elapsed", f"{report.elapsed_s:.2f} s"),
     ]
+    if report.artifacts.get("top"):
+        rows.append(("telemetry snapshot", report.artifacts["top"]))
+    if report.artifacts.get("stitched_trace"):
+        rows.append(("stitched trace", report.artifacts["stitched_trace"]))
+    for worker_id, dump in sorted(
+        (report.artifacts.get("flight_dumps") or {}).items()
+    ):
+        rows.append((f"flight journal {worker_id}", dump))
     print(
         format_table(
             ["quantity", "value"],
@@ -632,6 +654,54 @@ def _cmd_cluster_soak(args: argparse.Namespace) -> int:
         for failure in report.failures:
             print(f"cluster-soak: FAIL: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.telemetry import run_top
+
+    if args.interval <= 0:
+        raise ValueError(f"--interval must be > 0, got {args.interval}")
+    try:
+        asyncio.run(
+            run_top(
+                args.host,
+                args.port,
+                interval_s=args.interval,
+                once=args.once,
+                as_json=args.json,
+                iterations=args.iterations,
+            )
+        )
+    except KeyboardInterrupt:
+        pass  # ^C out of the polling loop is the normal exit
+    except OSError as exc:
+        raise ValueError(
+            f"cannot connect to {args.host}:{args.port} ({exc}); "
+            f"is `repro serve` or `repro cluster` running?"
+        ) from None
+    return 0
+
+
+def _cmd_trace_stitch(args: argparse.Namespace) -> int:
+    from .obs.stitch import stitch_run
+
+    result = stitch_run(args.inputs, args.out)
+    rows = [
+        ("sources", result["sources"]),
+        ("spans", result["spans"]),
+        ("flow arrows", result["flows"]),
+        ("written", result["out"]),
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title="stitched trace (load in chrome://tracing or Perfetto)",
+        )
+    )
     return 0
 
 
@@ -1267,6 +1337,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="per-worker telemetry root (CI uploads these as artifacts)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live cluster RED metrics (rate, error %%, p50/p99 per op) from "
+        "a running serve/cluster via the `telemetry` op",
+    )
+    top.set_defaults(func=_cmd_top)
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7453)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (polling mode)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="one probe, print, exit (CI mode with --json)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as a JSON document instead of tables",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N refreshes (default: poll until ^C)",
+    )
+
+    stitch = sub.add_parser(
+        "trace-stitch",
+        help="merge router + per-worker spans.jsonl exports into one "
+        "Chrome/Perfetto trace with cross-process flow arrows",
+    )
+    stitch.set_defaults(func=_cmd_trace_stitch)
+    stitch.add_argument(
+        "inputs",
+        nargs="+",
+        help="span sources: spans.jsonl files, --obs-dir directories, or "
+        "roots scanned recursively (e.g. the cluster's --worker-obs-dir)",
+    )
+    stitch.add_argument(
+        "--out",
+        default="trace-stitched.json",
+        help="output trace_event file (default ./trace-stitched.json)",
     )
 
     # Accept the global flags after the subcommand as well.

@@ -45,6 +45,12 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .flight import (
+    FLIGHT_DUMP_FILENAME,
+    FLIGHT_FILENAME,
+    FlightRecorder,
+    read_flight_journal,
+)
 from .logs import LOGGER_NAME, StructuredFormatter, fields, get_logger, setup_logging
 from .registry import MetricsRegistry, format_key, parse_key
 from .spans import NO_SPAN, ActiveSpan, SpanRecord, SpanTracer
@@ -60,18 +66,28 @@ __all__ = [
     "set_gauge",
     "observe",
     "span",
+    "hop_span",
+    "new_trace_id",
     "timed",
     "reset",
     "fork_snapshot",
     "fork_delta",
     "merge_child",
     "export_run",
+    "configure_flight",
+    "flight",
+    "flight_record",
+    "flight_dump",
     # re-exports
     "MetricsRegistry",
     "SpanTracer",
     "SpanRecord",
     "ActiveSpan",
     "NO_SPAN",
+    "FlightRecorder",
+    "FLIGHT_FILENAME",
+    "FLIGHT_DUMP_FILENAME",
+    "read_flight_journal",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
@@ -112,7 +128,11 @@ _TRACER = SpanTracer()
 # child; re-initialise the global sinks' locks post-fork.
 if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on linux
     os.register_at_fork(
-        after_in_child=lambda: (_REGISTRY.reinit_lock(), _TRACER.reinit_lock())
+        after_in_child=lambda: (
+            _REGISTRY.reinit_lock(),
+            _TRACER.reinit_lock(),
+            _FLIGHT.reinit_lock() if _FLIGHT is not None else None,
+        )
     )
 
 
@@ -167,6 +187,31 @@ def span(name: str, **attrs: Any) -> Union[ActiveSpan, "spans._NoopSpan"]:
     return _TRACER.span(name, attrs)
 
 
+def hop_span(
+    name: str, trace_id: str = "", parent: str = "", **attrs: Any
+) -> Union[ActiveSpan, "spans._NoopSpan"]:
+    """Open a *detached* span carrying distributed trace context.
+
+    Hop spans mark one protocol hop of a request (``client.request`` →
+    ``router.request`` → ``engine.request``).  They are detached from
+    the thread-local nesting stack — asyncio servers interleave many
+    requests on one thread, and stack nesting would invent false edges —
+    so cross-process linkage rides exclusively on ``trace_id`` and the
+    ``parent`` ref (``"pid:span_id"``), which ``repro trace-stitch``
+    resolves into Perfetto flow arrows.  Returns the shared no-op when
+    disabled; its ``.ref`` is ``""``, so no trace context leaks onto the
+    wire.
+    """
+    if not _ENABLED:
+        return NO_SPAN
+    return _TRACER.span(name, attrs, trace_id=trace_id, parent=parent, detached=True)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit distributed trace id ('' never returned)."""
+    return os.urandom(8).hex()
+
+
 class timed:
     """Context manager recording a block's duration into a histogram.
 
@@ -198,6 +243,50 @@ def reset() -> None:
     """Drop all collected telemetry (fresh CLI invocation / tests)."""
     _REGISTRY.reset()
     _TRACER.reset()
+
+
+# -- flight recorder ---------------------------------------------------
+
+_FLIGHT: Optional[FlightRecorder] = None
+
+
+def configure_flight(
+    path: Optional[str] = None, capacity: int = 256
+) -> Optional[FlightRecorder]:
+    """Install (or clear, with no arguments) the process flight recorder.
+
+    Serving entry points call this with ``<obs-dir>/flight.jsonl`` so
+    every lifecycle event is journalled eagerly — the artifact a
+    SIGKILLed worker leaves behind.  Returns the recorder, or None when
+    collection is disabled (``REPRO_OBS=0`` serving must not write new
+    files).
+    """
+    global _FLIGHT
+    if _FLIGHT is not None:
+        _FLIGHT.close()
+        _FLIGHT = None
+    if path is None or not _ENABLED:
+        return None
+    _FLIGHT = FlightRecorder(capacity=capacity, path=path)
+    return _FLIGHT
+
+
+def flight() -> Optional[FlightRecorder]:
+    """The configured process flight recorder, if any."""
+    return _FLIGHT
+
+
+def flight_record(event: str, **fields: Any) -> None:
+    """Record one flight event (no-op when disabled or unconfigured)."""
+    if _ENABLED and _FLIGHT is not None:
+        _FLIGHT.record(event, **fields)
+
+
+def flight_dump(reason: str = "") -> Optional[str]:
+    """Dump the flight ring to disk; returns the path (None if nowhere)."""
+    if _FLIGHT is None:
+        return None
+    return _FLIGHT.dump(reason=reason)
 
 
 # -- fork-worker integration (used by repro.analysis.parallel) --------
@@ -242,6 +331,10 @@ def export_run(
     """
     written: Dict[str, str] = {}
     spans = _TRACER.records()
+    if _ENABLED and _TRACER.dropped:
+        # Surface buffer truncation in the export itself — otherwise a
+        # clipped run reads as full coverage (`repro report` flags it).
+        _REGISTRY.set_gauge("obs.spans_dropped", float(_TRACER.dropped))
     if obs_dir:
         os.makedirs(obs_dir, exist_ok=True)
         written["spans"] = write_jsonl(

@@ -58,6 +58,8 @@ def span_jsonl_records(spans: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
             "parent_id": s.parent_id,
             "depth": s.depth,
             "attrs": s.attrs,
+            "trace_id": s.trace_id,
+            "parent": s.parent,
         }
         for s in spans
     ]

@@ -124,6 +124,29 @@ def _counter_total(metrics: Sequence[Dict[str, Any]], name: str) -> float:
     )
 
 
+def _gauge_value(metrics: Sequence[Dict[str, Any]], name: str) -> Optional[float]:
+    for record in metrics:
+        if record.get("type") == "gauge" and record.get("name") == name:
+            value = record.get("value")
+            return float(value) if value is not None else None
+    return None
+
+
+def _hist_record(
+    metrics: Sequence[Dict[str, Any]], name: str
+) -> Optional[Dict[str, Any]]:
+    for record in metrics:
+        if record.get("type") == "histogram" and record.get("name") == name:
+            return record
+    return None
+
+
+#: Relative error between a bucketed-histogram quantile estimate and the
+#: exact sample quantile past which the report flags the pair — i.e. the
+#: log2 ladder is too coarse at that latency scale to be trusted.
+QUANTILE_DRIFT_THRESHOLD = 0.10
+
+
 def _derived_rows(metrics: Sequence[Dict[str, Any]]) -> List[Tuple[str, str]]:
     """Human-level ratios computed from counter pairs."""
     rows: List[Tuple[str, str]] = []
@@ -141,6 +164,53 @@ def _derived_rows(metrics: Sequence[Dict[str, Any]]) -> List[Tuple[str, str]]:
     recovered = _counter_total(metrics, "coder.desync_recoveries")
     if desync > 0:
         rows.append(("desync events (recovered)", f"{int(desync)} ({int(recovered)})"))
+    dropped = _gauge_value(metrics, "obs.spans_dropped")
+    if dropped:
+        # Non-zero means the ring overflowed: phase totals above are a
+        # lower bound and any trace stitched from this run has holes.
+        rows.append(
+            ("spans dropped (ring full)", f"{int(dropped)}  ** TRACE INCOMPLETE **")
+        )
+    rows.extend(_quantile_drift_rows(metrics))
+    return rows
+
+
+def _quantile_drift_rows(
+    metrics: Sequence[Dict[str, Any]]
+) -> List[Tuple[str, str]]:
+    """Bucketed-estimate accuracy check against loadgen ground truth.
+
+    The loadgen records every feed latency twice: each sample lands in
+    the ``cluster.loadgen_feed_s`` log2-bucket histogram, and the exact
+    sample percentiles are exported as ``cluster.loadgen_exact_p*_s``
+    gauges.  Comparing the two per quantile answers "can I trust the
+    bucketed p99 everywhere else in this report?" — drift beyond
+    :data:`QUANTILE_DRIFT_THRESHOLD` gets flagged.
+    """
+    hist = _hist_record(metrics, "cluster.loadgen_feed_s")
+    if hist is None:
+        return []
+    rows: List[Tuple[str, str]] = []
+    for q, gauge_name in (
+        (0.50, "cluster.loadgen_exact_p50_s"),
+        (0.90, "cluster.loadgen_exact_p90_s"),
+        (0.99, "cluster.loadgen_exact_p99_s"),
+    ):
+        exact = _gauge_value(metrics, gauge_name)
+        estimate = estimate_quantile(hist, q)
+        if exact is None or estimate is None:
+            continue
+        drift = abs(estimate - exact) / exact if exact > 0 else 0.0
+        flag = (
+            "  ** DRIFT > 10% **" if drift > QUANTILE_DRIFT_THRESHOLD else ""
+        )
+        rows.append(
+            (
+                f"loadgen p{int(q * 100)} exact vs bucketed",
+                f"{exact:.6f} vs {estimate:.6f} "
+                f"(drift {100.0 * drift:.1f} %){flag}",
+            )
+        )
     return rows
 
 

@@ -51,12 +51,19 @@ class SpanRecord:
     parent_id: int  #: 0 when the span is a root
     depth: int  #: 0 for roots, parents + 1 otherwise
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""  #: distributed trace this span belongs to ("" = none)
+    parent: str = ""  #: cross-process parent ref "pid:span_id" ("" = none)
 
 
 class _NoopSpan:
     """The shared do-nothing span used when observability is off."""
 
     __slots__ = ()
+
+    #: Wire-safe span reference; empty so callers never attach a trace
+    #: context when observability is off.
+    ref = ""
+    trace_id = ""
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -88,6 +95,9 @@ class ActiveSpan:
         "span_id",
         "parent_id",
         "depth",
+        "trace_id",
+        "parent",
+        "detached",
         "_start",
         "dur",
     )
@@ -100,6 +110,9 @@ class ActiveSpan:
         span_id: int,
         parent_id: int,
         depth: int,
+        trace_id: str = "",
+        parent: str = "",
+        detached: bool = False,
     ):
         self._tracer = tracer
         self.name = name
@@ -107,8 +120,21 @@ class ActiveSpan:
         self.span_id = span_id
         self.parent_id = parent_id
         self.depth = depth
+        self.trace_id = trace_id
+        self.parent = parent
+        self.detached = detached
         self._start = 0.0
         self.dur = 0.0
+
+    @property
+    def ref(self) -> str:
+        """Wire-safe reference to this span: ``"pid:span_id"``.
+
+        Span ids are only unique per process, so cross-process trace
+        context (the protocol ``trace`` field, :attr:`SpanRecord.parent`)
+        always carries the pair.
+        """
+        return f"{os.getpid()}:{self.span_id}"
 
     def set(self, **attrs: Any) -> "ActiveSpan":
         """Attach/overwrite structured attributes mid-span."""
@@ -153,22 +179,54 @@ class SpanTracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> ActiveSpan:
-        """Open a span (use as a context manager)."""
-        stack = self._stack()
-        parent_id = stack[-1] if stack else 0
+    def span(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        *,
+        trace_id: str = "",
+        parent: str = "",
+        detached: bool = False,
+    ) -> ActiveSpan:
+        """Open a span (use as a context manager).
+
+        ``trace_id``/``parent`` attach distributed trace context (the
+        protocol hop spans set these from the wire ``trace`` field).
+        ``detached=True`` opens the span outside the thread-local
+        nesting stack: it is always a root (``parent_id=0``) and does
+        not become the parent of concurrently opened spans.  Hop spans
+        in asyncio servers are detached, because many requests
+        interleave on one thread and stack-based nesting would invent
+        false parent/child edges between unrelated requests.
+        """
         span_id = next(self._ids)
-        stack.append(span_id)
+        if detached:
+            parent_id = 0
+            depth = 0
+        else:
+            stack = self._stack()
+            parent_id = stack[-1] if stack else 0
+            stack.append(span_id)
+            depth = len(stack) - 1
         return ActiveSpan(
-            self, name, dict(attrs or {}), span_id, parent_id, len(stack) - 1
+            self,
+            name,
+            dict(attrs or {}),
+            span_id,
+            parent_id,
+            depth,
+            trace_id=trace_id,
+            parent=parent,
+            detached=detached,
         )
 
     def _finish(self, span: ActiveSpan, start: float, dur: float) -> None:
-        stack = self._stack()
-        if stack and stack[-1] == span.span_id:
-            stack.pop()
-        elif span.span_id in stack:  # out-of-order close: repair the stack
-            stack.remove(span.span_id)
+        if not span.detached:
+            stack = self._stack()
+            if stack and stack[-1] == span.span_id:
+                stack.pop()
+            elif span.span_id in stack:  # out-of-order close: repair the stack
+                stack.remove(span.span_id)
         record = SpanRecord(
             name=span.name,
             ts=start,
@@ -179,6 +237,8 @@ class SpanTracer:
             parent_id=span.parent_id,
             depth=span.depth,
             attrs=span.attrs,
+            trace_id=span.trace_id,
+            parent=span.parent,
         )
         with self._lock:
             if len(self._records) >= self.max_spans:

@@ -1,0 +1,217 @@
+"""Stitch per-process span exports into one cross-process Chrome trace.
+
+A cluster run leaves several ``spans.jsonl`` files behind — one from the
+router (``--obs-dir``) and one per worker generation (``--worker-obs-dir
+…/worker-<id>-gen<N>``).  Each is internally consistent but blind to the
+others: a request's client span, router span and engine span live in
+three files under three pids.  This module merges them into a single
+``trace_event`` document and draws **flow arrows** between spans linked
+by the distributed trace context (:attr:`~repro.obs.spans.SpanRecord.trace_id`
+plus the ``"pid:span_id"`` parent ref), so one request reads as one
+arrow-connected path across process rows in Perfetto / ``chrome://tracing``.
+
+Why stitching works without clock translation: span timestamps are
+:func:`time.perf_counter`, which on Linux is the *system-wide*
+``CLOCK_MONOTONIC`` — router and worker processes on one host share it,
+so their spans land on a common timeline as-is.
+
+The default exporter (:func:`repro.obs.export.chrome_trace`) is
+deliberately untouched: its event schema is pinned (every event carries
+exactly ``name, ph, ts, dur, pid, tid, cat, args``) and flow events
+(``"ph": "s"``/``"f"``) would violate it.  Flow arrows exist only here,
+in the stitched artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .export import SPANS_FILENAME, read_jsonl
+
+__all__ = [
+    "collect_span_files",
+    "load_span_sources",
+    "stitched_chrome_trace",
+    "stitch_run",
+]
+
+#: ``args`` key naming which export a stitched span came from.
+SOURCE_KEY = "source"
+
+
+def collect_span_files(inputs: Iterable[str]) -> List[str]:
+    """Resolve inputs (span files or obs dirs) to ``spans.jsonl`` paths.
+
+    Directories are walked recursively, so a cluster's worker base dir
+    (``…/workers/worker-w0-gen0/spans.jsonl`` …) resolves in one
+    argument.  Paths are returned sorted and deduplicated.
+    """
+    found = set()
+    for item in inputs:
+        if os.path.isdir(item):
+            for root, _dirs, files in os.walk(item):
+                if SPANS_FILENAME in files:
+                    found.add(os.path.join(root, SPANS_FILENAME))
+        elif os.path.isfile(item):
+            found.add(item)
+        else:
+            raise FileNotFoundError(f"no span export at {item!r}")
+    return sorted(found)
+
+
+def _source_label(path: str) -> str:
+    """Human label for one export: its directory's basename."""
+    directory = os.path.basename(os.path.dirname(os.path.abspath(path)))
+    return directory or os.path.basename(path)
+
+
+def load_span_sources(files: Iterable[str]) -> List[Dict[str, Any]]:
+    """Load span JSONL records from every file, tagged with their source."""
+    records: List[Dict[str, Any]] = []
+    for path in files:
+        label = _source_label(path)
+        for record in read_jsonl(path):
+            if record.get("type") != "span":
+                continue
+            tagged = dict(record)
+            tagged[SOURCE_KEY] = label
+            records.append(tagged)
+    return records
+
+
+def _parse_ref(ref: Any) -> Optional[Tuple[int, int]]:
+    """``"pid:span_id"`` → (pid, span_id); None when absent/malformed."""
+    if not isinstance(ref, str) or ":" not in ref:
+        return None
+    pid_text, _, span_text = ref.partition(":")
+    try:
+        return int(pid_text), int(span_text)
+    except ValueError:
+        return None
+
+
+def stitched_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merged ``trace_event`` document with cross-process flow arrows.
+
+    Every span renders as a complete (``"ph": "X"``) slice exactly like
+    the single-process exporter; additionally, for each span whose
+    ``parent`` ref resolves to another span in the merged set, a flow
+    pair is emitted — ``"s"`` (start) on the parent's track at the
+    parent's start, ``"f"`` (finish, ``"bp": "e"``) on the child's track
+    at the child's start — which the viewer draws as an arrow crossing
+    the process rows.
+    """
+    origin = min((float(r.get("ts", 0.0)) for r in records), default=0.0)
+
+    def us(seconds: Any) -> int:
+        return round((float(seconds) - origin) * 1e6)
+
+    by_ref: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    for record in records:
+        try:
+            key = (int(record["pid"]), int(record["span_id"]))
+        except (KeyError, TypeError, ValueError):
+            continue
+        by_ref[key] = record
+
+    events: List[Dict[str, Any]] = []
+    pid_labels: Dict[int, str] = {}
+    for record in records:
+        pid = int(record.get("pid", 0))
+        source = record.get(SOURCE_KEY, "")
+        if source and pid not in pid_labels:
+            pid_labels[pid] = source
+        args = dict(record.get("attrs") or {}, depth=record.get("depth", 0))
+        if record.get("trace_id"):
+            args["trace_id"] = record["trace_id"]
+        if source:
+            args[SOURCE_KEY] = source
+        name = str(record.get("name", "span"))
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": us(record.get("ts", 0.0)),
+                "dur": max(0, round(float(record.get("dur", 0.0)) * 1e6)),
+                "pid": pid,
+                "tid": int(record.get("tid", 0)),
+                "cat": name.split(".", 1)[0],
+                "args": args,
+            }
+        )
+
+    flows = 0
+    for record in records:
+        parent_key = _parse_ref(record.get("parent"))
+        if parent_key is None:
+            continue
+        parent = by_ref.get(parent_key)
+        if parent is None:
+            continue  # exporting that process's spans was lost (e.g. SIGKILL)
+        flows += 1
+        flow_name = str(record.get("trace_id") or "trace")
+        common = {"name": flow_name, "cat": "flow", "id": flows}
+        events.append(
+            dict(
+                common,
+                ph="s",
+                ts=us(parent.get("ts", 0.0)),
+                pid=int(parent["pid"]),
+                tid=int(parent.get("tid", 0)),
+            )
+        )
+        events.append(
+            dict(
+                common,
+                ph="f",
+                bp="e",
+                ts=us(record.get("ts", 0.0)),
+                pid=int(record.get("pid", 0)),
+                tid=int(record.get("tid", 0)),
+            )
+        )
+
+    events.sort(key=lambda e: (e["pid"], e.get("tid", 0), e["ts"], e["ph"]))
+    # Metadata events label each process row with its export directory
+    # (router vs worker-<id>-gen<N>); viewers render them as row titles.
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(pid_labels.items())
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"flows": flows, "spans": len(records)},
+    }
+
+
+def stitch_run(inputs: Iterable[str], out: str) -> Dict[str, Any]:
+    """Collect, merge and write a stitched trace; returns a summary."""
+    import json
+
+    files = collect_span_files(inputs)
+    if not files:
+        raise FileNotFoundError(
+            "no spans.jsonl found under the given inputs — "
+            "run with --obs-dir/--worker-obs-dir first"
+        )
+    records = load_span_sources(files)
+    document = stitched_chrome_trace(records)
+    directory = os.path.dirname(os.path.abspath(out))
+    os.makedirs(directory, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, default=str)
+        handle.write("\n")
+    return {
+        "out": out,
+        "sources": files,
+        "spans": len(records),
+        "flows": document["otherData"]["flows"],
+    }

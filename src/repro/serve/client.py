@@ -191,6 +191,16 @@ class TraceClient:
         )
         self._pending[request_id] = future
         message = protocol.request(op, request_id, **fields)
+        # Distributed trace context: unless the caller supplied its own
+        # ``trace`` (the cluster router does, to chain hops), this client
+        # is the trace root — open the hop span and put its ref on the
+        # wire so downstream hops link to it.  Disabled obs leaves the
+        # message untouched (NO_SPAN has an empty ref, and old peers
+        # ignore the field anyway).
+        hop: Any = obs.NO_SPAN
+        if "trace" not in message and obs.is_enabled():
+            hop = obs.hop_span("client.request", trace_id=obs.new_trace_id(), op=op)
+            message["trace"] = {"id": hop.trace_id, "parent": hop.ref}
         bulk_field = protocol.BULK_REQUEST_FIELDS.get(op) if self.binary else None
         if bulk_field is not None and isinstance(
             message.get(bulk_field), (list, tuple, np.ndarray)
@@ -201,9 +211,10 @@ class TraceClient:
         else:
             frame = protocol.encode_frame(message)
         try:
-            self._writer.write(frame)
-            await self._writer.drain()
-            return await future
+            with hop:  # the client hop spans the full round trip
+                self._writer.write(frame)
+                await self._writer.drain()
+                return await future
         finally:
             # A caller-side cancellation (e.g. wait_for timing the
             # attempt out) must not leak the pending entry: a late

@@ -49,9 +49,10 @@ SIGKILL-wedged, restart-with-backoff) into the deployable unit behind
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .. import obs
 from ..coding.specs import CODER_FAMILIES
@@ -76,6 +77,14 @@ _SESSION_OPS = frozenset({"encode", "decode", "checkpoint", "restore", "close"})
 #: How many placement rounds one op may trigger before the router gives
 #: up and answers ``busy`` (retryable — the cluster may heal).
 _MAX_PLACEMENTS_PER_OP = 3
+
+#: The front request's trace context — ``(trace_id, router span ref)`` —
+#: flowing from ``_handle_message`` down to every ``_worker_request``
+#: its dispatch makes.  A ContextVar (not an attribute) because each
+#: front request runs in its own task and their forwards interleave.
+_TRACE_CTX: "contextvars.ContextVar[Tuple[str, str]]" = contextvars.ContextVar(
+    "repro_cluster_trace", default=("", "")
+)
 
 
 def _word_list(value) -> list:
@@ -185,6 +194,10 @@ class ClusterRouter:
         self._round_robin = 0
         self._tasks: "set[asyncio.Task[None]]" = set()
         self._conn_tasks: "set[asyncio.Task[None]]" = set()
+        # Optional hook (wired by TraceCluster to the supervisor's
+        # flight-dump accessor): worker_id -> path of its flight
+        # recorder journal, for failover logs and telemetry breakdowns.
+        self.flight_lookup: Optional[Callable[[str], Optional[str]]] = None
 
     # -- membership (pushed by the supervisor / tests) -----------------
 
@@ -339,6 +352,12 @@ class ClusterRouter:
     ) -> Dict[str, Any]:
         """One back-side request; transport failures raise
         ``ConnectionError`` (after breaker bookkeeping + disconnect)."""
+        trace_id, parent = _TRACE_CTX.get()
+        if trace_id:
+            # Chain the hop: the worker's engine span parents onto the
+            # router's span (any client-supplied trace field was already
+            # consumed by the router's own hop span).
+            fields["trace"] = {"id": trace_id, "parent": parent}
         link.breaker.before_attempt()  # CircuitOpenError: fail fast
         try:
             client = await self._connected(link)
@@ -418,15 +437,33 @@ class ClusterRouter:
 
     async def _failover(self, session: RoutedSession) -> Dict[str, Any]:
         """Crash failover: placement after the host was lost."""
+        lost_worker = session.worker_id  # before _place reassigns it
         session.worker_session = None
         response = await self._place(session)
         session.failovers += 1
         obs.inc("cluster.failovers", worker=session.worker_id)
+        # Post-mortem breadcrumb: if the supervisor kept a flight
+        # recorder journal for the lost incarnation, name it here so
+        # "why did stream X fail over?" starts from the dead worker's
+        # own last events, not just the router's view.
+        flight = (
+            self.flight_lookup(lost_worker)
+            if self.flight_lookup is not None and lost_worker
+            else None
+        )
+        obs.flight_record(
+            "router.failover",
+            session=session.cluster_id,
+            lost_worker=lost_worker,
+            new_worker=session.worker_id,
+        )
         log.warning(
             "session failed over",
             extra=obs.fields(
                 session=session.cluster_id,
                 worker=session.worker_id,
+                lost_worker=lost_worker,
+                flight_dump=flight,
                 replayed_ops=session.buffer.tail_ops,
                 resumed=bool(response.get("resumed")),
             ),
@@ -646,19 +683,38 @@ class ClusterRouter:
             if not isinstance(request_id, int) or isinstance(request_id, bool):
                 request_id = None
             return protocol.error_response(request_id, exc.code, exc.args[0])
+        # The router hop span: parented on the client's span (when the
+        # request carried trace context), parent of every worker span
+        # this dispatch fans out to.  A trace-less request from an
+        # uninstrumented client still gets a fresh trace id here, so the
+        # router→worker hop always stitches.
+        trace_id, trace_parent = protocol.trace_context(message)
+        if not trace_id and obs.is_enabled():
+            trace_id = obs.new_trace_id()
+        hop = obs.hop_span(
+            "router.request", trace_id=trace_id, parent=trace_parent, op=op
+        )
+        token = _TRACE_CTX.set((hop.trace_id, hop.ref))
         try:
-            if op == "hello":
-                return self._op_hello(request_id)
-            if op == "health":
-                return self._op_health(request_id)
-            if op == "open":
-                return await self._op_open(connection_id, request_id, message)
-            if op == "resume":
-                return await self._op_resume(connection_id, request_id, message)
-            if op in _SESSION_OPS:
-                return await self._op_session(connection_id, request_id, op, message)
-            # Stateless ops (encode_trace, sweep): any live worker.
-            return await self._op_stateless(request_id, op, message)
+            with hop:
+                if op == "hello":
+                    return self._op_hello(request_id)
+                if op == "health":
+                    return self._op_health(request_id)
+                if op == "telemetry":
+                    # Fan-out, not round-robin: the cluster-wide snapshot
+                    # is the merge of every live worker's answer.
+                    return await self._op_telemetry(request_id, message)
+                if op == "open":
+                    return await self._op_open(connection_id, request_id, message)
+                if op == "resume":
+                    return await self._op_resume(connection_id, request_id, message)
+                if op in _SESSION_OPS:
+                    return await self._op_session(
+                        connection_id, request_id, op, message
+                    )
+                # Stateless ops (encode_trace, sweep): any live worker.
+                return await self._op_stateless(request_id, op, message)
         except ProtocolError as exc:
             return protocol.error_response(request_id, exc.code, exc.args[0])
         except Exception as exc:  # noqa: BLE001 - protocol boundary
@@ -667,6 +723,8 @@ class ClusterRouter:
             return protocol.error_response(
                 request_id, protocol.ERR_INTERNAL, f"router error: {exc}"
             )
+        finally:
+            _TRACE_CTX.reset(token)
 
     def _op_hello(self, request_id: int) -> Dict[str, Any]:
         return protocol.ok_response(
@@ -694,6 +752,85 @@ class ClusterRouter:
             workers_live=self._live_count(),
             workers_total=len(self._links),
             admitting=self._server is not None,
+        )
+
+    def _router_gauges(self) -> Dict[str, Any]:
+        """The router's own live gauges (available even with obs off)."""
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "sessions": len(self._sessions),
+            "open_connections": self._open_connections,
+            "workers_live": self._live_count(),
+            "workers_total": len(self._links),
+            "admitting": self._server is not None,
+        }
+
+    async def _op_telemetry(
+        self, request_id: int, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Cluster-wide telemetry: fan out to every live worker, merge.
+
+        Read-only and idempotent.  Every live worker is probed
+        concurrently; a worker that fails its probe (or is down) still
+        appears in the per-worker breakdown — with its breaker state,
+        generation and flight-recorder journal if any — just without a
+        snapshot.  The cluster ``metrics`` section is the fold of every
+        worker snapshot plus the router's own (counters add, gauges
+        last-write-wins, histogram buckets add), so per-op latency
+        histograms aggregate exactly.  With ``REPRO_OBS=0`` everywhere
+        the merged snapshot is empty but the op still succeeds.
+        """
+        span_limit = message.get("span_limit", 16)
+        if not isinstance(span_limit, int) or isinstance(span_limit, bool):
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST, "'span_limit' must be an int"
+            )
+
+        async def probe(link: _WorkerLink) -> Optional[Dict[str, Any]]:
+            try:
+                return await self._worker_request(
+                    link, "telemetry", span_limit=span_limit
+                )
+            except (ConnectionError, CircuitOpenError):
+                return None
+
+        live = [link for link in self._links.values() if link.alive]
+        answers = await asyncio.gather(*(probe(link) for link in live))
+        responded = dict(zip((link.worker_id for link in live), answers))
+
+        merged = obs.MetricsRegistry()
+        enabled = obs.is_enabled()
+        workers: Dict[str, Any] = {}
+        for worker_id in sorted(self._links):
+            link = self._links[worker_id]
+            entry: Dict[str, Any] = {
+                "alive": link.alive,
+                "generation": link.generation,
+                "breaker": link.breaker.state,
+            }
+            if self.flight_lookup is not None:
+                entry["flight_dump"] = self.flight_lookup(worker_id)
+            response = responded.get(worker_id)
+            if response is not None and response.get("ok"):
+                entry["telemetry"] = {
+                    key: response[key]
+                    for key in ("enabled", "metrics", "spans", "gauges")
+                    if key in response
+                }
+                if response.get("enabled"):
+                    enabled = True
+                metrics = response.get("metrics")
+                if isinstance(metrics, dict) and metrics:
+                    merged.merge(metrics)
+            workers[worker_id] = entry
+        if obs.is_enabled():
+            merged.merge(obs.get_registry().snapshot())
+        return protocol.ok_response(
+            request_id,
+            enabled=enabled,
+            metrics=merged.snapshot() if enabled else {},
+            gauges=self._router_gauges(),
+            workers=workers,
         )
 
     async def _op_open(
@@ -982,6 +1119,9 @@ class TraceCluster:
             on_worker_down=self._on_worker_down,
             **supervisor_kwargs,
         )
+        # Failover logs and telemetry breakdowns name the dead worker's
+        # flight-recorder journal via the supervisor's accessor.
+        self.router.flight_lookup = self.supervisor.flight_dump
 
     # -- supervisor → router bridges -----------------------------------
 

@@ -45,6 +45,8 @@ an untouched session still migrates home in phase 3.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
@@ -127,6 +129,11 @@ class ClusterSoakReport:
     drain: Dict[str, Any] = field(default_factory=dict)
     elapsed_s: float = 0.0
     failures: List[str] = field(default_factory=list)
+    #: Observability artifacts written under ``config.obs_dir`` (CI
+    #: uploads them): ``top`` (the live `repro top --once --json`
+    #: document), ``stitched_trace`` (cross-process Chrome trace),
+    #: ``flight_dumps`` (worker id -> crash journal path).
+    artifacts: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -143,6 +150,7 @@ class ClusterSoakReport:
             "drain": dict(self.drain),
             "elapsed_s": round(self.elapsed_s, 3),
             "failures": list(self.failures),
+            "artifacts": dict(self.artifacts),
         }
 
 
@@ -235,6 +243,72 @@ def _verify_streams(
         report.streams_verified += 1
 
 
+async def _emit_live_artifacts(
+    cluster: TraceCluster, config: ClusterSoakConfig, report: ClusterSoakReport
+) -> None:
+    """``repro top --once --json`` against the live soak cluster.
+
+    Runs while the (healed) cluster is still serving — the document
+    proves the ``telemetry`` op fans out and merges under real load —
+    and lands as ``<obs_dir>/top.json`` for the CI artifact upload.
+    Best-effort: a probe failure is logged, never a soak failure.
+    """
+    from .telemetry import fetch_telemetry, summarize_telemetry
+
+    try:
+        response = await fetch_telemetry("127.0.0.1", cluster.port)
+    except (ConnectionError, OSError, RuntimeError, asyncio.TimeoutError) as exc:
+        log.warning(
+            "live telemetry probe failed", extra=obs.fields(error=str(exc))
+        )
+        return
+    summary = summarize_telemetry(response)
+    os.makedirs(config.obs_dir, exist_ok=True)
+    path = os.path.join(config.obs_dir, "top.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    report.artifacts["top"] = path
+
+
+def _emit_postmortem_artifacts(
+    cluster: TraceCluster, config: ClusterSoakConfig, report: ClusterSoakReport
+) -> None:
+    """Stitched cross-process trace + harvested flight journals.
+
+    Runs after the drain: SIGTERMed workers have exported their
+    ``spans.jsonl`` on the way out, and the SIGKILLed generations left
+    their flight journals behind.  The router (this process) exports
+    its own spans under ``<obs_dir>/router`` so the stitch covers both
+    sides of every hop.
+    """
+    flight: Dict[str, str] = {}
+    for worker_id in sorted(cluster.supervisor.handles):
+        dump = cluster.supervisor.flight_dump(worker_id)
+        if dump:
+            flight[worker_id] = dump
+    if flight:
+        report.artifacts["flight_dumps"] = flight
+    try:
+        obs.export_run(obs_dir=os.path.join(config.obs_dir, "router"))
+    except OSError as exc:  # pragma: no cover - disk trouble
+        log.warning("router span export failed", extra=obs.fields(error=str(exc)))
+    from ..obs.stitch import stitch_run
+
+    out = os.path.join(config.obs_dir, "trace-stitched.json")
+    try:
+        result = stitch_run([config.obs_dir], out)
+    except FileNotFoundError:
+        # REPRO_OBS=0: nobody exported spans; nothing to stitch.
+        return
+    report.artifacts["stitched_trace"] = out
+    log.info(
+        "stitched trace written",
+        extra=obs.fields(
+            out=out, spans=result["spans"], flows=result["flows"]
+        ),
+    )
+
+
 async def run_cluster_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
     """Run one cluster-soak scenario; returns its report."""
     report = ClusterSoakReport(workers=config.workers, clients=config.clients)
@@ -300,6 +374,8 @@ async def run_cluster_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
             await cluster.supervisor.wait_all_up(config.heal_timeout_s)
             report.migrations += await cluster.rebalance()
         await _feed_phase(streams, config, position, total_chunks)
+        if config.obs_dir:
+            await _emit_live_artifacts(cluster, config, report)
         # Harvest per-session failover counters before close removes
         # them (migrations were already counted via rebalance()).
         for session in cluster.router.sessions.values():
@@ -320,6 +396,8 @@ async def run_cluster_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
     finally:
         report.worker_restarts = cluster.supervisor.restarts()
         report.drain = await cluster.stop(config.drain_timeout_s)
+    if config.obs_dir:
+        _emit_postmortem_artifacts(cluster, config, report)
     _verify_streams(streams, config, report)
     report.elapsed_s = time.monotonic() - t0
     obs.inc("cluster.soak_runs")

@@ -295,6 +295,7 @@ class ServeEngine:
         self._running = asyncio.Event()  # cleared = worker paused
         self._running.set()
         self._started_at = time.monotonic()
+        self._last_batch_size = 0  # micro-batch occupancy for health/telemetry
 
     # -- lifecycle ----------------------------------------------------
 
@@ -335,6 +336,11 @@ class ServeEngine:
         its clean-shutdown criterion.
         """
         self._admitting = False
+        obs.flight_record(
+            "engine.drain_begin",
+            outstanding=self._outstanding,
+            queue_depth=len(self._queue),
+        )
         report: Dict[str, Any] = {
             "drained": True,
             "abandoned": 0,
@@ -380,6 +386,8 @@ class ServeEngine:
         for connection_id in list(self._connections):
             self.drop_connection(connection_id)
         report["outstanding"] = self._outstanding
+        obs.flight_record("engine.drain_end", **report)
+        obs.flight_dump(reason="drain")
         return report
 
     def pause(self) -> None:
@@ -446,6 +454,12 @@ class ServeEngine:
             victim = min([*self._queue, job], key=lambda j: j.shed_key)
             obs.inc("serve.rejected", reason="queue-full")
             obs.inc("serve.shed", op=victim.op)
+            obs.flight_record(
+                "engine.shed",
+                op=victim.op,
+                request=victim.request_id,
+                queue_depth=len(self._queue),
+            )
             shed_response = protocol.error_response(
                 victim.request_id,
                 protocol.ERR_BUSY,
@@ -471,6 +485,11 @@ class ServeEngine:
         job.finished = True
         if not job.future.done():
             job.future.set_result(response)
+        if not response.get("ok", False):
+            # One counter for every error path (shed, timeout, dispatch,
+            # shutdown): the "E" of `repro top`'s RED view, per op+code.
+            error = response.get("error") or {}
+            obs.inc("serve.request_errors", op=job.op, code=error.get("code", "?"))
         obs.observe("serve.request_s", time.monotonic() - job.enqueued, op=job.op)
         self._outstanding -= 1
         if self._outstanding <= 0:
@@ -486,6 +505,7 @@ class ServeEngine:
             batch: List[_Job] = []
             while self._queue and len(batch) < self.batch_limit:
                 batch.append(self._queue.popleft())
+            self._last_batch_size = len(batch)
             obs.observe("serve.batch_size", len(batch))
             obs.set_gauge("serve.queue_depth", len(self._queue))
             try:
@@ -502,6 +522,12 @@ class ServeEngine:
                     ),
                 )
                 obs.inc("serve.poison_batches")
+                obs.flight_record(
+                    "engine.poison_batch",
+                    batch=len(batch),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                obs.flight_dump(reason="poison-batch")
                 for job in batch:
                     self._quarantine(job)
                     self._finish(
@@ -551,14 +577,26 @@ class ServeEngine:
                 "session quarantined after internal error",
                 extra=obs.fields(session=session.session_id, op=job.op),
             )
+            obs.flight_record(
+                "engine.quarantine",
+                session=session.session_id,
+                coder=session.spec,
+                op=job.op,
+            )
+            obs.flight_dump(reason="quarantine")
 
     def _execute_batch(self, batch: List[_Job]) -> None:
         """Run one micro-batch: shared coders for grouped one-shots."""
         now = time.monotonic()
         live: List[_Job] = []
         for job in batch:
+            # Queue-wait attribution: time between admission and the
+            # batch worker picking the job up, per op.  Together with
+            # kernel and serialize segments this decomposes request_s.
+            obs.observe("serve.queue_wait_s", now - job.enqueued, op=job.op)
             if job.deadline is not None and now > job.deadline:
                 obs.inc("serve.timeouts", op=job.op)
+                obs.flight_record("engine.timeout", op=job.op, request=job.request_id)
                 self._finish(
                     job,
                     protocol.error_response(
@@ -581,14 +619,20 @@ class ServeEngine:
         coders: Dict[Tuple[str, int], Transcoder] = {}
         coalesced = self._coalesce_columnar(live)
         for job in live:
+            trace_id, trace_parent = protocol.trace_context(job.message)
+            hop = obs.hop_span(
+                "engine.request", trace_id=trace_id, parent=trace_parent, op=job.op
+            )
             try:
-                if job.op == "sweep":
-                    self._launch_sweep(job)
-                    continue
-                if id(job) in coalesced:
-                    response = coalesced[id(job)]
-                else:
-                    response = self._dispatch(job, coders)
+                with hop:
+                    if job.op == "sweep":
+                        self._launch_sweep(job)
+                        continue
+                    if id(job) in coalesced:
+                        hop.set(coalesced=True)
+                        response = coalesced[id(job)]
+                    else:
+                        response = self._dispatch(job, coders)
             except ProtocolError as exc:
                 response = protocol.error_response(job.request_id, exc.code, exc.args[0])
             except Exception as exc:  # noqa: BLE001 - protocol boundary
@@ -672,9 +716,10 @@ class ServeEngine:
             payloads = [payload for _, _, payload in group]
             try:
                 if op == "encode":
-                    outs = StreamingEncoder.feed_many(
-                        [session.encoder for session in sessions], payloads
-                    )
+                    with obs.timed("serve.kernel_s", op=op, coder=spec):
+                        outs = StreamingEncoder.feed_many(
+                            [session.encoder for session in sessions], payloads
+                        )
                     for job, session, payload, out in zip(
                         jobs, sessions, payloads, outs
                     ):
@@ -685,9 +730,10 @@ class ServeEngine:
                             cycles=session.encoder.cycles,
                         )
                 else:
-                    outs = StreamingDecoder.feed_many(
-                        [session.decoder for session in sessions], payloads
-                    )
+                    with obs.timed("serve.kernel_s", op=op, coder=spec):
+                        outs = StreamingDecoder.feed_many(
+                            [session.decoder for session in sessions], payloads
+                        )
                     for job, session, payload, out in zip(
                         jobs, sessions, payloads, outs
                     ):
@@ -702,6 +748,7 @@ class ServeEngine:
                     responses.pop(id(job), None)
                 continue
             obs.inc("serve.coalesced", len(group), op=op, coder=spec)
+            obs.observe("serve.coalesce_batch", len(group), op=op)
         for (spec, width), group in trace_groups.items():
             if len(group) < 2:
                 continue
@@ -716,7 +763,8 @@ class ServeEngine:
                     BusTrace(np.asarray(payload, dtype=np.uint64), width)
                     for _, payload in group
                 ]
-                coded = coder.encode_traces_batch(traces)
+                with obs.timed("serve.kernel_s", op="encode_trace", coder=spec):
+                    coded = coder.encode_traces_batch(traces)
             except Exception:  # noqa: BLE001 - fall back, never fail the wave
                 continue
             for (job, payload), out in zip(group, coded):
@@ -730,6 +778,7 @@ class ServeEngine:
             # across these jobs; keep that counter's meaning intact.
             obs.inc("serve.batch_shared_coders", len(group) - 1)
             obs.inc("serve.coalesced", len(group), op="encode_trace", coder=spec)
+            obs.observe("serve.coalesce_batch", len(group), op="encode_trace")
         return responses
 
     # -- op handlers ---------------------------------------------------
@@ -759,15 +808,12 @@ class ServeEngine:
             # The heartbeat op: a liveness + load snapshot.  It rides
             # the normal queue on purpose — a wedged batch worker fails
             # it (by timeout), which is exactly what the supervisor's
-            # liveness deadline wants to detect.
-            return protocol.ok_response(
-                request_id,
-                uptime_s=round(time.monotonic() - self._started_at, 3),
-                sessions=sum(len(s) for s in self._connections.values()),
-                outstanding=self._outstanding,
-                queue_depth=len(self._queue),
-                admitting=self._admitting,
-            )
+            # liveness deadline wants to detect.  Load gauges (queue
+            # depth, live sessions, micro-batch occupancy) ride along so
+            # heartbeats see load, not just liveness.
+            return protocol.ok_response(request_id, **self._load_gauges())
+        if job.op == "telemetry":
+            return self._op_telemetry(job)
         if job.op == "open":
             return self._op_open(job)
         if job.op == "resume":
@@ -778,7 +824,8 @@ class ServeEngine:
         session = self._session_for(job)
         if job.op == "encode":
             values = self._chunk_field(message, "values")
-            states = session.encoder.feed(values)
+            with obs.timed("serve.kernel_s", op="encode", coder=session.spec):
+                states = session.encoder.feed(values)
             obs.inc("serve.encoded_cycles", len(values), coder=session.spec)
             return protocol.ok_response(
                 request_id,
@@ -787,7 +834,8 @@ class ServeEngine:
             )
         if job.op == "decode":
             states = self._chunk_field(message, "states")
-            values, desyncs = session.decode_states(states)
+            with obs.timed("serve.kernel_s", op="decode", coder=session.spec):
+                values, desyncs = session.decode_states(states)
             obs.inc("serve.decoded_cycles", len(states), coder=session.spec)
             response = protocol.ok_response(
                 request_id,
@@ -827,6 +875,63 @@ class ServeEngine:
             return protocol.ok_response(request_id, closed=session.session_id)
         raise ProtocolError(protocol.ERR_UNKNOWN_OP, f"unhandled op {job.op!r}")
 
+    def _load_gauges(self) -> Dict[str, Any]:
+        """Live load gauges from engine state (not the metrics registry).
+
+        Shared by ``health`` and ``telemetry``: these come straight from
+        the event loop's own fields, so they are exact, cost nothing to
+        collect, and are available even under ``REPRO_OBS=0``.
+        """
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "sessions": sum(len(s) for s in self._connections.values()),
+            "outstanding": self._outstanding,
+            "queue_depth": len(self._queue),
+            "queue_limit": self.queue_limit,
+            "batch_limit": self.batch_limit,
+            "last_batch_size": self._last_batch_size,
+            "batch_occupancy": round(self._last_batch_size / self.batch_limit, 4),
+            "admitting": self._admitting,
+        }
+
+    def _op_telemetry(self, job: _Job) -> Dict[str, Any]:
+        """The live telemetry snapshot: metrics + span delta + gauges.
+
+        Read-only and idempotent — nothing here mutates engine or
+        registry state, so blind resends are safe (it is in
+        :data:`~repro.serve.protocol.IDEMPOTENT_OPS`).  With
+        ``REPRO_OBS=0`` the metrics/span sections are *empty, not
+        errors*: a dark process answers honestly that it collected
+        nothing, and the live load gauges still carry real numbers.
+        """
+        message = job.message
+        span_limit = message.get("span_limit", 16)
+        if not isinstance(span_limit, int) or isinstance(span_limit, bool):
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST, "'span_limit' must be an int"
+            )
+        span_limit = max(0, min(span_limit, 256))
+        telemetry: Dict[str, Any] = {
+            "enabled": obs.is_enabled(),
+            "metrics": {"counters": {}, "gauges": {}, "hists": {}},
+            "spans": {"total": 0, "dropped": 0, "recent": []},
+            "gauges": self._load_gauges(),
+        }
+        if obs.is_enabled():
+            tracer = obs.get_tracer()
+            if tracer.dropped:
+                obs.set_gauge("obs.spans_dropped", float(tracer.dropped))
+            records = tracer.records()
+            telemetry["metrics"] = obs.get_registry().snapshot()
+            telemetry["spans"] = {
+                "total": len(records),
+                "dropped": tracer.dropped,
+                "recent": obs.span_jsonl_records(records[-span_limit:])
+                if span_limit
+                else [],
+            }
+        return protocol.ok_response(job.request_id, **telemetry)
+
     def _op_open(self, job: _Job) -> Dict[str, Any]:
         message = job.message
         spec = message.get("coder")
@@ -860,6 +965,7 @@ class ServeEngine:
         self._connections.setdefault(job.connection_id, {})[session.session_id] = session
         self._gauge_sessions()
         obs.inc("serve.sessions_opened", coder=spec)
+        obs.flight_record("engine.session_open", session=session.session_id, coder=spec)
         return protocol.ok_response(
             job.request_id,
             session=session.session_id,
@@ -993,6 +1099,9 @@ class ServeEngine:
         self._connections.setdefault(job.connection_id, {})[session.session_id] = session
         self._gauge_sessions()
         obs.inc("serve.sessions_resumed", coder=spec)
+        obs.flight_record(
+            "engine.session_resume", session=session.session_id, coder=spec
+        )
         log.info(
             "session resumed from exported checkpoint",
             extra=obs.fields(
@@ -1033,7 +1142,8 @@ class ServeEngine:
             obs.inc("serve.batch_shared_coders")
         coder = coders[key]
         trace = BusTrace(np.asarray(values, dtype=np.uint64), width)
-        coded = coder.encode_trace(trace)
+        with obs.timed("serve.kernel_s", op="encode_trace", coder=spec):
+            coded = coder.encode_trace(trace)
         obs.inc("serve.encoded_cycles", len(values), coder=spec)
         return protocol.ok_response(
             job.request_id,

@@ -244,6 +244,13 @@ async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
     report.elapsed_s = time.monotonic() - t0
     obs.inc("cluster.loadgen_chunks", report.chunks_done)
     obs.set_gauge("cluster.loadgen_throughput_cps", report.throughput_cps)
+    if report.latencies_s:
+        # Exact sample percentiles ride along as gauges so
+        # `repro report` can show the bucketed `cluster.loadgen_feed_s`
+        # estimates next to ground truth and flag drift.
+        obs.set_gauge("cluster.loadgen_exact_p50_s", report.quantile(0.50))
+        obs.set_gauge("cluster.loadgen_exact_p90_s", report.quantile(0.90))
+        obs.set_gauge("cluster.loadgen_exact_p99_s", report.quantile(0.99))
     log.info(
         "loadgen finished",
         extra=obs.fields(

@@ -67,6 +67,15 @@ missing or unknown is rejected with ``unsupported-version`` *before*
 the op is interpreted, so the frame format can evolve without silent
 misdecoding.
 
+Requests may carry an optional ``trace`` field — ``{"id": <trace id>,
+"parent": "<pid>:<span id>"}`` — propagating distributed trace context
+across hops (client → router → worker).  It is *advisory* telemetry:
+:func:`validate_request` never inspects it, peers that predate it (or
+run with ``REPRO_OBS=0``) ignore it, and it never changes a response
+byte.  Each receiving hop opens a span whose ``parent`` is the sender's
+span ref, which ``repro trace-stitch`` merges into one cross-process
+Chrome trace.
+
 Error codes (the ``error.code`` field) are a closed, stable set — see
 :data:`ERROR_CODES`.  ``busy`` is the backpressure signal (the HTTP-429
 analogue): the server's bounded request queue was full (or the request
@@ -92,6 +101,7 @@ op               idempotent   why / what a blind resend does
 ===============  ===========  ==============================================
 ``hello``        yes          pure read of server capabilities
 ``health``       yes          pure read of liveness/load (the heartbeat op)
+``telemetry``    yes          pure read of metrics/span state (live snapshot)
 ``encode_trace`` yes          stateless pure function of the request body
 ``sweep``        yes          pure function (workload sim is deterministic)
 ``open``         no           each call creates a fresh session (leaks state)
@@ -168,6 +178,7 @@ __all__ = [
     "request",
     "response_bulk_field",
     "state_digest",
+    "trace_context",
     "validate_request",
 ]
 
@@ -266,13 +277,34 @@ KNOWN_OPS = (
     "close",  # drop a session (and its checkpoints)
     "encode_trace",  # one-shot stateless encode (micro-batched)
     "sweep",  # CPU-bound savings sweep (process-pool offloaded)
+    "telemetry",  # live metrics snapshot + span delta + load gauges
+    #               (read-only; the cluster router fans it out to every
+    #                worker and merges the snapshots — `repro top` rides it)
 )
 
 #: Ops that are safe to blindly resend after an *ambiguous* failure
 #: (transport error or attempt timeout) — see the idempotency table in
 #: the module docstring.  ``busy`` rejections are retryable for every
 #: op regardless, because the server never admitted the request.
-IDEMPOTENT_OPS = frozenset({"hello", "health", "encode_trace", "sweep"})
+IDEMPOTENT_OPS = frozenset({"hello", "health", "telemetry", "encode_trace", "sweep"})
+
+
+def trace_context(message: Dict[str, Any]) -> Tuple[str, str]:
+    """Extract ``(trace_id, parent_ref)`` from a request's ``trace`` field.
+
+    Tolerant by design — the field is advisory telemetry, so anything
+    missing or malformed degrades to ``("", "")`` rather than an error
+    (a broken trace header must never fail a request).
+    """
+    trace = message.get("trace")
+    if not isinstance(trace, dict):
+        return "", ""
+    trace_id = trace.get("id")
+    parent = trace.get("parent")
+    return (
+        trace_id if isinstance(trace_id, str) else "",
+        parent if isinstance(parent, str) else "",
+    )
 
 
 class ProtocolError(ValueError):

@@ -132,24 +132,31 @@ class TraceServer:
         write_lock = asyncio.Lock()  # responses interleave task-safely
         pending: "set[asyncio.Task[None]]" = set()
 
-        async def respond(response, bulk_field=None) -> None:
+        async def respond(response, bulk_field=None, op="?") -> None:
             # Responses mirror the request's framing: only a request
             # that itself arrived binary gets a binary bulk response
             # (and only when the op produced its bulk field — error
-            # responses stay JSON).
+            # responses stay JSON).  Serialization is timed per op and
+            # framing kind — the "how much of request_s is framing"
+            # segment of the latency-attribution histograms.
             if bulk_field is not None and bulk_field in response:
-                frame = protocol.encode_binary_frame(
-                    response, bulk_field, response[bulk_field]
-                )
+                with obs.timed("serve.serialize_s", framing="binary", op=op):
+                    frame = protocol.encode_binary_frame(
+                        response, bulk_field, response[bulk_field]
+                    )
             else:
-                frame = protocol.encode_frame(response)
+                with obs.timed("serve.serialize_s", framing="json", op=op):
+                    frame = protocol.encode_frame(response)
             async with write_lock:
                 writer.write(frame)
                 await writer.drain()
 
         async def process(message, bulk_field) -> None:
             response = await self.engine.handle(connection_id, message)
-            await respond(response, bulk_field)
+            op = message.get("op")
+            await respond(
+                response, bulk_field, op=op if isinstance(op, str) else "?"
+            )
 
         try:
             while True:

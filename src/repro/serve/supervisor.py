@@ -121,6 +121,11 @@ class WorkerHandle:
     backoff: RestartBackoff = field(default_factory=RestartBackoff)
     up_since: float = 0.0
     heartbeat_misses: int = 0
+    #: This generation's telemetry directory (when the spec sets one).
+    obs_dir: Optional[str] = None
+    #: The flight-recorder journal harvested from the last death — the
+    #: post-mortem artifact a SIGKILLed generation leaves behind.
+    flight_dump: Optional[str] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -310,6 +315,23 @@ class WorkerSupervisor:
         )
         return pid
 
+    def flight_dump(self, worker_id: str) -> Optional[str]:
+        """Path of a worker's flight-recorder journal, if one exists.
+
+        Resolves against the *current* generation's obs dir, so the
+        router can reference the artifact the moment it notices a
+        transport failure — before the monitor has even processed the
+        death.  Caches the last harvest on the handle.
+        """
+        handle = self.handles.get(worker_id)
+        if handle is None:
+            return None
+        if handle.obs_dir:
+            path = os.path.join(handle.obs_dir, obs.FLIGHT_FILENAME)
+            if os.path.isfile(path):
+                handle.flight_dump = path
+        return handle.flight_dump
+
     async def wait_all_up(self, timeout_s: float = 30.0) -> None:
         """Block until every worker is up (soaks use this after kills)."""
         deadline = time.monotonic() + timeout_s
@@ -326,14 +348,13 @@ class WorkerSupervisor:
         """Start one worker process and wait for its port announcement."""
         argv = list(self.spec.argv(self.host))
         generation = handle.generation + 1
+        worker_obs_dir = None
         if self.spec.obs_dir:
-            argv += [
-                "--obs-dir",
-                os.path.join(
-                    self.spec.obs_dir,
-                    f"worker-{handle.worker_id}-gen{generation}",
-                ),
-            ]
+            worker_obs_dir = os.path.join(
+                self.spec.obs_dir,
+                f"worker-{handle.worker_id}-gen{generation}",
+            )
+            argv += ["--obs-dir", worker_obs_dir]
         process = await asyncio.create_subprocess_exec(
             *argv,
             stdout=asyncio.subprocess.PIPE,
@@ -376,6 +397,7 @@ class WorkerSupervisor:
         handle.state = "up"
         handle.up_since = time.monotonic()
         handle.heartbeat_misses = 0
+        handle.obs_dir = worker_obs_dir
         obs.inc("cluster.worker_spawns", worker=handle.worker_id)
         self._gauge()
         log.info(
@@ -471,9 +493,18 @@ class WorkerSupervisor:
             handle.state = "down"
             obs.inc("cluster.worker_deaths", worker=handle.worker_id)
             self._gauge()
+            # Harvest the black box BEFORE announcing the death, so the
+            # router's failover log can reference the post-mortem.  The
+            # journal was written eagerly by the worker itself; even a
+            # SIGKILLed generation left it behind.
+            dump = self.flight_dump(handle.worker_id)
+            if dump is not None:
+                obs.inc("cluster.flight_harvests", worker=handle.worker_id)
             log.warning(
                 "worker down",
-                extra=obs.fields(worker=handle.worker_id, reason=reason),
+                extra=obs.fields(
+                    worker=handle.worker_id, reason=reason, flight_dump=dump
+                ),
             )
             if self.on_worker_down is not None:
                 self.on_worker_down(handle)

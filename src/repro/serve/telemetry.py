@@ -1,0 +1,290 @@
+"""``repro top`` — live cluster RED metrics over the ``telemetry`` op.
+
+The ``telemetry`` protocol op (idempotent, read-only) returns a metrics
+snapshot from whatever answers it: a single ``repro serve`` engine, or
+— the interesting case — a :class:`~repro.serve.cluster.ClusterRouter`,
+which fans the probe out to every live worker and merges the snapshots
+into one cluster-wide view with a per-worker breakdown.
+
+This module turns that response into the two ``repro top`` outputs:
+
+* **summary** (:func:`summarize_telemetry`) — a plain JSON document
+  with per-op RED rows (request rate, error %, p50/p99 latency), the
+  per-worker table, and headline gauges.  ``repro top --once --json``
+  prints exactly this, which is what CI asserts against.
+* **rendering** (:func:`render_top`) — the human tables, redrawn every
+  ``--interval`` seconds in the polling loop (:func:`run_top`).
+
+Rates need two samples: the polling loop diffs ``serve.requests``
+counters between refreshes; one-shot mode falls back to the lifetime
+mean (count / uptime).  Everything here is pure functions over the
+response dict plus one thin fetch coroutine, so the summary logic is
+testable without sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from .. import obs
+from ..analysis.reporting import format_table
+from ..obs.registry import estimate_quantile, parse_key
+from .client import TraceClient
+
+__all__ = [
+    "fetch_telemetry",
+    "summarize_telemetry",
+    "render_top",
+    "run_top",
+]
+
+log = obs.get_logger("serve.telemetry")
+
+
+async def fetch_telemetry(
+    host: str, port: int, span_limit: int = 0, timeout_s: float = 10.0
+) -> Dict[str, Any]:
+    """One ``telemetry`` round trip; raises on transport/protocol failure."""
+    client = await TraceClient.connect(host, port)
+    try:
+        response = await asyncio.wait_for(
+            client.request("telemetry", span_limit=span_limit), timeout_s
+        )
+    finally:
+        await client.close()
+    if not response.get("ok"):
+        error = response.get("error") or {}
+        raise RuntimeError(
+            f"telemetry op failed: {error.get('code', '?')}: "
+            f"{error.get('message', '?')}"
+        )
+    return response
+
+
+def _hist_by_op(hists: Mapping[str, Any], name: str) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for key, hist in hists.items():
+        base, labels = parse_key(key)
+        if base == name:
+            out[labels.get("op", "?")] = hist
+    return out
+
+
+def _counter_by_op(counters: Mapping[str, Any], name: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in counters.items():
+        base, labels = parse_key(key)
+        if base == name:
+            op = labels.get("op", "?")
+            out[op] = out.get(op, 0.0) + float(value)
+    return out
+
+
+def _quantile_ms(hist: Optional[Mapping[str, Any]], q: float) -> Optional[float]:
+    if not hist:
+        return None
+    value = estimate_quantile(hist, q)
+    return None if value is None else round(value * 1e3, 3)
+
+
+def summarize_telemetry(
+    response: Mapping[str, Any],
+    previous: Optional[Mapping[str, Any]] = None,
+    interval_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The ``repro top`` document from one ``telemetry`` response.
+
+    ``previous``/``interval_s`` (the prior summary and the seconds since
+    it) turn cumulative request counters into live rates; without them
+    the rate column is the lifetime mean when uptime is known, else
+    null.  The document is JSON-ready — ``--once --json`` prints it
+    verbatim.
+    """
+    metrics = response.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    hists = metrics.get("hists") or {}
+    gauges = response.get("gauges") or {}
+    uptime = gauges.get("uptime_s")
+
+    requests = _counter_by_op(counters, "serve.requests")
+    errors = _counter_by_op(counters, "serve.request_errors")
+    latency = _hist_by_op(hists, "serve.request_s")
+    prev_ops = {
+        row["op"]: row for row in (previous or {}).get("ops", [])
+    }
+
+    ops: List[Dict[str, Any]] = []
+    for op in sorted(set(requests) | set(errors) | set(latency)):
+        count = requests.get(op, 0.0)
+        errs = errors.get(op, 0.0)
+        rate: Optional[float] = None
+        prev = prev_ops.get(op)
+        if prev is not None and interval_s and interval_s > 0:
+            rate = max(0.0, (count - float(prev.get("requests", 0)))) / interval_s
+        elif isinstance(uptime, (int, float)) and uptime and uptime > 0:
+            rate = count / float(uptime)
+        ops.append(
+            {
+                "op": op,
+                "requests": int(count),
+                "errors": int(errs),
+                "error_pct": round(100.0 * errs / count, 2) if count else 0.0,
+                "rate_rps": round(rate, 2) if rate is not None else None,
+                "p50_ms": _quantile_ms(latency.get(op), 0.50),
+                "p99_ms": _quantile_ms(latency.get(op), 0.99),
+            }
+        )
+
+    workers: List[Dict[str, Any]] = []
+    spans_dropped_total = 0
+    for worker_id in sorted(response.get("workers") or {}):
+        entry = (response.get("workers") or {})[worker_id]
+        telemetry = entry.get("telemetry") or {}
+        wgauges = telemetry.get("gauges") or {}
+        dropped = int((telemetry.get("spans") or {}).get("dropped") or 0)
+        spans_dropped_total += dropped
+        workers.append(
+            {
+                "worker": worker_id,
+                "alive": bool(entry.get("alive")),
+                "generation": entry.get("generation"),
+                "breaker": entry.get("breaker"),
+                "queue_depth": wgauges.get("queue_depth"),
+                "sessions": wgauges.get("sessions"),
+                "outstanding": wgauges.get("outstanding"),
+                "batch_occupancy": wgauges.get("batch_occupancy"),
+                "admitting": wgauges.get("admitting"),
+                "spans_dropped": dropped,
+                "flight_dump": entry.get("flight_dump"),
+            }
+        )
+
+    return {
+        "enabled": bool(response.get("enabled")),
+        "gauges": dict(gauges),
+        "ops": ops,
+        "workers": workers,
+        "spans_dropped": spans_dropped_total,
+    }
+
+
+def _fmt(value: Any, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}{suffix}"
+    return f"{value}{suffix}"
+
+
+def render_top(summary: Mapping[str, Any]) -> str:
+    """Human tables for one summary (the polling loop's frame)."""
+    sections: List[str] = []
+    gauges = summary.get("gauges") or {}
+    headline = ", ".join(
+        f"{key}={_fmt(gauges[key])}"
+        for key in (
+            "uptime_s",
+            "sessions",
+            "workers_live",
+            "workers_total",
+            "queue_depth",
+            "admitting",
+        )
+        if key in gauges
+    )
+    state = "obs ON" if summary.get("enabled") else "obs OFF (REPRO_OBS=0)"
+    sections.append(f"repro top — {state}" + (f" — {headline}" if headline else ""))
+    ops = summary.get("ops") or []
+    if ops:
+        sections.append(
+            format_table(
+                ["op", "requests", "rate r/s", "err %", "p50 ms", "p99 ms"],
+                [
+                    (
+                        row["op"],
+                        row["requests"],
+                        _fmt(row["rate_rps"]),
+                        _fmt(row["error_pct"]),
+                        _fmt(row["p50_ms"]),
+                        _fmt(row["p99_ms"]),
+                    )
+                    for row in ops
+                ],
+                title="per-op RED",
+            )
+        )
+    workers = summary.get("workers") or []
+    if workers:
+        sections.append(
+            format_table(
+                [
+                    "worker",
+                    "alive",
+                    "gen",
+                    "breaker",
+                    "queue",
+                    "sessions",
+                    "busy",
+                    "dropped",
+                ],
+                [
+                    (
+                        row["worker"],
+                        _fmt(row["alive"]),
+                        _fmt(row["generation"]),
+                        _fmt(row["breaker"]),
+                        _fmt(row["queue_depth"]),
+                        _fmt(row["sessions"]),
+                        _fmt(row["batch_occupancy"]),
+                        _fmt(row["spans_dropped"]),
+                    )
+                    for row in workers
+                ],
+                title="workers",
+            )
+        )
+    if summary.get("spans_dropped"):
+        sections.append(
+            f"WARNING: {summary['spans_dropped']} spans dropped "
+            "(ring full) — traces from this cluster have holes"
+        )
+    return "\n\n".join(sections)
+
+
+async def run_top(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    once: bool = False,
+    as_json: bool = False,
+    iterations: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The ``repro top`` loop; returns the last summary.
+
+    ``once`` (or ``iterations=1``) does a single probe — with
+    ``as_json`` that is the CI mode: one JSON document on stdout, exit.
+    The polling mode clears the screen between frames like ``top``.
+    """
+    previous: Optional[Dict[str, Any]] = None
+    summary: Dict[str, Any] = {}
+    count = 0
+    while True:
+        response = await fetch_telemetry(host, port)
+        summary = summarize_telemetry(
+            response, previous=previous, interval_s=None if previous is None else interval_s
+        )
+        if as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            if not once and count > 0:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(summary))
+        count += 1
+        if once or (iterations is not None and count >= iterations):
+            return summary
+        previous = summary
+        await asyncio.sleep(interval_s)

@@ -15,6 +15,12 @@ report so perf regressions are diffable across commits:
   :func:`crossover_table` run cold (empty trace cache) and then warm
   (persistent cache populated, in-memory layers cleared), quantifying
   what the ``.npz``/JSON artifact cache buys a second invocation.
+* **corpus throughput** — the workload-corpus subsystem timed end to
+  end: parametric-generator stream production (streams/s), raw binary
+  ingestion into a shard (MB/s), and the digest-verified memory-mapped
+  chunked read path against a plain in-memory walk over the same shard
+  (Mcycles/s) — the pair that quantifies what the bounded-memory
+  streaming read costs over materializing everything.
 * **serve throughput** — a real localhost :class:`~repro.serve.server.
   TraceServer` driven closed-loop by same-spec streaming sessions, one
   scenario per (framing, batching) corner: newline-JSON vs binary bulk
@@ -350,6 +356,111 @@ def _time_serve(quick: bool) -> List[Dict[str, Any]]:
     return records
 
 
+def _time_corpus(quick: bool) -> List[Dict[str, Any]]:
+    """Corpus-subsystem throughput records, uniform key set.
+
+    Four stages, each one record: ``generate`` (parametric-generator
+    stream production, chunked API), ``ingest`` (raw uint64 binary →
+    shard via :func:`~repro.corpus.import_binary`, rolling digest
+    included), ``read_mmap`` (the digest-verified memory-mapped chunked
+    read) and ``read_memory`` (the same chunk walk over a fully
+    materialized array — no mmap, no digest).  The last two share one
+    shard, so their ratio isolates what the bounded-memory verified
+    path costs.  Everything runs in a throwaway directory.
+    """
+    from ..corpus import CorpusReader, CorpusWriter, ParametricGenerator, import_binary
+    from ..traces.streaming import DEFAULT_CHUNK_CYCLES, iter_chunks
+
+    streams = 4 if quick else 16
+    gen_cycles = 16_384 if quick else 65_536
+    ingest_words = 1 << (18 if quick else 22)  # 2 MiB quick, 32 MiB full
+    records: List[Dict[str, Any]] = []
+
+    def add(name: str, cycles: int, mbytes: float, seconds: float,
+            per_s: float, unit: str) -> None:
+        records.append(
+            {
+                "name": name,
+                "cycles": int(cycles),
+                "mbytes": float(mbytes),
+                "elapsed_s": float(seconds),
+                "per_s": float(per_s),
+                "unit": unit,
+            }
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-corpus-") as tmp:
+        generator = ParametricGenerator("mixed", seed=7, cycles=gen_cycles, width=32)
+        with _phase_timer(
+            "bench.corpus", stage="generate", cycles=streams * gen_cycles
+        ) as timer:
+            produced = 0
+            for index in range(streams):
+                for chunk in generator.chunks(index):
+                    produced += len(chunk)
+        add(
+            "generate", produced, produced * 8 / 1e6, timer.seconds,
+            streams / max(timer.seconds, 1e-9), "streams/s",
+        )
+
+        # Ingest: the file is written untimed so only import_binary —
+        # bounded reads, masking, rolling sha256, atomic publish — is
+        # in the measured region.
+        raw = os.path.join(tmp, "bench.u64")
+        rng = np.random.default_rng(3)
+        with open(raw, "wb") as handle:
+            remaining = ingest_words
+            while remaining:
+                block = min(remaining, 1 << 20)
+                handle.write(
+                    rng.integers(0, 1 << 32, size=block, dtype=np.uint64)
+                    .astype("<u8")
+                    .tobytes()
+                )
+                remaining -= block
+        corpus_dir = os.path.join(tmp, "corpus")
+        writer = CorpusWriter(corpus_dir)
+        with _phase_timer(
+            "bench.corpus", stage="ingest", cycles=ingest_words
+        ) as timer:
+            meta = import_binary(writer, raw, 32, name="bench-ingest")
+        writer.close()
+        mbytes = ingest_words * 8 / 1e6
+        add(
+            "ingest", ingest_words, mbytes, timer.seconds,
+            mbytes / max(timer.seconds, 1e-9), "MB/s",
+        )
+
+        reader = CorpusReader(corpus_dir)
+        with _phase_timer(
+            "bench.corpus", stage="read_mmap", cycles=meta.cycles
+        ) as timer:
+            seen = 0
+            for chunk in reader.chunks("bench-ingest"):
+                seen += len(chunk)
+        add(
+            "read_mmap", seen, mbytes, timer.seconds,
+            seen / max(timer.seconds, 1e-9) / 1e6, "Mcycles/s",
+        )
+
+        resident = BusTrace(
+            np.fromfile(os.path.join(corpus_dir, meta.file), dtype="<u8"),
+            32,
+            "bench-memory",
+        )
+        with _phase_timer(
+            "bench.corpus", stage="read_memory", cycles=len(resident)
+        ) as timer:
+            seen = 0
+            for chunk in iter_chunks(resident, DEFAULT_CHUNK_CYCLES):
+                seen += len(chunk)
+        add(
+            "read_memory", seen, mbytes, timer.seconds,
+            seen / max(timer.seconds, 1e-9) / 1e6, "Mcycles/s",
+        )
+    return records
+
+
 def compare_serve_baseline(
     report: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.2
 ) -> List[str]:
@@ -402,6 +513,7 @@ def _phase_breakdown(spans: List[Any]) -> List[Dict[str, Any]]:
             record.attrs.get("coder")
             or record.attrs.get("sweep")
             or record.attrs.get("scenario")
+            or record.attrs.get("stage")
         )
         mode = record.attrs.get("mode")
         phase = "/".join(
@@ -427,6 +539,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
     span_mark = tracer.mark()
     kernels = [_time_kernel(*case) for case in _kernel_cases(quick)]
     sweeps = _time_sweeps(quick, jobs)
+    corpus = _time_corpus(quick)
     serve = _time_serve(quick)
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
@@ -436,6 +549,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = 1) -> Dict[str, Any]:
         "numpy": np.__version__,
         "kernels": kernels,
         "sweeps": sweeps,
+        "corpus": corpus,
         "serve": serve,
     }
     phases = _phase_breakdown(tracer.take_since(span_mark))
@@ -465,6 +579,14 @@ _PHASE_KEYS = {
     "phase": str,
     "count": int,
     "total_s": float,
+}
+_CORPUS_KEYS = {
+    "name": str,
+    "cycles": int,
+    "mbytes": float,
+    "elapsed_s": float,
+    "per_s": float,
+    "unit": str,
 }
 _SERVE_KEYS = {
     "scenario": str,
@@ -520,10 +642,10 @@ def validate_bench_report(report: Any) -> None:
             f"schema tag {report.get('schema')!r} != {BENCH_SCHEMA!r}"
         )
     required = {"schema", "created", "quick", "jobs", "numpy", "kernels", "sweeps"}
-    # `phases` needs observability on; `serve` postdates the first
-    # committed reports.  Both validate when present, neither is
+    # `phases` needs observability on; `serve` and `corpus` postdate
+    # the first committed reports.  All validate when present, none is
     # required, so older BENCH_*.json artifacts stay valid.
-    optional = {"phases", "serve"}
+    optional = {"phases", "serve", "corpus"}
     missing = required - set(report)
     if missing:
         raise BenchSchemaError(f"missing top-level keys {sorted(missing)}")
@@ -556,6 +678,12 @@ def validate_bench_report(report: Any) -> None:
             raise BenchSchemaError("'serve', when present, must be a non-empty list")
         for i, record in enumerate(records):
             _check_record(record, _SERVE_KEYS, f"serve[{i}]")
+    if "corpus" in report:
+        records = report["corpus"]
+        if not isinstance(records, list) or not records:
+            raise BenchSchemaError("'corpus', when present, must be a non-empty list")
+        for i, record in enumerate(records):
+            _check_record(record, _CORPUS_KEYS, f"corpus[{i}]")
 
 
 def default_report_path(directory: str = ".") -> str:

@@ -141,10 +141,156 @@ def _trace_for(args: argparse.Namespace):
 
 
 def _cmd_workloads(args: argparse.Namespace) -> None:
+    if getattr(args, "list", False):
+        # The registry view: every stream the library can serve, with
+        # cycle counts and content digests.  Suite rows are keyed by
+        # the program hash (what keys the trace cache); corpus rows by
+        # the manifest's content digest.
+        from .corpus import CorpusReader
+        from .workloads import DEFAULT_CYCLES, program_hash
+
+        rows = []
+        for name in sorted(set(WORKLOADS) | set(EXTENDED_WORKLOADS)):
+            rows.append((name, "suite", 32, DEFAULT_CYCLES, program_hash(name)))
+        for directory in getattr(args, "corpus", None) or []:
+            reader = CorpusReader(directory)
+            for meta in reader.shards:
+                rows.append(
+                    (meta.name, f"corpus/{meta.kind}", meta.width,
+                     meta.cycles, meta.sha256[:16])
+                )
+        print(format_table(["name", "kind", "width", "cycles", "digest"], rows))
+        return
     rows = [
         (w.name, w.category, w.description) for w in WORKLOADS.values()
     ]
     print(format_table(["name", "class", "kernel"], sorted(rows)))
+
+
+def _corpus_rows(shards) -> List[tuple]:
+    return [
+        (meta.name, meta.kind, meta.width, meta.cycles,
+         meta.sha256[:16], meta.source or "-")
+        for meta in shards
+    ]
+
+
+_CORPUS_COLUMNS = ["stream", "kind", "width", "cycles", "digest", "source"]
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import (
+        CorpusReader,
+        CorpusWriter,
+        ParametricGenerator,
+        import_binary,
+        import_npz,
+        record_workload,
+    )
+
+    verb = args.corpus_cmd
+    if verb == "build":
+        generator = ParametricGenerator(
+            args.profile, seed=args.seed, cycles=args.cycles, width=args.width
+        )
+        with CorpusWriter(args.directory) as writer:
+            metas = [
+                writer.add_chunks(
+                    generator.stream_name(index),
+                    generator.chunks(index),
+                    generator.width,
+                    source=generator.describe(),
+                )
+                for index in range(args.streams)
+            ]
+        print(
+            format_table(
+                _CORPUS_COLUMNS,
+                _corpus_rows(metas),
+                title=f"corpus build | {args.directory} | {generator.describe()}",
+            )
+        )
+        return 0
+    if verb == "import":
+        with CorpusWriter(args.directory) as writer:
+            metas = []
+            for path in args.files:
+                if path.endswith(".npz"):
+                    metas.append(
+                        import_npz(writer, path, convert=not args.keep_npz)
+                    )
+                else:
+                    if args.width is None:
+                        raise ValueError(
+                            f"--width is required to import raw binary {path!r}"
+                        )
+                    metas.append(import_binary(writer, path, args.width))
+        print(
+            format_table(
+                _CORPUS_COLUMNS,
+                _corpus_rows(metas),
+                title=f"corpus import | {args.directory}",
+            )
+        )
+        return 0
+    if verb == "ls":
+        reader = CorpusReader(args.directory)
+        print(
+            format_table(
+                _CORPUS_COLUMNS,
+                _corpus_rows(reader.shards),
+                title=f"corpus | {args.directory} | {len(reader)} streams",
+            )
+        )
+        return 0
+    if verb == "verify":
+        reader = CorpusReader(args.directory)
+        names = reader.verify(args.stream)
+        print(f"corpus verify: {len(names)} stream(s) digest-verified ok")
+        return 0
+    if verb == "record":
+        buses = BUSES if args.bus == "all" else (args.bus,)
+        with CorpusWriter(args.directory) as writer:
+            metas = record_workload(writer, args.workload, args.cycles, buses)
+        print(
+            format_table(
+                _CORPUS_COLUMNS,
+                _corpus_rows(metas),
+                title=f"corpus record | {args.workload}@{args.cycles}",
+            )
+        )
+        return 0
+    # replay: one sweep cell off a digest-verified chunked read — the
+    # corpus-consuming twin of `repro encode`.
+    from .traces.streaming import StreamingEncoder
+
+    reader = CorpusReader(args.directory)
+    meta = reader.meta(args.stream)
+    coder = _parse_coder_spec(args.coder, meta.width)
+    encoder = StreamingEncoder(coder)
+    base = coded = 0.0
+    for chunk in reader.chunks(args.stream, args.chunk):
+        base += count_activity(chunk).weighted(args.lam)
+        coded += count_activity(encoder.feed_trace(chunk)).weighted(args.lam)
+    savings = 1.0 - coded / base if base else 0.0
+    rows = [
+        ("stream", meta.name),
+        ("coder", args.coder),
+        ("cycles", meta.cycles),
+        ("chunk cycles", args.chunk),
+        ("digest", meta.sha256[:16]),
+        ("weighted activity (raw)", round(base, 1)),
+        ("weighted activity (coded)", round(coded, 1)),
+        ("savings", f"{savings:.2%}"),
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"corpus replay | {args.directory} | lam {args.lam}",
+        )
+    )
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
@@ -308,6 +454,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ["sweep", "cycles", "cold s", "warm s", "speedup"],
             sweep_rows,
             title="trace-cache cold vs warm",
+        )
+    )
+    corpus_rows = [
+        (
+            c["name"],
+            c["cycles"],
+            f"{c['mbytes']:.1f}",
+            f"{c['elapsed_s']:.3f}",
+            f"{c['per_s']:.1f}",
+            c["unit"],
+        )
+        for c in report["corpus"]
+    ]
+    print(
+        format_table(
+            ["stage", "cycles", "MB", "elapsed s", "rate", "unit"],
+            corpus_rows,
+            title="corpus: generator / ingest / mmap vs in-memory read",
         )
     )
     serve_rows = [
@@ -559,12 +723,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         sessions_per_spec=args.sessions_per_spec,
         binary=args.binary,
+        corpus=args.corpus,
     )
     report = asyncio.run(run_loadgen(config))
-    offered = config.streams * config.chunks
+    offered = report.offered
     rows = [
         ("mode", config.mode),
         ("framing", "binary" if config.binary else "json"),
+        ("workload source", config.corpus or "synthetic (built-in)"),
         ("streams", config.streams),
         ("sessions per spec", config.sessions_per_spec),
         ("chunks fed", f"{report.chunks_done}/{offered}"),
@@ -611,6 +777,7 @@ def _cmd_cluster_soak(args: argparse.Namespace) -> int:
             "chunk": args.chunk,
             "kills": args.kills,
             "obs_dir": args.worker_obs_dir,
+            "corpus": args.corpus,
         }.items()
         if value is not None
     }
@@ -622,6 +789,7 @@ def _cmd_cluster_soak(args: argparse.Namespace) -> int:
     report = asyncio.run(run_cluster_soak(config))
     rows = [
         ("verdict", "PASS" if report.ok else "FAIL"),
+        ("workload source", config.corpus or "synthetic (built-in)"),
         ("streams verified", f"{report.streams_verified}/{report.clients}"),
         ("workers killed", report.kills),
         ("crash failovers", report.failovers),
@@ -941,6 +1109,95 @@ def build_parser() -> argparse.ArgumentParser:
 
     listing = sub.add_parser("workloads", help="list the benchmark suite")
     listing.set_defaults(func=_cmd_workloads)
+    listing.add_argument(
+        "--list",
+        action="store_true",
+        help="registry view: every suite workload (and, with --corpus, "
+        "every corpus stream) with cycle counts and content digests",
+    )
+    listing.add_argument(
+        "--corpus",
+        metavar="DIR",
+        action="append",
+        help="also list the streams of this corpus directory (repeatable)",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="workload corpora: build generator populations, import/record "
+        "traces into shards, verify digests, replay through a sweep cell",
+    )
+    corpus.set_defaults(func=_cmd_corpus)
+    cverb = corpus.add_subparsers(dest="corpus_cmd", required=True)
+    cbuild = cverb.add_parser(
+        "build", help="materialize generator streams as corpus shards"
+    )
+    cbuild.add_argument("directory")
+    cbuild.add_argument(
+        "--profile",
+        default="mixed",
+        help="generator profile (uniform, locality, stride, bursty, "
+        "lowentropy, phased, mixed; default mixed)",
+    )
+    cbuild.add_argument("--seed", type=int, default=0)
+    cbuild.add_argument(
+        "--streams", type=int, default=4, help="streams to materialize"
+    )
+    cbuild.add_argument("--cycles", type=int, default=4096)
+    cbuild.add_argument("--width", type=int, default=32)
+    cimport = cverb.add_parser(
+        "import", help="import raw uint64 binary or .npz trace files as shards"
+    )
+    cimport.add_argument("directory")
+    cimport.add_argument("files", nargs="+", metavar="FILE")
+    cimport.add_argument(
+        "--width",
+        type=int,
+        default=None,
+        help="bus width for raw binary files (required for .u64/.bin)",
+    )
+    cimport.add_argument(
+        "--keep-npz",
+        action="store_true",
+        help="register .npz files verbatim instead of converting to raw "
+        "(npz shards cannot be memory-mapped on read)",
+    )
+    cls = cverb.add_parser("ls", help="list a corpus's streams")
+    cls.add_argument("directory")
+    cverify = cverb.add_parser(
+        "verify", help="stream every shard and check its content digest"
+    )
+    cverify.add_argument("directory")
+    cverify.add_argument(
+        "--stream", default=None, help="verify one stream instead of all"
+    )
+    crecord = cverb.add_parser(
+        "record", help="run a suite benchmark and record its bus traffic"
+    )
+    crecord.add_argument("directory")
+    crecord.add_argument("workload")
+    crecord.add_argument(
+        "--bus",
+        choices=BUSES + ("all",),
+        default="register",
+        help="which bus to record (default register; 'all' records four "
+        "shards)",
+    )
+    crecord.add_argument("--cycles", type=int, default=30_000)
+    creplay = cverb.add_parser(
+        "replay",
+        help="digest-verified chunked replay of one stream through a coder "
+        "(one sweep cell)",
+    )
+    creplay.add_argument("directory")
+    creplay.add_argument("stream")
+    creplay.add_argument("--coder", default="window8")
+    creplay.add_argument(
+        "--chunk", type=int, default=16_384, help="read-chunk cycles"
+    )
+    creplay.add_argument(
+        "--lam", type=float, default=1.0, help="coupling weight lambda"
+    )
 
     add("run", _cmd_run, "run a kernel and print pipeline statistics", bus=False)
     add("stats", _cmd_stats, "trace statistics (Figure 7/8 quantities)")
@@ -1282,6 +1539,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="negotiate length-prefixed binary bulk frames instead of "
         "newline-JSON for chunk payloads",
     )
+    loadgen.add_argument(
+        "--corpus",
+        metavar="SPEC",
+        default="",
+        help="drive streams from a workload source instead of ad-hoc "
+        "synthetic traces: corpus:DIR[#stream], "
+        "gen:profile,seed=N,population=N,cycles=N,width=N or "
+        "suite:NAME[/BUS][@cycles]",
+    )
 
     csoak = sub.add_parser(
         "cluster-soak",
@@ -1337,6 +1603,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="per-worker telemetry root (CI uploads these as artifacts)",
+    )
+    csoak.add_argument(
+        "--corpus",
+        metavar="SPEC",
+        default=None,
+        help="stream corpus/generator traffic instead of the built-in "
+        "synthetic traces (corpus:DIR[#stream], gen:..., suite:...); the "
+        "bit-exactness verdict then covers corpus replay end to end",
     )
 
     top = sub.add_parser(

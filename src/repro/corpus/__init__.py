@@ -1,0 +1,77 @@
+"""``repro.corpus`` — workload traffic at scale.
+
+The workload-corpus subsystem: everything the library needs to evaluate
+bus-encoding schemes on traffic *beyond* the built-in 17-kernel suite.
+Three pillars (see each module's docstring for depth):
+
+* **ingestion** (:mod:`~repro.corpus.format`, :mod:`~repro.corpus.store`)
+  — a versioned on-disk corpus format (trace shards + digest-carrying
+  JSON manifest) with a memory-mapped, digest-verified reader that
+  streams multi-GB shards through the chunked codec API without ever
+  materializing them, plus raw-uint64 and ``.npz`` importers;
+* **generation** (:mod:`~repro.corpus.generator`) — a seeded parametric
+  stream generator (value locality, strides, phases, bit entropy,
+  burstiness, mixes) that synthesizes millions of
+  distinct-but-reproducible streams from ``(corpus_seed,
+  stream_index)`` alone;
+* **record/replay** (:mod:`~repro.corpus.record`,
+  :mod:`~repro.corpus.workload`) — capture live ``repro.cpu`` bus
+  traffic into shards, and the :class:`~repro.corpus.workload.CorpusWorkload`
+  /`WorkloadSource` interface through which sweeps, benches, the load
+  generator and the cluster soak all consume suite, corpus and
+  generator streams uniformly (``corpus:``/``gen:``/``suite:`` specs).
+
+CLI surface: ``repro corpus build/import/ls/verify/record/replay``,
+``repro workloads --list``, ``repro loadgen --corpus`` and ``repro
+cluster-soak --corpus``.  Telemetry: the ``corpus.*`` counters
+(``read_cycles``, ``gen_streams``, ``gen_cycles``, ``ingest_bytes``,
+``shards_written``, ``recorded_streams``) and the ``corpus.ingest`` /
+``corpus.record`` / ``corpus.verify`` spans.
+"""
+
+from .format import (
+    CORPUS_FORMAT,
+    MANIFEST_NAME,
+    CorpusFormatError,
+    ShardMeta,
+    digest_values,
+    load_manifest,
+    save_manifest,
+)
+from .generator import (
+    GENERATOR_BLOCK,
+    GeneratorMix,
+    ParametricGenerator,
+    PROFILES,
+    StreamProfile,
+    generate_values,
+    parse_generator_spec,
+)
+from .record import record_workload
+from .store import CorpusReader, CorpusWriter, import_binary, import_npz
+from .workload import CorpusWorkload, WorkloadSource, parse_workload_source
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CorpusFormatError",
+    "CorpusReader",
+    "CorpusWorkload",
+    "CorpusWriter",
+    "GENERATOR_BLOCK",
+    "GeneratorMix",
+    "MANIFEST_NAME",
+    "PROFILES",
+    "ParametricGenerator",
+    "ShardMeta",
+    "StreamProfile",
+    "WorkloadSource",
+    "digest_values",
+    "generate_values",
+    "import_binary",
+    "import_npz",
+    "load_manifest",
+    "parse_generator_spec",
+    "parse_workload_source",
+    "record_workload",
+    "save_manifest",
+]

@@ -1,0 +1,501 @@
+"""Seeded parametric stream generator — millions of reproducible workloads.
+
+The related literature's sharpest methodological point is that *which*
+bus encoding wins depends on the word-value distribution and temporal
+locality of the traffic (memoryless optimal codes win on uniform
+traffic, the paper's window transcoder on value-local traffic), so a
+17-kernel suite is a narrow lens.  This module widens it: a
+:class:`ParametricGenerator` synthesizes arbitrarily many
+distinct-but-reproducible bus streams from ``(corpus_seed,
+stream_index)`` alone, with dials for exactly the statistics the
+paper's predictors key on:
+
+* **value locality** — ``repeat_fraction`` / ``reuse_fraction`` /
+  ``working_set`` control how often a word repeats the previous value
+  or revisits a recent one (what the window/FCM dictionaries hit);
+* **stride behaviour** — ``stride_fraction`` / ``stride`` emit
+  arithmetic address-like sequences (what the stride predictor hits);
+* **phase behaviour** — ``phase_cycles`` alternates the stream between
+  its base dials and a stride-dominant phase, modelling loop-nest
+  phase changes;
+* **bit entropy** — ``entropy_bits`` confines fresh random words to
+  the low-order bits, thinning the transition density the paper's
+  Figure 7 measures;
+* **burstiness** — ``burst_hold`` / ``burst_len`` inject held-value
+  bursts (a quiescent bus between activity spells);
+* **mixes** — :class:`GeneratorMix` draws each stream's profile from a
+  weighted component set, so one corpus seed yields a heterogeneous
+  population.
+
+Determinism contract
+--------------------
+A stream is a pure function of ``(corpus_seed, stream_index, profile,
+cycles, width)``: generation is seeded through
+``np.random.SeedSequence((domain, corpus_seed, stream_index))`` and
+consumes randomness in fixed-size internal blocks of
+:data:`GENERATOR_BLOCK` cycles with a *fixed per-cycle draw budget*, so
+
+* the same inputs produce byte-identical values in any process, any
+  worker of a ``--jobs`` pool, and any chunking
+  (:meth:`ParametricGenerator.chunks` re-chunks the fixed blocks);
+* streams at different indices are statistically independent (distinct
+  ``SeedSequence`` spawns), which is what lets a cluster soak draw a
+  10k-stream population from one corpus seed and still verify every
+  stream bit-exactly against a local re-generation.
+
+The synthetic generators of :mod:`repro.workloads.synthetic` are thin
+wrappers over the same block kernel, so the library has exactly one
+RNG path for synthetic traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..traces.trace import BusTrace
+
+__all__ = [
+    "GENERATOR_BLOCK",
+    "GeneratorMix",
+    "ParametricGenerator",
+    "PROFILES",
+    "StreamProfile",
+    "generate_values",
+    "parse_generator_spec",
+]
+
+#: Fixed internal generation granularity (cycles).  Randomness is drawn
+#: per block with a constant per-cycle budget, which is what makes any
+#: external chunking of a stream bit-identical to any other.
+GENERATOR_BLOCK = 4096
+
+#: Seed-domain tag mixed into every stream's ``SeedSequence`` so corpus
+#: streams can never collide with other seeded subsystems.
+_SEED_DOMAIN = 0xC0B5
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """The dial settings of one synthetic stream family.
+
+    Per cycle, one behaviour is drawn: *repeat* the previous word,
+    *reuse* a recent word (uniform over the last ``working_set``
+    distinct values), extend an arithmetic *stride*, or emit a *fresh*
+    random word (the remaining probability mass, confined to
+    ``entropy_bits`` low-order bits).  ``phase_cycles`` and
+    ``burst_hold`` modulate that base mix over time; see the module
+    docstring for the dial-to-paper-statistic mapping.
+    """
+
+    repeat_fraction: float = 0.25
+    reuse_fraction: float = 0.30
+    stride_fraction: float = 0.25
+    working_set: int = 8
+    stride: int = 4
+    #: Fresh words are drawn from ``[0, 2**entropy_bits)``; ``None``
+    #: means the full bus width.
+    entropy_bits: Optional[int] = None
+    #: When > 0, cycles ``[k*phase_cycles, (k+1)*phase_cycles)`` for odd
+    #: ``k`` use a stride-dominant behaviour mix instead of the base one.
+    phase_cycles: int = 0
+    #: Per-cycle probability of entering a held-value burst.
+    burst_hold: float = 0.0
+    #: Mean burst length in cycles (uniform on ``[1, 2*burst_len]``).
+    burst_len: int = 16
+
+    def __post_init__(self) -> None:
+        for frac_name, frac in (
+            ("repeat_fraction", self.repeat_fraction),
+            ("reuse_fraction", self.reuse_fraction),
+            ("stride_fraction", self.stride_fraction),
+            ("burst_hold", self.burst_hold),
+        ):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(f"{frac_name} must be in [0, 1], got {frac}")
+        if self.repeat_fraction + self.reuse_fraction + self.stride_fraction > 1.0:
+            raise ValueError("behaviour fractions must sum to at most 1")
+        if self.working_set < 1:
+            raise ValueError(f"working_set must be >= 1, got {self.working_set}")
+        if self.entropy_bits is not None and not 1 <= self.entropy_bits <= 64:
+            raise ValueError(
+                f"entropy_bits must be 1..64 or None, got {self.entropy_bits}"
+            )
+        if self.phase_cycles < 0:
+            raise ValueError(f"phase_cycles must be >= 0, got {self.phase_cycles}")
+        if self.burst_len < 1:
+            raise ValueError(f"burst_len must be >= 1, got {self.burst_len}")
+
+
+@dataclass(frozen=True)
+class GeneratorMix:
+    """A weighted population of profiles; each stream draws one.
+
+    The draw costs exactly one RNG sample at stream start, so mixes
+    keep the determinism contract: a stream's component — and therefore
+    its whole value sequence — is a pure function of ``(corpus_seed,
+    stream_index)``.
+    """
+
+    components: Tuple[Tuple[str, float, StreamProfile], ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a generator mix needs at least one component")
+        for name, weight, _profile in self.components:
+            if weight <= 0:
+                raise ValueError(
+                    f"mix component {name!r} must have weight > 0, got {weight}"
+                )
+
+    def pick(self, rng: np.random.Generator) -> Tuple[str, StreamProfile]:
+        """Draw one component (consumes exactly one sample)."""
+        weights = np.asarray([w for _n, w, _p in self.components], dtype=np.float64)
+        edges = np.cumsum(weights / weights.sum())
+        draw = rng.random()
+        index = int(np.searchsorted(edges, draw, side="right"))
+        index = min(index, len(self.components) - 1)
+        name, _weight, profile = self.components[index]
+        return name, profile
+
+
+#: Uniform random traffic: every cycle a fresh full-entropy word — the
+#: literature's favourite (and, per Figure 15, misleading) workload.
+_UNIFORM = StreamProfile(
+    repeat_fraction=0.0, reuse_fraction=0.0, stride_fraction=0.0
+)
+
+#: Named profiles for the CLI / spec grammar and the docs table.
+PROFILES: Dict[str, Union[StreamProfile, GeneratorMix]] = {
+    "uniform": _UNIFORM,
+    "locality": StreamProfile(),
+    "stride": StreamProfile(
+        repeat_fraction=0.05, reuse_fraction=0.10, stride_fraction=0.70
+    ),
+    "bursty": StreamProfile(burst_hold=0.05, burst_len=24),
+    "lowentropy": StreamProfile(
+        repeat_fraction=0.10, reuse_fraction=0.10, stride_fraction=0.0,
+        entropy_bits=8,
+    ),
+    "phased": StreamProfile(phase_cycles=512),
+    "mixed": GeneratorMix(
+        (
+            ("locality", 3.0, StreamProfile()),
+            ("stride", 2.0, StreamProfile(
+                repeat_fraction=0.05, reuse_fraction=0.10, stride_fraction=0.70
+            )),
+            ("uniform", 1.0, _UNIFORM),
+            ("bursty", 1.0, StreamProfile(burst_hold=0.05, burst_len=24)),
+            ("lowentropy", 1.0, StreamProfile(
+                repeat_fraction=0.10, reuse_fraction=0.10, stride_fraction=0.0,
+                entropy_bits=8,
+            )),
+        )
+    ),
+}
+
+#: Stride-dominant behaviour thresholds used inside odd phases.
+_PHASE_REPEAT, _PHASE_REUSE, _PHASE_STRIDE = 0.05, 0.05, 0.85
+
+
+@dataclass
+class _StreamState:
+    """Mutable per-stream generation state carried across blocks."""
+
+    current: int = 0
+    strider: int = 0
+    burst_left: int = 0
+    pos: int = 0  #: cycles generated so far (drives phase behaviour)
+    recent: List[int] = field(default_factory=lambda: [0])
+
+
+def _generate_block(
+    rng: np.random.Generator,
+    state: _StreamState,
+    profile: StreamProfile,
+    n: int,
+    width: int,
+) -> np.ndarray:
+    """Generate the next ``n`` cycles of a stream (fixed draw budget).
+
+    All randomness is pre-drawn as whole arrays indexed by cycle, so
+    the RNG stream position after the block depends only on ``n`` and
+    the profile — never on the values themselves.  That invariant is
+    what makes chunked generation bit-identical to one-shot generation.
+    """
+    mask = (1 << width) - 1
+    ebits = width if profile.entropy_bits is None else min(profile.entropy_bits, width)
+    fresh = rng.integers(0, 1 << ebits, size=n, dtype=np.uint64)
+    plain = (
+        profile.repeat_fraction == 0.0
+        and profile.reuse_fraction == 0.0
+        and profile.stride_fraction == 0.0
+        and profile.burst_hold == 0.0
+        and profile.phase_cycles == 0
+    )
+    if plain:
+        # Pure fresh traffic vectorizes: no per-cycle state to carry
+        # beyond the last emitted word.
+        state.pos += n
+        if n:
+            state.current = int(fresh[-1]) & mask
+        return fresh & np.uint64(mask)
+
+    draws = rng.random(n)
+    reuse_raw = rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+    if profile.burst_hold > 0.0:
+        hold = rng.random(n)
+        lens = rng.integers(1, 2 * profile.burst_len + 1, size=n)
+    else:
+        hold = lens = None
+
+    values = np.empty(n, dtype=np.uint64)
+    current, strider = state.current, state.strider
+    burst_left, recent = state.burst_left, state.recent
+    repeat_t = profile.repeat_fraction
+    reuse_t = repeat_t + profile.reuse_fraction
+    stride_t = reuse_t + profile.stride_fraction
+    phase = profile.phase_cycles
+    for i in range(n):
+        if state.pos + i == 0:
+            # Cycle 0 always emits a fresh word: the first word on a
+            # bus is data, not the reset value.  Without this, short
+            # repeat/hold-heavy streams at different indices can all
+            # replicate the initial 0 and collide byte-for-byte.
+            current = int(fresh[i]) & mask
+        elif burst_left > 0:
+            burst_left -= 1
+        elif hold is not None and hold[i] < profile.burst_hold:
+            burst_left = int(lens[i])
+        else:
+            if phase and ((state.pos + i) // phase) % 2 == 1:
+                r_t, u_t, s_t = _PHASE_REPEAT, _PHASE_REUSE, _PHASE_STRIDE
+                u_t += r_t
+                s_t += u_t
+            else:
+                r_t, u_t, s_t = repeat_t, reuse_t, stride_t
+            draw = draws[i]
+            if draw < r_t:
+                pass  # hold current
+            elif draw < u_t:
+                current = recent[int(reuse_raw[i]) % len(recent)]
+            elif draw < s_t:
+                strider = (strider + profile.stride) & mask
+                current = strider
+            else:
+                current = int(fresh[i]) & mask
+        values[i] = current
+        if current not in recent:
+            recent.append(current)
+            if len(recent) > profile.working_set:
+                recent.pop(0)
+    state.current, state.strider = current, strider
+    state.burst_left = burst_left
+    state.pos += n
+    return values
+
+
+def generate_values(
+    rng: np.random.Generator,
+    profile: StreamProfile,
+    length: int,
+    width: int,
+    state: Optional[_StreamState] = None,
+) -> np.ndarray:
+    """Generate ``length`` cycles through the block kernel.
+
+    This is the single RNG path shared by
+    :func:`repro.workloads.synthetic.random_trace` /
+    :func:`~repro.workloads.synthetic.locality_trace` and the corpus
+    generator: one ``rng``, consumed in :data:`GENERATOR_BLOCK`-cycle
+    blocks with a fixed per-cycle draw budget.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if not 1 <= width <= 64:
+        raise ValueError(f"width must be 1..64, got {width}")
+    state = state if state is not None else _StreamState()
+    parts = [
+        _generate_block(
+            rng, state, profile, min(GENERATOR_BLOCK, length - start), width
+        )
+        for start in range(0, length, GENERATOR_BLOCK)
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+class ParametricGenerator:
+    """Seeded stream population: ``(corpus_seed, index)`` → a bus stream.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`StreamProfile`, a :class:`GeneratorMix`, or a name
+        from :data:`PROFILES`.
+    seed:
+        The corpus seed.  Together with a stream index it fully
+        determines a stream (see the module determinism contract).
+    cycles / width:
+        Default stream length and bus width.
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, StreamProfile, GeneratorMix] = "locality",
+        seed: int = 0,
+        cycles: int = 4096,
+        width: int = 32,
+    ):
+        if isinstance(profile, str):
+            try:
+                profile = PROFILES[profile]
+            except KeyError:
+                raise ValueError(
+                    f"unknown generator profile {profile!r}; choose from "
+                    f"{', '.join(sorted(PROFILES))}"
+                ) from None
+        if not isinstance(profile, (StreamProfile, GeneratorMix)):
+            raise ValueError(
+                f"profile must be a StreamProfile, GeneratorMix or name, "
+                f"got {type(profile).__name__}"
+            )
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        if not 1 <= width <= 64:
+            raise ValueError(f"width must be 1..64, got {width}")
+        self.profile = profile
+        self.seed = int(seed)
+        self.cycles = int(cycles)
+        self.width = int(width)
+
+    # -- stream identity ----------------------------------------------
+
+    def _open(self, index: int) -> Tuple[np.random.Generator, StreamProfile, str]:
+        """The stream's rng, resolved profile and label."""
+        if index < 0:
+            raise ValueError(f"stream index must be >= 0, got {index}")
+        rng = np.random.default_rng(
+            np.random.SeedSequence((_SEED_DOMAIN, self.seed, int(index)))
+        )
+        if isinstance(self.profile, GeneratorMix):
+            component, profile = self.profile.pick(rng)
+        else:
+            component, profile = "", self.profile
+        label = f"gen{self.seed}/{index}"
+        if component:
+            label += f":{component}"
+        return rng, profile, label
+
+    def stream_name(self, index: int) -> str:
+        """The stream's stable label, e.g. ``gen7/3:stride``."""
+        _rng, _profile, label = self._open(index)
+        return label
+
+    # -- generation ---------------------------------------------------
+
+    def stream(self, index: int, cycles: Optional[int] = None) -> BusTrace:
+        """Materialize one whole stream as a :class:`BusTrace`."""
+        cycles = self.cycles if cycles is None else int(cycles)
+        rng, profile, label = self._open(index)
+        values = generate_values(rng, profile, cycles, self.width)
+        obs.inc("corpus.gen_streams")
+        obs.inc("corpus.gen_cycles", cycles)
+        return BusTrace(values, self.width, label)
+
+    def chunks(
+        self,
+        index: int,
+        chunk_cycles: int = GENERATOR_BLOCK,
+        cycles: Optional[int] = None,
+    ) -> Iterator[BusTrace]:
+        """One stream as bounded :class:`BusTrace` chunks.
+
+        Peak memory is one :data:`GENERATOR_BLOCK` plus one chunk;
+        ``BusTrace.concat`` over the chunks is bit-identical to
+        :meth:`stream` for every ``chunk_cycles`` (generation happens
+        in fixed blocks regardless of the requested chunking), and each
+        chunk's ``initial`` chains so activity accounting sums exactly.
+        """
+        if chunk_cycles < 1:
+            raise ValueError(f"chunk_cycles must be >= 1, got {chunk_cycles}")
+        total = self.cycles if cycles is None else int(cycles)
+        rng, profile, label = self._open(index)
+        state = _StreamState()
+        obs.inc("corpus.gen_streams")
+        buffer = np.empty(0, dtype=np.uint64)
+        produced = 0
+        emitted = 0
+        prev = 0
+        while emitted < total:
+            while len(buffer) < chunk_cycles and produced < total:
+                block = _generate_block(
+                    rng, state, profile,
+                    min(GENERATOR_BLOCK, total - produced), self.width,
+                )
+                produced += len(block)
+                buffer = np.concatenate([buffer, block]) if len(buffer) else block
+            take = min(chunk_cycles, len(buffer))
+            chunk, buffer = buffer[:take], buffer[take:]
+            obs.inc("corpus.gen_cycles", int(take))
+            trace = BusTrace(chunk, self.width, label, prev)
+            prev = int(chunk[-1]) if take else prev
+            emitted += take
+            yield trace
+
+    def describe(self) -> str:
+        """One-line human description (CLI listings, manifests)."""
+        if isinstance(self.profile, GeneratorMix):
+            parts = "+".join(name for name, _w, _p in self.profile.components)
+            kind = f"mix[{parts}]"
+        else:
+            named = [k for k, v in PROFILES.items() if v == self.profile]
+            kind = named[0] if named else "custom"
+        return f"gen(profile={kind}, seed={self.seed}, cycles={self.cycles}, width={self.width})"
+
+
+def parse_generator_spec(spec: str) -> Tuple[ParametricGenerator, int]:
+    """Parse a ``gen:`` workload spec into a generator and population.
+
+    Grammar: ``gen:[profile][,key=value...]`` with keys ``profile``,
+    ``seed``, ``population``, ``cycles``, ``width`` — e.g.
+    ``gen:mixed,seed=7,population=10000,cycles=4096,width=16``.  A bare
+    leading token is shorthand for ``profile=``.  Returns the generator
+    and the population size (default 1024).  All errors are one-line
+    ``ValueError``\\ s (the CLI ``repro: error:`` contract).
+    """
+    body = spec[len("gen:"):] if spec.startswith("gen:") else spec
+    profile = "locality"
+    fields: Dict[str, int] = {"seed": 0, "population": 1024, "cycles": 4096, "width": 32}
+    for part in (p.strip() for p in body.split(",") if p.strip()):
+        if "=" not in part:
+            profile = part
+            continue
+        key, _eq, value = part.partition("=")
+        key = key.strip()
+        if key == "profile":
+            profile = value.strip()
+            continue
+        if key not in fields:
+            raise ValueError(
+                f"unknown generator spec key {key!r}; expected profile, "
+                f"seed, population, cycles or width"
+            )
+        try:
+            fields[key] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"generator spec key {key!r} expects an integer, got {value!r}"
+            ) from None
+    if fields["population"] < 1:
+        raise ValueError(
+            f"generator population must be >= 1, got {fields['population']}"
+        )
+    generator = ParametricGenerator(
+        profile, seed=fields["seed"], cycles=fields["cycles"], width=fields["width"]
+    )
+    return generator, fields["population"]

@@ -1,0 +1,58 @@
+"""Recording live ``repro.cpu`` bus traffic into corpus shards.
+
+The record half of record/replay: run a suite benchmark on the CPU
+substrate (:func:`repro.workloads.suite.run_workload` — memoised, so a
+recording session after a sweep costs no re-simulation) and capture the
+requested bus traces into a corpus, chunk-wise through
+:meth:`~repro.corpus.store.CorpusWriter.add_trace`.  The shard's
+``source`` field pins the provenance (``record:<workload>/<bus>@<cycles>``)
+and the manifest digest pins the content, so the replay half —
+:meth:`~repro.corpus.store.CorpusReader.chunks` through the chunked
+codec — is provably bit-identical to the live trace it came from
+(asserted for every coder family by ``tests/test_corpus_record.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .. import obs
+from ..workloads.suite import BUS_NAMES, DEFAULT_CYCLES, run_workload
+from .format import ShardMeta
+from .store import CorpusWriter
+
+__all__ = ["record_workload"]
+
+
+def record_workload(
+    writer: CorpusWriter,
+    name: str,
+    cycles: int = DEFAULT_CYCLES,
+    buses: Optional[Sequence[str]] = None,
+) -> List[ShardMeta]:
+    """Record one benchmark's bus traffic into the corpus.
+
+    Runs ``name`` for ``cycles`` cycles and adds one shard per
+    requested bus (default: the register bus; pass ``BUS_NAMES`` for
+    all four) named ``<workload>/<bus>``.  Raises ``KeyError`` for an
+    unknown workload and ``ValueError`` for an unknown bus — both
+    one-liners, per the CLI error contract.
+    """
+    buses = tuple(buses) if buses is not None else ("register",)
+    for bus in buses:
+        if bus not in BUS_NAMES:
+            raise ValueError(
+                f"bus must be one of {sorted(BUS_NAMES)}, got {bus!r}"
+            )
+    with obs.span("corpus.record", workload=name, cycles=cycles, buses=len(buses)):
+        result = run_workload(name, cycles)  # KeyError on unknown workload
+        metas = [
+            writer.add_trace(
+                f"{name}/{bus}",
+                getattr(result, f"{bus}_trace"),
+                source=f"record:{name}/{bus}@{cycles}",
+            )
+            for bus in buses
+        ]
+    obs.inc("corpus.recorded_streams", len(metas))
+    return metas

@@ -55,6 +55,7 @@ import numpy as np
 
 from .. import obs
 from ..coding.specs import parse_coder_spec
+from ..corpus.workload import WorkloadSource, parse_workload_source
 from ..traces.trace import BusTrace
 from ..workloads import locality_trace
 from .cluster import TraceCluster
@@ -93,6 +94,13 @@ class ClusterSoakConfig:
     drain_timeout_s: float = 15.0
     heal_timeout_s: float = 60.0  #: budget for the victim to come back
     obs_dir: str = ""  #: per-worker telemetry base (CI artifacts); "" = off
+    #: Workload-source spec (``corpus:DIR``/``gen:...``/``suite:...``).
+    #: When set, each client streams one deterministic member of the
+    #: source population (client ``i`` gets stream ``i``), the source's
+    #: bus width overrides ``width``, and per-stream cycle counts come
+    #: from the source instead of ``cycles`` — the soak's bit-exactness
+    #: verdict then covers corpus replay end to end.
+    corpus: str = ""
 
     def __post_init__(self):
         if self.workers < 2:
@@ -170,21 +178,25 @@ class _SoakStream:
 
 
 def _build_streams(
-    config: ClusterSoakConfig, port: int
+    config: ClusterSoakConfig, port: int, source: "WorkloadSource | None"
 ) -> List[_SoakStream]:
+    width = source.width if source is not None else config.width
     streams = []
     for index in range(config.clients):
         spec = SOAK_SPECS[index % len(SOAK_SPECS)]
-        trace = locality_trace(
-            config.cycles,
-            width=config.width,
-            seed=config.seed * 1000 + 17 * index + 5,
-        )
+        if source is not None:
+            trace = source.for_stream(index).trace()
+        else:
+            trace = locality_trace(
+                config.cycles,
+                width=config.width,
+                seed=config.seed * 1000 + 17 * index + 5,
+            )
         client = ResilientTraceClient(
             "127.0.0.1",
             port,
             coder=spec,
-            width=config.width,
+            width=width,
             retry=RetryPolicy(
                 attempts=24,
                 base_backoff_s=0.02,
@@ -222,7 +234,7 @@ def _verify_streams(
 ) -> None:
     """Every stream must encode AND decode bit-identically."""
     for stream in streams:
-        coder = parse_coder_spec(stream.spec, config.width)
+        coder = parse_coder_spec(stream.spec, stream.trace.width)
         expected = coder.encode_trace(stream.trace)
         produced = np.asarray(stream.states, dtype=np.uint64)
         if not np.array_equal(produced, expected.values):
@@ -333,8 +345,12 @@ async def run_cluster_soak(config: ClusterSoakConfig) -> ClusterSoakReport:
         seed=config.seed,
     )
     await cluster.start()
-    streams = _build_streams(config, cluster.port)
-    total_chunks = (config.cycles + config.chunk - 1) // config.chunk
+    source = parse_workload_source(config.corpus) if config.corpus else None
+    streams = _build_streams(config, cluster.port, source)
+    # Per-stream cycle counts may differ under --corpus; phase the soak
+    # on the longest stream (shorter ones simply finish feeding early).
+    longest = max(len(stream.trace) for stream in streams)
+    total_chunks = (longest + config.chunk - 1) // config.chunk
     # Phase boundaries: kills happen at evenly spaced chunk indices,
     # each followed by a feeding phase over the wreckage, a heal wait
     # and a planned rebalance.

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .. import obs
+from ..corpus.workload import WorkloadSource, parse_workload_source
 from ..workloads import locality_trace
 from .recovery import ResilientTraceClient
 from .retry import CircuitBreaker, RetryPolicy
@@ -69,6 +70,13 @@ class LoadgenConfig:
     sessions_per_spec: int = 1
     #: Negotiate binary bulk frames on every stream's connection.
     binary: bool = False
+    #: Workload-source spec (``corpus:DIR``, ``gen:...``, ``suite:...``;
+    #: see :mod:`repro.corpus.workload`).  When set, stream traffic
+    #: comes from the source — its bus width overrides ``width`` and
+    #: each stream's chunk count follows its own cycle count instead of
+    #: ``chunks`` — so the generator drives realistic, reproducible
+    #: populations instead of ad-hoc synthetic traces.
+    corpus: str = ""
 
     def __post_init__(self):
         if self.mode not in ("closed", "open"):
@@ -89,6 +97,7 @@ class LoadgenReport:
 
     mode: str = "closed"
     streams: int = 0
+    offered: int = 0  #: chunks the scenario set out to feed
     chunks_done: int = 0
     chunks_failed: int = 0
     cycles: int = 0
@@ -115,6 +124,7 @@ class LoadgenReport:
         return {
             "mode": self.mode,
             "streams": self.streams,
+            "offered": self.offered,
             "chunks_done": self.chunks_done,
             "chunks_failed": self.chunks_failed,
             "cycles": self.cycles,
@@ -129,14 +139,16 @@ class LoadgenReport:
         }
 
 
-def _make_client(config: LoadgenConfig, index: int) -> ResilientTraceClient:
+def _make_client(
+    config: LoadgenConfig, index: int, width: int
+) -> ResilientTraceClient:
     return ResilientTraceClient(
         config.host,
         config.port,
         coder=LOADGEN_SPECS[
             (index // config.sessions_per_spec) % len(LOADGEN_SPECS)
         ],
-        width=config.width,
+        width=width,
         retry=RetryPolicy(
             attempts=16,
             base_backoff_s=0.02,
@@ -151,7 +163,16 @@ def _make_client(config: LoadgenConfig, index: int) -> ResilientTraceClient:
     )
 
 
-def _chunks_for(config: LoadgenConfig, index: int) -> List[List[int]]:
+def _chunks_for(
+    config: LoadgenConfig, index: int, source: Optional[WorkloadSource]
+) -> List[List[int]]:
+    if source is not None:
+        # Corpus/generator traffic: bounded-memory chunked reads, one
+        # stream of the population per session (index wraps).
+        return [
+            [int(v) for v in part.values]
+            for part in source.for_stream(index).chunks(config.chunk)
+        ]
     trace = locality_trace(
         config.chunks * config.chunk,
         width=config.width,
@@ -182,11 +203,16 @@ async def _feed_timed(
     obs.observe("cluster.loadgen_feed_s", latency)
 
 
-async def _run_closed(config: LoadgenConfig, report: LoadgenReport) -> None:
+async def _run_closed(
+    config: LoadgenConfig,
+    report: LoadgenReport,
+    per_stream: List[List[List[int]]],
+    width: int,
+) -> None:
     async def one_stream(index: int) -> None:
-        client = _make_client(config, index)
+        client = _make_client(config, index, width)
         try:
-            for chunk in _chunks_for(config, index):
+            for chunk in per_stream[index]:
                 await _feed_timed(client, chunk, report)
         finally:
             await client.close()
@@ -196,7 +222,12 @@ async def _run_closed(config: LoadgenConfig, report: LoadgenReport) -> None:
     await asyncio.gather(*(one_stream(i) for i in range(config.streams)))
 
 
-async def _run_open(config: LoadgenConfig, report: LoadgenReport) -> None:
+async def _run_open(
+    config: LoadgenConfig,
+    report: LoadgenReport,
+    per_stream: List[List[List[int]]],
+    width: int,
+) -> None:
     """Poisson arrivals at ``rate``, round-robin over per-stream FIFOs."""
     rng = random.Random(config.seed * 0x9E3779B1 + 0xA5)
     queues: List["asyncio.Queue[Optional[List[int]]]"] = [
@@ -204,7 +235,7 @@ async def _run_open(config: LoadgenConfig, report: LoadgenReport) -> None:
     ]
 
     async def one_stream(index: int) -> None:
-        client = _make_client(config, index)
+        client = _make_client(config, index, width)
         try:
             while True:
                 chunk = await queues[index].get()
@@ -219,11 +250,11 @@ async def _run_open(config: LoadgenConfig, report: LoadgenReport) -> None:
     workers = [
         asyncio.ensure_future(one_stream(i)) for i in range(config.streams)
     ]
-    per_stream = [_chunks_for(config, i) for i in range(config.streams)]
     arrivals = [
         (turn, index)
-        for turn in range(config.chunks)
+        for turn in range(max(len(chunks) for chunks in per_stream))
         for index in range(config.streams)
+        if turn < len(per_stream[index])
     ]
     for turn, index in arrivals:
         await asyncio.sleep(rng.expovariate(config.rate))
@@ -235,12 +266,21 @@ async def _run_open(config: LoadgenConfig, report: LoadgenReport) -> None:
 
 async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
     """Run one scenario; returns its :class:`LoadgenReport`."""
-    report = LoadgenReport(mode=config.mode, streams=config.streams)
+    source = parse_workload_source(config.corpus) if config.corpus else None
+    width = source.width if source is not None else config.width
+    per_stream = [
+        _chunks_for(config, i, source) for i in range(config.streams)
+    ]
+    report = LoadgenReport(
+        mode=config.mode,
+        streams=config.streams,
+        offered=sum(len(chunks) for chunks in per_stream),
+    )
     t0 = time.monotonic()
     if config.mode == "closed":
-        await _run_closed(config, report)
+        await _run_closed(config, report, per_stream, width)
     else:
-        await _run_open(config, report)
+        await _run_open(config, report, per_stream, width)
     report.elapsed_s = time.monotonic() - t0
     obs.inc("cluster.loadgen_chunks", report.chunks_done)
     obs.set_gauge("cluster.loadgen_throughput_cps", report.throughput_cps)

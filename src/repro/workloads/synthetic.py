@@ -9,27 +9,45 @@ Two uses in the paper:
 * **parameterised locality mixes** — handy for tests and examples that
   need a trace with known amounts of repeats, window reuse and strides
   without running the CPU substrate.
+
+Determinism contract
+--------------------
+Both generators require an **explicit seed** (keyword-only: a silent
+default seed is how two "different" experiments end up sharing a trace)
+and are pure functions of their arguments: the same ``(length, width,
+dials, seed)`` produces byte-identical values in any process and any
+``--jobs`` worker.  They are thin wrappers over the corpus generator's
+block kernel (:mod:`repro.corpus.generator`), so the library has
+exactly **one RNG path** for synthetic traffic — the corpus population
+``gen:`` specs and these helpers draw from the same well-tested
+machinery, and the chunk-size-invariance property proven there covers
+these too.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from ..corpus.generator import StreamProfile, generate_values
 from ..traces.trace import BusTrace
 
 __all__ = ["random_trace", "locality_trace"]
 
 
 def random_trace(
-    length: int, width: int = 32, seed: int = 0, name: str = "random"
+    length: int, width: int = 32, *, seed: int, name: str = "random"
 ) -> BusTrace:
     """Uniformly distributed independent values — the literature's
-    favourite (and misleading) workload."""
+    favourite (and misleading) workload.
+
+    ``seed`` is required: the trace is a pure function of
+    ``(length, width, seed)``.
+    """
     rng = np.random.default_rng(seed)
-    values = rng.integers(0, 1 << width, size=length, dtype=np.uint64)
-    return BusTrace(values, width, name)
+    profile = StreamProfile(
+        repeat_fraction=0.0, reuse_fraction=0.0, stride_fraction=0.0
+    )
+    return BusTrace(generate_values(rng, profile, length, width), width, name)
 
 
 def locality_trace(
@@ -40,7 +58,8 @@ def locality_trace(
     stride_fraction: float = 0.25,
     working_set: int = 8,
     stride: int = 4,
-    seed: int = 0,
+    *,
+    seed: int,
     name: str = "locality",
 ) -> BusTrace:
     """A trace with controllable value-locality structure.
@@ -48,41 +67,16 @@ def locality_trace(
     Each cycle draws one behaviour: repeat the previous value, reuse a
     recent unique value (uniform over the last ``working_set``), extend
     an arithmetic stride, or emit a fresh uniform random value (the
-    remaining probability mass).
+    remaining probability mass).  ``seed`` is required; see the module
+    determinism contract.  Dial validation (fractions in [0, 1] summing
+    to at most 1, ``working_set >= 1``) raises one-line ``ValueError``\\ s.
     """
-    for frac_name, frac in (
-        ("repeat_fraction", repeat_fraction),
-        ("reuse_fraction", reuse_fraction),
-        ("stride_fraction", stride_fraction),
-    ):
-        if not 0.0 <= frac <= 1.0:
-            raise ValueError(f"{frac_name} must be in [0, 1], got {frac}")
-    if repeat_fraction + reuse_fraction + stride_fraction > 1.0:
-        raise ValueError("behaviour fractions must sum to at most 1")
-    if working_set < 1:
-        raise ValueError(f"working_set must be >= 1, got {working_set}")
-
+    profile = StreamProfile(
+        repeat_fraction=repeat_fraction,
+        reuse_fraction=reuse_fraction,
+        stride_fraction=stride_fraction,
+        working_set=working_set,
+        stride=stride,
+    )
     rng = np.random.default_rng(seed)
-    mask = (1 << width) - 1
-    values = np.empty(length, dtype=np.uint64)
-    recent = [0]
-    current = 0
-    strider = 0
-    draws = rng.random(length)
-    for i in range(length):
-        draw = draws[i]
-        if draw < repeat_fraction:
-            pass  # hold current
-        elif draw < repeat_fraction + reuse_fraction:
-            current = recent[rng.integers(0, len(recent))]
-        elif draw < repeat_fraction + reuse_fraction + stride_fraction:
-            strider = (strider + stride) & mask
-            current = strider
-        else:
-            current = int(rng.integers(0, mask + 1))
-        values[i] = current
-        if current not in recent:
-            recent.append(current)
-            if len(recent) > working_set:
-                recent.pop(0)
-    return BusTrace(values, width, name)
+    return BusTrace(generate_values(rng, profile, length, width), width, name)

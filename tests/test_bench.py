@@ -62,6 +62,19 @@ def test_quick_bench_cache_warms_up(quick_report):
 
 
 @pytest.mark.bench_smoke
+def test_quick_bench_covers_the_corpus_stages(quick_report):
+    stages = {c["name"]: c for c in quick_report["corpus"]}
+    assert set(stages) == {"generate", "ingest", "read_mmap", "read_memory"}
+    assert stages["ingest"]["unit"] == "MB/s"
+    assert stages["generate"]["unit"] == "streams/s"
+    for record in stages.values():
+        assert record["per_s"] > 0 and record["elapsed_s"] >= 0
+    # Both read paths walked the whole ingested shard.
+    assert stages["read_mmap"]["cycles"] == stages["ingest"]["cycles"]
+    assert stages["read_memory"]["cycles"] == stages["ingest"]["cycles"]
+
+
+@pytest.mark.bench_smoke
 def test_write_report_round_trips(quick_report, tmp_path):
     path = write_report(quick_report, str(tmp_path / "BENCH_t.json"))
     with open(path, "r", encoding="utf-8") as handle:
@@ -119,9 +132,23 @@ VALID = {
 }
 
 
+CORPUS_RECORD = {
+    "name": "ingest",
+    "cycles": 1000,
+    "mbytes": 8.0,
+    "elapsed_s": 0.1,
+    "per_s": 80.0,
+    "unit": "MB/s",
+}
+
+
 def test_valid_synthetic_report_passes():
     validate_bench_report(VALID)
     validate_bench_report(_mutate(VALID, lambda r: r.update(jobs=None)))
+    # `corpus` is optional: absent is fine, well-formed is fine.
+    validate_bench_report(
+        _mutate(VALID, lambda r: r.update(corpus=[dict(CORPUS_RECORD)]))
+    )
 
 
 @pytest.mark.parametrize(
@@ -139,6 +166,17 @@ def test_valid_synthetic_report_passes():
         (lambda r: r["kernels"][0].update(unknown=1), "unexpected keys"),
         (lambda r: r["sweeps"][0].update(cold_s="slow"), "should be float"),
         (lambda r: r["sweeps"][0].update(cycles=2.5), "should be int"),
+        (lambda r: r.update(corpus=[]), "non-empty list"),
+        (
+            lambda r: r.update(
+                corpus=[{k: v for k, v in CORPUS_RECORD.items() if k != "unit"}]
+            ),
+            "missing key 'unit'",
+        ),
+        (
+            lambda r: r.update(corpus=[dict(CORPUS_RECORD, per_s="fast")]),
+            "should be float",
+        ),
     ],
 )
 def test_schema_drift_is_rejected(mutator, pattern):

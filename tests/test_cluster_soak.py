@@ -25,6 +25,20 @@ class TestClusterSoak:
         assert report.worker_restarts >= 1
         assert report.drain.get("clean") is True
 
+    def test_corpus_population_soak_verifies_bit_exact(self):
+        # The acceptance run: clients stream members of a >=10k-stream
+        # generator population and every stream must verify bit-exactly
+        # against a local re-generation, straight through the kill.
+        config = ClusterSoakConfig(
+            workers=3, clients=6, cycles=240, chunk=20, seed=0,
+            corpus="gen:mixed,seed=7,population=10000,cycles=240,width=16",
+        )
+        report = asyncio.run(run_cluster_soak(config))
+        assert report.ok, f"corpus soak failed: {report.failures}"
+        assert report.streams_verified == config.clients
+        assert report.kills >= 1
+        assert report.drain.get("clean") is True
+
 
 class TestConfigValidation:
     def test_one_worker_cannot_fail_over(self):

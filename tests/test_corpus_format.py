@@ -1,0 +1,306 @@
+"""Tests for the versioned corpus on-disk format and its store layer.
+
+The manifest validator must reject every malformed manifest with a
+one-line :class:`CorpusFormatError` (the CLI contract), including the
+hostile cases: wrong format version, non-bare shard filenames (path
+traversal), duplicate stream names, drifted key sets.  The store layer
+must detect every content tamper — a flipped byte, a truncated shard,
+an edited cycle count — via the manifest's storage-independent SHA-256
+digest, on both the streaming and the materializing read paths.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CORPUS_FORMAT,
+    MANIFEST_NAME,
+    CorpusFormatError,
+    CorpusReader,
+    CorpusWriter,
+    ShardMeta,
+    digest_values,
+    import_binary,
+    import_npz,
+    load_manifest,
+    save_manifest,
+)
+from repro.traces import BusTrace, TraceCache, save_trace
+
+
+def make_corpus(directory, traces):
+    """Build a corpus of named in-memory traces; returns the manifest path."""
+    with CorpusWriter(str(directory)) as writer:
+        for name, trace in traces.items():
+            writer.add_trace(name, trace, source=f"test:{name}")
+    return os.path.join(str(directory), MANIFEST_NAME)
+
+
+def small_trace(seed=0, length=300, width=16):
+    rng = np.random.default_rng(seed)
+    return BusTrace(
+        rng.integers(0, 1 << width, size=length, dtype=np.uint64),
+        width,
+        f"t{seed}",
+    )
+
+
+class TestDigest:
+    def test_digest_is_chunking_independent(self):
+        values = np.arange(1000, dtype=np.uint64)
+        one = digest_values([values])
+        many = digest_values([values[:7], values[7:130], values[130:]])
+        assert one == many
+
+    def test_digest_is_storage_independent_raw_vs_npz(self, tmp_path):
+        trace = small_trace(3)
+        raw_dir, npz_dir = tmp_path / "raw", tmp_path / "npz"
+        make_corpus(raw_dir, {"s": trace})
+        archive = tmp_path / "s.npz"
+        save_trace(trace, str(archive))
+        with CorpusWriter(str(npz_dir)) as writer:
+            import_npz(writer, str(archive), name="s", convert=False)
+        raw_meta = CorpusReader(str(raw_dir)).meta("s")
+        npz_meta = CorpusReader(str(npz_dir)).meta("s")
+        assert raw_meta.sha256 == npz_meta.sha256
+        assert raw_meta.kind == "raw" and npz_meta.kind == "npz"
+
+
+class TestManifestValidation:
+    def tamper(self, tmp_path, mutate):
+        """Build a one-shard corpus, rewrite its manifest via ``mutate``."""
+        path = make_corpus(tmp_path, {"s": small_trace()})
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        mutate(document)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return str(tmp_path)
+
+    def test_missing_manifest_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_manifest(str(tmp_path))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(CorpusFormatError, match="unreadable manifest"):
+            load_manifest(str(tmp_path))
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        directory = self.tamper(
+            tmp_path, lambda d: d.update(format=CORPUS_FORMAT + 1)
+        )
+        with pytest.raises(CorpusFormatError, match="unsupported corpus format"):
+            load_manifest(directory)
+
+    def test_missing_shard_key_rejected(self, tmp_path):
+        directory = self.tamper(tmp_path, lambda d: d["shards"][0].pop("sha256"))
+        with pytest.raises(CorpusFormatError, match="missing key"):
+            load_manifest(directory)
+
+    def test_unknown_shard_key_rejected(self, tmp_path):
+        directory = self.tamper(
+            tmp_path, lambda d: d["shards"][0].update(surprise=1)
+        )
+        with pytest.raises(CorpusFormatError, match="unknown key"):
+            load_manifest(directory)
+
+    def test_path_traversal_filename_rejected(self, tmp_path):
+        directory = self.tamper(
+            tmp_path,
+            lambda d: d["shards"][0].update(file="../../etc/passwd"),
+        )
+        with pytest.raises(CorpusFormatError, match="bare filename"):
+            load_manifest(directory)
+
+    def test_duplicate_stream_names_rejected(self, tmp_path):
+        directory = self.tamper(
+            tmp_path, lambda d: d["shards"].append(dict(d["shards"][0]))
+        )
+        with pytest.raises(CorpusFormatError, match="duplicate stream name"):
+            load_manifest(directory)
+
+    def test_bad_width_and_digest_shape_rejected(self, tmp_path):
+        directory = self.tamper(tmp_path, lambda d: d["shards"][0].update(width=65))
+        with pytest.raises(CorpusFormatError, match="width must be 1..64"):
+            load_manifest(directory)
+        directory = self.tamper(
+            tmp_path / "b", lambda d: d["shards"][0].update(sha256="DEADBEEF")
+        )
+        with pytest.raises(CorpusFormatError, match="64 lowercase hex"):
+            load_manifest(directory)
+
+    def test_unsupported_kind_rejected(self, tmp_path):
+        directory = self.tamper(
+            tmp_path, lambda d: d["shards"][0].update(kind="parquet")
+        )
+        with pytest.raises(CorpusFormatError, match="unsupported kind"):
+            load_manifest(directory)
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        meta = ShardMeta(
+            name="s", file="s.u64", kind="raw", width=16, cycles=0,
+            initial=0, sha256="0" * 64, source="test",
+        )
+        save_manifest(str(tmp_path), [meta])
+        assert load_manifest(str(tmp_path)) == [meta]
+
+    def test_error_string_is_one_line_with_path(self, tmp_path):
+        directory = self.tamper(tmp_path, lambda d: d.update(format=99))
+        with pytest.raises(CorpusFormatError) as excinfo:
+            load_manifest(directory)
+        message = str(excinfo.value)
+        assert "\n" not in message and MANIFEST_NAME in message
+
+
+class TestTamperDetection:
+    def test_flipped_byte_fails_streaming_verify(self, tmp_path):
+        make_corpus(tmp_path, {"s": small_trace(1)})
+        meta = CorpusReader(str(tmp_path)).meta("s")
+        shard = tmp_path / meta.file
+        blob = bytearray(shard.read_bytes())
+        blob[100] ^= 0x01
+        shard.write_bytes(bytes(blob))
+        reader = CorpusReader(str(tmp_path))
+        with pytest.raises(CorpusFormatError, match="digest mismatch"):
+            for _chunk in reader.chunks("s"):
+                pass
+        with pytest.raises(CorpusFormatError, match="digest mismatch"):
+            reader.verify()
+
+    def test_unverified_read_skips_the_digest(self, tmp_path):
+        # verify=False is the documented fast path: corruption passes.
+        make_corpus(tmp_path, {"s": small_trace(1)})
+        meta = CorpusReader(str(tmp_path)).meta("s")
+        shard = tmp_path / meta.file
+        blob = bytearray(shard.read_bytes())
+        blob[100] ^= 0x01
+        shard.write_bytes(bytes(blob))
+        chunks = list(CorpusReader(str(tmp_path)).chunks("s", verify=False))
+        assert sum(len(c) for c in chunks) == meta.cycles
+
+    def test_truncated_raw_shard_rejected_at_open(self, tmp_path):
+        make_corpus(tmp_path, {"s": small_trace(2)})
+        meta = CorpusReader(str(tmp_path)).meta("s")
+        shard = tmp_path / meta.file
+        shard.write_bytes(shard.read_bytes()[:-8])
+        with pytest.raises(CorpusFormatError):
+            CorpusReader(str(tmp_path))
+
+    def test_materialized_trace_is_digest_checked(self, tmp_path):
+        make_corpus(tmp_path, {"s": small_trace(4)})
+        meta = CorpusReader(str(tmp_path)).meta("s")
+        shard = tmp_path / meta.file
+        blob = bytearray(shard.read_bytes())
+        blob[0] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        reader = CorpusReader(str(tmp_path))
+        with pytest.raises(CorpusFormatError, match="digest mismatch"):
+            reader.trace("s", cache=TraceCache(str(tmp_path / "cache")))
+
+
+class TestStoreRoundTrip:
+    def test_write_read_bit_identical(self, tmp_path):
+        traces = {f"s{i}": small_trace(i) for i in range(3)}
+        make_corpus(tmp_path, traces)
+        reader = CorpusReader(str(tmp_path))
+        assert sorted(reader.names()) == sorted(traces)
+        for name, trace in traces.items():
+            parts = list(reader.chunks(name, chunk_cycles=37))
+            got = BusTrace.concat(*parts)
+            assert np.array_equal(got.values, trace.values)
+            assert got.initial == trace.initial
+            assert got.width == trace.width
+
+    def test_chunk_initials_chain_from_manifest(self, tmp_path):
+        trace = BusTrace.from_values([5, 9, 9, 2, 7], width=8, name="s")
+        with CorpusWriter(str(tmp_path)) as writer:
+            writer.add_chunks("s", [trace.values], width=8, initial=3)
+        parts = list(CorpusReader(str(tmp_path)).chunks("s", chunk_cycles=2))
+        assert parts[0].initial == 3
+        assert parts[1].initial == 9  # last value of the previous chunk
+        assert parts[2].initial == 2
+
+    def test_unknown_stream_error_lists_available(self, tmp_path):
+        make_corpus(tmp_path, {"alpha": small_trace(), "beta": small_trace(1)})
+        with pytest.raises(KeyError, match="alpha"):
+            CorpusReader(str(tmp_path)).meta("gamma")
+
+    def test_duplicate_add_rejected(self, tmp_path):
+        with CorpusWriter(str(tmp_path)) as writer:
+            writer.add_trace("s", small_trace())
+            with pytest.raises(ValueError, match="already has a stream"):
+                writer.add_trace("s", small_trace(1))
+
+    def test_append_to_existing_corpus(self, tmp_path):
+        make_corpus(tmp_path, {"first": small_trace(0)})
+        with CorpusWriter(str(tmp_path)) as writer:
+            writer.add_trace("second", small_trace(1))
+        reader = CorpusReader(str(tmp_path))
+        assert sorted(reader.names()) == ["first", "second"]
+        reader.verify()
+
+    def test_failed_build_leaves_no_manifest(self, tmp_path):
+        directory = tmp_path / "broken"
+        with pytest.raises(RuntimeError):
+            with CorpusWriter(str(directory)) as writer:
+                writer.add_trace("s", small_trace())
+                raise RuntimeError("simulated build failure")
+        assert not os.path.exists(directory / MANIFEST_NAME)
+
+    def test_values_masked_to_width_on_ingest(self, tmp_path):
+        with CorpusWriter(str(tmp_path)) as writer:
+            writer.add_chunks(
+                "s", [np.array([0x1FF, 0x3FF], dtype=np.uint64)], width=8
+            )
+        trace = CorpusReader(str(tmp_path)).trace(
+            "s", cache=TraceCache(str(tmp_path / "cache"))
+        )
+        assert list(trace.values) == [0xFF, 0xFF]
+
+    def test_trace_cache_hit_is_content_keyed(self, tmp_path):
+        trace = small_trace(9)
+        make_corpus(tmp_path / "a", {"one": trace})
+        make_corpus(tmp_path / "b", {"other-name": trace})
+        cache = TraceCache(str(tmp_path / "cache"))
+        first = CorpusReader(str(tmp_path / "a")).trace("one", cache=cache)
+        # Same content under a different name in a different corpus:
+        # the digest key makes this a cache hit, renamed on the way out.
+        second = CorpusReader(str(tmp_path / "b")).trace("other-name", cache=cache)
+        assert np.array_equal(first.values, second.values)
+        assert second.name == "other-name"
+
+
+class TestImporters:
+    def test_import_binary_round_trips(self, tmp_path):
+        words = np.arange(5000, dtype=np.uint64)
+        raw = tmp_path / "dump.u64"
+        raw.write_bytes(words.astype("<u8").tobytes())
+        with CorpusWriter(str(tmp_path / "c")) as writer:
+            meta = import_binary(writer, str(raw), 16, name="dump")
+        assert meta.cycles == 5000
+        trace = CorpusReader(str(tmp_path / "c")).trace(
+            "dump", cache=TraceCache(str(tmp_path / "cache"))
+        )
+        assert np.array_equal(trace.values, words & np.uint64(0xFFFF))
+
+    def test_import_binary_rejects_ragged_file(self, tmp_path):
+        raw = tmp_path / "ragged.u64"
+        raw.write_bytes(b"\x00" * 12)  # not a multiple of 8
+        with CorpusWriter(str(tmp_path / "c")) as writer:
+            with pytest.raises(CorpusFormatError, match="multiple of 8"):
+                import_binary(writer, str(raw), 16)
+
+    def test_import_npz_converts_to_raw_by_default(self, tmp_path):
+        trace = small_trace(5)
+        archive = tmp_path / "t.npz"
+        save_trace(trace, str(archive))
+        with CorpusWriter(str(tmp_path / "c")) as writer:
+            meta = import_npz(writer, str(archive))
+        assert meta.kind == "raw"
+        reader = CorpusReader(str(tmp_path / "c"))
+        got = BusTrace.concat(*reader.chunks(meta.name))
+        assert np.array_equal(got.values, trace.values)

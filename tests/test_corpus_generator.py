@@ -1,0 +1,234 @@
+"""Tests for the seeded parametric stream generator.
+
+The determinism contract, property-tested: a stream is a pure function
+of ``(corpus_seed, stream_index)`` — byte-identical under *any*
+chunking (hypothesis), across processes (subprocess re-generation) and
+across ``--jobs`` pool workers (``parallel_map_cells``) — and large
+populations are pairwise distinct.  Dial sanity ties each profile knob
+to the paper statistic it is documented to move: repeat/reuse dials to
+the window-predictor hit rate, ``entropy_bits`` to transition density,
+``stride_fraction`` to the stride predictor.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import StrideTranscoder, WindowTranscoder
+from repro.analysis.parallel import parallel_map_cells
+from repro.corpus import (
+    GENERATOR_BLOCK,
+    GeneratorMix,
+    ParametricGenerator,
+    PROFILES,
+    StreamProfile,
+    digest_values,
+    parse_generator_spec,
+)
+from repro.energy import count_activity
+from repro.traces import BusTrace
+
+
+def stream_digest(seed, index, profile="mixed", cycles=200, width=32):
+    gen = ParametricGenerator(profile, seed=seed, cycles=cycles, width=width)
+    return digest_values([gen.stream(index).values])
+
+
+class TestChunkingInvariance:
+    @given(
+        profile=st.sampled_from(sorted(PROFILES)),
+        index=st.integers(0, 50),
+        cycles=st.integers(1, 600),
+        chunk=st.integers(1, 700),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_equals_one_shot(self, profile, index, cycles, chunk):
+        gen = ParametricGenerator(profile, seed=5, cycles=cycles, width=32)
+        whole = gen.stream(index)
+        parts = list(gen.chunks(index, chunk_cycles=chunk))
+        rejoined = BusTrace.concat(*parts)
+        assert np.array_equal(rejoined.values, whole.values)
+        assert rejoined.initial == whole.initial == 0
+        # Chunk initials chain, so per-chunk activity sums exactly.
+        total = sum(count_activity(p).total_transitions for p in parts)
+        assert total == count_activity(whole).total_transitions
+
+    def test_chunking_straddles_generator_blocks(self):
+        # Chunk sizes around the internal block size are the edge the
+        # fixed-block design exists for.
+        cycles = GENERATOR_BLOCK * 2 + 17
+        gen = ParametricGenerator("locality", seed=1, cycles=cycles, width=32)
+        whole = gen.stream(0)
+        for chunk in (1, GENERATOR_BLOCK - 1, GENERATOR_BLOCK, GENERATOR_BLOCK + 1):
+            parts = list(gen.chunks(0, chunk_cycles=chunk))
+            assert np.array_equal(
+                BusTrace.concat(*parts).values, whole.values
+            ), chunk
+
+
+class TestCrossProcessStability:
+    def test_streams_are_byte_stable_across_processes(self):
+        expected = [stream_digest(7, i) for i in range(3)]
+        script = (
+            "from tests.test_corpus_generator import stream_digest;"
+            "print('\\n'.join(stream_digest(7, i) for i in range(3)))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.split() == expected
+
+    def test_streams_are_byte_stable_across_pool_workers(self):
+        indices = list(range(8))
+        serial = [
+            o.value
+            for o in parallel_map_cells(
+                lambda i: stream_digest(3, i), indices, jobs=1
+            )
+        ]
+        pooled = [
+            o.value
+            for o in parallel_map_cells(
+                lambda i: stream_digest(3, i), indices, jobs=4
+            )
+        ]
+        assert pooled == serial
+
+    def test_different_seeds_and_indices_differ(self):
+        assert stream_digest(1, 0) != stream_digest(2, 0)
+        assert stream_digest(1, 0) != stream_digest(1, 1)
+
+    def test_stream_name_is_stable_and_tagged_by_mix_component(self):
+        gen = ParametricGenerator("mixed", seed=7, cycles=64, width=32)
+        names = [gen.stream_name(i) for i in range(20)]
+        assert names == [gen.stream_name(i) for i in range(20)]
+        assert all(name.startswith("gen7/") for name in names)
+        components = {name.split(":")[1] for name in names if ":" in name}
+        assert len(components) > 1  # the mix actually mixes
+
+
+class TestPopulation:
+    def test_ten_thousand_streams_are_pairwise_distinct(self):
+        gen = ParametricGenerator("mixed", seed=11, cycles=32, width=32)
+        digests = {
+            digest_values([gen.stream(i).values]) for i in range(10_000)
+        }
+        assert len(digests) == 10_000
+
+    def test_parse_spec_population_and_defaults(self):
+        gen, population = parse_generator_spec(
+            "gen:locality,seed=9,population=10000,cycles=128,width=16"
+        )
+        assert population == 10_000
+        assert gen.seed == 9 and gen.cycles == 128 and gen.width == 16
+        _gen, default_population = parse_generator_spec("gen:")
+        assert default_population >= 1
+
+    def test_parse_spec_rejects_unknown_profile_and_keys(self):
+        with pytest.raises(ValueError, match="unknown generator profile"):
+            parse_generator_spec("gen:nosuch")
+        with pytest.raises(ValueError):
+            parse_generator_spec("gen:locality,flavor=3")
+
+
+class TestDialSanity:
+    """Each dial moves the paper statistic it is documented to move."""
+
+    WIDTH = 32
+    CYCLES = 4000
+
+    def trace(self, profile, seed=0):
+        return ParametricGenerator(
+            profile, seed=seed, cycles=self.CYCLES, width=self.WIDTH
+        ).stream(0)
+
+    def hit_rate(self, coder, trace):
+        """Fraction of cycles the predictor's dictionary hit (the coded
+        stream re-sends fewer full words the more the predictor hits,
+        so compare via transition density)."""
+        coder.reset()
+        coded = coder.encode_trace(trace)
+        return count_activity(coded).total_transitions
+
+    def test_locality_dials_raise_window_predictor_value(self):
+        local = self.trace("locality")
+        uniform = self.trace("uniform")
+        local_cost = self.hit_rate(WindowTranscoder(8, self.WIDTH), local)
+        uniform_cost = self.hit_rate(WindowTranscoder(8, self.WIDTH), uniform)
+        assert local_cost < 0.7 * uniform_cost
+
+    def test_stride_dial_feeds_the_stride_predictor(self):
+        strided = self.trace("stride")
+        uniform = self.trace("uniform")
+        strided_cost = self.hit_rate(StrideTranscoder(4, self.WIDTH), strided)
+        uniform_cost = self.hit_rate(StrideTranscoder(4, self.WIDTH), uniform)
+        assert strided_cost < 0.7 * uniform_cost
+
+    def test_entropy_bits_thin_transition_density(self):
+        low = self.trace("lowentropy")
+        uniform = self.trace("uniform")
+        assert (
+            count_activity(low).total_transitions
+            < 0.5 * count_activity(uniform).total_transitions
+        )
+
+    def test_burst_hold_raises_repeat_runs(self):
+        bursty = self.trace("bursty")
+        uniform = self.trace("uniform")
+
+        def repeats(trace):
+            return int(np.sum(trace.values[1:] == trace.values[:-1]))
+
+        assert repeats(bursty) > repeats(uniform) + self.CYCLES // 50
+
+    def test_phase_profile_alternates_behaviour(self):
+        # Odd phases are stride-dominant: consecutive differences inside
+        # them concentrate on the stride constant.
+        profile = StreamProfile(phase_cycles=512, stride=4)
+        trace = ParametricGenerator(
+            profile, seed=2, cycles=2048, width=self.WIDTH
+        ).stream(0)
+        diffs = np.diff(trace.values.astype(np.int64))
+        odd_phase = diffs[512:1024]
+        even_phase = diffs[:512]
+        odd_strideness = np.mean(odd_phase == 4)
+        even_strideness = np.mean(even_phase == 4)
+        assert odd_strideness > even_strideness + 0.3
+
+
+class TestValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            StreamProfile(repeat_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamProfile(
+                repeat_fraction=0.5, reuse_fraction=0.4, stride_fraction=0.2
+            )
+
+    def test_structural_bounds(self):
+        with pytest.raises(ValueError):
+            StreamProfile(working_set=0)
+        with pytest.raises(ValueError):
+            StreamProfile(entropy_bits=0)
+        with pytest.raises(ValueError):
+            StreamProfile(burst_len=0)
+
+    def test_mix_needs_components_with_positive_weight(self):
+        with pytest.raises(ValueError):
+            GeneratorMix(())
+        with pytest.raises(ValueError):
+            GeneratorMix((("x", 0.0, StreamProfile()),))
+
+    def test_generator_rejects_bad_sizing(self):
+        with pytest.raises(ValueError):
+            ParametricGenerator("locality", cycles=0)
+        with pytest.raises(ValueError):
+            ParametricGenerator("locality", width=65)
+        with pytest.raises(ValueError):
+            ParametricGenerator("locality").stream(-1)

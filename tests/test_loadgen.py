@@ -109,3 +109,67 @@ class TestOpenLoop:
         assert report.chunks_done == 2 * 3
         assert report.chunks_failed == 0
         assert report.cycles == 2 * 3 * 16
+
+
+class TestCorpusTraffic:
+    """--corpus routes generator/corpus populations through the loadgen."""
+
+    SPEC = "gen:mixed,seed=7,population=10000,cycles=96,width=24"
+
+    def test_generator_population_drives_the_run(self):
+        report = run(
+            run_against_server(
+                mode="closed", streams=3, chunks=999, chunk=32, width=16,
+                corpus=self.SPEC,
+            )
+        )
+        # Source geometry wins: 96 cycles / 32-chunks = 3 chunks per
+        # stream, regardless of config.chunks; width 24 from the spec.
+        assert report.offered == 3 * 3
+        assert report.chunks_done == report.offered
+        assert report.chunks_failed == 0
+        assert report.cycles == 3 * 96
+
+    def test_corpus_runs_are_deterministic(self):
+        first = run(
+            run_against_server(
+                mode="closed", streams=2, chunk=48, corpus=self.SPEC
+            )
+        )
+        second = run(
+            run_against_server(
+                mode="closed", streams=2, chunk=48, corpus=self.SPEC
+            )
+        )
+        assert first.offered == second.offered
+        assert first.cycles == second.cycles
+        assert first.chunks_failed == second.chunks_failed == 0
+
+    def test_corpus_directory_source(self, tmp_path):
+        import numpy as np
+
+        from repro.corpus import CorpusWriter
+        from repro.traces import BusTrace
+
+        with CorpusWriter(str(tmp_path)) as writer:
+            for i in range(2):
+                writer.add_trace(
+                    f"s{i}",
+                    BusTrace(
+                        np.arange(i, i + 80, dtype=np.uint64), 16, f"s{i}"
+                    ),
+                )
+        report = run(
+            run_against_server(
+                mode="open", streams=4, chunk=20, rate=800.0,
+                corpus=f"corpus:{tmp_path}",
+            )
+        )
+        # 4 sessions wrap the 2-stream corpus; 80/20 = 4 chunks each.
+        assert report.offered == 4 * 4
+        assert report.chunks_done == report.offered
+        assert report.chunks_failed == 0
+
+    def test_bad_corpus_spec_raises_before_any_connection(self):
+        with pytest.raises(ValueError):
+            run(run_loadgen(LoadgenConfig(port=1, corpus="gen:nosuch")))

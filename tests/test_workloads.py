@@ -103,15 +103,22 @@ class TestSynthetic:
 
     def test_locality_fraction_validation(self):
         with pytest.raises(ValueError):
-            locality_trace(10, repeat_fraction=0.9, reuse_fraction=0.9)
+            locality_trace(10, repeat_fraction=0.9, reuse_fraction=0.9, seed=0)
         with pytest.raises(ValueError):
-            locality_trace(10, repeat_fraction=-0.1)
+            locality_trace(10, repeat_fraction=-0.1, seed=0)
         with pytest.raises(ValueError):
-            locality_trace(10, working_set=0)
+            locality_trace(10, working_set=0, seed=0)
+
+    def test_seed_is_required(self):
+        # The determinism contract: no silent default seed.
+        with pytest.raises(TypeError):
+            random_trace(10)
+        with pytest.raises(TypeError):
+            locality_trace(10)
 
     def test_pure_repeat_trace(self):
         trace = locality_trace(
-            50, repeat_fraction=1.0, reuse_fraction=0.0, stride_fraction=0.0
+            50, repeat_fraction=1.0, reuse_fraction=0.0, stride_fraction=0.0, seed=0
         )
         assert trace.unique_values().size == 1
 

@@ -39,17 +39,36 @@ Chrome trace export).
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs
 
-__all__ = ["CellError", "CellOutcome", "parallel_map_cells", "resolve_jobs"]
+__all__ = [
+    "CellError",
+    "CellOutcome",
+    "CellTimeout",
+    "parallel_map_cells",
+    "resolve_jobs",
+]
+
+
+class CellTimeout(Exception):
+    """A cell ran past the per-cell wall-clock watchdog.
+
+    Raised *inside* the cell (via ``SIGALRM``), so the isolation
+    boundary converts it into a structured ``CellError(kind="timeout")``
+    instead of relying on pool teardown — the run-ledger retry logic
+    classifies that kind as transient.
+    """
 
 
 @dataclass(frozen=True)
@@ -84,6 +103,17 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _describe(exc: BaseException, elapsed_s: float) -> CellError:
+    if isinstance(exc, CellTimeout):
+        # Structured watchdog expiry: a stable ``kind`` the ledger can
+        # classify as transient, plus the pid/elapsed post-mortem data.
+        obs.inc("parallel.cell_timeouts")
+        return CellError(
+            kind="timeout",
+            message=str(exc),
+            detail="",
+            pid=os.getpid(),
+            elapsed_s=elapsed_s,
+        )
     return CellError(
         kind=type(exc).__name__,
         message=str(exc),
@@ -93,9 +123,44 @@ def _describe(exc: BaseException, elapsed_s: float) -> CellError:
     )
 
 
+@contextlib.contextmanager
+def _watchdog(timeout_s: Optional[float]) -> Iterator[None]:
+    """Arm a ``SIGALRM`` wall-clock watchdog around one cell.
+
+    Only armed where it can work: a positive timeout, a platform with
+    ``setitimer`` (POSIX) and the main thread of the process — which is
+    exactly where cells run, both serially and inside fork workers.
+    Elsewhere the context is a no-op (the cell simply runs unbounded).
+    The previous handler/timer is restored on exit so nested callers
+    keep their own alarms.
+    """
+    if (
+        not timeout_s
+        or timeout_s <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expire(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise CellTimeout(f"cell exceeded the {timeout_s:g}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 # The cell function for the *current* parallel_map_cells call.  Workers
 # fork after it is set and inherit it; it never crosses a pipe.
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+# The per-cell watchdog for the *current* call, staged the same way.
+_WORKER_TIMEOUT: Optional[float] = None
 
 #: A worker result: (index, value, error, telemetry delta).  The delta
 #: is ``obs.fork_delta``'s picklable (registry diff, span records) pair,
@@ -111,7 +176,8 @@ def _invoke(payload: Tuple[int, Any]) -> _WorkerResult:
     t0 = time.perf_counter()
     try:
         with obs.span("parallel.cell", index=index):
-            value = _WORKER_FN(cell)
+            with _watchdog(_WORKER_TIMEOUT):
+                value = _WORKER_FN(cell)
         error = None
     except Exception as exc:  # noqa: BLE001 - isolation boundary
         value = None
@@ -132,13 +198,18 @@ def _record_cells(outcomes: Sequence[CellOutcome]) -> None:
         obs.inc("parallel.cells_failed", failed)
 
 
-def _serial_map(fn: Callable[[Any], Any], cells: Sequence[Any]) -> List[CellOutcome]:
+def _serial_map(
+    fn: Callable[[Any], Any],
+    cells: Sequence[Any],
+    timeout_s: Optional[float] = None,
+) -> List[CellOutcome]:
     outcomes: List[CellOutcome] = []
     for index, cell in enumerate(cells):
         t0 = time.perf_counter()
         try:
             with obs.span("parallel.cell", index=index):
-                outcomes.append(CellOutcome(cell=cell, value=fn(cell)))
+                with _watchdog(timeout_s):
+                    outcomes.append(CellOutcome(cell=cell, value=fn(cell)))
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             outcomes.append(
                 CellOutcome(cell=cell, error=_describe(exc, time.perf_counter() - t0))
@@ -158,6 +229,7 @@ def parallel_map_cells(
     fn: Callable[[Any], Any],
     cells: Iterable[Any],
     jobs: Optional[int] = 1,
+    timeout_s: Optional[float] = None,
 ) -> List[CellOutcome]:
     """Apply ``fn`` to every cell, optionally across worker processes.
 
@@ -173,6 +245,12 @@ def parallel_map_cells(
     jobs:
         Worker count; ``1`` (default) runs serially in-process, ``None``
         or ``0`` means one worker per CPU.
+    timeout_s:
+        Optional per-cell wall-clock watchdog.  A cell that runs past
+        it is interrupted (``SIGALRM``) and reported as a structured
+        ``CellError(kind="timeout")`` carrying the worker pid and the
+        elapsed time — it does not wedge the pool, and the remaining
+        cells still run.  ``None`` (default) leaves cells unbounded.
 
     Returns
     -------
@@ -186,10 +264,12 @@ def parallel_map_cells(
     workers = min(resolve_jobs(jobs), max(len(cell_list), 1))
     ctx = _fork_context()
     if workers <= 1 or len(cell_list) <= 1 or ctx is None:
-        return _serial_map(fn, cell_list)
-    global _WORKER_FN
+        return _serial_map(fn, cell_list, timeout_s)
+    global _WORKER_FN, _WORKER_TIMEOUT
     previous = _WORKER_FN
+    previous_timeout = _WORKER_TIMEOUT
     _WORKER_FN = fn
+    _WORKER_TIMEOUT = timeout_s
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             obs.set_gauge("parallel.workers", workers)
@@ -199,9 +279,10 @@ def parallel_map_cells(
         # Pools can be unavailable in restricted environments (no /dev/shm,
         # forbidden fork).  Fall back to identical-but-serial execution.
         obs.inc("parallel.pool_fallbacks")
-        return _serial_map(fn, cell_list)
+        return _serial_map(fn, cell_list, timeout_s)
     finally:
         _WORKER_FN = previous
+        _WORKER_TIMEOUT = previous_timeout
     results.sort(key=lambda item: item[0])
     for _, _, _, delta in results:
         obs.merge_child(delta)

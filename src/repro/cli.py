@@ -293,8 +293,141 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
-    result = run_workload(args.workload, args.cycles)
+def _default_matrix_sources(matrix: str, args: argparse.Namespace) -> tuple:
+    """The suite-derived default workload sources for a matrix."""
+    if matrix == "faults":
+        names = FAULT_SWEEP_WORKLOADS
+    else:
+        names = tuple(sorted(WORKLOADS))
+    return tuple(
+        f"suite:{name}/{args.bus}@{args.cycles}" for name in names
+    )
+
+
+_DEFAULT_MATRIX_CODERS = {
+    "savings": "window8",
+    "crossover": "window8,window16",
+    "table3": "window8,window16",
+    "faults": "window8",
+}
+
+
+def _split_csv(text: str, flag: str) -> tuple:
+    parts = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not parts:
+        raise ValueError(f"{flag} expects at least one value")
+    return parts
+
+
+def _cmd_run_matrix(args: argparse.Namespace) -> int:
+    from .runs import ExecutorOptions, RunConfig, run_matrix
+
+    config = None
+    if args.target is not None:
+        matrix = args.target
+        sources = tuple(args.source or ()) or _default_matrix_sources(matrix, args)
+        coders = _split_csv(
+            args.coders or _DEFAULT_MATRIX_CODERS[matrix], "--coders"
+        )
+        technologies: tuple = ()
+        if matrix in ("crossover", "table3"):
+            technologies = _split_csv(
+                args.technologies or ",".join(t.name for t in TECHNOLOGIES),
+                "--technologies",
+            )
+        bers: tuple = ()
+        policies: tuple = ()
+        if matrix == "faults":
+            bers = tuple(_parse_float_list(args.ber, "--ber"))
+            policies = _split_csv(args.policies, "--policies")
+        config = RunConfig(
+            matrix=matrix,
+            sources=sources,
+            coders=coders,
+            technologies=technologies,
+            bers=bers,
+            policies=policies,
+            lam=args.lam,
+            seed=args.seed,
+            streams=args.streams,
+        )
+    options = ExecutorOptions(
+        jobs=args.jobs,
+        timeout_s=args.cell_timeout,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        batch=args.batch,
+        kill_at=args.kill_at,
+        chaos=tuple(args.chaos or ()),
+        strict=args.strict,
+    )
+    result = run_matrix(
+        config,
+        args.runs_dir,
+        run_id=args.run_id,
+        resume=args.resume,
+        options=options,
+    )
+    print(result.summary_text, end="")
+    print(
+        f"run {result.run_id}: {result.status} | "
+        f"{len(result.results)}/{len(result.cells)} cells "
+        f"({result.skipped} skipped, {result.retried} retried, "
+        f"{result.quarantined} quarantined) | "
+        f"{os.path.join(args.runs_dir, result.run_id)}"
+    )
+    if result.failed:
+        log.warning(
+            "run finished degraded; failed cells are marked in the table",
+            extra=obs.fields(failed=len(result.failed)),
+        )
+    return result.exit_code(args.strict)
+
+
+def _cmd_run_soak(args: argparse.Namespace) -> int:
+    from .runs.soak import run_soak
+
+    report = run_soak(
+        directory=args.dir, quick=args.quick, seed=args.seed, jobs=args.jobs
+    )
+    rows = [
+        (check.name, "PASS" if check.ok else "FAIL", check.detail[:60])
+        for check in report.checks
+    ]
+    rows.append(("elapsed", f"{report.elapsed_s:.2f} s", ""))
+    if report.directory:
+        rows.append(("artifacts", report.directory, ""))
+    print(
+        format_table(
+            ["check", "verdict", "detail"],
+            rows,
+            title=(
+                f"run soak | seed {args.seed} | "
+                f"kill at {report.kill_at}/{report.cells} cells"
+            ),
+        )
+    )
+    if not report.ok:
+        for failure in report.failures:
+            print(f"run-soak: FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> object:
+    from .runs import MATRICES
+
+    # Dispatch: `repro run <matrix>` (or a bare `--resume`) drives the
+    # resumable orchestration layer; `repro run <workload>` keeps its
+    # historical meaning (execute a kernel, print pipeline statistics).
+    if args.target in MATRICES or (args.target is None and args.resume is not None):
+        return _cmd_run_matrix(args)
+    if args.target is None:
+        raise ValueError(
+            "run expects a workload name or a matrix "
+            "(savings, crossover, table3, faults); see `repro workloads`"
+        )
+    result = run_workload(args.target, args.cycles)
     stats = result.stats
     rows = [
         ("instructions", stats.instructions),
@@ -305,7 +438,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         ("stores", stats.stores),
         ("taken branches", stats.taken_branches),
     ]
-    print(format_table(["metric", "value"], rows, title=f"{args.workload}"))
+    print(format_table(["metric", "value"], rows, title=f"{args.target}"))
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> None:
@@ -1199,7 +1333,142 @@ def build_parser() -> argparse.ArgumentParser:
         "--lam", type=float, default=1.0, help="coupling weight lambda"
     )
 
-    add("run", _cmd_run, "run a kernel and print pipeline statistics", bus=False)
+    from .runs import MATRICES
+
+    runcmd = sub.add_parser(
+        "run",
+        help="run a kernel (workload name) or a crash-resumable experiment "
+        "matrix (savings, crossover, table3, faults)",
+    )
+    runcmd.set_defaults(func=_cmd_run)
+    runcmd.add_argument(
+        "target",
+        nargs="?",
+        metavar="WORKLOAD|MATRIX",
+        choices=sorted(WORKLOADS) + list(MATRICES),
+        help="a workload name (kernel statistics) or a matrix kind "
+        "(resumable ledger-journalled run)",
+    )
+    runcmd.add_argument("--cycles", type=int, default=30_000)
+    runcmd.add_argument("--bus", choices=BUSES, default="register")
+    matrixgrp = runcmd.add_argument_group("experiment matrices")
+    matrixgrp.add_argument(
+        "--source",
+        action="append",
+        metavar="SPEC",
+        help="workload source (corpus:DIR[#stream], gen:profile,..., "
+        "suite:NAME[/BUS][@cycles]); repeatable.  Default: the built-in "
+        "suite on --bus at --cycles",
+    )
+    matrixgrp.add_argument(
+        "--coders",
+        help="comma-separated coder specs (matrix-specific default)",
+    )
+    matrixgrp.add_argument(
+        "--technologies",
+        help="comma-separated technology nodes for crossover/table3 "
+        "(default: all)",
+    )
+    matrixgrp.add_argument(
+        "--ber",
+        default="1e-6,1e-5,1e-4",
+        help="comma-separated bit-error rates (faults matrix)",
+    )
+    matrixgrp.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated recovery policies (faults matrix)",
+    )
+    matrixgrp.add_argument("--lam", type=float, default=1.0)
+    matrixgrp.add_argument("--seed", type=int, default=0)
+    matrixgrp.add_argument(
+        "--streams",
+        type=int,
+        default=0,
+        help="cap the streams taken from each source (0 = whole population)",
+    )
+    matrixgrp.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="where run directories (ledger, artifacts, summaries) live",
+    )
+    matrixgrp.add_argument(
+        "--run-id",
+        help="explicit run id (default: <matrix>-<config digest prefix>)",
+    )
+    matrixgrp.add_argument(
+        "--resume",
+        nargs="?",
+        const="",
+        metavar="RUN_ID",
+        help="resume an interrupted run: replay its ledger, verify every "
+        "recorded artifact's digest (corrupt/missing -> quarantine + "
+        "re-run) and execute only the incomplete cells.  With no value, "
+        "resumes the run id derived from the matrix arguments",
+    )
+    matrixgrp.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any cell stays failed (default: emit the "
+        "degraded summary with FAILED:<class> holes and exit 0)",
+    )
+    matrixgrp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the matrix cells (must be >= 1)",
+    )
+    matrixgrp.add_argument(
+        "--cell-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-cell wall-clock watchdog; expiries are transient "
+        "(retried), not fatal",
+    )
+    matrixgrp.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts for a transient-failing cell (default 3)",
+    )
+    matrixgrp.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=4,
+        help="consecutive failures that open a (matrix, coder-family) "
+        "circuit breaker (default 4)",
+    )
+    matrixgrp.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="cells per executor batch (0 = auto)",
+    )
+    # Soak/testing knobs: the scripted crash injector and chaos script.
+    matrixgrp.add_argument("--kill-at", type=int, help=argparse.SUPPRESS)
+    matrixgrp.add_argument("--chaos", action="append", help=argparse.SUPPRESS)
+
+    runsoak = sub.add_parser(
+        "run-soak",
+        help="kill-the-runner acceptance gate: SIGKILL a seeded matrix "
+        "mid-run, corrupt an artifact, resume, and verify byte-identical "
+        "aggregate outputs",
+    )
+    runsoak.set_defaults(func=_cmd_run_soak)
+    runsoak.add_argument(
+        "--quick", action="store_true", help="small matrix (the CI gate)"
+    )
+    runsoak.add_argument("--seed", type=int, default=7)
+    runsoak.add_argument(
+        "--jobs", type=int, default=2, help="worker processes per run"
+    )
+    runsoak.add_argument(
+        "--dir",
+        metavar="DIR",
+        help="keep ledgers/quarantine records here for artifact upload "
+        "(default: a temp dir, deleted when every check passes)",
+    )
     add("stats", _cmd_stats, "trace statistics (Figure 7/8 quantities)")
     encode = add("encode", _cmd_encode, "apply one coding scheme to a trace")
     encode.add_argument("--coder", default="window")

@@ -1,0 +1,201 @@
+"""The run ledger: a crash-proof journal of one experiment run.
+
+A run directory (``runs/<run-id>/``) is owned by its **ledger** —
+``ledger.jsonl``, a line-buffered append-only journal with the same
+SIGKILL-survival contract as :mod:`repro.obs.flight`: every event is
+flushed as one line the moment it happens, so ``kill -9`` forfeits the
+process, not the page cache, and everything appended before the kill
+survives for ``--resume`` to replay.
+
+Event vocabulary (one JSON object per line, ``event`` + ``ts`` plus
+event-specific fields):
+
+``run_open``
+    Written once when a run is created: the run id, the matrix name,
+    the full :class:`~repro.runs.matrix.RunConfig` as a dict, its
+    content digest and the cell count.  ``--resume`` without the matrix
+    arguments reconstructs the configuration from this header.
+``resumed``
+    Appended at the start of every resume: how many recorded cells
+    were verified and skipped, how many artifacts were quarantined and
+    how many cells are being (re-)executed.
+``started``
+    One cell attempt began (cell key, matrix index, attempt number).
+``done``
+    A cell completed: key, index, attempt, the artifact's path
+    relative to the run directory and the SHA-256 of the artifact
+    file's exact bytes — resume verifies that digest before trusting
+    the artifact.
+``failed``
+    A cell attempt failed: key, error ``kind``/``message``, worker
+    ``pid``, ``elapsed_s``, the retry classification (``transient`` /
+    ``deterministic``) and ``final`` — False when the executor will
+    retry, True when the cell is being given up on.
+``quarantined``
+    A cell or artifact was quarantined: key, the reason class
+    (``artifact-digest-mismatch``, ``artifact-missing``,
+    ``artifact-unreadable``, ``deterministic-failure``,
+    ``retries-exhausted``, ``circuit-open``) and the quarantine record
+    path relative to the run directory.
+``run_close``
+    The run finished: status (``complete`` / ``degraded``) and the
+    done/failed counts.  A ledger without it was interrupted.
+
+Reading tolerates exactly one **torn tail** — an undecodable *last*
+line, the expected debris of a kill landing mid-write — and reports any
+*interior* corruption as ``path:lineno`` (the journal is append-only;
+a bad line in the middle means real damage, not a crash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "LEDGER_FILENAME",
+    "RunLedger",
+    "LedgerState",
+    "canonical_json",
+    "content_digest",
+    "file_digest",
+    "read_ledger",
+    "replay_ledger",
+]
+
+#: The journal every run directory is built around.
+LEDGER_FILENAME = "ledger.jsonl"
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical (sorted-key, compact) JSON encoding of ``value``.
+
+    Content keys — cell identity, config digests, artifact digests —
+    are all computed over this encoding, so they are stable across
+    processes, dict orderings and Python versions.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`\\ (value)."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def file_digest(path: str) -> str:
+    """SHA-256 hex digest of a file's exact bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class RunLedger:
+    """Append-only, line-buffered writer for one run's journal."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # Line-buffered append: one flush per event, SIGKILL-proof.
+        self._handle = open(path, "a", encoding="utf-8", buffering=1)
+
+    def append(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record that was written."""
+        record: Dict[str, Any] = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        return record
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunLedger({self.path!r})"
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """Parse a ledger, tolerating a torn tail (the kill -9 case).
+
+    An undecodable *last* line is dropped silently — that is exactly
+    the crash the journal exists to survive.  Undecodable interior
+    lines raise ``ValueError`` naming ``path:lineno``: an append-only
+    journal with damage in the middle was tampered with or the disk is
+    failing, and resuming over it would silently lose cells.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:  # torn tail: expected after kill -9
+                break
+            raise ValueError(f"{path}:{index + 1}: not valid JSON") from None
+    return records
+
+
+@dataclass
+class LedgerState:
+    """The replayed view of a ledger: what each cell's latest state is."""
+
+    header: Optional[Dict[str, Any]] = None  #: the ``run_open`` event
+    done: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    failed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    quarantines: List[Dict[str, Any]] = field(default_factory=list)
+    resumes: int = 0
+    closed: Optional[Dict[str, Any]] = None  #: the last ``run_close``
+
+
+def replay_ledger(events: List[Dict[str, Any]]) -> LedgerState:
+    """Fold a ledger's events into per-cell latest state.
+
+    A later ``done`` supersedes an earlier final ``failed`` (the resume
+    path re-executing a quarantined cell), and vice versa a cell that
+    was ``done`` but whose artifact was later ``quarantined`` and
+    re-failed ends up failed.  Non-final ``failed`` events only bump
+    the attempt bookkeeping.
+    """
+    state = LedgerState()
+    for event in events:
+        kind = event.get("event")
+        key = event.get("key", "")
+        if kind == "run_open":
+            if state.header is None:
+                state.header = event
+        elif kind == "resumed":
+            state.resumes += 1
+        elif kind == "started":
+            attempt = int(event.get("attempt", 1))
+            state.attempts[key] = max(state.attempts.get(key, 0), attempt)
+        elif kind == "done":
+            state.done[key] = event
+            state.failed.pop(key, None)
+        elif kind == "failed":
+            if event.get("final"):
+                state.failed[key] = event
+                state.done.pop(key, None)
+        elif kind == "quarantined":
+            state.quarantines.append(event)
+        elif kind == "run_close":
+            state.closed = event
+    return state

@@ -9,7 +9,7 @@ from .stats import (
     window_unique_curve,
     window_unique_fraction,
 )
-from .io import TraceFormatError, load_trace, load_traces, save_trace, save_traces
+from .io import TraceFormatError, load_trace, load_traces, save_trace, save_traces, trace_digest
 from .streaming import (
     DEFAULT_CHUNK_CYCLES,
     StreamCheckpoint,
@@ -54,4 +54,5 @@ __all__ = [
     "load_traces",
     "save_trace",
     "save_traces",
+    "trace_digest",
 ]

@@ -16,7 +16,13 @@ counts of a crossover analysis — share the same keyed store via
 
 Corruption is never fatal: a cache file that fails validation is
 evicted and the caller re-simulates, so a truncated write or a tampered
-archive costs one cache miss, not a crashed sweep.
+archive costs one cache miss, not a crashed sweep.  Validation includes
+**content digests**: ``.npz`` entries carry the
+:func:`~repro.traces.io.trace_digest` seal and JSON artifacts are
+stored inside a ``{"sha256", "value"}`` envelope hashed over the
+canonical (sorted, compact) JSON encoding of the value — so a bit-flip
+that still *parses* is detected, counted under ``trace_cache.corrupt``,
+evicted and recomputed instead of being returned silently.
 
 Every hit/miss/store/eviction is mirrored into :mod:`repro.obs` as the
 ``trace_cache.*`` counters (hits are labelled by layer —
@@ -56,7 +62,15 @@ CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
 CACHE_ENABLE_ENV = "REPRO_TRACE_CACHE"
 
 #: Bump to invalidate every existing cache entry on a format change.
-_CACHE_VERSION = 1
+#: v2: every entry is digest-sealed (``sha256`` npz member / JSON
+#: envelope), verified on load.
+_CACHE_VERSION = 2
+
+
+def _json_digest(value: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``value``."""
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def default_cache_dir() -> str:
@@ -138,9 +152,13 @@ class TraceCache:
             self.misses += 1
             obs.inc("trace_cache.misses")
             return None
-        except TraceFormatError:
+        except TraceFormatError as exc:
             self.corrupt_evictions += 1
             self.misses += 1
+            if exc.reason.startswith("content digest mismatch"):
+                # Parsed fine but the bytes are not what was stored:
+                # silent-corruption class, counted separately.
+                obs.inc("trace_cache.corrupt")
             obs.inc("trace_cache.corrupt_evictions")
             obs.inc("trace_cache.misses")
             self._evict(path)
@@ -174,7 +192,10 @@ class TraceCache:
     def load_json(self, key: str) -> Optional[Any]:
         """The cached JSON artifact for ``key``, or None.
 
-        Unreadable or undecodable files are evicted like corrupt traces.
+        Unreadable or undecodable files are evicted like corrupt
+        traces, and so are files whose ``{"sha256", "value"}`` envelope
+        digest no longer matches the value — a tamper that still parses
+        costs one recompute, never a silently wrong artifact.
         """
         if not self.enabled:
             return None
@@ -185,7 +206,7 @@ class TraceCache:
         path = self.json_path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                value = json.load(handle)
+                blob = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
             obs.inc("trace_cache.misses")
@@ -197,6 +218,19 @@ class TraceCache:
             obs.inc("trace_cache.misses")
             self._evict(path)
             return None
+        if (
+            not isinstance(blob, dict)
+            or set(blob) != {"sha256", "value"}
+            or blob["sha256"] != _json_digest(blob["value"])
+        ):
+            self.corrupt_evictions += 1
+            self.misses += 1
+            obs.inc("trace_cache.corrupt")
+            obs.inc("trace_cache.corrupt_evictions")
+            obs.inc("trace_cache.misses")
+            self._evict(path)
+            return None
+        value = blob["value"]
         self.hits += 1
         obs.inc("trace_cache.hits", layer="disk")
         self._memory_json[key] = value
@@ -214,7 +248,7 @@ class TraceCache:
                 prefix=".tmp-", suffix=".json", dir=self.directory
             )
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(value, handle)
+                json.dump({"sha256": _json_digest(value), "value": value}, handle)
             os.replace(tmp, self.json_path(key))
         except (OSError, TypeError):
             pass

@@ -9,10 +9,19 @@ file raises :class:`TraceFormatError` naming the offending path,
 instead of letting a raw ``zipfile``/NumPy/JSON traceback escape into
 whatever sweep was reading the archive.  A genuinely missing file still
 raises the standard ``FileNotFoundError``.
+
+Archives additionally carry a **content digest** (:func:`trace_digest`,
+SHA-256 over the little-endian value bytes plus the metadata): a
+bit-flip that still deserializes as a plausible trace — the corruption
+the structural checks cannot see — fails the digest comparison on load
+instead of being returned silently.  Archives written before the digest
+member existed still load (the check is skipped when the member is
+absent); every new :func:`save_trace` write is digest-sealed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict, Iterable, List
 
@@ -20,10 +29,20 @@ import numpy as np
 
 from .trace import BusTrace
 
-__all__ = ["TraceFormatError", "save_trace", "load_trace", "save_traces", "load_traces"]
+__all__ = [
+    "TraceFormatError",
+    "trace_digest",
+    "save_trace",
+    "load_trace",
+    "save_traces",
+    "load_traces",
+]
 
 #: Archive members a trace file must carry.
 _REQUIRED_KEYS = ("values", "width", "initial", "name")
+
+#: Optional archive member carrying the :func:`trace_digest` seal.
+_DIGEST_KEY = "sha256"
 
 
 class TraceFormatError(ValueError):
@@ -39,14 +58,33 @@ class TraceFormatError(ValueError):
         super().__init__(f"{path}: not a valid trace file ({reason})")
 
 
+def trace_digest(trace: BusTrace) -> str:
+    """SHA-256 content digest of a trace (values + metadata).
+
+    Byte-stable across platforms: the value array is hashed as
+    little-endian uint64 regardless of host endianness, and the
+    metadata is folded in as text.
+    """
+    digest = hashlib.sha256()
+    values = np.ascontiguousarray(trace.values, dtype=np.uint64)
+    digest.update(values.astype("<u8", copy=False).tobytes())
+    digest.update(
+        f"|width={trace.width}|initial={trace.initial}|name={trace.name}".encode(
+            "utf-8"
+        )
+    )
+    return digest.hexdigest()
+
+
 def save_trace(trace: BusTrace, path: str) -> None:
-    """Write a single trace to ``path`` (``.npz``)."""
+    """Write a single trace to ``path`` (``.npz``), digest-sealed."""
     np.savez_compressed(
         path,
         values=trace.values,
         width=np.int64(trace.width),
         initial=np.uint64(trace.initial),
         name=np.str_(trace.name),
+        sha256=np.str_(trace_digest(trace)),
     )
 
 
@@ -80,6 +118,9 @@ def load_trace(path: str) -> BusTrace:
                 width = int(data["width"])
                 initial = int(data["initial"])
                 name = str(data["name"])
+                expected = (
+                    str(data[_DIGEST_KEY]) if _DIGEST_KEY in data.files else ""
+                )
             except TraceFormatError:
                 raise
             except Exception as exc:  # truncated member, bad dtype, ...
@@ -102,9 +143,18 @@ def load_trace(path: str) -> BusTrace:
                     f"(max value {int(values.max()):#x})",
                 )
             try:
-                return BusTrace(values=values, width=width, initial=initial, name=name)
+                trace = BusTrace(values=values, width=width, initial=initial, name=name)
             except ValueError as exc:
                 raise TraceFormatError(path, str(exc)) from exc
+            if expected:
+                actual = trace_digest(trace)
+                if actual != expected:
+                    raise TraceFormatError(
+                        path,
+                        f"content digest mismatch (recorded {expected[:12]}…, "
+                        f"recomputed {actual[:12]}…)",
+                    )
+            return trace
     except TraceFormatError:
         raise
     except Exception as exc:  # defensive: decompression errors on read

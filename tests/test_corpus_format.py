@@ -190,6 +190,24 @@ class TestTamperDetection:
         with pytest.raises(CorpusFormatError):
             CorpusReader(str(tmp_path))
 
+    def test_length_mismatch_error_names_the_shard(self, tmp_path):
+        """Manifest cycles vs shard bytes disagreeing must produce a
+        one-line error that says *which* shard, in both directions."""
+        make_corpus(tmp_path, {"alpha": small_trace(2), "beta": small_trace(3)})
+        meta = CorpusReader(str(tmp_path)).meta("beta")
+        shard = tmp_path / meta.file
+        # Shard longer than the manifest says.
+        shard.write_bytes(shard.read_bytes() + b"\x00" * 8)
+        with pytest.raises(CorpusFormatError) as excinfo:
+            CorpusReader(str(tmp_path))
+        message = str(excinfo.value)
+        assert "beta" in message and "\n" not in message
+        # And shorter.
+        shard.write_bytes(shard.read_bytes()[:-16])
+        with pytest.raises(CorpusFormatError) as excinfo:
+            CorpusReader(str(tmp_path))
+        assert "beta" in str(excinfo.value)
+
     def test_materialized_trace_is_digest_checked(self, tmp_path):
         make_corpus(tmp_path, {"s": small_trace(4)})
         meta = CorpusReader(str(tmp_path)).meta("s")

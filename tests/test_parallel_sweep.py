@@ -94,6 +94,63 @@ def test_outcome_ok_property():
     assert not CellOutcome(cell=1, error=CellError("E", "m")).ok
 
 
+# -- per-cell watchdog ----------------------------------------------------
+
+
+def _sleepy(cell):
+    import time
+
+    if cell == "slow":
+        time.sleep(5.0)
+    return cell
+
+
+def test_watchdog_expiry_is_structured_timeout_error():
+    outcomes = parallel_map_cells(_sleepy, ["a", "slow", "b"], jobs=1, timeout_s=0.15)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    error = outcomes[1].error
+    assert error.kind == "timeout"
+    assert "watchdog" in error.message
+    assert error.pid == os.getpid()  # serial path runs in-process
+    assert error.elapsed_s >= 0.1
+    # Healthy neighbours are unaffected by the expiry.
+    assert [o.value for o in outcomes if o.ok] == ["a", "b"]
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="parallel path needs fork")
+def test_watchdog_works_inside_fork_workers():
+    outcomes = parallel_map_cells(
+        _sleepy, ["a", "slow", "b", "c"], jobs=2, timeout_s=0.15
+    )
+    assert [o.ok for o in outcomes] == [True, False, True, True]
+    error = outcomes[1].error
+    assert error.kind == "timeout"
+    assert error.pid > 0
+    assert error.elapsed_s >= 0.1
+
+
+def test_no_timeout_means_unbounded():
+    def quick_sleep(cell):
+        import time
+
+        time.sleep(0.05)
+        return cell
+
+    outcomes = parallel_map_cells(quick_sleep, [1], jobs=1, timeout_s=None)
+    assert outcomes[0].ok
+
+
+def test_watchdog_disarmed_after_cell():
+    """The timer must not fire into the *next* cell (or the caller)."""
+    import time
+
+    outcomes = parallel_map_cells(
+        _sleepy, ["slow", "a"], jobs=1, timeout_s=0.15
+    )
+    assert [o.ok for o in outcomes] == [False, True]
+    time.sleep(0.25)  # if the alarm leaked, it would fire here and kill us
+
+
 # -- sweep equivalence: jobs=N == jobs=1 ----------------------------------
 
 

@@ -1,0 +1,202 @@
+"""The ``repro run`` orchestration CLI and the ``run-soak`` gate.
+
+``run`` is two commands in one: a workload name keeps its historical
+kernel-statistics meaning, a matrix name drives the resumable ledger
+layer.  The dispatch, the resume UX, the one-line error contract and
+the ``--strict`` exit code are all pinned here; the full kill -9
+acceptance run lives in the chaos-marked soak test.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runs import LEDGER_FILENAME
+
+GEN = "gen:mixed,seed=9,population=2,cycles=256,width=16"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+def run_cli_error(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 1
+    return captured.err
+
+
+class TestRunMatrixCommand:
+    def test_savings_matrix_end_to_end(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "run",
+            "savings",
+            "--source", GEN,
+            "--coders", "last,window8",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "r",
+        )
+        assert "savings matrix | 4 cells" in out
+        assert "run r: complete | 4/4 cells" in out
+        assert os.path.exists(str(tmp_path / "r" / LEDGER_FILENAME))
+        assert os.path.exists(str(tmp_path / "r" / "summary.json"))
+
+    def test_resume_by_id_skips_completed_cells(self, capsys, tmp_path):
+        run_cli(
+            capsys,
+            "run", "savings",
+            "--source", GEN,
+            "--coders", "last",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "r",
+        )
+        out = run_cli(
+            capsys, "run", "--resume", "r", "--runs-dir", str(tmp_path)
+        )
+        assert "(2 skipped" in out
+        assert "complete" in out
+
+    def test_rerun_without_resume_is_one_line_error(self, capsys, tmp_path):
+        args = [
+            "run", "savings",
+            "--source", GEN,
+            "--coders", "last",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "r",
+        ]
+        run_cli(capsys, *args)
+        err = run_cli_error(capsys, *args)
+        assert err.startswith("repro: error:")
+        assert "--resume r" in err
+
+    def test_resume_of_unknown_run_is_one_line_error(self, capsys, tmp_path):
+        err = run_cli_error(
+            capsys, "run", "--resume", "ghost", "--runs-dir", str(tmp_path)
+        )
+        assert err.startswith("repro: error:")
+        assert "nothing to resume" in err
+
+    def test_bare_run_command_is_one_line_error(self, capsys):
+        err = run_cli_error(capsys, "run")
+        assert err.startswith("repro: error:")
+        assert "workload name or a matrix" in err
+
+    def test_strict_turns_degraded_into_nonzero_exit(self, capsys, tmp_path):
+        code = main(
+            [
+                "run", "savings",
+                "--source", GEN,
+                "--coders", "last",
+                "--runs-dir", str(tmp_path),
+                "--run-id", "r",
+                "--chaos", "fail@0",
+                "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED:deterministic-failure" in out
+        assert "degraded" in out
+
+    def test_degraded_without_strict_exits_zero(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "run", "savings",
+            "--source", GEN,
+            "--coders", "last",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "r",
+            "--chaos", "fail@0",
+        )
+        assert "degraded" in out
+
+    def test_bad_source_spec_is_one_line_error(self, capsys, tmp_path):
+        err = run_cli_error(
+            capsys,
+            "run", "savings",
+            "--source", "teleport:nowhere",
+            "--runs-dir", str(tmp_path),
+        )
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_faults_matrix_over_gen_source(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "run", "faults",
+            "--source", GEN,
+            "--coders", "window8",
+            "--ber", "1e-4",
+            "--policies", "reset-both",
+            "--streams", "1",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "f",
+        )
+        assert "faults matrix | 1 cells" in out
+        assert "net savings %" in out
+
+    def test_summary_json_carries_config_digest(self, capsys, tmp_path):
+        run_cli(
+            capsys,
+            "run", "savings",
+            "--source", GEN,
+            "--coders", "last",
+            "--runs-dir", str(tmp_path),
+            "--run-id", "r",
+        )
+        with open(str(tmp_path / "r" / "summary.json"), encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["status"] == "complete"
+        assert len(document["config_digest"]) == 64
+        assert document["counts"] == {"total": 2, "done": 2, "failed": 0}
+
+
+class TestLegacyRunCommand:
+    def test_workload_run_still_prints_stats(self, capsys):
+        out = run_cli(capsys, "run", "gcc", "--cycles", "4000")
+        assert "instructions" in out and "IPC" in out
+
+    def test_unknown_target_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spice"])
+
+
+class TestParserWiring:
+    def test_matrix_names_are_valid_targets(self):
+        for name in ("savings", "crossover", "table3", "faults"):
+            args = build_parser().parse_args(["run", name])
+            assert args.target == name
+
+    def test_resume_flag_shapes(self):
+        args = build_parser().parse_args(["run", "--resume", "abc"])
+        assert args.target is None and args.resume == "abc"
+        args = build_parser().parse_args(["run", "savings", "--resume"])
+        assert args.target == "savings" and args.resume == ""
+        args = build_parser().parse_args(["run", "savings"])
+        assert args.resume is None
+
+    def test_run_soak_parser(self):
+        args = build_parser().parse_args(["run-soak", "--quick", "--seed", "3"])
+        assert args.command == "run-soak"
+        assert args.quick and args.seed == 3
+
+
+@pytest.mark.chaos
+class TestRunSoak:
+    def test_quick_soak_passes(self, tmp_path):
+        """The full acceptance gate: SIGKILL mid-matrix, corrupt an
+        artifact, resume, byte-identical aggregates."""
+        from repro.runs.soak import run_soak
+
+        report = run_soak(directory=str(tmp_path / "soak"), quick=True)
+        assert report.ok, report.failures
+        names = [c.name for c in report.checks]
+        assert "victim run SIGKILLed mid-matrix" in names
+        assert "summary.json byte-identical to uninterrupted run" in names

@@ -1,0 +1,186 @@
+"""Cell identity and matrix construction for resumable runs.
+
+The identity contract: a cell key is a pure function of everything that
+determines the cell's *value* — coder, stream content digest,
+technology, fault profile, seed — and of nothing that merely affects
+*execution* (jobs, timeouts, retries, chaos).  Run configs validate
+eagerly so a bad matrix dies before any cell is simulated.
+"""
+
+import pytest
+
+from repro.runs import (
+    CellSpec,
+    RunConfig,
+    build_cells,
+    cell_key,
+    config_digest,
+    default_run_id,
+)
+from repro.runs.matrix import coder_family, make_cell_fn
+
+GEN = "gen:mixed,seed=3,population=2,cycles=256,width=16"
+
+
+class TestCellIdentity:
+    def test_key_is_stable_and_content_sensitive(self):
+        spec = CellSpec(
+            kind="savings",
+            workload="w",
+            source=GEN,
+            stream=0,
+            source_digest="abc",
+            coder="window8",
+        )
+        from dataclasses import replace
+
+        assert cell_key(spec) == cell_key(spec)
+        assert cell_key(replace(spec, source_digest="def")) != cell_key(spec)
+        assert cell_key(replace(spec, coder="window16")) != cell_key(spec)
+
+    def test_execution_knobs_are_not_identity(self):
+        # CellSpec deliberately has no jobs/timeout/retry/chaos fields:
+        # the key must agree between any two executions of the cell.
+        fields = set(CellSpec.__dataclass_fields__)
+        assert fields == {
+            "kind",
+            "workload",
+            "source",
+            "stream",
+            "source_digest",
+            "coder",
+            "technology",
+            "ber",
+            "policy",
+            "lam",
+            "seed",
+        }
+
+    def test_coder_family_grouping(self):
+        assert coder_family("window8") == "window"
+        assert coder_family("window16") == "window"
+        assert coder_family("last") == "last"
+        assert coder_family("fcm3") == "fcm"
+
+
+class TestRunConfig:
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(ValueError, match="unknown matrix"):
+            RunConfig(matrix="everything", sources=(GEN,), coders=("last",))
+
+    def test_crossover_needs_technologies_and_window_coders(self):
+        with pytest.raises(ValueError, match="--technologies"):
+            RunConfig(matrix="crossover", sources=(GEN,), coders=("window8",))
+        with pytest.raises(ValueError, match="windowN"):
+            RunConfig(
+                matrix="crossover",
+                sources=(GEN,),
+                coders=("last",),
+                technologies=("0.10um",),
+            )
+
+    def test_faults_needs_bers_and_policies_in_range(self):
+        with pytest.raises(ValueError, match="--ber"):
+            RunConfig(matrix="faults", sources=(GEN,), coders=("window8",))
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            RunConfig(
+                matrix="faults",
+                sources=(GEN,),
+                coders=("window8",),
+                bers=(2.0,),
+                policies=("reset-both",),
+            )
+
+    def test_from_dict_round_trips_digest(self):
+        config = RunConfig(
+            matrix="faults",
+            sources=(GEN,),
+            coders=("window8",),
+            bers=(1e-5, 1e-4),
+            policies=("reset-both",),
+            seed=3,
+        )
+        from dataclasses import asdict
+
+        rebuilt = RunConfig.from_dict(asdict(config))
+        assert config_digest(rebuilt) == config_digest(config)
+
+    def test_default_run_id_shape(self):
+        config = RunConfig(matrix="savings", sources=(GEN,), coders=("last",))
+        rid = default_run_id(config)
+        assert rid.startswith("savings-")
+        assert rid == f"savings-{config_digest(config)[:12]}"
+
+
+class TestBuildCells:
+    def test_savings_order_and_count(self):
+        config = RunConfig(
+            matrix="savings", sources=(GEN,), coders=("last", "window8")
+        )
+        cells = build_cells(config)
+        assert len(cells) == 4  # 2 streams x 2 coders
+        assert [(c.stream, c.coder) for c in cells] == [
+            (0, "last"),
+            (0, "window8"),
+            (1, "last"),
+            (1, "window8"),
+        ]
+        assert len({cell_key(c) for c in cells}) == 4
+        assert all(c.source_digest for c in cells)
+
+    def test_gen_stream_digests_are_per_stream_and_stable(self):
+        config = RunConfig(matrix="savings", sources=(GEN,), coders=("last",))
+        first = build_cells(config)
+        again = build_cells(config)
+        assert [cell_key(c) for c in first] == [cell_key(c) for c in again]
+        assert first[0].source_digest != first[1].source_digest
+
+    def test_bad_coder_fails_before_any_simulation(self):
+        config = RunConfig(matrix="savings", sources=(GEN,), coders=("w!ndow",))
+        with pytest.raises(ValueError):
+            build_cells(config)
+
+    def test_faults_axes_product(self):
+        config = RunConfig(
+            matrix="faults",
+            sources=(GEN,),
+            coders=("window8",),
+            bers=(1e-5, 1e-4),
+            policies=("reset-both", "resync-on-error"),
+            streams=1,
+        )
+        cells = build_cells(config)
+        assert len(cells) == 1 * 1 * 2 * 2  # streams x coders x policies x bers
+        assert {c.policy for c in cells} == {"reset-both", "resync-on-error"}
+
+    def test_streams_cap_limits_population(self):
+        config = RunConfig(
+            matrix="savings", sources=(GEN,), coders=("last",), streams=1
+        )
+        assert len(build_cells(config)) == 1
+
+
+class TestCellFn:
+    def test_savings_cell_value_is_json_ready(self):
+        config = RunConfig(matrix="savings", sources=(GEN,), coders=("window8",))
+        cell = build_cells(config)[0]
+        value = make_cell_fn()(cell)
+        assert set(value) == {"savings_pct"}
+        assert isinstance(value["savings_pct"], float)
+
+    def test_faults_cell_value_fields(self):
+        config = RunConfig(
+            matrix="faults",
+            sources=(GEN,),
+            coders=("window8",),
+            bers=(1e-4,),
+            policies=("reset-both",),
+            streams=1,
+        )
+        value = make_cell_fn()(build_cells(config)[0])
+        assert {"savings_pct", "correct_fraction", "injected_cycles"} <= set(value)
+
+    def test_values_deterministic_across_fresh_executors(self):
+        config = RunConfig(matrix="savings", sources=(GEN,), coders=("last",))
+        cell = build_cells(config)[0]
+        assert make_cell_fn()(cell) == make_cell_fn()(cell)

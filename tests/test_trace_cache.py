@@ -11,6 +11,7 @@ Three contracts:
   fatal.
 """
 
+import json
 import os
 
 import numpy as np
@@ -184,3 +185,70 @@ def test_cache_enabled_by_env(monkeypatch):
     assert cache_enabled_by_env()
     monkeypatch.delenv(CACHE_ENABLE_ENV)
     assert cache_enabled_by_env()
+
+
+# -- content digest verification (silent-corruption class) ----------------
+
+
+def _corrupt_counter():
+    from repro import obs
+
+    return obs.get_registry().counter("trace_cache.corrupt")
+
+
+def test_plausible_trace_tamper_is_detected_and_recomputed(tmp_cache):
+    """A value swap that keeps the archive structurally valid must be
+    caught by the digest on load, counted, evicted, recomputed."""
+    cold = register_trace("gcc", 1200)
+    key = _trace_cache_key("gcc", "register", 1200)
+    path = tmp_cache.trace_path(key)
+    with np.load(path) as data:
+        members = {k: data[k] for k in data.files}
+    values = np.array(members["values"], dtype=np.uint64)
+    values[0] ^= 1  # the bit-flip the structural checks cannot see
+    members["values"] = values
+    np.savez_compressed(path, **members)
+
+    before = _corrupt_counter()
+    clear_caches()
+    recovered = register_trace("gcc", 1200)  # must not raise, must not lie
+    assert np.array_equal(recovered.values, cold.values)
+    assert _corrupt_counter() == before + 1
+    assert tmp_cache.stats()["corrupt_evictions"] >= 1
+
+
+def test_json_envelope_tamper_is_detected(tmp_cache):
+    key = tmp_cache.key("artifact", "sealed")
+    tmp_cache.store_json(key, {"x": 1, "y": [2, 3]})
+    with open(tmp_cache.json_path(key), "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    blob["value"]["x"] = 99  # parses fine; envelope digest now lies
+    with open(tmp_cache.json_path(key), "w", encoding="utf-8") as handle:
+        json.dump(blob, handle)
+    tmp_cache.clear_memory()
+    before = _corrupt_counter()
+    assert tmp_cache.load_json(key) is None
+    assert _corrupt_counter() == before + 1
+    assert not os.path.exists(tmp_cache.json_path(key))
+
+
+def test_legacy_bare_json_artifact_treated_as_corrupt(tmp_cache):
+    # Pre-envelope cache files (a bare value, no {"sha256","value"}
+    # wrapper) cannot be verified; they are evicted, not trusted.
+    key = tmp_cache.key("artifact", "legacy")
+    os.makedirs(tmp_cache.directory, exist_ok=True)
+    with open(tmp_cache.json_path(key), "w", encoding="utf-8") as handle:
+        json.dump({"x": 1}, handle)
+    assert tmp_cache.load_json(key) is None
+    assert not os.path.exists(tmp_cache.json_path(key))
+
+
+def test_json_round_trip_keeps_envelope_on_disk(tmp_cache):
+    key = tmp_cache.key("artifact", "envelope")
+    tmp_cache.store_json(key, [1, 2, 3])
+    with open(tmp_cache.json_path(key), "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    assert set(blob) == {"sha256", "value"}
+    assert blob["value"] == [1, 2, 3]
+    tmp_cache.clear_memory()
+    assert tmp_cache.load_json(key) == [1, 2, 3]
